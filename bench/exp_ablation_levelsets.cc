@@ -1,0 +1,156 @@
+/// A1 (ablation): the Indyk–Woodruff level-set structure has four knobs the
+/// paper hides inside Õ(·). This harness ablates each against the default
+/// configuration on a fixed F2 task so DESIGN.md's design choices are
+/// justified by measurement:
+///   - cs_width (the 1/gamma space knob),
+///   - cs_depth (median amplification rows),
+///   - heavy_factor (recoverability threshold),
+///   - eta clamp (random boundary offset range).
+///
+/// Prints median/p90 relative error of C~_2-based F2 recovery and space.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/collision.h"
+#include "sketch/level_sets.h"
+#include "stream/exact_stats.h"
+#include "stream/generators.h"
+#include "stream/samplers.h"
+#include "util/math.h"
+#include "util/stats.h"
+
+namespace substream {
+namespace {
+
+using bench::FmtF;
+using bench::FmtI;
+using bench::Table;
+
+struct Config {
+  const char* name;
+  LevelSetParams params;
+};
+
+void RunExperiment() {
+  const std::size_t n = 1 << 17;
+  const double p = 0.2;
+  const int kTrials = 9;
+  ZipfGenerator gen(1 << 14, 1.2, 3);
+  Stream original = Materialize(gen, n);
+  FrequencyTable exact = ExactStats(original);
+  const double truth = exact.Fk(2);
+
+  std::printf("A1: level-set structure ablation (F2 via collisions,"
+              " Zipf(1.2), n=%zu, p=%.2f, %d trials)\n\n", n, p, kTrials);
+
+  LevelSetParams base;
+  base.eps_prime = 0.2;
+  base.max_depth = 14;
+  base.cs_depth = 5;
+  base.cs_width = 2048;
+  base.heavy_factor = 4.0;
+
+  std::vector<Config> configs;
+  configs.push_back({"default (w=2048,d=5,hf=4)", base});
+  {
+    LevelSetParams c = base;
+    c.cs_width = 256;
+    configs.push_back({"width 256 (-8x space)", c});
+  }
+  {
+    LevelSetParams c = base;
+    c.cs_width = 8192;
+    configs.push_back({"width 8192 (+4x space)", c});
+  }
+  {
+    LevelSetParams c = base;
+    c.cs_depth = 1;
+    configs.push_back({"depth 1 (no median)", c});
+  }
+  {
+    LevelSetParams c = base;
+    c.cs_depth = 9;
+    configs.push_back({"depth 9", c});
+  }
+  {
+    LevelSetParams c = base;
+    c.heavy_factor = 1.0;
+    configs.push_back({"heavy_factor 1 (greedy)", c});
+  }
+  {
+    LevelSetParams c = base;
+    c.heavy_factor = 16.0;
+    configs.push_back({"heavy_factor 16 (timid)", c});
+  }
+  {
+    LevelSetParams c = base;
+    c.eps_prime = 0.5;
+    configs.push_back({"eps' 0.5 (coarse levels)", c});
+  }
+  {
+    LevelSetParams c = base;
+    c.eps_prime = 0.05;
+    configs.push_back({"eps' 0.05 (fine levels)", c});
+  }
+  {
+    LevelSetParams c = base;
+    c.exact_capacity = 1;  // effectively disable sparse recovery
+    configs.push_back({"no sparse recovery (CS only)", c});
+  }
+  {
+    LevelSetParams c = base;
+    c.exact_capacity = 1;
+    c.cs_depth = 1;
+    configs.push_back({"CS only + depth 1", c});
+  }
+
+  Table table({"config", "med rel.err", "p90 rel.err", "space(KB)"});
+  for (const Config& config : configs) {
+    std::vector<double> errors;
+    std::size_t space = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      BernoulliSampler sampler(p, 100 + static_cast<std::uint64_t>(t));
+      IndykWoodruffEstimator iw(config.params,
+                                200 + static_cast<std::uint64_t>(t));
+      count_t sampled = 0;
+      for (item_t a : original) {
+        if (sampler.Keep()) {
+          iw.Update(a);
+          ++sampled;
+        }
+      }
+      // F2 = 2 C2/p^2 + F1 (Eq. 1 with beta^2_1 = 1).
+      const double c2 = iw.EstimateCollisions(2);
+      const double estimate =
+          2.0 * c2 / (p * p) + static_cast<double>(sampled) / p;
+      errors.push_back(RelativeError(estimate, truth));
+      space = iw.SpaceBytes();
+    }
+    table.AddRow({config.name, FmtF(Median(errors), 3),
+                  FmtF(Quantile(errors, 0.9), 3),
+                  FmtI(static_cast<double>(space) / 1024.0)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: two design choices dominate. (1) Sparse exact recovery of\n"
+      "deep substreams: with it, most level reads bypass CountSketch noise\n"
+      "entirely (rows depth-1/heavy-factor collapse onto the default);\n"
+      "disabling it exposes the raw CS path and its sensitivity. (2) The\n"
+      "level ratio eps': error tracks the (1+eps') discretization envelope\n"
+      "(0.5 -> ~0.14, 0.05 -> ~0.017); this also motivated evaluating\n"
+      "collisions at the level midpoint and exact integer bins for small\n"
+      "frequencies (C(g,l) is non-smooth at g=l). Width buys tail\n"
+      "stability on the residual CS-path reads. Defaults = knee of each\n"
+      "curve.\n");
+}
+
+}  // namespace
+}  // namespace substream
+
+int main() {
+  substream::RunExperiment();
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// E9 (Lemma 2): the statistical engine of Algorithm 1.
+///   E[C_l(L)] = p^l C_l(P),   V[C_l(L)] = O(p^{2l-1} F_l^{2-1/l}).
+///
+/// Monte Carlo over independent Bernoulli samplings of a fixed stream.
+/// Prints, per (l, p): the ratio of the empirical mean of C_l(L) to
+/// p^l C_l(P) (expect ~1.000), and the ratio of the empirical variance to
+/// the Lemma 2 bound (expect O(1), i.e. bounded by a small constant).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/collision.h"
+#include "stream/exact_stats.h"
+#include "stream/generators.h"
+#include "stream/samplers.h"
+#include "util/stats.h"
+
+namespace substream {
+namespace {
+
+using bench::FmtE;
+using bench::FmtF;
+using bench::Table;
+
+void RunExperiment() {
+  const int kReps = 400;
+  std::printf("E9: collision moments under Bernoulli sampling (Lemma 2;"
+              " %d replicates per cell)\n\n", kReps);
+
+  // Mixed-skew frequency vector: some heavy, some medium, a singleton tail.
+  std::vector<count_t> freqs;
+  for (int i = 0; i < 4; ++i) freqs.push_back(400);
+  for (int i = 0; i < 40; ++i) freqs.push_back(40);
+  for (int i = 0; i < 400; ++i) freqs.push_back(4);
+  for (int i = 0; i < 800; ++i) freqs.push_back(1);
+  Stream original = StreamFromFrequencies(freqs, 61);
+
+  Table table({"l", "p", "C_l(P)", "E[C_l(L)] obs/theory",
+               "V[C_l(L)] obs", "Lemma2 bound p^(2l-1)F_l^(2-1/l)",
+               "obs/bound"});
+
+  for (int l : {2, 3, 4}) {
+    const double c_p = CollisionsFromFrequencies(freqs, l);
+    const double f_l = MomentFromFrequencies(freqs, l);
+    for (double p : {0.5, 0.2, 0.1}) {
+      RunningStats stats;
+      for (int rep = 0; rep < kReps; ++rep) {
+        BernoulliSampler sampler(p, 7000 + static_cast<std::uint64_t>(rep));
+        FrequencyTable sampled = ExactStats(sampler.Sample(original));
+        stats.Add(sampled.CollisionCount(l));
+      }
+      const double mean_theory = ExpectedSampledCollisions(c_p, p, l);
+      const double var_bound =
+          std::pow(p, 2 * l - 1) * std::pow(f_l, 2.0 - 1.0 / l);
+      table.AddRow({std::to_string(l), FmtF(p, 2), FmtE(c_p),
+                    FmtF(stats.Mean() / mean_theory, 4), FmtE(stats.Variance()),
+                    FmtE(var_bound), FmtF(stats.Variance() / var_bound, 3)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nReading: the mean ratio sits at 1.000 +- Monte Carlo noise —\n"
+      "C_l(L)/p^l is an unbiased estimator of C_l(P) (Lemma 2's first\n"
+      "claim). The variance ratio stays bounded by a small constant across\n"
+      "l and p, confirming the O(p^{2l-1} F_l^{2-1/l}) bound that drives\n"
+      "the Chebyshev step (Lemma 5) of the accuracy proof.\n");
+}
+
+}  // namespace
+}  // namespace substream
+
+int main() {
+  substream::RunExperiment();
+  return 0;
+}

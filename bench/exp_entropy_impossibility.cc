@@ -1,0 +1,99 @@
+/// E4 (Lemma 9): no multiplicative entropy approximation is possible from
+/// the sampled stream, even at constant p.
+///
+/// Part 1: Scenario A (f_1 = n, H = 0) vs Scenario B (f_1 = n - k plus
+/// k = 1/(10p) singletons, H = Theta(k lg(n)/n) > 0). With probability
+/// >= 9/10 the sampled stream of B contains none of the singletons, so no
+/// algorithm can distinguish the two — any multiplicative approximation
+/// would have to output 0 and nonzero simultaneously.
+///
+/// Part 2: the all-distinct stream has H(f) = lg n but H(g) = lg|L| ~
+/// lg(pn): an additive gap of |lg p| that no scaling fixes.
+///
+/// Prints, per p: the fraction of trials where B's sample is singleton-free
+/// (indistinguishable from A), H(f) of both scenarios, and the Part-2 gap.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "stream/exact_stats.h"
+#include "stream/generators.h"
+#include "stream/samplers.h"
+#include "util/stats.h"
+
+namespace substream {
+namespace {
+
+using bench::FmtF;
+using bench::FmtI;
+using bench::FmtPct;
+using bench::Table;
+
+void RunExperiment() {
+  const std::size_t n = 1 << 17;
+  const int kTrials = 41;
+  std::printf("E4: entropy impossibility constructions (Lemma 9; n=%zu,"
+              " %d trials)\n\n", n, kTrials);
+
+  std::printf("Part 1: scenario pair with k = 1/(10p) singletons\n");
+  Table part1({"p", "k", "H(f) scen.A", "H(f) scen.B",
+               "P[sample of B == sample of A]", "lemma floor 9/10"});
+  // Lemma 9 needs k = 1/(10p) >= 1, i.e. p <= 0.1; larger p degenerates.
+  for (double p : {0.1, 0.05, 0.02, 0.01}) {
+    const std::size_t k =
+        std::max<std::size_t>(1, static_cast<std::size_t>(1.0 / (10.0 * p)));
+    EntropyScenarioPair pair = MakeLemma9Pair(n, k, 11);
+    int indistinguishable = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      BernoulliSampler sampler(p, 100 + static_cast<std::uint64_t>(t));
+      FrequencyTable sampled = ExactStats(sampler.Sample(pair.high_entropy));
+      // Indistinguishable from scenario A iff only item 1 survived.
+      bool only_heavy = true;
+      for (const auto& [item, count] : sampled.counts()) {
+        (void)count;
+        if (item != 1) {
+          only_heavy = false;
+          break;
+        }
+      }
+      if (only_heavy) ++indistinguishable;
+    }
+    part1.AddRow({FmtF(p, 2), std::to_string(k), FmtF(pair.entropy_low, 4),
+                  FmtF(pair.entropy_high, 4),
+                  FmtPct(static_cast<double>(indistinguishable) / kTrials),
+                  "90%"});
+  }
+  part1.Print();
+
+  std::printf("\nPart 2: all-distinct stream, H(g) = lg|L| vs H(f) = lg n\n");
+  Table part2({"p", "H(f)=lg n", "median H(g)", "gap", "|lg p| prediction"});
+  DistinctGenerator gen;
+  Stream distinct = Materialize(gen, n);
+  const double h_f = std::log2(static_cast<double>(n));
+  for (double p : {0.5, 0.2, 0.1, 0.05}) {
+    std::vector<double> h_g;
+    for (int t = 0; t < 9; ++t) {
+      BernoulliSampler sampler(p, 300 + static_cast<std::uint64_t>(t));
+      h_g.push_back(ExactStats(sampler.Sample(distinct)).Entropy());
+    }
+    const double median_hg = Median(h_g);
+    part2.AddRow({FmtF(p, 2), FmtF(h_f, 3), FmtF(median_hg, 3),
+                  FmtF(h_f - median_hg, 3), FmtF(-std::log2(p), 3)});
+  }
+  part2.Print();
+  std::printf(
+      "\nReading: Part 1 — scenario B's sample collapses to scenario A's in\n"
+      ">= ~90%% of trials while their true entropies differ by an infinite\n"
+      "multiplicative factor (0 vs > 0): no estimator can win. Part 2 — the\n"
+      "entropy gap matches |lg p| exactly, as in the Lemma 9 proof.\n");
+}
+
+}  // namespace
+}  // namespace substream
+
+int main() {
+  substream::RunExperiment();
+  return 0;
+}

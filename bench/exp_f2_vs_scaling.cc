@@ -1,0 +1,129 @@
+/// E8 (Section 1.3, vs Rusu–Dobra [34]): who wins at fixed space as p
+/// shrinks. The paper's collision-based method needs O~(1/p) space; the
+/// scale-the-sampled-F2 method of [34] effectively needs O~(1/p^2); naive
+/// scaling F2(L)/p^2 is biased by (1-p)F1/p no matter how much space.
+///
+/// Two workloads: a diffuse uniform stream (where the p(1-p)F1 term that
+/// separates the methods dominates) and a skewed Zipf stream (where both
+/// sketch methods are comfortable). Prints median relative error per
+/// (workload, p) for: collision method (exact-count backend = the
+/// information-theoretic core, plus sketch backend at a fixed budget),
+/// Rusu–Dobra at the same budget, and naive scaling with unbounded space.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/baselines.h"
+#include "core/fk_estimator.h"
+#include "stream/exact_stats.h"
+#include "stream/generators.h"
+#include "stream/samplers.h"
+#include "util/math.h"
+#include "util/stats.h"
+
+namespace substream {
+namespace {
+
+using bench::FmtF;
+using bench::Table;
+
+struct MethodErrors {
+  double collision_exact = 0.0;
+  double collision_sketch = 0.0;
+  double rusu_dobra = 0.0;
+  double naive = 0.0;
+};
+
+MethodErrors RunCell(const Stream& original, double truth, item_t universe,
+                     double p, int trials) {
+  std::vector<double> e_exact, e_sketch, e_rd, e_naive;
+  for (int t = 0; t < trials; ++t) {
+    const auto ts = static_cast<std::uint64_t>(t);
+
+    FkParams exact_params;
+    exact_params.k = 2;
+    exact_params.p = p;
+    exact_params.universe = universe;
+    exact_params.backend = CollisionBackend::kExactCollisions;
+    FkEstimator exact_est(exact_params, 3 * ts + 1);
+
+    FkParams sketch_params = exact_params;
+    sketch_params.backend = CollisionBackend::kSketch;
+    sketch_params.epsilon = 0.25;
+    sketch_params.space_multiplier = 1.0;
+    sketch_params.max_width = 4096;
+    FkEstimator sketch_est(sketch_params, 3 * ts + 2);
+
+    // Rusu–Dobra with a fixed atom budget (space independent of p).
+    RusuDobraF2Estimator rd(p, 5, 240, 3 * ts + 3);
+    NaiveScaledFkEstimator naive(p);
+
+    BernoulliSampler sampler(p, 5000 + ts);
+    for (item_t a : original) {
+      if (sampler.Keep()) {
+        exact_est.Update(a);
+        sketch_est.Update(a);
+        rd.Update(a);
+        naive.Update(a);
+      }
+    }
+    e_exact.push_back(RelativeError(exact_est.Estimate(), truth));
+    e_sketch.push_back(RelativeError(sketch_est.Estimate(), truth));
+    e_rd.push_back(RelativeError(rd.Estimate(), truth));
+    e_naive.push_back(RelativeError(naive.Estimate(2), truth));
+  }
+  return {Median(e_exact), Median(e_sketch), Median(e_rd), Median(e_naive)};
+}
+
+void RunExperiment() {
+  const std::size_t n = 1 << 17;
+  const int kTrials = 7;
+  std::printf("E8: collision method vs scaling baselines for F2\n");
+  std::printf("    (Section 1.3 / Rusu–Dobra [34]; fixed sketch budgets,"
+              " n=%zu, %d trials)\n\n", n, kTrials);
+
+  struct Workload {
+    const char* name;
+    Stream stream;
+    item_t universe;
+  };
+  std::vector<Workload> workloads;
+  {
+    UniformGenerator gen(1 << 15, 51);
+    workloads.push_back({"uniform (diffuse)", Materialize(gen, n), 1 << 15});
+  }
+  {
+    ZipfGenerator gen(1 << 15, 1.2, 52);
+    workloads.push_back({"zipf(1.2) (skewed)", Materialize(gen, n), 1 << 15});
+  }
+
+  Table table({"workload", "p", "collision exact-cnt", "collision sketch",
+               "rusu-dobra (fixed atoms)", "naive F2(L)/p^2"});
+  for (const Workload& w : workloads) {
+    const double truth = ExactStats(w.stream).Fk(2);
+    for (double p : {0.5, 0.2, 0.1, 0.05, 0.02, 0.01}) {
+      MethodErrors e = RunCell(w.stream, truth, w.universe, p, kTrials);
+      table.AddRow({w.name, FmtF(p, 2), FmtF(e.collision_exact, 3),
+                    FmtF(e.collision_sketch, 3), FmtF(e.rusu_dobra, 3),
+                    FmtF(e.naive, 3)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nReading: on the diffuse workload the naive estimator's bias\n"
+      "(1-p)F1/(p F2) explodes as p drops, and Rusu–Dobra's variance grows\n"
+      "with 1/p at fixed space, while the collision method tracks the\n"
+      "information-theoretic (exact-count) error. On the skewed workload\n"
+      "F2 >> F1 and all corrected methods coincide — the separation is a\n"
+      "worst-case phenomenon, exactly as the space bounds predict.\n");
+}
+
+}  // namespace
+}  // namespace substream
+
+int main() {
+  substream::RunExperiment();
+  return 0;
+}

@@ -1,0 +1,125 @@
+/// E1 (Theorem 1): (1+eps, delta) estimation of F_k(P) from the sampled
+/// stream in space O~(p^-1 m^{1-2/k}), for k in {2, 3, 4}, with feasibility
+/// threshold p = Omega~(min(m, n)^{-1/k}).
+///
+/// Prints, per (k, p): the median/p90 relative error of Algorithm 1 over
+/// trials using the exact-collision backend (isolating pure sampling error,
+/// i.e. the information-theoretic content of the theorem), the sketch
+/// backend's error and measured space (the streaming content), and whether
+/// p clears the feasibility threshold. Expectation from the paper: small
+/// error above threshold, degradation below; sketch space ~ m^{1-2/k}/p.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/fk_estimator.h"
+#include "stream/exact_stats.h"
+#include "stream/generators.h"
+#include "stream/samplers.h"
+#include "util/math.h"
+#include "util/stats.h"
+
+namespace substream {
+namespace {
+
+using bench::FmtE;
+using bench::FmtF;
+using bench::FmtI;
+using bench::Table;
+
+struct TrialResult {
+  double error = 0.0;
+  std::size_t space = 0;
+};
+
+TrialResult RunTrial(const Stream& original, double truth,
+                     const FkParams& params, std::uint64_t seed) {
+  BernoulliSampler sampler(params.p, seed);
+  FkEstimator estimator(params, seed + 9000);
+  for (item_t a : original) {
+    if (sampler.Keep()) estimator.Update(a);
+  }
+  return {RelativeError(estimator.Estimate(), truth), estimator.SpaceBytes()};
+}
+
+void RunExperiment() {
+  const std::size_t n = 1 << 17;
+  const item_t m = 1 << 15;
+  const int kTrials = 7;
+  ZipfGenerator gen(m, 1.1, 42);
+  Stream original = Materialize(gen, n);
+  FrequencyTable exact = ExactStats(original);
+
+  std::printf("E1: Fk estimation from a Bernoulli(p)-sampled stream\n");
+  std::printf("    (Theorem 1; workload Zipf(1.1), n=%zu, m=%llu, %d trials"
+              " per cell)\n\n",
+              n, static_cast<unsigned long long>(m), kTrials);
+
+  Table table({"k", "p", "p_min(Thm1)", "feasible", "exact-cnt med.err",
+               "exact-cnt p90", "sketch med.err", "sketch space(KB)",
+               "theory space ~ m^(1-2/k)/p"});
+
+  for (int k : {2, 3, 4}) {
+    const double truth = exact.Fk(k);
+    const double p_min = FkEstimator::MinSamplingProbability(
+        k, m, static_cast<std::uint64_t>(n));
+    for (double p : {1.0, 0.3, 0.1, 0.03}) {
+      FkParams exact_params;
+      exact_params.k = k;
+      exact_params.p = p;
+      exact_params.universe = m;
+      exact_params.epsilon = 0.2;
+      exact_params.backend = CollisionBackend::kExactCollisions;
+
+      std::vector<double> exact_errors;
+      for (int t = 0; t < kTrials; ++t) {
+        exact_errors.push_back(
+            RunTrial(original, truth, exact_params,
+                     17 * static_cast<std::uint64_t>(t) + 1)
+                .error);
+      }
+
+      FkParams sketch_params = exact_params;
+      sketch_params.backend = CollisionBackend::kSketch;
+      sketch_params.space_multiplier = 0.5;
+      sketch_params.max_width = 1 << 14;
+      std::vector<double> sketch_errors;
+      std::size_t sketch_space = 0;
+      for (int t = 0; t < 3; ++t) {
+        TrialResult r = RunTrial(original, truth, sketch_params,
+                                 23 * static_cast<std::uint64_t>(t) + 5);
+        sketch_errors.push_back(r.error);
+        sketch_space = r.space;
+      }
+
+      const double theory_space =
+          std::pow(static_cast<double>(m), 1.0 - 2.0 / k) / p;
+      table.AddRow({std::to_string(k), FmtF(p, 2), FmtF(p_min, 3),
+                    p >= p_min ? "yes" : "NO",
+                    FmtF(Median(exact_errors), 3),
+                    FmtF(Quantile(exact_errors, 0.9), 3),
+                    FmtF(Median(sketch_errors), 3),
+                    FmtI(static_cast<double>(sketch_space) / 1024.0),
+                    FmtI(theory_space)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nReading: error grows as p shrinks and as k grows (the beta ladder\n"
+      "amplifies collision noise), staying within the (1+eps) regime above\n"
+      "the feasibility threshold. Rows flagged NO sit below Theorem 1's\n"
+      "p_min; their error is already elevated here and is unboundable in\n"
+      "the worst case (the Bar-Yossef hard instances are near-uniform —\n"
+      "this Zipf head still leaks some signal). Sketch space tracks the\n"
+      "m^(1-2/k)/p column shape.\n");
+}
+
+}  // namespace
+}  // namespace substream
+
+int main() {
+  substream::RunExperiment();
+  return 0;
+}

@@ -1,0 +1,130 @@
+/// E6 (Theorem 6): F1-heavy hitters of P recovered from L via CountMin with
+/// remapped parameters alpha' = (1-2eps/5)alpha, eps' = eps/2, delta' =
+/// delta/4, provided F1(P) >= C p^-1 alpha^-1 eps^-2 log(n/delta).
+///
+/// Prints, per (p, n): recall of true alpha-heavy items, false positives
+/// below the (1-eps)alpha exclusion line, mean relative error of the
+/// rescaled frequencies, and whether the premise held. Expectation: perfect
+/// recall/exclusion whenever the premise holds; degradation on the
+/// deliberately-too-short stream row.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/heavy_hitters.h"
+#include "stream/exact_stats.h"
+#include "stream/generators.h"
+#include "stream/samplers.h"
+#include "util/math.h"
+#include "util/stats.h"
+
+namespace substream {
+namespace {
+
+using bench::FmtF;
+using bench::FmtI;
+using bench::FmtPct;
+using bench::Table;
+
+struct Outcome {
+  double recall = 0.0;
+  double false_positives = 0.0;
+  double freq_error = 0.0;
+};
+
+Outcome RunOnce(const Stream& original, const FrequencyTable& exact,
+                const HeavyHitterParams& params, std::uint64_t seed) {
+  F1HeavyHitterEstimator estimator(params, seed);
+  BernoulliSampler sampler(params.p, seed + 1);
+  for (item_t a : original) {
+    if (sampler.Keep()) estimator.Update(a);
+  }
+  const auto hh = estimator.Estimate();
+  auto contains = [&hh](item_t item) {
+    return std::any_of(hh.begin(), hh.end(),
+                       [item](const HeavyHitter& h) { return h.item == item; });
+  };
+  const double f1 = static_cast<double>(exact.F1());
+  int heavy_total = 0, heavy_found = 0, fp = 0;
+  for (const auto& [item, f] : exact.counts()) {
+    const double freq = static_cast<double>(f);
+    if (freq >= params.alpha * f1) {
+      ++heavy_total;
+      if (contains(item)) ++heavy_found;
+    }
+  }
+  RunningStats err;
+  for (const HeavyHitter& h : hh) {
+    const double truth = static_cast<double>(exact.Frequency(h.item));
+    if (truth < (1.0 - params.epsilon) * params.alpha * f1) ++fp;
+    if (truth > 0) err.Add(RelativeError(h.estimated_frequency, truth));
+  }
+  Outcome out;
+  out.recall = heavy_total ? static_cast<double>(heavy_found) / heavy_total : 1.0;
+  out.false_positives = static_cast<double>(fp);
+  out.freq_error = err.Count() ? err.Mean() : 0.0;
+  return out;
+}
+
+void RunExperiment() {
+  const int kTrials = 7;
+  std::printf("E6: F1-heavy hitters from the sampled stream (Theorem 6)\n");
+  std::printf("    (planted 8 heavy items @ 5%% each, alpha=0.04, eps=0.25,"
+              " %d trials)\n\n", kTrials);
+
+  HeavyHitterParams base;
+  base.alpha = 0.04;
+  base.epsilon = 0.25;
+  base.delta = 0.05;
+
+  Table table({"n", "p", "premise F1 >= req", "recall", "false pos",
+               "freq rel.err", "space(KB)"});
+
+  for (std::size_t n : {std::size_t{1} << 19, std::size_t{1} << 15}) {
+    PlantedHeavyHitterGenerator gen(8, 0.4, 1 << 17, 31);
+    Stream original = Materialize(gen, n);
+    FrequencyTable exact = ExactStats(original);
+    for (double p : {1.0, 0.3, 0.1, 0.03, 0.01}) {
+      HeavyHitterParams params = base;
+      params.p = p;
+      const double required = F1HeavyHitterEstimator::RequiredOriginalLength(
+          params, static_cast<double>(n));
+      RunningStats recall, fps, errs;
+      std::size_t space = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        Outcome o = RunOnce(original, exact, params,
+                            700 + 10 * static_cast<std::uint64_t>(t));
+        recall.Add(o.recall);
+        fps.Add(o.false_positives);
+        errs.Add(o.freq_error);
+      }
+      {
+        F1HeavyHitterEstimator probe(params, 1);
+        space = probe.SpaceBytes();
+      }
+      table.AddRow({std::to_string(n), FmtF(p, 2),
+                    static_cast<double>(n) >= required ? "yes" : "NO",
+                    FmtPct(recall.Mean()), FmtF(fps.Mean(), 1),
+                    FmtF(errs.Mean(), 3),
+                    FmtI(static_cast<double>(space) / 1024.0)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nReading: with the premise satisfied (long stream), recall is 100%%\n"
+      "with zero false positives and (1±eps)-accurate frequencies down to\n"
+      "small p. On the short stream the premise fails for small p and the\n"
+      "guarantee visibly degrades — the C p^-1 alpha^-1 eps^-2 log(n/delta)\n"
+      "length requirement is real.\n");
+}
+
+}  // namespace
+}  // namespace substream
+
+int main() {
+  substream::RunExperiment();
+  return 0;
+}

@@ -1,0 +1,112 @@
+/// A2 (related-work comparison, Section 1.3): Bernoulli / NetFlow sampling
+/// (NF) — the model the paper analyzes — versus sample-and-hold (SH) [22]
+/// on the per-flow frequency estimation task both were designed for.
+///
+/// NF keeps each packet independently (stateless in the router, the
+/// premise of this paper); SH holds a flow table (stateful) and counts held
+/// flows exactly after first sample. The comparison quantifies the paper's
+/// design point: what accuracy NF gives up for statelessness, per flow
+/// size, and what SH pays in router memory.
+///
+/// Prints, per flow-size decile: mean relative error of NF scaling (g/p)
+/// vs SH (count + 1/p - 1), plus the memory both use.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "stream/exact_stats.h"
+#include "stream/generators.h"
+#include "stream/sample_and_hold.h"
+#include "stream/samplers.h"
+#include "util/math.h"
+#include "util/stats.h"
+
+namespace substream {
+namespace {
+
+using bench::FmtF;
+using bench::FmtI;
+using bench::Table;
+
+void RunExperiment() {
+  const std::size_t n = 1 << 19;
+  const double p = 0.01;
+  const int kTrials = 5;
+  std::printf("A2: NetFlow (Bernoulli) vs sample-and-hold for per-flow"
+              " sizes\n    (Zipf(1.1) flows, n=%zu packets, p=%.3f,"
+              " %d trials)\n\n", n, p, kTrials);
+
+  ZipfGenerator gen(1 << 15, 1.1, 5);
+  Stream packets = Materialize(gen, n);
+  FrequencyTable exact = ExactStats(packets);
+
+  // Bucket flows by true size.
+  struct Bucket {
+    double lo, hi;
+    RunningStats nf_err, sh_err;
+    int flows = 0;
+  };
+  std::vector<Bucket> buckets;
+  for (double lo : {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+    buckets.push_back({lo, lo * 4.0, {}, {}, 0});
+  }
+
+  std::size_t sh_space = 0, nf_space = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    SampleAndHoldMonitor sh(p, 0, 300 + static_cast<std::uint64_t>(t));
+    FrequencyTable nf_counts;
+    BernoulliSampler sampler(p, 400 + static_cast<std::uint64_t>(t));
+    for (item_t flow : packets) {
+      sh.Update(flow);
+      if (sampler.Keep()) nf_counts.Add(flow);
+    }
+    sh_space = sh.SpaceBytes();
+    nf_space = nf_counts.counts().size() * (sizeof(item_t) + sizeof(count_t));
+    for (const auto& [flow, size] : exact.counts()) {
+      const double truth = static_cast<double>(size);
+      for (Bucket& b : buckets) {
+        if (truth >= b.lo && truth < b.hi) {
+          const double nf_est =
+              static_cast<double>(nf_counts.Frequency(flow)) / p;
+          b.nf_err.Add(RelativeError(nf_est, truth));
+          // SH: unbiased conditional on held; a missed flow estimates 0.
+          b.sh_err.Add(RelativeError(sh.EstimateFlowSize(flow), truth));
+          if (t == 0) ++b.flows;
+          break;
+        }
+      }
+    }
+  }
+
+  Table table({"flow size", "#flows", "NF mean rel.err", "SH mean rel.err"});
+  for (Bucket& b : buckets) {
+    if (b.flows == 0) continue;
+    char range[64];
+    std::snprintf(range, sizeof(range), "[%.0f, %.0f)", b.lo, b.hi);
+    table.AddRow({range, std::to_string(b.flows), FmtF(b.nf_err.Mean(), 3),
+                  FmtF(b.sh_err.Mean(), 3)});
+  }
+  table.Print();
+  std::printf("\nmemory: SH flow table %zu KB, NF sampled-count table %zu KB"
+              " (both before sketch compression)\n",
+              sh_space / 1024, nf_space / 1024);
+  std::printf(
+      "\nReading: for small flows both models are hopeless at p=1%%\n"
+      "(nothing sampled); for large flows SH converges to exact counts\n"
+      "while NF scaling retains relative error ~sqrt((1-p)/(p f)). That\n"
+      "accuracy is what the paper's model gives up for router\n"
+      "statelessness — and why its algorithms aggregate over the whole\n"
+      "stream (moments, entropy, heavy hitters) instead of relying on\n"
+      "per-flow recovery.\n");
+}
+
+}  // namespace
+}  // namespace substream
+
+int main() {
+  substream::RunExperiment();
+  return 0;
+}

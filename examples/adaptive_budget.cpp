@@ -1,0 +1,52 @@
+/// Adaptive-rate sampling under a hard memory budget — the paper's
+/// future-work question #2 ("suppose the algorithm can change the sampling
+/// probability adaptively") in the form routers actually deploy it
+/// (Estan et al., "Building a Better NetFlow" [21]).
+///
+/// A fixed-rate sampler must guess p in advance: too high and the sample
+/// overflows memory on a heavy day; too low and a light day yields nothing.
+/// The adaptive sampler starts at p=1 and halves its rate (re-thinning the
+/// kept set) whenever the budget is hit, ending with the highest rate the
+/// budget allows — and Horvitz–Thompson estimates stay unbiased throughout.
+///
+///   ./adaptive_budget [budget]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/substream.h"
+
+using namespace substream;
+
+int main(int argc, char** argv) {
+  const std::size_t budget =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 4096;
+
+  std::printf("adaptive sampling under a %zu-element budget\n\n", budget);
+  std::printf("%-14s %12s %10s %8s %14s %12s\n", "day", "packets", "kept",
+              "final p", "HT length est", "rel.err");
+
+  // Three traffic days of very different volume; the same sampler
+  // configuration handles all of them.
+  const std::size_t volumes[] = {1u << 14, 1u << 18, 1u << 22};
+  const char* names[] = {"light", "normal", "heavy"};
+  for (int day = 0; day < 3; ++day) {
+    ZipfGenerator gen(1 << 16, 1.1, static_cast<std::uint64_t>(7 + day));
+    AdaptiveBernoulliSampler sampler(1.0, budget,
+                                     static_cast<std::uint64_t>(50 + day));
+    for (std::size_t i = 0; i < volumes[day]; ++i) sampler.Update(gen.Next());
+
+    const double ht = HorvitzThompsonF1(sampler.Sample());
+    std::printf("%-14s %12zu %10zu %8.4f %14.0f %11.1f%%\n", names[day],
+                volumes[day], sampler.KeptCount(), sampler.current_rate(), ht,
+                100.0 * RelativeError(ht, static_cast<double>(volumes[day])));
+  }
+
+  std::printf(
+      "\nThe kept set is always an exact Bernoulli(current p) sample of the\n"
+      "prefix (re-thinning), so every estimator in this library can consume\n"
+      "it directly with p = final rate — fixed-rate analysis carries over,\n"
+      "which is one answer to the paper's adaptivity question: adaptivity\n"
+      "buys budget-fitting, not accuracy, under this schedule.\n");
+  return 0;
+}

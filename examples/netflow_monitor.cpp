@@ -1,0 +1,99 @@
+/// Simulated Randomly Sampled NetFlow monitor [9, 23].
+///
+/// A router forwards packets belonging to flows (5-tuples, here abstracted
+/// to flow ids) and exports a 1-in-1/p random sample of packet headers to a
+/// monitor. The monitor uses the library's `Monitor` facade to answer,
+/// about the *original* packet stream:
+///   - how many distinct flows were active (F0),
+///   - the repeat rate / self-join size of the flow distribution (F2),
+///   - the entropy of the flow distribution (anomaly detection: volumetric
+///     attacks collapse it),
+///   - the heavy-hitter flows and their packet counts.
+///
+/// Flow sizes follow a Zipf distribution (the standard model in the
+/// measurement literature the paper cites). A synthetic "attack" phase
+/// concentrates traffic onto one flow to show the entropy signal.
+///
+///   ./netflow_monitor [p]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/substream.h"
+
+using namespace substream;
+
+namespace {
+
+/// One monitoring window: the monitor consumes the sampled packet stream.
+MonitorReport RunWindow(const Stream& packets, double p, std::uint64_t seed) {
+  MonitorConfig config;
+  config.p = p;
+  config.universe = 1 << 20;
+  config.n_hint = static_cast<double>(packets.size());
+  config.hh_alpha = 0.05;
+  Monitor monitor(config, seed);
+
+  BernoulliSampler sampler(p, seed + 100);
+  for (item_t flow : packets) {
+    if (sampler.Keep()) monitor.Update(flow);
+  }
+  return monitor.Report();
+}
+
+void PrintReport(const char* window, const MonitorReport& r,
+                 const FrequencyTable& exact) {
+  std::printf("--- window: %s ---\n", window);
+  std::printf("  packets (scaled): %10.0f (exact %llu)\n", r.scaled_length,
+              static_cast<unsigned long long>(exact.F1()));
+  std::printf("  distinct flows  : %10.0f (exact %llu)\n", *r.distinct_items,
+              static_cast<unsigned long long>(exact.F0()));
+  std::printf("  self-join size  : %10.4g (exact %.4g)\n", *r.second_moment,
+              exact.Fk(2));
+  std::printf("  flow entropy    : %10.3f bits (exact %.3f)%s\n",
+              r.entropy->entropy, exact.Entropy(),
+              r.entropy->reliable ? "" : "  [below validity threshold]");
+  std::printf("  heavy flows     :");
+  for (const HeavyHitter& h : *r.heavy_hitters) {
+    std::printf(" %llu(%0.f pkts)", static_cast<unsigned long long>(h.item),
+                h.estimated_frequency);
+  }
+  std::printf("\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double p = argc > 1 ? std::atof(argv[1]) : 0.05;
+  const std::size_t window_packets = 1 << 20;
+  std::printf("sampled-netflow monitor, sampling rate p=%.3f"
+              " (1 in %.0f packets)\n\n", p, 1.0 / p);
+
+  // Window 1: normal traffic. 200k flows, Zipf(1.1) sizes.
+  ZipfGenerator normal(200000, 1.1, 7);
+  Stream window1 = Materialize(normal, window_packets);
+
+  // Window 2: volumetric attack — one flow carries 40% of all packets.
+  Stream window2;
+  window2.reserve(window_packets);
+  ZipfGenerator background(200000, 1.1, 8);
+  Rng attack_rng(9);
+  const item_t attack_flow = 999999999;
+  for (std::size_t i = 0; i < window_packets; ++i) {
+    window2.push_back(attack_rng.NextBernoulli(0.4) ? attack_flow
+                                                    : background.Next());
+  }
+
+  MonitorReport r1 = RunWindow(window1, p, 100);
+  PrintReport("normal traffic", r1, ExactStats(window1));
+
+  MonitorReport r2 = RunWindow(window2, p, 200);
+  PrintReport("attack traffic", r2, ExactStats(window2));
+
+  std::printf("detector: entropy dropped %.2f -> %.2f bits and flow %llu\n"
+              "exceeds the heavy-hitter threshold — alarm raised from a\n"
+              "%.1f%% packet sample without ever seeing the full stream.\n",
+              r1.entropy->entropy, r2.entropy->entropy,
+              static_cast<unsigned long long>(attack_flow), 100.0 * p);
+  return 0;
+}

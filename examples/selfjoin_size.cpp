@@ -1,0 +1,81 @@
+/// Self-join size estimation from a sampled update stream.
+///
+/// The size of the self-join R ⋈ R on attribute A equals F2 of the stream
+/// of A-values inserted into R — the classic motivation for F2 sketches in
+/// query optimizers (and the setting of Rusu & Dobra [34], the baseline the
+/// paper improves on). Here the optimizer sees only a p-sample of the
+/// insert stream, and we compare three ways to estimate |R ⋈ R|:
+///
+///   1. the paper's collision method (Algorithm 1),
+///   2. Rusu–Dobra scaling (AMS on L, analytically unbiased),
+///   3. naive normalization F2(L)/p^2 (what you'd do if you forgot the
+///      cross terms — the paper's intro explains why this is wrong).
+///
+///   ./selfjoin_size [p]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/substream.h"
+
+using namespace substream;
+
+int main(int argc, char** argv) {
+  const double p = argc > 1 ? std::atof(argv[1]) : 0.05;
+  const std::size_t inserts = 1 << 20;
+
+  // Relation R: a low-cardinality attribute (e.g. `city`), heavily
+  // duplicated — the regime where the naive estimator is most wrong.
+  const item_t attribute_cardinality = 4096;
+  UniformGenerator insert_stream(attribute_cardinality, 11);
+  Stream original = Materialize(insert_stream, inserts);
+  FrequencyTable exact = ExactStats(original);
+  const double truth = exact.Fk(2);
+
+  std::printf("self-join size estimation from a %.1f%% sample of %zu"
+              " inserts\n", 100.0 * p, inserts);
+  std::printf("attribute cardinality %llu, exact |R join R| = %.4g\n\n",
+              static_cast<unsigned long long>(attribute_cardinality), truth);
+
+  FkParams collision_params;
+  collision_params.k = 2;
+  collision_params.p = p;
+  collision_params.universe = attribute_cardinality;
+  collision_params.backend = CollisionBackend::kSketch;
+  collision_params.epsilon = 0.2;
+  collision_params.max_width = 1 << 13;
+  FkEstimator collision(collision_params, 21);
+
+  RusuDobraF2Estimator rusu_dobra(p, 7, 400, 22);
+  NaiveScaledFkEstimator naive(p);
+
+  BernoulliSampler sampler(p, 23);
+  std::size_t sampled = 0;
+  for (item_t a : original) {
+    if (!sampler.Keep()) continue;
+    ++sampled;
+    collision.Update(a);
+    rusu_dobra.Update(a);
+    naive.Update(a);
+  }
+  std::printf("sampled %zu of %zu inserts\n\n", sampled, inserts);
+
+  std::printf("%-34s %15s %9s %12s\n", "method", "estimate", "rel.err",
+              "space(KB)");
+  auto row = [&](const char* name, double est, std::size_t bytes) {
+    std::printf("%-34s %15.4g %8.1f%% %12zu\n", name, est,
+                100.0 * RelativeError(est, truth), bytes / 1024);
+  };
+  row("collision method (Algorithm 1)", collision.Estimate(),
+      collision.SpaceBytes());
+  row("Rusu-Dobra scaling [34]", rusu_dobra.Estimate(),
+      rusu_dobra.SpaceBytes());
+  row("naive F2(L)/p^2", naive.Estimate(2), naive.SpaceBytes());
+
+  const double expected_bias = (1.0 - p) * static_cast<double>(inserts) / p;
+  std::printf("\nnaive bias explained: E[F2(L)] = p^2 F2 + p(1-p) F1, so\n"
+              "naive overestimates by ~(1-p)F1/p = %.4g — %.0f%% of the\n"
+              "true answer at this p. The corrected methods remove it.\n",
+              expected_bias, 100.0 * expected_bias / truth);
+  return 0;
+}

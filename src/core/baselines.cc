@@ -1,0 +1,47 @@
+#include "core/baselines.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace substream {
+
+NaiveScaledFkEstimator::NaiveScaledFkEstimator(double p) : p_(p) {
+  SUBSTREAM_CHECK_MSG(p > 0.0 && p <= 1.0, "sampling probability p=%f", p);
+}
+
+void NaiveScaledFkEstimator::Update(item_t item) {
+  ++counts_[item];
+  ++total_;
+}
+
+double NaiveScaledFkEstimator::SampledMoment(int k) const {
+  SUBSTREAM_CHECK(k >= 0);
+  KahanSum sum;
+  for (const auto& [item, count] : counts_) {
+    (void)item;
+    sum.Add(std::pow(static_cast<double>(count), k));
+  }
+  return sum.Value();
+}
+
+double NaiveScaledFkEstimator::Estimate(int k) const {
+  return SampledMoment(k) / std::pow(p_, k);
+}
+
+RusuDobraF2Estimator::RusuDobraF2Estimator(double p, std::size_t groups,
+                                           std::size_t per_group,
+                                           std::uint64_t seed)
+    : p_(p), ams_(AmsF2Sketch::WithGeometry(groups, per_group, seed)) {
+  SUBSTREAM_CHECK_MSG(p > 0.0 && p <= 1.0, "sampling probability p=%f", p);
+}
+
+void RusuDobraF2Estimator::Update(item_t item) { ams_.Update(item, 1); }
+
+double RusuDobraF2Estimator::Estimate() const {
+  const double f2_sampled = ams_.Estimate();
+  const double f1_sampled = static_cast<double>(ams_.TotalCount());
+  return (f2_sampled - (1.0 - p_) * f1_sampled) / (p_ * p_);
+}
+
+}  // namespace substream

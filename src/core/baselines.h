@@ -1,0 +1,78 @@
+#ifndef SUBSTREAM_CORE_BASELINES_H_
+#define SUBSTREAM_CORE_BASELINES_H_
+
+#include <unordered_map>
+
+#include "sketch/ams_f2.h"
+#include "util/common.h"
+
+/// \file baselines.h
+/// Baseline estimators the paper compares against (Sections 1 and 1.3).
+///
+/// NaiveScaledFkEstimator is the "estimate on the sample, then normalize"
+/// strategy the introduction warns about: F^_k = F_k(L) / p^k. It is biased
+/// for k >= 2 because cross terms of the binomial sampling survive the
+/// scaling (E[F2(L)] = p^2 F2 + p(1-p) F1, not p^2 F2).
+///
+/// RusuDobraF2Estimator is the competitor of [34]: estimate F2(L) with an
+/// AMS sketch and unbias analytically. Correct in expectation, but its
+/// variance forces O~(1/p^2) space to match the accuracy the collision
+/// method (Algorithm 1) achieves in O~(1/p) (Section 1.3).
+
+namespace substream {
+
+/// Naive scaling baseline: exact moments of L divided by p^k.
+/// Linear space in F0(L); exists to demonstrate the bias, not to be small.
+class NaiveScaledFkEstimator {
+ public:
+  explicit NaiveScaledFkEstimator(double p);
+
+  void Update(item_t item);
+
+  /// F_k(L) / p^k.
+  double Estimate(int k) const;
+
+  /// Exact F_k(L) (diagnostics).
+  double SampledMoment(int k) const;
+
+  count_t SampledLength() const { return total_; }
+
+  std::size_t SpaceBytes() const {
+    return counts_.size() * (sizeof(item_t) + sizeof(count_t));
+  }
+
+ private:
+  double p_;
+  std::unordered_map<item_t, count_t> counts_;
+  count_t total_ = 0;
+};
+
+/// Rusu–Dobra style F2 estimator [34]: AMS sketch on L, then
+///   F^2(P) = (F^2(L) - (1 - p) F1(L)) / p^2,
+/// using E[F2(L)] = p^2 F2(P) + p (1 - p) F1(P) and E[F1(L)] = p F1(P).
+class RusuDobraF2Estimator {
+ public:
+  /// `groups` x `per_group` AMS geometry (space knob for E8).
+  RusuDobraF2Estimator(double p, std::size_t groups, std::size_t per_group,
+                       std::uint64_t seed);
+
+  void Update(item_t item);
+
+  /// Unbiased estimate of F2(P).
+  double Estimate() const;
+
+  /// The sketch's estimate of F2(L) before unbiasing.
+  double SampledF2Estimate() const { return ams_.Estimate(); }
+
+  count_t SampledLength() const { return ams_.TotalCount(); }
+
+  std::size_t SpaceBytes() const { return ams_.SpaceBytes(); }
+
+ private:
+  double p_;
+  AmsF2Sketch ams_;
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_CORE_BASELINES_H_

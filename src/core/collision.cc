@@ -1,0 +1,80 @@
+#include "core/collision.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace substream {
+
+double BetaCoefficient(int l, int j) {
+  SUBSTREAM_CHECK(l >= 2 && l <= 20);
+  SUBSTREAM_CHECK(j >= 1 && j < l);
+  // Eq. (1) rearranges sum_i f_i^(l) = sum_j s(l, j) F_j with s(l, l) = 1:
+  //   F_l = l! C_l - sum_{j<l} s(l, j) F_j, hence beta^l_j = -s(l, j).
+  return -static_cast<double>(StirlingFirstSigned(l, j));
+}
+
+double BetaAbsSum(int l) {
+  SUBSTREAM_CHECK(l >= 2 && l <= 20);
+  double sum = 0.0;
+  for (int j = 1; j < l; ++j) sum += std::abs(BetaCoefficient(l, j));
+  return sum;
+}
+
+double MomentFromCollisions(int l, double collisions,
+                            const std::vector<double>& lower_moments) {
+  SUBSTREAM_CHECK(l >= 1);
+  if (l == 1) return collisions;  // C_1 = F_1
+  SUBSTREAM_CHECK(static_cast<int>(lower_moments.size()) >= l - 1);
+  double factorial = 1.0;
+  for (int i = 2; i <= l; ++i) factorial *= i;
+  KahanSum sum;
+  sum.Add(factorial * collisions);
+  for (int j = 1; j < l; ++j) {
+    sum.Add(BetaCoefficient(l, j) * lower_moments[static_cast<std::size_t>(j - 1)]);
+  }
+  return sum.Value();
+}
+
+double CollisionsFromFrequencies(const std::vector<count_t>& frequencies,
+                                 int l) {
+  SUBSTREAM_CHECK(l >= 1);
+  KahanSum sum;
+  for (count_t f : frequencies) {
+    sum.Add(BinomialDouble(static_cast<double>(f), l));
+  }
+  return sum.Value();
+}
+
+double MomentFromFrequencies(const std::vector<count_t>& frequencies, int l) {
+  SUBSTREAM_CHECK(l >= 0);
+  KahanSum sum;
+  for (count_t f : frequencies) {
+    sum.Add(std::pow(static_cast<double>(f), l));
+  }
+  return sum.Value();
+}
+
+std::vector<double> EpsilonSchedule(int k, double epsilon) {
+  SUBSTREAM_CHECK(k >= 1);
+  SUBSTREAM_CHECK(epsilon > 0.0);
+  std::vector<double> schedule(static_cast<std::size_t>(k));
+  schedule[static_cast<std::size_t>(k - 1)] = epsilon;
+  for (int l = k; l >= 2; --l) {
+    schedule[static_cast<std::size_t>(l - 2)] =
+        schedule[static_cast<std::size_t>(l - 1)] / (BetaAbsSum(l) + 1.0);
+  }
+  return schedule;
+}
+
+double ExpectedSampledCollisions(double collisions_original, double p, int l) {
+  SUBSTREAM_CHECK(p > 0.0 && p <= 1.0);
+  return collisions_original * std::pow(p, l);
+}
+
+double UnbiasedOriginalCollisions(double collisions_sampled, double p, int l) {
+  SUBSTREAM_CHECK(p > 0.0 && p <= 1.0);
+  return collisions_sampled / std::pow(p, l);
+}
+
+}  // namespace substream

@@ -1,0 +1,57 @@
+#ifndef SUBSTREAM_CORE_COLLISION_H_
+#define SUBSTREAM_CORE_COLLISION_H_
+
+#include <vector>
+
+#include "util/common.h"
+
+/// \file collision.h
+/// The collision algebra of Section 3 (Definition 2, Lemma 1, Lemma 2).
+///
+/// For a frequency vector f, the l-wise collision count is
+///   C_l = sum_i C(f_i, l),
+/// and Lemma 1 (Eq. 1) inverts the falling-factorial expansion:
+///   F_l = l! * C_l + sum_{j=1}^{l-1} beta^l_j * F_j,
+/// where beta^l_j = (-1)^{l-j+1} e_{l-j}(1, ..., l-1) = -s(l, j) with
+/// s(.,.) the signed Stirling numbers of the first kind.
+///
+/// Lemma 2 gives E[C_l(L)] = p^l C_l(P): every l-subset of equal items
+/// survives Bernoulli(p) sampling with probability p^l. These identities
+/// are what make moment recovery from a sampled stream possible.
+
+namespace substream {
+
+/// beta^l_j coefficient of Eq. (1); defined for 1 <= j < l <= 20.
+double BetaCoefficient(int l, int j);
+
+/// A_l = sum_{j=1}^{l-1} |beta^l_j|, the amplification factor in the
+/// epsilon schedule of Lemma 3.
+double BetaAbsSum(int l);
+
+/// Recovers F_l from the collision count and the lower moments via Eq. (1):
+/// F_l = l! * collisions + sum_j beta^l_j * lower_moments[j-1].
+/// `lower_moments` holds F_1 .. F_{l-1}.
+double MomentFromCollisions(int l, double collisions,
+                            const std::vector<double>& lower_moments);
+
+/// Exact C_l of an explicit frequency vector (reference implementation).
+double CollisionsFromFrequencies(const std::vector<count_t>& frequencies,
+                                 int l);
+
+/// Exact F_l of an explicit frequency vector.
+double MomentFromFrequencies(const std::vector<count_t>& frequencies, int l);
+
+/// The epsilon schedule of Lemma 3: eps_k = eps and
+/// eps_{l-1} = eps_l / (A_l + 1). Returns eps_1 .. eps_k (index 0 unused
+/// slot omitted: result[l-1] = eps_l).
+std::vector<double> EpsilonSchedule(int k, double epsilon);
+
+/// Expected collision count of the sampled stream: p^l * C_l(P)  (Lemma 2).
+double ExpectedSampledCollisions(double collisions_original, double p, int l);
+
+/// Unbiased estimate of C_l(P) from an observed C_l(L): C_l(L) / p^l.
+double UnbiasedOriginalCollisions(double collisions_sampled, double p, int l);
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_CORE_COLLISION_H_

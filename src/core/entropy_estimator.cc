@@ -1,0 +1,77 @@
+#include "core/entropy_estimator.h"
+
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace substream {
+
+double EntropyEstimator::ValidityThreshold(double p, double n) {
+  SUBSTREAM_CHECK(p > 0.0 && p <= 1.0);
+  if (n <= 0.0) return 0.0;
+  return 1.0 / (std::sqrt(p) * std::pow(n, 1.0 / 6.0));
+}
+
+EntropyEstimator::EntropyEstimator(const EntropyParams& params,
+                                   std::uint64_t seed)
+    : params_(params) {
+  SUBSTREAM_CHECK_MSG(params.p > 0.0 && params.p <= 1.0,
+                      "sampling probability p=%f", params.p);
+  switch (params.backend) {
+    case EntropyBackend::kMle:
+    case EntropyBackend::kMillerMadow:
+      mle_ = std::make_unique<EntropyMleEstimator>();
+      break;
+    case EntropyBackend::kAmsSketch:
+      ams_ = std::make_unique<AmsEntropySketch>(params.epsilon, params.delta,
+                                                DeriveSeed(seed, 3));
+      break;
+  }
+}
+
+EntropyEstimator::~EntropyEstimator() = default;
+EntropyEstimator::EntropyEstimator(EntropyEstimator&&) noexcept = default;
+EntropyEstimator& EntropyEstimator::operator=(EntropyEstimator&&) noexcept =
+    default;
+
+void EntropyEstimator::Update(item_t item) {
+  ++sampled_length_;
+  if (mle_) {
+    mle_->Update(item);
+  } else {
+    ams_->Update(item);
+  }
+}
+
+EntropyResult EntropyEstimator::Estimate() const {
+  EntropyResult result;
+  const double n = params_.n_hint > 0.0
+                       ? params_.n_hint
+                       : static_cast<double>(sampled_length_) / params_.p;
+  result.threshold = ValidityThreshold(params_.p, n);
+
+  if (mle_) {
+    result.entropy = params_.backend == EntropyBackend::kMillerMadow
+                         ? mle_->EstimateMillerMadow()
+                         : mle_->Estimate();
+    result.entropy_hpn =
+        n > 0.0 ? mle_->EstimateHpn(params_.p * n) : result.entropy;
+  } else {
+    // Entropy is nonnegative; clamp the (unbiased, possibly negative)
+    // sketch estimate at the reporting layer.
+    result.entropy =
+        sampled_length_ > 0 ? std::max(0.0, ams_->Estimate()) : 0.0;
+    result.entropy_hpn = result.entropy;
+  }
+  // "omega(threshold)" is asymptotic; flag reliability once the estimate
+  // clears a small constant multiple of the threshold.
+  result.reliable = result.entropy > 4.0 * result.threshold;
+  return result;
+}
+
+std::size_t EntropyEstimator::SpaceBytes() const {
+  if (mle_) return mle_->SpaceBytes();
+  return ams_->SpaceBytes();
+}
+
+}  // namespace substream

@@ -1,0 +1,67 @@
+#include "core/f0_estimator.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace substream {
+
+struct F0Estimator::ExactSet {
+  std::unordered_set<item_t> items;
+};
+
+F0Estimator::F0Estimator(const F0Params& params, std::uint64_t seed)
+    : params_(params) {
+  SUBSTREAM_CHECK_MSG(params.p > 0.0 && params.p <= 1.0,
+                      "sampling probability p=%f", params.p);
+  switch (params.backend) {
+    case F0Backend::kKmv:
+      kmv_ = std::make_unique<KmvSketch>(params.kmv_k, DeriveSeed(seed, 1));
+      break;
+    case F0Backend::kHyperLogLog:
+      hll_ = std::make_unique<HyperLogLog>(params.hll_precision,
+                                           DeriveSeed(seed, 2));
+      break;
+    case F0Backend::kExact:
+      exact_ = std::make_unique<ExactSet>();
+      break;
+  }
+}
+
+F0Estimator::~F0Estimator() = default;
+F0Estimator::F0Estimator(F0Estimator&&) noexcept = default;
+F0Estimator& F0Estimator::operator=(F0Estimator&&) noexcept = default;
+
+void F0Estimator::Update(item_t item) {
+  ++sampled_length_;
+  if (kmv_) {
+    kmv_->Update(item);
+  } else if (hll_) {
+    hll_->Update(item);
+  } else {
+    exact_->items.insert(item);
+  }
+}
+
+double F0Estimator::EstimateSampledDistinct() const {
+  if (kmv_) return kmv_->Estimate();
+  if (hll_) return hll_->Estimate();
+  return static_cast<double>(exact_->items.size());
+}
+
+double F0Estimator::Estimate() const {
+  return EstimateSampledDistinct() / std::sqrt(params_.p);
+}
+
+double F0Estimator::ErrorFactorBound() const {
+  return 4.0 / std::sqrt(params_.p);
+}
+
+std::size_t F0Estimator::SpaceBytes() const {
+  if (kmv_) return kmv_->SpaceBytes();
+  if (hll_) return hll_->SpaceBytes();
+  return exact_->items.size() * sizeof(item_t);
+}
+
+}  // namespace substream

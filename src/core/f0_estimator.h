@@ -1,0 +1,77 @@
+#ifndef SUBSTREAM_CORE_F0_ESTIMATOR_H_
+#define SUBSTREAM_CORE_F0_ESTIMATOR_H_
+
+#include <memory>
+
+#include "sketch/hyperloglog.h"
+#include "sketch/kmv.h"
+#include "util/common.h"
+
+/// \file f0_estimator.h
+/// Algorithm 2 / Lemma 8: estimating the number of distinct elements F0(P)
+/// of the original stream from the sampled stream L.
+///
+/// Let X be a (1/2, delta)-streaming estimate of F0(L). Algorithm 2 returns
+/// X / sqrt(p) and Lemma 8 proves the multiplicative error is at most
+/// 4/sqrt(p) with probability >= 1 - (delta + e^{-p F0(P)/8}). Theorem 4
+/// shows Omega(1/sqrt(p)) error is unavoidable for *any* algorithm, so the
+/// simple scaling is optimal up to constants — the lesson of Section 4 is
+/// that streaming costs essentially nothing on top of the sampling loss.
+
+namespace substream {
+
+/// Streaming backend used to estimate F0(L).
+enum class F0Backend {
+  kKmv,          ///< K-minimum-values sketch.
+  kHyperLogLog,  ///< HLL registers.
+  kExact,        ///< Exact distinct count of L (reference; O(F0(L)) space).
+};
+
+/// Parameters for the F0 estimator.
+struct F0Params {
+  double p = 1.0;                      ///< sampling probability of L
+  double delta = 0.05;                 ///< sketch failure probability
+  F0Backend backend = F0Backend::kKmv;
+  std::size_t kmv_k = 1024;            ///< KMV size (relative error ~1/sqrt(k))
+  int hll_precision = 14;              ///< HLL register count = 2^precision
+};
+
+/// One-pass F0(P) estimator over the sampled stream (Algorithm 2).
+class F0Estimator {
+ public:
+  F0Estimator(const F0Params& params, std::uint64_t seed);
+  ~F0Estimator();
+  F0Estimator(F0Estimator&&) noexcept;
+  F0Estimator& operator=(F0Estimator&&) noexcept;
+
+  /// Feeds one element of the sampled stream L.
+  void Update(item_t item);
+
+  /// Algorithm 2's output: X / sqrt(p).
+  double Estimate() const;
+
+  /// The raw streaming estimate X of F0(L).
+  double EstimateSampledDistinct() const;
+
+  /// Lemma 8's error bound: the output is within multiplicative factor
+  /// 4/sqrt(p) of F0(P) with the stated probability.
+  double ErrorFactorBound() const;
+
+  count_t SampledLength() const { return sampled_length_; }
+  const F0Params& params() const { return params_; }
+
+  std::size_t SpaceBytes() const;
+
+ private:
+  struct ExactSet;
+
+  F0Params params_;
+  count_t sampled_length_ = 0;
+  std::unique_ptr<KmvSketch> kmv_;
+  std::unique_ptr<HyperLogLog> hll_;
+  std::unique_ptr<ExactSet> exact_;
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_CORE_F0_ESTIMATOR_H_

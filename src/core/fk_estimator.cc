@@ -1,0 +1,121 @@
+#include "core/fk_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/collision.h"
+#include "util/hash.h"
+#include "util/math.h"
+
+namespace substream {
+
+double FkEstimator::MinSamplingProbability(int k, item_t m, std::uint64_t n) {
+  SUBSTREAM_CHECK(k >= 1);
+  const double base = static_cast<double>(std::min<std::uint64_t>(m, n));
+  return std::pow(base, -1.0 / static_cast<double>(k));
+}
+
+std::uint64_t FkEstimator::SketchWidth(const FkParams& params) {
+  const double m = static_cast<double>(params.universe);
+  const double exponent = 1.0 - 2.0 / static_cast<double>(params.k);
+  const double base_width = std::pow(m, std::max(0.0, exponent)) / params.p;
+  const double scaled = params.space_multiplier * base_width /
+                        (params.epsilon * params.epsilon);
+  std::uint64_t width = std::max<std::uint64_t>(
+      64, static_cast<std::uint64_t>(std::ceil(scaled)));
+  if (params.max_width != 0) width = std::min(width, params.max_width);
+  return width;
+}
+
+FkEstimator::FkEstimator(const FkParams& params, std::uint64_t seed)
+    : params_(params), schedule_(EpsilonSchedule(params.k, params.epsilon)) {
+  SUBSTREAM_CHECK(params.k >= 1 && params.k <= 12);
+  SUBSTREAM_CHECK(params.epsilon > 0.0 && params.epsilon < 1.0);
+  SUBSTREAM_CHECK(params.delta > 0.0 && params.delta < 1.0);
+  SUBSTREAM_CHECK_MSG(params.p > 0.0 && params.p <= 1.0,
+                      "sampling probability p=%f", params.p);
+
+  // The level-set ratio uses the finest epsilon of the schedule, eps_1 / 4
+  // (Section 3.1 sets eps' = eps_{l-1}/4; a single structure serves every l
+  // by using the smallest).
+  const double eps_prime =
+      std::max(0.01, std::min(0.5, schedule_.front() / 4.0));
+
+  switch (params.backend) {
+    case CollisionBackend::kSketch: {
+      LevelSetParams ls;
+      ls.eps_prime = eps_prime;
+      ls.cs_width = SketchWidth(params);
+      ls.cs_depth = std::max(
+          5, static_cast<int>(std::ceil(2.0 * std::log(1.0 / params.delta))) | 1);
+      ls.max_depth = CeilLog2(std::max<item_t>(2, params.universe));
+      sketch_backend_ = std::make_unique<IndykWoodruffEstimator>(
+          ls, DeriveSeed(seed, 0xf17));
+      break;
+    }
+    case CollisionBackend::kExactCollisions:
+    case CollisionBackend::kExactLevelSets: {
+      exact_backend_ = std::make_unique<ExactLevelSets>(
+          eps_prime, DrawEta(DeriveSeed(seed, 0xf18)));
+      break;
+    }
+  }
+}
+
+FkEstimator::~FkEstimator() = default;
+FkEstimator::FkEstimator(FkEstimator&&) noexcept = default;
+FkEstimator& FkEstimator::operator=(FkEstimator&&) noexcept = default;
+
+void FkEstimator::Update(item_t item) {
+  ++sampled_length_;
+  if (sketch_backend_) {
+    sketch_backend_->Update(item);
+  } else {
+    exact_backend_->Update(item);
+  }
+}
+
+double FkEstimator::CollisionsOf(int l) const {
+  switch (params_.backend) {
+    case CollisionBackend::kSketch:
+      return sketch_backend_->EstimateCollisions(l);
+    case CollisionBackend::kExactCollisions:
+      return exact_backend_->ExactCollisions(l);
+    case CollisionBackend::kExactLevelSets:
+      return exact_backend_->EstimateCollisions(l);
+  }
+  return 0.0;
+}
+
+std::vector<double> FkEstimator::CollisionEstimates() const {
+  std::vector<double> out;
+  for (int l = 2; l <= params_.k; ++l) out.push_back(CollisionsOf(l));
+  return out;
+}
+
+std::vector<double> FkEstimator::AllMoments() const {
+  std::vector<double> phi;
+  phi.reserve(static_cast<std::size_t>(params_.k));
+  // phi~_1 = F1(L) / p: the sampled length, unbiased by 1/p (Chernoff-tight).
+  phi.push_back(static_cast<double>(sampled_length_) / params_.p);
+  for (int l = 2; l <= params_.k; ++l) {
+    const double collisions_sampled = CollisionsOf(l);
+    const double collisions_original =
+        UnbiasedOriginalCollisions(collisions_sampled, params_.p, l);
+    double value = MomentFromCollisions(l, collisions_original, phi);
+    // Practical guard: F_l >= F_{l-1} for integer frequencies, so clamp the
+    // recursion against noise-driven negatives at small p.
+    value = std::max(value, phi.back());
+    phi.push_back(value);
+  }
+  return phi;
+}
+
+double FkEstimator::Estimate() const { return AllMoments().back(); }
+
+std::size_t FkEstimator::SpaceBytes() const {
+  if (sketch_backend_) return sketch_backend_->SpaceBytes();
+  return exact_backend_->SpaceBytes();
+}
+
+}  // namespace substream

@@ -1,0 +1,97 @@
+#include "core/heavy_hitters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace substream {
+
+namespace {
+
+void ValidateParams(const HeavyHitterParams& params) {
+  SUBSTREAM_CHECK(params.alpha > 0.0 && params.alpha <= 1.0);
+  SUBSTREAM_CHECK(params.epsilon > 0.0 && params.epsilon < 1.0);
+  SUBSTREAM_CHECK(params.delta > 0.0 && params.delta < 1.0);
+  SUBSTREAM_CHECK_MSG(params.p > 0.0 && params.p <= 1.0,
+                      "sampling probability p=%f", params.p);
+}
+
+}  // namespace
+
+F1HeavyHitterEstimator::F1HeavyHitterEstimator(const HeavyHitterParams& params,
+                                               std::uint64_t seed)
+    : params_(params),
+      // Theorem 6's remapping: alpha' = (1 - 2 eps/5) alpha, eps' = eps/2,
+      // delta' = delta/4.
+      alpha_prime_((1.0 - 0.4 * params.epsilon) * params.alpha),
+      tracker_(alpha_prime_, params.epsilon / 2.0, params.delta / 4.0,
+               DeriveSeed(seed, 0x441)) {
+  ValidateParams(params);
+}
+
+void F1HeavyHitterEstimator::Update(item_t item) {
+  ++sampled_length_;
+  tracker_.Update(item);
+}
+
+std::vector<HeavyHitter> F1HeavyHitterEstimator::Estimate() const {
+  std::vector<HeavyHitter> out;
+  for (const auto& [item, estimate] : tracker_.Candidates(alpha_prime_)) {
+    out.push_back(HeavyHitter{
+        item, static_cast<double>(estimate) / params_.p});
+  }
+  // Definition 4 caps the output at O(1/alpha) items.
+  const std::size_t cap =
+      static_cast<std::size_t>(std::ceil(2.0 / params_.alpha));
+  if (out.size() > cap) out.resize(cap);
+  return out;
+}
+
+double F1HeavyHitterEstimator::RequiredOriginalLength(
+    const HeavyHitterParams& params, double n_hint) {
+  constexpr double kC = 4.0;
+  const double n = std::max(2.0, n_hint);
+  return kC / (params.p * params.alpha * params.epsilon * params.epsilon) *
+         std::log(n / params.delta);
+}
+
+F2HeavyHitterEstimator::F2HeavyHitterEstimator(const HeavyHitterParams& params,
+                                               std::uint64_t seed)
+    : params_(params),
+      // Theorem 7's remapping: alpha' = (1 - 2 eps/5) alpha sqrt(p).
+      alpha_prime_((1.0 - 0.4 * params.epsilon) * params.alpha *
+                   std::sqrt(params.p)),
+      // The Theorem 7 proof uses eps' = eps/10; eps/4 suffices in practice
+      // and keeps the CountSketch width (~1/(eps' alpha')^2) manageable.
+      // The sqrt(p) in alpha' is what drives the O~(1/p) space scaling.
+      tracker_(alpha_prime_, params.epsilon / 4.0, params.delta / 4.0,
+               DeriveSeed(seed, 0x442)) {
+  ValidateParams(params);
+}
+
+void F2HeavyHitterEstimator::Update(item_t item) {
+  ++sampled_length_;
+  tracker_.Update(item);
+}
+
+std::vector<HeavyHitter> F2HeavyHitterEstimator::Estimate() const {
+  std::vector<HeavyHitter> out;
+  for (const auto& [item, estimate] : tracker_.Candidates(alpha_prime_)) {
+    out.push_back(HeavyHitter{item, estimate / params_.p});
+  }
+  const std::size_t cap =
+      static_cast<std::size_t>(std::ceil(2.0 / params_.alpha));
+  if (out.size() > cap) out.resize(cap);
+  return out;
+}
+
+double F2HeavyHitterEstimator::RequiredSqrtF2(const HeavyHitterParams& params,
+                                              double n_hint) {
+  constexpr double kC = 4.0;
+  const double n = std::max(2.0, n_hint);
+  return kC * std::pow(params.p, -1.5) / params.alpha /
+         (params.epsilon * params.epsilon) * std::log(n / params.delta);
+}
+
+}  // namespace substream

@@ -1,0 +1,72 @@
+#include "core/monitor.h"
+
+#include "util/hash.h"
+
+namespace substream {
+
+Monitor::Monitor(const MonitorConfig& config, std::uint64_t seed)
+    : config_(config) {
+  SUBSTREAM_CHECK_MSG(config.p > 0.0 && config.p <= 1.0,
+                      "sampling probability p=%f", config.p);
+  if (config.enable_f0) {
+    F0Params params;
+    params.p = config.p;
+    params.delta = config.delta;
+    f0_.emplace(params, DeriveSeed(seed, 1));
+  }
+  if (config.enable_f2) {
+    FkParams params;
+    params.k = 2;
+    params.p = config.p;
+    params.universe = config.universe;
+    params.epsilon = config.epsilon;
+    params.delta = config.delta;
+    params.backend = CollisionBackend::kSketch;
+    params.max_width = config.max_f2_width;
+    f2_.emplace(params, DeriveSeed(seed, 2));
+  }
+  if (config.enable_entropy) {
+    EntropyParams params;
+    params.p = config.p;
+    params.n_hint = config.n_hint;
+    entropy_.emplace(params, DeriveSeed(seed, 3));
+  }
+  if (config.enable_heavy_hitters) {
+    HeavyHitterParams params;
+    params.alpha = config.hh_alpha;
+    params.epsilon = config.hh_epsilon;
+    params.delta = config.delta;
+    params.p = config.p;
+    heavy_.emplace(params, DeriveSeed(seed, 4));
+  }
+}
+
+void Monitor::Update(item_t item) {
+  ++sampled_length_;
+  if (f0_) f0_->Update(item);
+  if (f2_) f2_->Update(item);
+  if (entropy_) entropy_->Update(item);
+  if (heavy_) heavy_->Update(item);
+}
+
+MonitorReport Monitor::Report() const {
+  MonitorReport report;
+  report.sampled_length = sampled_length_;
+  report.scaled_length = static_cast<double>(sampled_length_) / config_.p;
+  if (f0_) report.distinct_items = f0_->Estimate();
+  if (f2_) report.second_moment = f2_->Estimate();
+  if (entropy_) report.entropy = entropy_->Estimate();
+  if (heavy_) report.heavy_hitters = heavy_->Estimate();
+  return report;
+}
+
+std::size_t Monitor::SpaceBytes() const {
+  std::size_t bytes = sizeof(*this);
+  if (f0_) bytes += f0_->SpaceBytes();
+  if (f2_) bytes += f2_->SpaceBytes();
+  if (entropy_) bytes += entropy_->SpaceBytes();
+  if (heavy_) bytes += heavy_->SpaceBytes();
+  return bytes;
+}
+
+}  // namespace substream

@@ -1,0 +1,85 @@
+#ifndef SUBSTREAM_CORE_MONITOR_H_
+#define SUBSTREAM_CORE_MONITOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/entropy_estimator.h"
+#include "core/f0_estimator.h"
+#include "core/fk_estimator.h"
+#include "core/heavy_hitters.h"
+#include "util/common.h"
+
+/// \file monitor.h
+/// One-stop monitor over a sub-sampled stream: the deployment-shaped facade
+/// over the paper's four estimator families. A Monitor is what a sampled-
+/// NetFlow collector would instantiate per measurement window: configure the
+/// sampling rate once, feed the sampled elements, read a consolidated
+/// report about the *original* stream.
+
+namespace substream {
+
+/// Which statistics the monitor maintains (all on by default). Disabling
+/// unused statistics saves their space and per-update work.
+struct MonitorConfig {
+  /// Sampling probability of the observed stream (required, (0, 1]).
+  double p = 1.0;
+  /// Universe size hint (sizes the F2 sketch).
+  item_t universe = 1 << 20;
+  /// Original stream length hint, if known (entropy threshold; 0 = infer).
+  double n_hint = 0.0;
+
+  bool enable_f0 = true;
+  bool enable_f2 = true;
+  bool enable_entropy = true;
+  bool enable_heavy_hitters = true;
+
+  /// Heavy-hitter fraction and gap (Definition 4).
+  double hh_alpha = 0.05;
+  double hh_epsilon = 0.25;
+  /// Accuracy / confidence for the F2 estimator.
+  double epsilon = 0.25;
+  double delta = 0.05;
+  /// Cap on the F2 level-set sketch width (0 = analytic width).
+  std::uint64_t max_f2_width = 1 << 13;
+};
+
+/// A consolidated window report. Fields for disabled statistics are
+/// std::nullopt.
+struct MonitorReport {
+  std::optional<double> distinct_items;     ///< F0(P)
+  std::optional<double> second_moment;      ///< F2(P) (self-join size)
+  std::optional<EntropyResult> entropy;     ///< H(f) with validity info
+  std::optional<std::vector<HeavyHitter>> heavy_hitters;  ///< F1-heavy
+  count_t sampled_length = 0;               ///< F1(L)
+  double scaled_length = 0.0;               ///< F1(L)/p ~ F1(P)
+};
+
+/// Single-pass monitor over the sampled stream.
+class Monitor {
+ public:
+  Monitor(const MonitorConfig& config, std::uint64_t seed);
+
+  /// Feeds one element of the sampled stream L.
+  void Update(item_t item);
+
+  /// Consolidated estimates about the original stream P.
+  MonitorReport Report() const;
+
+  const MonitorConfig& config() const { return config_; }
+
+  /// Total memory across enabled estimators.
+  std::size_t SpaceBytes() const;
+
+ private:
+  MonitorConfig config_;
+  count_t sampled_length_ = 0;
+  std::optional<F0Estimator> f0_;
+  std::optional<FkEstimator> f2_;
+  std::optional<EntropyEstimator> entropy_;
+  std::optional<F1HeavyHitterEstimator> heavy_;
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_CORE_MONITOR_H_

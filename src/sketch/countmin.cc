@@ -1,0 +1,166 @@
+#include "sketch/countmin.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace substream {
+
+namespace {
+
+int DepthFromDelta(double delta) {
+  SUBSTREAM_CHECK(delta > 0.0 && delta < 1.0);
+  return std::max(1, static_cast<int>(std::ceil(std::log(1.0 / delta))));
+}
+
+std::uint64_t WidthFromEpsilon(double epsilon) {
+  SUBSTREAM_CHECK(epsilon > 0.0);
+  const double e = 2.718281828459045;
+  return std::max<std::uint64_t>(
+      2, static_cast<std::uint64_t>(std::ceil(e / epsilon)));
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(const CountMinParams& params,
+                               std::uint64_t seed)
+    : CountMinSketch(DepthFromDelta(params.delta),
+                     WidthFromEpsilon(params.epsilon),
+                     params.conservative_update, seed) {}
+
+CountMinSketch::CountMinSketch(int depth, std::uint64_t width,
+                               bool conservative_update, std::uint64_t seed)
+    : depth_(depth),
+      width_(width),
+      conservative_update_(conservative_update),
+      seed_(seed) {
+  SUBSTREAM_CHECK(depth >= 1);
+  SUBSTREAM_CHECK(width >= 1);
+  rows_.assign(static_cast<std::size_t>(depth), std::vector<count_t>(width, 0));
+  hashes_.reserve(static_cast<std::size_t>(depth));
+  for (int r = 0; r < depth; ++r) {
+    // Pairwise independence suffices for the CountMin analysis.
+    hashes_.emplace_back(2, DeriveSeed(seed, static_cast<std::uint64_t>(r)));
+  }
+}
+
+void CountMinSketch::Update(item_t item, count_t count) {
+  total_ += count;
+  if (!conservative_update_) {
+    for (int r = 0; r < depth_; ++r) {
+      rows_[static_cast<std::size_t>(r)][hashes_[static_cast<std::size_t>(r)]
+                                             .Bucket(item, width_)] += count;
+    }
+    return;
+  }
+  // Conservative update: raise every counter only as far as needed so that
+  // the new minimum reflects the update.
+  count_t current = Estimate(item);
+  const count_t target = current + count;
+  for (int r = 0; r < depth_; ++r) {
+    count_t& cell = rows_[static_cast<std::size_t>(r)]
+                         [hashes_[static_cast<std::size_t>(r)].Bucket(item, width_)];
+    cell = std::max(cell, target);
+  }
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  SUBSTREAM_CHECK_MSG(depth_ == other.depth_ && width_ == other.width_ &&
+                          seed_ == other.seed_,
+                      "merging incompatible CountMin sketches");
+  for (int r = 0; r < depth_; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    for (std::uint64_t c = 0; c < width_; ++c) {
+      rows_[rr][c] += other.rows_[rr][c];
+    }
+  }
+  total_ += other.total_;
+}
+
+count_t CountMinSketch::Estimate(item_t item) const {
+  count_t best = ~static_cast<count_t>(0);
+  for (int r = 0; r < depth_; ++r) {
+    best = std::min(best,
+                    rows_[static_cast<std::size_t>(r)]
+                         [hashes_[static_cast<std::size_t>(r)].Bucket(item, width_)]);
+  }
+  return best;
+}
+
+std::size_t CountMinSketch::SpaceBytes() const {
+  std::size_t bytes = static_cast<std::size_t>(depth_) * width_ * sizeof(count_t);
+  for (const auto& h : hashes_) bytes += h.SpaceBytes();
+  return bytes;
+}
+
+CountMinHeavyHitters::CountMinHeavyHitters(double phi, double eps_resolution,
+                                           double delta, std::uint64_t seed)
+    : phi_(phi),
+      sketch_(
+          CountMinParams{
+              // Counter error must be small relative to the HH threshold:
+              // eps_cm * F1 <= (eps_resolution/2) * phi * F1.
+              /*epsilon=*/0.5 * eps_resolution * phi,
+              /*delta=*/delta,
+              /*conservative_update=*/false},
+          seed) {
+  SUBSTREAM_CHECK(phi > 0.0 && phi <= 1.0);
+  SUBSTREAM_CHECK(eps_resolution > 0.0 && eps_resolution < 1.0);
+  // At most 1/(phi (1 - eps)) items can be heavy; keep slack for churn.
+  capacity_ = static_cast<std::size_t>(std::ceil(8.0 / phi)) + 16;
+}
+
+void CountMinHeavyHitters::Update(item_t item, count_t count) {
+  sketch_.Update(item, count);
+  const count_t est = sketch_.Estimate(item);
+  // Track anything that currently clears half the final threshold; final
+  // filtering happens in Candidates() against the final F1.
+  if (static_cast<double>(est) >=
+      0.5 * phi_ * static_cast<double>(sketch_.TotalCount())) {
+    MaybeInsert(item, est);
+  }
+}
+
+void CountMinHeavyHitters::MaybeInsert(item_t item, count_t estimate) {
+  auto it = candidates_.find(item);
+  if (it != candidates_.end()) {
+    it->second = estimate;
+    return;
+  }
+  if (candidates_.size() < capacity_) {
+    candidates_.emplace(item, estimate);
+    return;
+  }
+  // Evict the weakest candidate if the newcomer beats it.
+  auto weakest = candidates_.begin();
+  for (auto jt = candidates_.begin(); jt != candidates_.end(); ++jt) {
+    if (jt->second < weakest->second) weakest = jt;
+  }
+  if (weakest->second < estimate) {
+    candidates_.erase(weakest);
+    candidates_.emplace(item, estimate);
+  }
+}
+
+std::vector<std::pair<item_t, count_t>> CountMinHeavyHitters::Candidates(
+    double threshold_fraction) const {
+  std::vector<std::pair<item_t, count_t>> out;
+  const double threshold =
+      threshold_fraction * static_cast<double>(sketch_.TotalCount());
+  for (const auto& [item, stale_estimate] : candidates_) {
+    (void)stale_estimate;
+    const count_t est = sketch_.Estimate(item);
+    if (static_cast<double>(est) >= threshold) out.emplace_back(item, est);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::size_t CountMinHeavyHitters::SpaceBytes() const {
+  return sketch_.SpaceBytes() +
+         candidates_.size() * (sizeof(item_t) + sizeof(count_t));
+}
+
+}  // namespace substream

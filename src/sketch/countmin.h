@@ -1,0 +1,113 @@
+#ifndef SUBSTREAM_SKETCH_COUNTMIN_H_
+#define SUBSTREAM_SKETCH_COUNTMIN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+#include "util/hash.h"
+
+/// \file countmin.h
+/// CountMin sketch (Cormode & Muthukrishnan [15]).
+///
+/// Theorem 6 of the paper runs CountMin on the sampled stream L with
+/// remapped parameters (alpha', eps', delta') to recover the F1-heavy
+/// hitters of the original stream P.
+
+namespace substream {
+
+/// Parameters for a CountMin sketch.
+struct CountMinParams {
+  /// Additive error target: point queries err by at most eps * F1 with
+  /// probability 1 - delta (per query).
+  double epsilon = 0.01;
+  /// Per-query failure probability.
+  double delta = 0.01;
+  /// If true, uses conservative update (only raises counters that must
+  /// rise), which reduces overestimation for insert-only streams.
+  bool conservative_update = false;
+};
+
+/// CountMin sketch with optional heavy-hitter candidate tracking.
+///
+/// Guarantees (standard, insert-only): Estimate(i) >= f_i always, and
+/// Estimate(i) <= f_i + eps * F1 with probability >= 1 - delta.
+class CountMinSketch {
+ public:
+  CountMinSketch(const CountMinParams& params, std::uint64_t seed);
+
+  /// Explicit geometry: depth rows x width counters.
+  CountMinSketch(int depth, std::uint64_t width, bool conservative_update,
+                 std::uint64_t seed);
+
+  /// Adds `count` occurrences of `item`.
+  void Update(item_t item, count_t count = 1);
+
+  /// Point estimate of the frequency of `item` (never underestimates).
+  count_t Estimate(item_t item) const;
+
+  /// Merges a sketch built with the same geometry and seed; afterwards this
+  /// sketch summarizes the concatenation of both streams. Merging standard
+  /// (non-conservative) sketches is exact; conservative-update sketches
+  /// merge by counter-wise max-sum and may further overestimate.
+  void Merge(const CountMinSketch& other);
+
+  /// Total number of updates F1.
+  count_t TotalCount() const { return total_; }
+
+  int depth() const { return depth_; }
+  std::uint64_t width() const { return width_; }
+
+  /// Sketch memory footprint in bytes (counters + hash descriptions).
+  std::size_t SpaceBytes() const;
+
+ private:
+  int depth_;
+  std::uint64_t width_;
+  bool conservative_update_;
+  std::uint64_t seed_;
+  std::vector<std::vector<count_t>> rows_;
+  std::vector<PolynomialHash> hashes_;
+  count_t total_ = 0;
+};
+
+/// CountMin-based F1 heavy-hitter tracker: maintains the set of items whose
+/// estimated frequency is at least `phi * TotalCount()` as the stream is
+/// consumed (standard heap-based construction [15]).
+class CountMinHeavyHitters {
+ public:
+  /// `phi` is the heavy-hitter fraction (alpha in Definition 4); the sketch
+  /// resolves frequencies to within eps_resolution * phi * F1.
+  CountMinHeavyHitters(double phi, double eps_resolution, double delta,
+                       std::uint64_t seed);
+
+  void Update(item_t item, count_t count = 1);
+
+  /// Items whose estimated frequency >= threshold_fraction * F1, with their
+  /// estimates, sorted by decreasing estimate. Pass phi to get the heavy
+  /// hitters; a slightly smaller fraction widens the net.
+  std::vector<std::pair<item_t, count_t>> Candidates(
+      double threshold_fraction) const;
+
+  count_t TotalCount() const { return sketch_.TotalCount(); }
+
+  const CountMinSketch& sketch() const { return sketch_; }
+
+  std::size_t SpaceBytes() const;
+
+ private:
+  double phi_;
+  CountMinSketch sketch_;
+  // Candidate pool: item -> last estimate. Bounded by capacity_; evicts the
+  // weakest candidate when full.
+  std::unordered_map<item_t, count_t> candidates_;
+  std::size_t capacity_;
+
+  void MaybeInsert(item_t item, count_t estimate);
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_SKETCH_COUNTMIN_H_

@@ -1,0 +1,165 @@
+#include "sketch/countsketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace substream {
+
+CountSketch::CountSketch(int depth, std::uint64_t width, std::uint64_t seed)
+    : depth_(depth), width_(width), seed_(seed) {
+  SUBSTREAM_CHECK(depth >= 1);
+  SUBSTREAM_CHECK(width >= 1);
+  rows_.assign(static_cast<std::size_t>(depth),
+               std::vector<std::int64_t>(width, 0));
+  row_sumsq_.assign(static_cast<std::size_t>(depth), 0.0);
+  bucket_hashes_.reserve(static_cast<std::size_t>(depth));
+  sign_hashes_.reserve(static_cast<std::size_t>(depth));
+  for (int r = 0; r < depth; ++r) {
+    bucket_hashes_.emplace_back(2, DeriveSeed(seed, 2 * static_cast<std::uint64_t>(r)));
+    // 4-wise independent signs make row L2^2 an unbiased F2 estimate with
+    // bounded variance (as in AMS).
+    sign_hashes_.emplace_back(4, DeriveSeed(seed, 2 * static_cast<std::uint64_t>(r) + 1));
+  }
+}
+
+void CountSketch::Update(item_t item, std::int64_t count) {
+  total_ += count;
+  for (int r = 0; r < depth_; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    std::int64_t& cell = rows_[rr][bucket_hashes_[rr].Bucket(item, width_)];
+    const std::int64_t delta = sign_hashes_[rr].Sign(item) * count;
+    // (x + d)^2 - x^2 = 2xd + d^2, keeping the row norm current in O(1).
+    row_sumsq_[rr] += static_cast<double>(2 * cell * delta + delta * delta);
+    cell += delta;
+  }
+}
+
+void CountSketch::Merge(const CountSketch& other) {
+  SUBSTREAM_CHECK_MSG(depth_ == other.depth_ && width_ == other.width_ &&
+                          seed_ == other.seed_,
+                      "merging incompatible CountSketches");
+  for (int r = 0; r < depth_; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    double sumsq = 0.0;
+    for (std::uint64_t c = 0; c < width_; ++c) {
+      rows_[rr][c] += other.rows_[rr][c];
+      sumsq += static_cast<double>(rows_[rr][c]) *
+               static_cast<double>(rows_[rr][c]);
+    }
+    row_sumsq_[rr] = sumsq;
+  }
+  total_ += other.total_;
+}
+
+double CountSketch::Estimate(item_t item) const {
+  std::vector<double> row_estimates;
+  row_estimates.reserve(static_cast<std::size_t>(depth_));
+  for (int r = 0; r < depth_; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    row_estimates.push_back(
+        static_cast<double>(sign_hashes_[rr].Sign(item)) *
+        static_cast<double>(rows_[rr][bucket_hashes_[rr].Bucket(item, width_)]));
+  }
+  return Median(std::move(row_estimates));
+}
+
+double CountSketch::EstimateF2() const {
+  return Median(row_sumsq_);
+}
+
+std::size_t CountSketch::SpaceBytes() const {
+  std::size_t bytes =
+      static_cast<std::size_t>(depth_) * width_ * sizeof(std::int64_t);
+  for (const auto& h : bucket_hashes_) bytes += h.SpaceBytes();
+  for (const auto& h : sign_hashes_) bytes += h.SpaceBytes();
+  return bytes;
+}
+
+namespace {
+
+int DepthFromDelta(double delta) {
+  SUBSTREAM_CHECK(delta > 0.0 && delta < 1.0);
+  // Median amplification: O(log 1/delta) rows.
+  return std::max(5, static_cast<int>(std::ceil(4.0 * std::log(1.0 / delta))) | 1);
+}
+
+}  // namespace
+
+CountSketchHeavyHitters::CountSketchHeavyHitters(double phi,
+                                                 double eps_resolution,
+                                                 double delta,
+                                                 std::uint64_t seed)
+    : phi_(phi),
+      sketch_(DepthFromDelta(delta),
+              // Point error ~ sqrt(F2/width); to resolve phi*sqrt(F2) with
+              // relative precision eps we need width >= c/(eps*phi)^2. The
+              // constant 2 relies on the median over depth rows for the
+              // rest of the confidence.
+              std::max<std::uint64_t>(
+                  8, static_cast<std::uint64_t>(std::ceil(
+                         2.0 / (eps_resolution * eps_resolution * phi * phi)))),
+              seed) {
+  SUBSTREAM_CHECK(phi > 0.0 && phi <= 1.0);
+  SUBSTREAM_CHECK(eps_resolution > 0.0 && eps_resolution < 1.0);
+  capacity_ = static_cast<std::size_t>(std::ceil(8.0 / (phi * phi))) + 16;
+}
+
+void CountSketchHeavyHitters::Update(item_t item, count_t count) {
+  updates_ += count;
+  sketch_.Update(item, static_cast<std::int64_t>(count));
+  const double est = sketch_.Estimate(item);
+  // Cheap pre-filter: sqrt(F2) >= F1/sqrt(n)... instead of recomputing the
+  // F2 estimate per update (expensive), compare against a lower bound that
+  // uses the running update count: sqrt(F2(L)) >= sqrt(F1(L)). Anything that
+  // could possibly be heavy at the end clears half of phi * sqrt(F1 so far).
+  const double lower_bound_sqrt_f2 =
+      std::sqrt(static_cast<double>(updates_));
+  if (est >= 0.5 * phi_ * lower_bound_sqrt_f2) {
+    MaybeInsert(item, est);
+  }
+}
+
+void CountSketchHeavyHitters::MaybeInsert(item_t item, double estimate) {
+  auto it = candidates_.find(item);
+  if (it != candidates_.end()) {
+    it->second = estimate;
+    return;
+  }
+  if (candidates_.size() < capacity_) {
+    candidates_.emplace(item, estimate);
+    return;
+  }
+  auto weakest = candidates_.begin();
+  for (auto jt = candidates_.begin(); jt != candidates_.end(); ++jt) {
+    if (jt->second < weakest->second) weakest = jt;
+  }
+  if (weakest->second < estimate) {
+    candidates_.erase(weakest);
+    candidates_.emplace(item, estimate);
+  }
+}
+
+std::vector<std::pair<item_t, double>> CountSketchHeavyHitters::Candidates(
+    double threshold_phi) const {
+  std::vector<std::pair<item_t, double>> out;
+  const double threshold = threshold_phi * std::sqrt(sketch_.EstimateF2());
+  for (const auto& [item, stale] : candidates_) {
+    (void)stale;
+    const double est = sketch_.Estimate(item);
+    if (est >= threshold) out.emplace_back(item, est);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::size_t CountSketchHeavyHitters::SpaceBytes() const {
+  return sketch_.SpaceBytes() +
+         candidates_.size() * (sizeof(item_t) + sizeof(double));
+}
+
+}  // namespace substream

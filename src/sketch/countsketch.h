@@ -1,0 +1,100 @@
+#ifndef SUBSTREAM_SKETCH_COUNTSKETCH_H_
+#define SUBSTREAM_SKETCH_COUNTSKETCH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+#include "util/hash.h"
+
+/// \file countsketch.h
+/// CountSketch (Charikar, Chen, Farach-Colton [8]).
+///
+/// Used in two places: Theorem 7 runs CountSketch on L to find F2-heavy
+/// hitters of P, and the Indyk–Woodruff level-set machinery (Theorem 2) runs
+/// one CountSketch per subsampling level to recover level-set members.
+
+namespace substream {
+
+/// CountSketch with point queries, an F2 estimate from row norms, and
+/// optional heavy-hitter candidate tracking.
+///
+/// Point query error: |Estimate(i) - f_i| <= c * sqrt(F2 / width) with
+/// constant probability per row; the median over `depth` rows amplifies to
+/// failure probability exp(-Omega(depth)).
+class CountSketch {
+ public:
+  CountSketch(int depth, std::uint64_t width, std::uint64_t seed);
+
+  void Update(item_t item, std::int64_t count = 1);
+
+  /// Median-of-rows point estimate of the (signed) frequency of `item`.
+  double Estimate(item_t item) const;
+
+  /// Merges a sketch built with the same geometry and seed (linearity of
+  /// CountSketch: the merged sketch equals the sketch of the concatenated
+  /// streams exactly).
+  void Merge(const CountSketch& other);
+
+  /// Median over rows of the row L2^2: an 8-approximation of F2 with
+  /// constant probability per row, amplified by the median (standard
+  /// CountSketch norm estimation; each row's sum of squared counters has
+  /// expectation F2).
+  double EstimateF2() const;
+
+  /// Number of updates consumed (signed counts summed).
+  std::int64_t TotalCount() const { return total_; }
+
+  int depth() const { return depth_; }
+  std::uint64_t width() const { return width_; }
+
+  std::size_t SpaceBytes() const;
+
+ private:
+  int depth_;
+  std::uint64_t width_;
+  std::uint64_t seed_;
+  std::vector<std::vector<std::int64_t>> rows_;
+  // Running sum of squared counters per row, maintained incrementally so
+  // EstimateF2() costs O(depth) instead of O(depth * width). The level-set
+  // machinery calls it on every update.
+  std::vector<double> row_sumsq_;
+  std::vector<PolynomialHash> bucket_hashes_;
+  std::vector<PolynomialHash> sign_hashes_;
+  std::int64_t total_ = 0;
+};
+
+/// CountSketch-based F2 heavy-hitter tracker: maintains candidates whose
+/// estimated frequency clears phi * sqrt(F2-estimate).
+class CountSketchHeavyHitters {
+ public:
+  /// `phi`: F2-heavy fraction (item is heavy when f_i >= phi * sqrt(F2)).
+  /// `eps_resolution`: relative precision of the recovered frequencies.
+  CountSketchHeavyHitters(double phi, double eps_resolution, double delta,
+                          std::uint64_t seed);
+
+  void Update(item_t item, count_t count = 1);
+
+  /// Items whose estimate >= threshold_phi * sqrt(EstimateF2()), sorted by
+  /// decreasing estimate.
+  std::vector<std::pair<item_t, double>> Candidates(double threshold_phi) const;
+
+  const CountSketch& sketch() const { return sketch_; }
+
+  std::size_t SpaceBytes() const;
+
+ private:
+  double phi_;
+  CountSketch sketch_;
+  std::unordered_map<item_t, double> candidates_;
+  std::size_t capacity_;
+  count_t updates_ = 0;
+
+  void MaybeInsert(item_t item, double estimate);
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_SKETCH_COUNTSKETCH_H_

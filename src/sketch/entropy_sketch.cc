@@ -1,0 +1,103 @@
+#include "sketch/entropy_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+#include "util/stats.h"
+
+namespace substream {
+
+void EntropyMleEstimator::Update(item_t item) {
+  ++counts_[item];
+  ++total_;
+}
+
+double EntropyMleEstimator::Estimate() const {
+  if (total_ == 0) return 0.0;
+  const double n = static_cast<double>(total_);
+  KahanSum sum;
+  for (const auto& [item, count] : counts_) {
+    (void)item;
+    sum.Add(EntropyTerm(static_cast<double>(count), n));
+  }
+  return sum.Value();
+}
+
+double EntropyMleEstimator::EstimateMillerMadow() const {
+  if (total_ == 0) return 0.0;
+  const double correction =
+      (static_cast<double>(counts_.size()) - 1.0) /
+      (2.0 * static_cast<double>(total_) * std::log(2.0));
+  return Estimate() + correction;
+}
+
+double EntropyMleEstimator::EstimateHpn(double expected_length) const {
+  SUBSTREAM_CHECK(expected_length > 0.0);
+  KahanSum sum;
+  for (const auto& [item, count] : counts_) {
+    (void)item;
+    const double g = static_cast<double>(count);
+    if (g >= expected_length) continue;  // convention: term -> 0
+    sum.Add((g / expected_length) * std::log2(expected_length / g));
+  }
+  return sum.Value();
+}
+
+AmsEntropySketch::AmsEntropySketch(GeometryTag, std::size_t groups,
+                                   std::size_t per_group, std::uint64_t seed)
+    : groups_(groups), rng_(seed) {
+  SUBSTREAM_CHECK(groups >= 1);
+  SUBSTREAM_CHECK(per_group >= 1);
+  atoms_.assign(groups * per_group, Atom{});
+}
+
+AmsEntropySketch AmsEntropySketch::WithGeometry(std::size_t groups,
+                                                std::size_t per_group,
+                                                std::uint64_t seed) {
+  return AmsEntropySketch(GeometryTag{}, groups, per_group, seed);
+}
+
+AmsEntropySketch::AmsEntropySketch(double epsilon, double delta,
+                                   std::uint64_t seed)
+    : AmsEntropySketch(
+          GeometryTag{},
+          std::max<std::size_t>(
+              1, static_cast<std::size_t>(
+                     std::ceil(8.0 * std::log(1.0 / delta))) | 1),
+          std::max<std::size_t>(
+              1, static_cast<std::size_t>(std::ceil(32.0 / (epsilon * epsilon)))),
+          seed) {}
+
+void AmsEntropySketch::Update(item_t item) {
+  ++total_;
+  for (Atom& atom : atoms_) {
+    // Reservoir: the new position replaces the held one with prob 1/total.
+    if (rng_.NextBounded(total_) == 0) {
+      atom.item = item;
+      atom.suffix_count = 1;
+    } else if (atom.item == item) {
+      ++atom.suffix_count;
+    }
+  }
+}
+
+double AmsEntropySketch::Estimate() const {
+  SUBSTREAM_CHECK(total_ > 0);
+  const double n = static_cast<double>(total_);
+  std::vector<double> values;
+  values.reserve(atoms_.size());
+  for (const Atom& atom : atoms_) {
+    const double r = static_cast<double>(atom.suffix_count);
+    // f(r) = r lg(n/r) - (r-1) lg(n/(r-1)); the r = 1 case is lg n.
+    double x = r * std::log2(n / r);
+    if (atom.suffix_count > 1) x -= (r - 1.0) * std::log2(n / (r - 1.0));
+    values.push_back(x);
+  }
+  // No clamping here: atoms may legitimately be negative and the estimator
+  // is exactly unbiased for H(g). Callers that need a nonnegative entropy
+  // clamp at the reporting layer.
+  return MedianOfMeans(values, groups_);
+}
+
+}  // namespace substream

@@ -1,0 +1,101 @@
+#ifndef SUBSTREAM_SKETCH_ENTROPY_SKETCH_H_
+#define SUBSTREAM_SKETCH_ENTROPY_SKETCH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.h"
+#include "util/random.h"
+
+/// \file entropy_sketch.h
+/// Streaming estimators for the empirical entropy H(g) of the consumed
+/// stream. Theorem 5 of the paper reduces entropy estimation over P to
+/// multiplicative estimation of H(g) on L; the substrate it cites ([25],
+/// Harvey–Nelson–Onak) is substituted here (see DESIGN.md §3.4) by:
+///  - EntropyMleEstimator: exact plug-in entropy over a frequency map of L
+///    (space O(F0(L)), still sublinear in n); optional Miller–Madow bias
+///    correction; also computes the paper's H_pn(g) variant.
+///  - AmsEntropySketch: the Chakrabarti–Cormode–McGregor AMS-style
+///    estimator (uniform reservoir position + suffix occurrence count),
+///    unbiased for H(g), amplified by median-of-means. O(t) words.
+
+namespace substream {
+
+/// Plug-in (maximum-likelihood) entropy of the consumed stream.
+class EntropyMleEstimator {
+ public:
+  EntropyMleEstimator() = default;
+
+  void Update(item_t item);
+
+  /// H(g) = sum (g_i/n') lg(n'/g_i) where n' is the consumed length.
+  double Estimate() const;
+
+  /// Miller–Madow bias-corrected entropy: H_MLE + (F0 - 1)/(2 n' ln 2).
+  double EstimateMillerMadow() const;
+
+  /// The paper's H_pn(g) = sum (g_i/(p n)) lg(p n / g_i), the entropy
+  /// normalized by the *expected* sampled length p*n instead of the realized
+  /// one (Proposition 1 shows they differ by O(log m / sqrt(pn))).
+  double EstimateHpn(double expected_length) const;
+
+  count_t ConsumedLength() const { return total_; }
+
+  std::size_t SpaceBytes() const {
+    return counts_.size() * (sizeof(item_t) + sizeof(count_t));
+  }
+
+ private:
+  std::unordered_map<item_t, count_t> counts_;
+  count_t total_ = 0;
+};
+
+/// AMS-style unbiased entropy estimator.
+///
+/// Each of the `groups * per_group` basic estimators holds a uniformly
+/// random stream position (maintained reservoir-style) and the count r of
+/// occurrences of that position's item from the position onward. The atom
+/// X = f(r) := r lg(n/r) - (r-1) lg(n/(r-1)) satisfies E[X] = H(g).
+class AmsEntropySketch {
+ public:
+  /// Sizes the sketch for relative error eps on streams with H = Omega(1),
+  /// failure probability delta.
+  AmsEntropySketch(double epsilon, double delta, std::uint64_t seed);
+
+  /// Explicit geometry (named factory to avoid overload ambiguity with the
+  /// accuracy-driven constructor).
+  static AmsEntropySketch WithGeometry(std::size_t groups,
+                                       std::size_t per_group,
+                                       std::uint64_t seed);
+
+  void Update(item_t item);
+
+  /// Median-of-means estimate of H(g) in bits. Requires at least 1 update.
+  double Estimate() const;
+
+  count_t ConsumedLength() const { return total_; }
+
+  std::size_t SpaceBytes() const {
+    return atoms_.size() * sizeof(Atom) + sizeof(*this);
+  }
+
+ private:
+  struct Atom {
+    item_t item = 0;
+    count_t suffix_count = 0;  // r
+  };
+
+  struct GeometryTag {};
+  AmsEntropySketch(GeometryTag, std::size_t groups, std::size_t per_group,
+                   std::uint64_t seed);
+
+  std::size_t groups_;
+  std::vector<Atom> atoms_;
+  Rng rng_;
+  count_t total_ = 0;
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_SKETCH_ENTROPY_SKETCH_H_

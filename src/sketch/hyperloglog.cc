@@ -1,0 +1,61 @@
+#include "sketch/hyperloglog.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace substream {
+
+HyperLogLog::HyperLogLog(int precision, std::uint64_t seed)
+    : precision_(precision),
+      mask_((1ULL << precision) - 1),
+      hash_(seed),
+      registers_(1ULL << precision, 0) {
+  SUBSTREAM_CHECK(precision >= 4 && precision <= 20);
+}
+
+void HyperLogLog::Update(item_t item) {
+  const std::uint64_t h = hash_.Hash(item);
+  const std::uint64_t index = h & mask_;
+  const std::uint64_t rest = h >> precision_;
+  // Rank = position of the first set bit in the remaining 64 - p bits.
+  const int rank =
+      rest == 0 ? (64 - precision_ + 1)
+                : (1 + __builtin_ctzll(rest));
+  registers_[index] =
+      std::max(registers_[index], static_cast<std::uint8_t>(rank));
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() <= 16) {
+    alpha = 0.673;
+  } else if (registers_.size() <= 32) {
+    alpha = 0.697;
+  } else if (registers_.size() <= 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double harmonic = 0.0;
+  std::size_t zeros = 0;
+  for (std::uint8_t r : registers_) {
+    harmonic += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double estimate = alpha * m * m / harmonic;
+  // Small-range correction: linear counting.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  SUBSTREAM_CHECK(precision_ == other.precision_);
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+}  // namespace substream

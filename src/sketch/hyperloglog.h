@@ -1,0 +1,45 @@
+#ifndef SUBSTREAM_SKETCH_HYPERLOGLOG_H_
+#define SUBSTREAM_SKETCH_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+#include "util/hash.h"
+
+/// \file hyperloglog.h
+/// HyperLogLog distinct counter (Flajolet et al.) — the second F0(L)
+/// backend for Algorithm 2, with constant-byte registers instead of KMV's
+/// 8-byte values. Standard bias correction and linear-counting small-range
+/// correction included.
+
+namespace substream {
+
+/// HLL with 2^precision registers; relative error ~ 1.04 / sqrt(2^precision).
+class HyperLogLog {
+ public:
+  HyperLogLog(int precision, std::uint64_t seed);
+
+  void Update(item_t item);
+
+  double Estimate() const;
+
+  /// Merges another sketch built with the same precision and seed.
+  void Merge(const HyperLogLog& other);
+
+  int precision() const { return precision_; }
+
+  std::size_t SpaceBytes() const {
+    return registers_.size() * sizeof(std::uint8_t) + sizeof(*this);
+  }
+
+ private:
+  int precision_;
+  std::uint64_t mask_;
+  TabulationHash hash_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_SKETCH_HYPERLOGLOG_H_

@@ -1,0 +1,44 @@
+#include "sketch/kmv.h"
+
+namespace substream {
+
+KmvSketch::KmvSketch(std::size_t k, std::uint64_t seed)
+    : k_(k), seed_(seed), hash_(2, seed) {
+  SUBSTREAM_CHECK(k >= 2);
+}
+
+void KmvSketch::Update(item_t item) {
+  const std::uint64_t h = hash_.Hash(item);
+  if (values_.size() < k_) {
+    values_.insert(h);
+    return;
+  }
+  auto last = std::prev(values_.end());
+  if (h < *last && values_.find(h) == values_.end()) {
+    values_.erase(last);
+    values_.insert(h);
+  }
+}
+
+void KmvSketch::Merge(const KmvSketch& other) {
+  SUBSTREAM_CHECK_MSG(k_ == other.k_ && seed_ == other.seed_,
+                      "merging incompatible KMV sketches");
+  for (std::uint64_t h : other.values_) {
+    values_.insert(h);
+  }
+  while (values_.size() > k_) {
+    values_.erase(std::prev(values_.end()));
+  }
+}
+
+double KmvSketch::Estimate() const {
+  if (values_.size() < k_) {
+    return static_cast<double>(values_.size());
+  }
+  const double vk = static_cast<double>(*values_.rbegin()) /
+                    static_cast<double>(PolynomialHash::kPrime);
+  if (vk <= 0.0) return static_cast<double>(values_.size());
+  return (static_cast<double>(k_) - 1.0) / vk;
+}
+
+}  // namespace substream

@@ -1,0 +1,51 @@
+#ifndef SUBSTREAM_SKETCH_KMV_H_
+#define SUBSTREAM_SKETCH_KMV_H_
+
+#include <cstdint>
+#include <set>
+
+#include "util/common.h"
+#include "util/hash.h"
+
+/// \file kmv.h
+/// K-Minimum-Values distinct counter (Bar-Yossef et al.).
+///
+/// Algorithm 2 of the paper needs any streaming (1/2, delta)-estimator of
+/// F0(L); KMV with k = O(1/eps^2) gives a (1+eps, delta) estimator, far
+/// stronger than required. The lower bound of Theorem 4 shows the dominant
+/// error is the sampling itself, not this sketch.
+
+namespace substream {
+
+/// Keeps the k smallest hash values of the distinct items seen.
+/// Estimate: (k - 1) / v_k where v_k is the k-th smallest normalized hash.
+class KmvSketch {
+ public:
+  KmvSketch(std::size_t k, std::uint64_t seed);
+
+  void Update(item_t item);
+
+  /// Estimated number of distinct items. Exact while fewer than k distinct
+  /// hashes have been observed.
+  double Estimate() const;
+
+  /// Merges a sketch with the same k and seed: keeps the k smallest hash
+  /// values of the union (the standard KMV union rule).
+  void Merge(const KmvSketch& other);
+
+  std::size_t k() const { return k_; }
+
+  std::size_t SpaceBytes() const {
+    return values_.size() * sizeof(std::uint64_t) + hash_.SpaceBytes();
+  }
+
+ private:
+  std::size_t k_;
+  std::uint64_t seed_;
+  PolynomialHash hash_;
+  std::set<std::uint64_t> values_;  // k smallest distinct hash values
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_SKETCH_KMV_H_

@@ -1,0 +1,352 @@
+#include "sketch/level_sets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+#include "util/random.h"
+
+namespace substream {
+
+int LevelIndex(double g, double eta, double eps_prime) {
+  SUBSTREAM_CHECK(g > 0.0);
+  SUBSTREAM_CHECK(eta > 0.0 && eta <= 1.0);
+  SUBSTREAM_CHECK(eps_prime > 0.0);
+  if (g < eta) return 0;
+  const int i = static_cast<int>(
+      std::floor(std::log(g / eta) / std::log1p(eps_prime)));
+  return std::max(0, i);
+}
+
+double DrawEta(std::uint64_t seed) {
+  const double unit =
+      static_cast<double>(Mix64(seed ^ 0xe7a1u) >> 11) * 0x1.0p-53;
+  return 0.25 + 0.75 * unit;
+}
+
+IndykWoodruffEstimator::IndykWoodruffEstimator(const LevelSetParams& params,
+                                               std::uint64_t seed)
+    : params_(params),
+      seed_(seed),
+      eta_(DrawEta(seed)),
+      depth_hash_(DeriveSeed(seed, 0xd5)) {
+  SUBSTREAM_CHECK(params.eps_prime > 0.0 && params.eps_prime < 1.0);
+  SUBSTREAM_CHECK(params.max_depth >= 0 && params.max_depth <= 62);
+  SUBSTREAM_CHECK(params.cs_depth >= 1);
+  SUBSTREAM_CHECK(params.cs_width >= 2);
+  SUBSTREAM_CHECK(params.heavy_factor > 0.0);
+  candidate_capacity_ = params.candidate_capacity != 0
+                            ? params.candidate_capacity
+                            : static_cast<std::size_t>(4 * params.cs_width);
+  exact_capacity_ = params.exact_capacity != 0
+                        ? params.exact_capacity
+                        : static_cast<std::size_t>(2 * params.cs_width);
+  depths_.reserve(static_cast<std::size_t>(params.max_depth) + 1);
+  for (int t = 0; t <= params.max_depth; ++t) {
+    depths_.push_back(DepthSlot{
+        CountSketch(params.cs_depth, params.cs_width,
+                    DeriveSeed(seed, 0x100 + static_cast<std::uint64_t>(t))),
+        {}});
+  }
+}
+
+int IndykWoodruffEstimator::DepthOf(item_t item) const {
+  const std::uint64_t h = depth_hash_.Hash(item);
+  // Trailing zeros give a geometric depth; h == 0 maps to the deepest level.
+  const int tz = h == 0 ? 64 : __builtin_ctzll(h);
+  return std::min(tz, params_.max_depth);
+}
+
+void IndykWoodruffEstimator::Update(item_t item) {
+  ++total_;
+  const int item_depth = DepthOf(item);
+  for (int t = 0; t <= item_depth; ++t) {
+    DepthSlot& slot = depths_[static_cast<std::size_t>(t)];
+    slot.sketch.Update(item, 1);
+    if (slot.exact_valid) {
+      ++slot.exact[item];
+      if (slot.exact.size() > exact_capacity_) {
+        slot.exact.clear();
+        slot.exact_valid = false;
+      }
+    }
+    const double estimate = slot.sketch.Estimate(item);
+    // Only items that currently clear (half of) the recoverability
+    // threshold enter the candidate pool; this keeps insertions rare and
+    // the pool populated with genuinely heavy items.
+    const double threshold_sq = 0.5 * params_.heavy_factor *
+                                slot.sketch.EstimateF2() /
+                                static_cast<double>(params_.cs_width);
+    if (estimate * estimate >= threshold_sq) {
+      TrackCandidate(slot, item, estimate);
+    }
+  }
+}
+
+void IndykWoodruffEstimator::TrackCandidate(DepthSlot& slot, item_t item,
+                                            double estimate) {
+  if (estimate < 1.0) return;
+  auto it = slot.candidates.find(item);
+  if (it != slot.candidates.end()) {
+    it->second = estimate;
+    return;
+  }
+  if (slot.candidates.size() < candidate_capacity_) {
+    slot.candidates.emplace(item, estimate);
+    return;
+  }
+  auto weakest = slot.candidates.begin();
+  for (auto jt = slot.candidates.begin(); jt != slot.candidates.end(); ++jt) {
+    if (jt->second < weakest->second) weakest = jt;
+  }
+  if (weakest->second < estimate) {
+    slot.candidates.erase(weakest);
+    slot.candidates.emplace(item, estimate);
+  }
+}
+
+void IndykWoodruffEstimator::Merge(const IndykWoodruffEstimator& other) {
+  SUBSTREAM_CHECK_MSG(
+      seed_ == other.seed_ && params_.cs_width == other.params_.cs_width &&
+          params_.cs_depth == other.params_.cs_depth &&
+          params_.max_depth == other.params_.max_depth,
+      "merging incompatible level-set structures");
+  total_ += other.total_;
+  for (std::size_t t = 0; t < depths_.size(); ++t) {
+    DepthSlot& slot = depths_[t];
+    slot.sketch.Merge(other.depths_[t].sketch);
+    if (slot.exact_valid && other.depths_[t].exact_valid) {
+      for (const auto& [item, g] : other.depths_[t].exact) {
+        slot.exact[item] += g;
+      }
+      if (slot.exact.size() > exact_capacity_) {
+        slot.exact.clear();
+        slot.exact_valid = false;
+      }
+    } else if (slot.exact_valid) {
+      slot.exact.clear();
+      slot.exact_valid = false;
+    }
+    // Union candidate pools; estimates are refreshed from the merged
+    // sketch so stale values cannot mislead eviction.
+    for (const auto& [item, stale] : other.depths_[t].candidates) {
+      (void)stale;
+      TrackCandidate(slot, item, slot.sketch.Estimate(item));
+    }
+  }
+}
+
+std::vector<LevelSetEstimate> IndykWoodruffEstimator::EstimateLevelSets()
+    const {
+  std::vector<LevelSetEstimate> out;
+  if (total_ == 0) return out;
+
+  // Heavy (recoverable) threshold per depth: g^2 >= heavy_factor * F2_t / w.
+  std::vector<double> f2_at_depth(depths_.size());
+  for (std::size_t t = 0; t < depths_.size(); ++t) {
+    f2_at_depth[t] = depths_[t].sketch.EstimateF2();
+  }
+  const double f2_full = std::max(1.0, f2_at_depth[0]);
+
+  // Depth at which members of a level of value v become recoverable:
+  // v^2 >= heavy_factor * F2(L_0) / (w * 2^t)  =>  2^t >= hf*F2/(w v^2).
+  auto depth_for = [&](double v) {
+    const double need =
+        params_.heavy_factor * f2_full / (params_.cs_width * v * v);
+    if (need <= 1.0) return 0;
+    return std::min(params_.max_depth,
+                    static_cast<int>(std::ceil(std::log2(need))));
+  };
+  // Shallowest depth whose substream is still exactly counted; -1 if none.
+  int exact_depth = -1;
+  for (std::size_t t = 0; t < depths_.size(); ++t) {
+    if (depths_[t].exact_valid) {
+      exact_depth = static_cast<int>(t);
+      break;
+    }
+  }
+  // Counts level members at the chosen depth, preferring exact sparse
+  // counts (more members, zero classification noise) whenever a depth no
+  // deeper than the CountSketch-recoverable one is exactly counted.
+  // Returns {members, depth used}.
+  struct LevelCount {
+    double members;
+    int depth;
+  };
+  auto count_members = [&](int t_sketch, auto matches) -> LevelCount {
+    if (exact_depth >= 0 && exact_depth <= t_sketch) {
+      const DepthSlot& slot = depths_[static_cast<std::size_t>(exact_depth)];
+      double members = 0.0;
+      for (const auto& [item, g] : slot.exact) {
+        (void)item;
+        if (matches(static_cast<double>(g))) members += 1.0;
+      }
+      return {members, exact_depth};
+    }
+    const DepthSlot& slot = depths_[static_cast<std::size_t>(t_sketch)];
+    const double heavy_threshold_sq =
+        params_.heavy_factor * f2_at_depth[static_cast<std::size_t>(t_sketch)] /
+        static_cast<double>(params_.cs_width);
+    double members = 0.0;
+    for (const auto& [item, stale] : slot.candidates) {
+      (void)stale;
+      const double g_hat = slot.sketch.Estimate(item);
+      if (g_hat < 0.5) continue;
+      if (g_hat * g_hat < heavy_threshold_sq) continue;
+      if (matches(g_hat)) members += 1.0;
+    }
+    return {members, t_sketch};
+  };
+
+  // Small frequencies: exact integer bins. C(g, l) is non-smooth near
+  // g = l (it jumps from 0 to 1), so a geometric boundary that lands just
+  // below an integer misprices the whole level; rounding the recovered
+  // estimates to integers is exact there.
+  const int g0 = std::max(1, params_.integer_bin_max);
+  for (int j = 1; j <= g0; ++j) {
+    const double v = static_cast<double>(j);
+    const LevelCount count =
+        count_members(depth_for(v), [&](double g_hat) {
+          return g_hat >= v - 0.5 && g_hat < v + 0.5;
+        });
+    if (count.members == 0.0) continue;
+    LevelSetEstimate est;
+    est.level = j;
+    est.value = v;
+    est.size = count.members * std::ldexp(1.0, count.depth);
+    est.depth = count.depth;
+    est.integer_bin = true;
+    out.push_back(est);
+  }
+
+  // Larger frequencies: geometric levels, starting strictly above the
+  // integer-bin range.
+  const double base = 1.0 + params_.eps_prime;
+  const double geometric_start = static_cast<double>(g0) + 0.5;
+  const int max_level =
+      LevelIndex(static_cast<double>(total_), eta_, params_.eps_prime) + 1;
+  for (int i = 0; i <= max_level; ++i) {
+    const double v = eta_ * std::pow(base, i);
+    if (v * base <= geometric_start) continue;  // covered by integer bins
+    const LevelCount count = count_members(
+        depth_for(std::max(v, geometric_start)), [&](double g_hat) {
+          return g_hat >= geometric_start &&
+                 LevelIndex(g_hat, eta_, params_.eps_prime) == i;
+        });
+    if (count.members == 0.0) continue;
+    LevelSetEstimate est;
+    est.level = i;
+    est.value = v;
+    est.size = count.members * std::ldexp(1.0, count.depth);
+    est.depth = count.depth;
+    out.push_back(est);
+  }
+  return out;
+}
+
+double IndykWoodruffEstimator::EstimateCollisions(int l) const {
+  SUBSTREAM_CHECK(l >= 1);
+  KahanSum sum;
+  for (const LevelSetEstimate& s : EstimateLevelSets()) {
+    // Integer bins are exact; members of a geometric level have g in
+    // [v_i, v_i (1+eps')) and are evaluated at the midpoint, which halves
+    // the systematic discretization bias relative to the paper's lower
+    // boundary (ablation A1) while staying inside the eps' envelope.
+    const double value =
+        s.integer_bin ? s.value : LevelMidValue(s.value);
+    sum.Add(s.size * BinomialDouble(value, l));
+  }
+  return sum.Value();
+}
+
+double IndykWoodruffEstimator::EstimateMoment(int k) const {
+  SUBSTREAM_CHECK(k >= 0);
+  KahanSum sum;
+  for (const LevelSetEstimate& s : EstimateLevelSets()) {
+    const double value =
+        s.integer_bin ? s.value : LevelMidValue(s.value);
+    sum.Add(s.size * std::pow(value, k));
+  }
+  return sum.Value();
+}
+
+double IndykWoodruffEstimator::LevelMidValue(double lower_boundary) const {
+  return lower_boundary * (1.0 + 0.5 * params_.eps_prime);
+}
+
+std::size_t IndykWoodruffEstimator::SpaceBytes() const {
+  std::size_t bytes = sizeof(*this) + depth_hash_.SpaceBytes();
+  for (const DepthSlot& slot : depths_) {
+    bytes += slot.sketch.SpaceBytes();
+    bytes += slot.candidates.size() * (sizeof(item_t) + sizeof(double));
+    bytes += slot.exact.size() * (sizeof(item_t) + sizeof(count_t));
+  }
+  return bytes;
+}
+
+ExactLevelSets::ExactLevelSets(double eps_prime, double eta)
+    : eps_prime_(eps_prime), eta_(eta) {
+  SUBSTREAM_CHECK(eps_prime > 0.0 && eps_prime < 1.0);
+  SUBSTREAM_CHECK(eta > 0.0 && eta <= 1.0);
+}
+
+void ExactLevelSets::Update(item_t item) {
+  ++counts_[item];
+  ++total_;
+}
+
+std::vector<LevelSetEstimate> ExactLevelSets::EstimateLevelSets() const {
+  std::unordered_map<int, double> sizes;
+  for (const auto& [item, g] : counts_) {
+    (void)item;
+    ++sizes[LevelIndex(static_cast<double>(g), eta_, eps_prime_)];
+  }
+  std::vector<LevelSetEstimate> out;
+  out.reserve(sizes.size());
+  for (const auto& [level, size] : sizes) {
+    LevelSetEstimate est;
+    est.level = level;
+    est.value = eta_ * std::pow(1.0 + eps_prime_, level);
+    est.size = size;
+    est.depth = 0;
+    out.push_back(est);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LevelSetEstimate& a, const LevelSetEstimate& b) {
+              return a.level < b.level;
+            });
+  return out;
+}
+
+double ExactLevelSets::EstimateCollisions(int l) const {
+  SUBSTREAM_CHECK(l >= 1);
+  KahanSum sum;
+  for (const LevelSetEstimate& s : EstimateLevelSets()) {
+    // Same midpoint rule as the sketch (see IndykWoodruffEstimator).
+    sum.Add(s.size *
+            BinomialDouble(s.value * (1.0 + 0.5 * eps_prime_), l));
+  }
+  return sum.Value();
+}
+
+double ExactLevelSets::ExactCollisions(int l) const {
+  SUBSTREAM_CHECK(l >= 1);
+  KahanSum sum;
+  for (const auto& [item, g] : counts_) {
+    (void)item;
+    sum.Add(BinomialDouble(static_cast<double>(g), l));
+  }
+  return sum.Value();
+}
+
+double ExactLevelSets::ExactMoment(int k) const {
+  SUBSTREAM_CHECK(k >= 0);
+  KahanSum sum;
+  for (const auto& [item, g] : counts_) {
+    (void)item;
+    sum.Add(std::pow(static_cast<double>(g), k));
+  }
+  return sum.Value();
+}
+
+}  // namespace substream

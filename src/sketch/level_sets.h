@@ -1,0 +1,177 @@
+#ifndef SUBSTREAM_SKETCH_LEVEL_SETS_H_
+#define SUBSTREAM_SKETCH_LEVEL_SETS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/countsketch.h"
+#include "util/common.h"
+#include "util/hash.h"
+
+/// \file level_sets.h
+/// Indyk–Woodruff level-set frequency-moment machinery [27], the black box
+/// of Theorem 2 in the paper.
+///
+/// Frequencies of the consumed stream are bucketed into geometric level
+/// sets S_i = { j : eta (1+eps')^i <= g_j < eta (1+eps')^{i+1} }. The
+/// structure estimates level-set sizes s~_i; downstream, Algorithm 1 turns
+/// them into collision estimates C~_l = sum_i s~_i * C(eta (1+eps')^i, l).
+///
+/// Sketch implementation: items are assigned a geometric depth by hashing
+/// (depth(j) = trailing zeros of a tabulation hash), giving nested
+/// substreams L_0 ⊇ L_1 ⊇ ..., each holding every occurrence of the items
+/// it retains — so item frequencies are preserved in the substream where
+/// the item survives. Each substream runs a CountSketch with candidate
+/// tracking. A level set is read off at the depth where its members are
+/// F2-heavy in their substream; the surviving-member count is scaled by
+/// 2^depth. See Theorem 2 and Lemma 6 of the paper; constants are knobs
+/// here because the paper leaves them inside Õ(·).
+
+namespace substream {
+
+/// One estimated level set.
+struct LevelSetEstimate {
+  int level = 0;        ///< i (or the integer frequency for integer bins)
+  double value = 0.0;   ///< representative frequency of the level
+  double size = 0.0;    ///< s~_i
+  int depth = 0;        ///< subsampling depth the set was read at
+  /// True for the small-frequency integer bins (g <= integer_bin_max):
+  /// C(g, l) is non-smooth near g = l, so small frequencies are binned at
+  /// exact integers instead of geometric boundaries (see .cc commentary).
+  bool integer_bin = false;
+};
+
+/// Configuration of the Indyk–Woodruff structure.
+struct LevelSetParams {
+  /// Geometric ratio of level boundaries is (1 + eps_prime).
+  double eps_prime = 0.25;
+  /// Number of nested subsampling depths (0 .. max_depth). Depth d holds an
+  /// expected 2^{-d} fraction of the item universe.
+  int max_depth = 20;
+  /// CountSketch rows per depth.
+  int cs_depth = 5;
+  /// CountSketch width (buckets per row) per depth. This is the 1/gamma
+  /// space knob: Theorem 1 sets it to O~(p^{-1} m^{1-2/k}).
+  std::uint64_t cs_width = 1024;
+  /// An item with estimate g^ at depth t is deemed recoverable (heavy) when
+  /// g^2 >= heavy_factor * F2_t / cs_width.
+  double heavy_factor = 4.0;
+  /// Maximum number of tracked candidates per depth (defaults to a multiple
+  /// of cs_width when 0).
+  std::size_t candidate_capacity = 0;
+  /// Frequencies up to this value are tracked in exact integer bins;
+  /// geometric levels start above. C(g, l) jumps from 0 to 1 at g = l, so
+  /// geometric rounding there has unbounded relative error.
+  int integer_bin_max = 8;
+  /// Per-depth exact-count capacity: while a substream holds at most this
+  /// many distinct items, it is counted exactly (sparse recovery, as in the
+  /// original Indyk–Woodruff construction) instead of via CountSketch.
+  /// 0 derives 2 * cs_width.
+  std::size_t exact_capacity = 0;
+};
+
+/// Sketch-mode level-set estimator (Indyk–Woodruff).
+class IndykWoodruffEstimator {
+ public:
+  IndykWoodruffEstimator(const LevelSetParams& params, std::uint64_t seed);
+
+  void Update(item_t item);
+
+  /// Estimated level sets with nonzero size, in increasing level order.
+  std::vector<LevelSetEstimate> EstimateLevelSets() const;
+
+  /// C~_l of the consumed stream: sum_i s~_i * C(v_i, l).
+  double EstimateCollisions(int l) const;
+
+  /// Direct moment estimate sum_i s~_i * v_i^k (classic IW usage).
+  double EstimateMoment(int k) const;
+
+  /// Merges a structure built with the same parameters and seed (same
+  /// depth hash, level boundaries and CountSketch seeds): per-depth
+  /// sketches add linearly; candidate pools union with re-estimation.
+  void Merge(const IndykWoodruffEstimator& other);
+
+  /// Number of stream elements consumed.
+  count_t ConsumedLength() const { return total_; }
+
+  double eta() const { return eta_; }
+  const LevelSetParams& params() const { return params_; }
+
+  std::size_t SpaceBytes() const;
+
+ private:
+  struct DepthSlot {
+    CountSketch sketch;
+    std::unordered_map<item_t, double> candidates;
+    // Exact per-item counts while the substream is sparse enough; cleared
+    // and marked invalid on overflow. Deep substreams stay sparse, which
+    // is exactly where CountSketch point noise would otherwise corrupt
+    // small-frequency levels.
+    std::unordered_map<item_t, count_t> exact;
+    bool exact_valid = true;
+  };
+
+  LevelSetParams params_;
+  std::uint64_t seed_;
+  double eta_;
+  TabulationHash depth_hash_;
+  std::vector<DepthSlot> depths_;
+  std::size_t candidate_capacity_;
+  std::size_t exact_capacity_;
+  count_t total_ = 0;
+
+  int DepthOf(item_t item) const;
+  void TrackCandidate(DepthSlot& slot, item_t item, double estimate);
+  /// Representative frequency of a level given its lower boundary.
+  double LevelMidValue(double lower_boundary) const;
+};
+
+/// Reference-mode level sets: exact frequencies via a hash map, identical
+/// level-set discretization. Separates discretization error (the (1+eps')
+/// rounding) from sketch recovery error in tests and experiments.
+class ExactLevelSets {
+ public:
+  /// `eta` in (0,1]; pass the same value as the sketch under test to make
+  /// the discretizations comparable.
+  ExactLevelSets(double eps_prime, double eta);
+
+  void Update(item_t item);
+
+  std::vector<LevelSetEstimate> EstimateLevelSets() const;
+
+  /// Discretized collision count sum_i |S_i| * C(v_i, l).
+  double EstimateCollisions(int l) const;
+
+  /// Exact collision count sum_j C(g_j, l) of the consumed stream.
+  double ExactCollisions(int l) const;
+
+  /// Exact moment sum_j g_j^k.
+  double ExactMoment(int k) const;
+
+  count_t ConsumedLength() const { return total_; }
+  double eta() const { return eta_; }
+
+  std::size_t SpaceBytes() const {
+    return counts_.size() * (sizeof(item_t) + sizeof(count_t));
+  }
+
+ private:
+  double eps_prime_;
+  double eta_;
+  std::unordered_map<item_t, count_t> counts_;
+  count_t total_ = 0;
+};
+
+/// Level index of frequency g for boundaries eta (1+eps')^i:
+/// the unique i >= 0 with eta (1+eps')^i <= g < eta (1+eps')^{i+1}.
+int LevelIndex(double g, double eta, double eps_prime);
+
+/// Draws the random boundary offset eta from `seed`, uniform in [1/4, 1).
+/// (The paper draws eta from (0,1) and conditions on eta not being tiny;
+/// the clamp implements that conditioning deterministically.)
+double DrawEta(std::uint64_t seed);
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_SKETCH_LEVEL_SETS_H_

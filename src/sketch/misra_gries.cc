@@ -1,0 +1,92 @@
+#include "sketch/misra_gries.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace substream {
+
+MisraGries::MisraGries(std::size_t k) : k_(k) {
+  SUBSTREAM_CHECK(k >= 1);
+  counters_.reserve(k + 1);
+}
+
+void MisraGries::Update(item_t item, count_t count) {
+  total_ += count;
+  auto it = counters_.find(item);
+  if (it != counters_.end()) {
+    it->second += count;
+    return;
+  }
+  if (counters_.size() < k_) {
+    counters_.emplace(item, count);
+    return;
+  }
+  // Decrement all counters by the largest amount the newcomer supports;
+  // batched variant of the classic one-by-one decrement.
+  count_t min_count = count;
+  for (const auto& [key, value] : counters_) {
+    (void)key;
+    min_count = std::min(min_count, value);
+  }
+  decrement_total_ += min_count;
+  for (auto jt = counters_.begin(); jt != counters_.end();) {
+    jt->second -= min_count;
+    if (jt->second == 0) {
+      jt = counters_.erase(jt);
+    } else {
+      ++jt;
+    }
+  }
+  if (count > min_count) counters_.emplace(item, count - min_count);
+}
+
+void MisraGries::Merge(const MisraGries& other) {
+  SUBSTREAM_CHECK_MSG(k_ == other.k_, "merging MG summaries of different k");
+  total_ += other.total_;
+  decrement_total_ += other.decrement_total_;
+  for (const auto& [item, count] : other.counters_) {
+    counters_[item] += count;
+  }
+  if (counters_.size() <= k_) return;
+  // Find the (k+1)-st largest counter value; subtracting it everywhere is
+  // the batched decrement that restores the size bound.
+  std::vector<count_t> values;
+  values.reserve(counters_.size());
+  for (const auto& [item, count] : counters_) {
+    (void)item;
+    values.push_back(count);
+  }
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(k_),
+                   values.end(), std::greater<count_t>());
+  const count_t cut = values[k_];
+  decrement_total_ += cut;
+  for (auto it = counters_.begin(); it != counters_.end();) {
+    if (it->second <= cut) {
+      it = counters_.erase(it);
+    } else {
+      it->second -= cut;
+      ++it;
+    }
+  }
+}
+
+count_t MisraGries::Estimate(item_t item) const {
+  auto it = counters_.find(item);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<item_t, count_t>> MisraGries::Candidates(
+    double threshold) const {
+  std::vector<std::pair<item_t, count_t>> out;
+  for (const auto& [item, count] : counters_) {
+    if (static_cast<double>(count) >= threshold) out.emplace_back(item, count);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace substream

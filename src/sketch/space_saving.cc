@@ -1,0 +1,64 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+
+namespace substream {
+
+SpaceSaving::SpaceSaving(std::size_t k) : k_(k) {
+  SUBSTREAM_CHECK(k >= 1);
+  counters_.reserve(k);
+}
+
+void SpaceSaving::Update(item_t item, count_t count) {
+  total_ += count;
+  auto it = counters_.find(item);
+  if (it != counters_.end()) {
+    it->second.count += count;
+    return;
+  }
+  if (counters_.size() < k_) {
+    counters_.emplace(item, Cell{count, 0});
+    return;
+  }
+  // Replace the minimum counter; the newcomer inherits its count as the
+  // overestimation bound.
+  const item_t victim = FindMin();
+  const count_t floor = counters_.at(victim).count;
+  counters_.erase(victim);
+  counters_.emplace(item, Cell{floor + count, floor});
+  min_count_when_full_ = std::max(min_count_when_full_, floor);
+}
+
+item_t SpaceSaving::FindMin() const {
+  item_t best_item = 0;
+  count_t best = ~static_cast<count_t>(0);
+  for (const auto& [item, cell] : counters_) {
+    if (cell.count < best) {
+      best = cell.count;
+      best_item = item;
+    }
+  }
+  return best_item;
+}
+
+count_t SpaceSaving::Estimate(item_t item) const {
+  auto it = counters_.find(item);
+  return it == counters_.end() ? 0 : it->second.count;
+}
+
+std::vector<std::pair<item_t, count_t>> SpaceSaving::Candidates(
+    double threshold) const {
+  std::vector<std::pair<item_t, count_t>> out;
+  for (const auto& [item, cell] : counters_) {
+    if (static_cast<double>(cell.count) >= threshold) {
+      out.emplace_back(item, cell.count);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace substream

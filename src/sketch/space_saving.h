@@ -1,0 +1,58 @@
+#ifndef SUBSTREAM_SKETCH_SPACE_SAVING_H_
+#define SUBSTREAM_SKETCH_SPACE_SAVING_H_
+
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+
+/// \file space_saving.h
+/// SpaceSaving summary (Metwally et al.) — the other classic deterministic
+/// insert-only heavy-hitter structure; provided as a baseline alongside
+/// Misra–Gries so experiments can compare summary families on L.
+
+namespace substream {
+
+/// k-counter SpaceSaving. Estimates never underestimate:
+///   f_i <= Estimate(i) <= f_i + F1/k.
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(std::size_t k);
+
+  void Update(item_t item, count_t count = 1);
+
+  /// Upper-bound estimate (0 if never tracked and table not yet full).
+  count_t Estimate(item_t item) const;
+
+  /// Maximum overestimation of any tracked item.
+  count_t ErrorBound() const { return min_count_when_full_; }
+
+  count_t TotalCount() const { return total_; }
+
+  /// Tracked (item, estimate) pairs with estimate >= threshold, sorted by
+  /// decreasing estimate.
+  std::vector<std::pair<item_t, count_t>> Candidates(double threshold) const;
+
+  std::size_t SpaceBytes() const {
+    return counters_.size() * (sizeof(item_t) + 2 * sizeof(count_t));
+  }
+
+ private:
+  struct Cell {
+    count_t count;
+    count_t overestimate;  ///< count of the evicted item this one replaced
+  };
+
+  std::size_t k_;
+  std::unordered_map<item_t, Cell> counters_;
+  count_t total_ = 0;
+  count_t min_count_when_full_ = 0;
+
+  item_t FindMin() const;
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_SKETCH_SPACE_SAVING_H_

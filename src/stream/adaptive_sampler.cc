@@ -1,0 +1,63 @@
+#include "stream/adaptive_sampler.h"
+
+namespace substream {
+
+AdaptiveBernoulliSampler::AdaptiveBernoulliSampler(double initial_p,
+                                                   std::size_t budget,
+                                                   std::uint64_t seed)
+    : rate_(initial_p), budget_(budget), rng_(seed) {
+  SUBSTREAM_CHECK_MSG(initial_p > 0.0 && initial_p <= 1.0,
+                      "sampling probability p=%f", initial_p);
+  SUBSTREAM_CHECK(budget >= 1);
+  kept_.reserve(budget + 1);
+}
+
+void AdaptiveBernoulliSampler::Update(item_t item) {
+  ++seen_;
+  if (rng_.NextBernoulli(rate_)) {
+    kept_.push_back(item);
+    if (kept_.size() > budget_) Rethin();
+  }
+}
+
+void AdaptiveBernoulliSampler::Rethin() {
+  // Halve the rate and thin the kept set by an independent fair coin per
+  // element: the survivors form an exact Bernoulli(rate/2) sample of the
+  // prefix, preserving the model every estimator in the library assumes.
+  rate_ *= 0.5;
+  ++decays_;
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < kept_.size(); ++read) {
+    if (rng_.NextBernoulli(0.5)) kept_[write++] = kept_[read];
+  }
+  kept_.resize(write);
+}
+
+std::vector<AdaptiveSample> AdaptiveBernoulliSampler::Sample() const {
+  std::vector<AdaptiveSample> out;
+  out.reserve(kept_.size());
+  for (item_t item : kept_) {
+    out.push_back(AdaptiveSample{item, rate_});
+  }
+  return out;
+}
+
+double HorvitzThompsonF1(const std::vector<AdaptiveSample>& sample) {
+  double sum = 0.0;
+  for (const AdaptiveSample& s : sample) {
+    SUBSTREAM_CHECK(s.inclusion_probability > 0.0);
+    sum += 1.0 / s.inclusion_probability;
+  }
+  return sum;
+}
+
+double HorvitzThompsonFrequency(const std::vector<AdaptiveSample>& sample,
+                                item_t item) {
+  double sum = 0.0;
+  for (const AdaptiveSample& s : sample) {
+    if (s.item == item) sum += 1.0 / s.inclusion_probability;
+  }
+  return sum;
+}
+
+}  // namespace substream

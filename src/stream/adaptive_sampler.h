@@ -1,0 +1,88 @@
+#ifndef SUBSTREAM_STREAM_ADAPTIVE_SAMPLER_H_
+#define SUBSTREAM_STREAM_ADAPTIVE_SAMPLER_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "stream/stream.h"
+#include "util/random.h"
+
+/// \file adaptive_sampler.h
+/// Adaptive-rate Bernoulli sampling — the paper's future-work question #2
+/// ("Suppose the algorithm can change the sampling probability in an
+/// adaptive manner...") and the mechanism of Estan et al.'s "Building a
+/// Better NetFlow" [21] (adapting the rate to a sample budget).
+///
+/// AdaptiveBernoulliSampler keeps the expected sample volume under a
+/// budget by geometrically decreasing the sampling rate: whenever the kept
+/// count reaches the budget, the rate halves and every *already kept*
+/// element is retained independently with probability 1/2 (re-thinning),
+/// so at any time the kept set is a uniform Bernoulli(current rate) sample
+/// of the prefix. Each kept element is annotated with the final rate, so
+/// Horvitz–Thompson estimators remain unbiased.
+///
+/// HorvitzThompsonF1 demonstrates the simplest downstream use; the
+/// re-thinning property means every estimator in this library can consume
+/// the kept set with p = current_rate().
+
+namespace substream {
+
+/// A kept element with its effective inclusion probability.
+struct AdaptiveSample {
+  item_t item = 0;
+  double inclusion_probability = 1.0;
+};
+
+/// Budgeted Bernoulli sampler with geometric rate decay and re-thinning.
+class AdaptiveBernoulliSampler {
+ public:
+  /// `initial_p`: starting rate; `budget`: maximum kept elements before
+  /// the rate halves (>= 1).
+  AdaptiveBernoulliSampler(double initial_p, std::size_t budget,
+                           std::uint64_t seed);
+
+  /// Processes one element of the original stream.
+  void Update(item_t item);
+
+  /// The current sampling rate (monotonically non-increasing).
+  double current_rate() const { return rate_; }
+
+  /// Number of rate halvings so far.
+  int decay_steps() const { return decays_; }
+
+  /// The kept sample. Because of re-thinning, every kept element is
+  /// included with exactly the current rate.
+  std::vector<AdaptiveSample> Sample() const;
+
+  /// Kept count (size of Sample()).
+  std::size_t KeptCount() const { return kept_.size(); }
+
+  std::uint64_t SeenCount() const { return seen_; }
+
+  std::size_t SpaceBytes() const {
+    return kept_.size() * sizeof(item_t) + sizeof(*this);
+  }
+
+ private:
+  double rate_;
+  std::size_t budget_;
+  Rng rng_;
+  std::vector<item_t> kept_;
+  std::uint64_t seen_ = 0;
+  int decays_ = 0;
+
+  void Rethin();
+};
+
+/// Horvitz–Thompson estimator of the original stream length F1(P) from an
+/// adaptive sample: sum over kept elements of 1/inclusion_probability.
+double HorvitzThompsonF1(const std::vector<AdaptiveSample>& sample);
+
+/// Horvitz–Thompson estimate of a single item's frequency.
+double HorvitzThompsonFrequency(const std::vector<AdaptiveSample>& sample,
+                                item_t item);
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_STREAM_ADAPTIVE_SAMPLER_H_

@@ -1,0 +1,106 @@
+#include "stream/exact_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace substream {
+
+void FrequencyTable::Add(item_t item, count_t count) {
+  counts_[item] += count;
+  total_ += count;
+}
+
+void FrequencyTable::AddStream(const Stream& stream) {
+  for (item_t a : stream) Add(a);
+}
+
+void FrequencyTable::Merge(const FrequencyTable& other) {
+  for (const auto& [item, count] : other.counts_) Add(item, count);
+}
+
+double FrequencyTable::Fk(int k) const {
+  SUBSTREAM_CHECK(k >= 0);
+  if (k == 0) return static_cast<double>(F0());
+  KahanSum sum;
+  for (const auto& [item, count] : counts_) {
+    (void)item;
+    sum.Add(std::pow(static_cast<double>(count), k));
+  }
+  return sum.Value();
+}
+
+double FrequencyTable::Entropy() const {
+  if (total_ == 0) return 0.0;
+  const double n = static_cast<double>(total_);
+  KahanSum sum;
+  for (const auto& [item, count] : counts_) {
+    (void)item;
+    sum.Add(EntropyTerm(static_cast<double>(count), n));
+  }
+  return sum.Value();
+}
+
+double FrequencyTable::CollisionCount(int l) const {
+  SUBSTREAM_CHECK(l >= 1);
+  KahanSum sum;
+  for (const auto& [item, count] : counts_) {
+    (void)item;
+    sum.Add(BinomialDouble(static_cast<double>(count), l));
+  }
+  return sum.Value();
+}
+
+count_t FrequencyTable::Frequency(item_t item) const {
+  auto it = counts_.find(item);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<item_t, count_t>> FrequencyTable::HeavyHitters(
+    double threshold) const {
+  std::vector<std::pair<item_t, count_t>> out;
+  for (const auto& [item, count] : counts_) {
+    if (static_cast<double>(count) >= threshold) out.emplace_back(item, count);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::vector<std::pair<item_t, count_t>> FrequencyTable::TopK(
+    std::size_t k) const {
+  auto all = HeavyHitters(0.0);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<item_t> FrequencyTable::F1HeavyHitters(double alpha) const {
+  std::vector<item_t> out;
+  const double threshold = alpha * static_cast<double>(F1());
+  for (const auto& [item, count] : counts_) {
+    if (static_cast<double>(count) >= threshold) out.push_back(item);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<item_t> FrequencyTable::F2HeavyHitters(double alpha) const {
+  std::vector<item_t> out;
+  const double threshold = alpha * std::sqrt(Fk(2));
+  for (const auto& [item, count] : counts_) {
+    if (static_cast<double>(count) >= threshold) out.push_back(item);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+FrequencyTable ExactStats(const Stream& stream) {
+  FrequencyTable table;
+  table.AddStream(stream);
+  return table;
+}
+
+}  // namespace substream

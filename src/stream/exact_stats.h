@@ -1,0 +1,78 @@
+#ifndef SUBSTREAM_STREAM_EXACT_STATS_H_
+#define SUBSTREAM_STREAM_EXACT_STATS_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "stream/stream.h"
+
+/// \file exact_stats.h
+/// Exact (linear-space) reference statistics. Every experiment compares a
+/// small-space estimate on the sampled stream L against these exact values
+/// on the original stream P.
+
+namespace substream {
+
+/// Exact frequency table of a stream with all the aggregates the paper
+/// studies: F0, F_k, entropy H(f), l-wise collision counts C_l, and heavy
+/// hitters.
+class FrequencyTable {
+ public:
+  FrequencyTable() = default;
+
+  /// Adds `count` occurrences of `item`.
+  void Add(item_t item, count_t count = 1);
+
+  /// Adds every element of `stream`.
+  void AddStream(const Stream& stream);
+
+  /// Merges another table into this one.
+  void Merge(const FrequencyTable& other);
+
+  /// Number of distinct items F0.
+  count_t F0() const { return static_cast<count_t>(counts_.size()); }
+
+  /// Stream length F1.
+  count_t F1() const { return total_; }
+
+  /// k-th frequency moment F_k = sum_i f_i^k (double; k >= 0).
+  double Fk(int k) const;
+
+  /// Empirical entropy H(f) = sum (f_i/n) lg(n/f_i), in bits.
+  double Entropy() const;
+
+  /// l-wise collision count C_l = sum_i C(f_i, l)  (Definition 2).
+  double CollisionCount(int l) const;
+
+  /// Frequency of one item (0 if absent).
+  count_t Frequency(item_t item) const;
+
+  /// Items with frequency >= threshold, as (item, frequency) pairs sorted
+  /// by decreasing frequency.
+  std::vector<std::pair<item_t, count_t>> HeavyHitters(double threshold) const;
+
+  /// The k most frequent items, sorted by decreasing frequency (ties broken
+  /// by item id for determinism).
+  std::vector<std::pair<item_t, count_t>> TopK(std::size_t k) const;
+
+  /// F1-heavy hitters per Definition 4: items with f_i >= alpha * F1.
+  std::vector<item_t> F1HeavyHitters(double alpha) const;
+
+  /// F2-heavy hitters per Definition 4: items with f_i >= alpha * sqrt(F2).
+  std::vector<item_t> F2HeavyHitters(double alpha) const;
+
+  /// Read access to the underlying map.
+  const std::unordered_map<item_t, count_t>& counts() const { return counts_; }
+
+ private:
+  std::unordered_map<item_t, count_t> counts_;
+  count_t total_ = 0;
+};
+
+/// Convenience: exact frequency table of a materialized stream.
+FrequencyTable ExactStats(const Stream& stream);
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_STREAM_EXACT_STATS_H_

@@ -1,0 +1,52 @@
+#include "stream/priority_sampling.h"
+
+#include <algorithm>
+
+namespace substream {
+
+PrioritySampler::PrioritySampler(std::size_t k, std::uint64_t seed)
+    : k_(k), rng_(seed) {
+  SUBSTREAM_CHECK(k >= 1);
+}
+
+void PrioritySampler::Update(item_t item, double weight) {
+  SUBSTREAM_CHECK(weight > 0.0);
+  ++seen_;
+  double u = rng_.NextUnit();
+  if (u <= 0.0) u = 0x1.0p-53;
+  const double priority = weight / u;
+  if (heap_.size() < k_) {
+    heap_.push(Entry{priority, weight, item});
+    return;
+  }
+  if (priority > heap_.top().priority) {
+    // The evicted minimum becomes (a candidate for) the threshold tau.
+    threshold_ = std::max(threshold_, heap_.top().priority);
+    heap_.pop();
+    heap_.push(Entry{priority, weight, item});
+  } else {
+    threshold_ = std::max(threshold_, priority);
+  }
+}
+
+std::vector<PrioritySample> PrioritySampler::Sample() const {
+  std::vector<PrioritySample> out;
+  out.reserve(heap_.size());
+  auto copy = heap_;
+  while (!copy.empty()) {
+    const Entry& e = copy.top();
+    PrioritySample s;
+    s.item = e.item;
+    s.weight = e.weight;
+    s.estimate = std::max(e.weight, threshold_);
+    out.push_back(s);
+    copy.pop();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PrioritySample& a, const PrioritySample& b) {
+              return a.item < b.item;
+            });
+  return out;
+}
+
+}  // namespace substream

@@ -1,0 +1,88 @@
+#ifndef SUBSTREAM_STREAM_PRIORITY_SAMPLING_H_
+#define SUBSTREAM_STREAM_PRIORITY_SAMPLING_H_
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "stream/stream.h"
+#include "util/random.h"
+
+/// \file priority_sampling.h
+/// Priority sampling (Duffield, Lund, Thorup [19]), cited in the paper's
+/// related work as the variance-optimal scheme for unbiased subset-sum
+/// estimation over weighted streams (Szegedy [35] proved optimality).
+///
+/// Each item i with weight w_i draws u_i ~ U(0,1] and gets priority
+/// q_i = w_i / u_i. The sample keeps the k items of largest priority; let
+/// tau be the (k+1)-st largest priority ever seen. Then
+///   w^_i = max(w_i, tau) for sampled i (0 otherwise)
+/// is unbiased for w_i, and subset sums are estimated by summation.
+
+namespace substream {
+
+/// One weighted sample entry.
+struct PrioritySample {
+  item_t item = 0;
+  double weight = 0.0;    ///< original weight w_i
+  double estimate = 0.0;  ///< Horvitz–Thompson style max(w_i, tau)
+};
+
+/// Streaming priority sampler of size k.
+class PrioritySampler {
+ public:
+  PrioritySampler(std::size_t k, std::uint64_t seed);
+
+  /// Feeds one weighted item; weight must be positive.
+  void Update(item_t item, double weight);
+
+  /// The (k+1)-st largest priority (the estimation threshold tau); 0 while
+  /// fewer than k+1 items have been seen.
+  double Threshold() const { return threshold_; }
+
+  /// Current sample with per-item unbiased weight estimates.
+  std::vector<PrioritySample> Sample() const;
+
+  /// Unbiased estimate of the total weight of all items satisfying `pred`.
+  template <typename Predicate>
+  double SubsetSum(Predicate pred) const {
+    double sum = 0.0;
+    for (const PrioritySample& s : Sample()) {
+      if (pred(s.item)) sum += s.estimate;
+    }
+    return sum;
+  }
+
+  /// Unbiased estimate of the total weight of the whole stream.
+  double TotalWeightEstimate() const {
+    return SubsetSum([](item_t) { return true; });
+  }
+
+  std::uint64_t ItemsSeen() const { return seen_; }
+  std::size_t k() const { return k_; }
+
+  std::size_t SpaceBytes() const {
+    return heap_.size() * sizeof(Entry) + sizeof(*this);
+  }
+
+ private:
+  struct Entry {
+    double priority;
+    double weight;
+    item_t item;
+    bool operator>(const Entry& other) const {
+      return priority > other.priority;
+    }
+  };
+
+  std::size_t k_;
+  Rng rng_;
+  // Min-heap on priority holding the current top-k.
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  double threshold_ = 0.0;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_STREAM_PRIORITY_SAMPLING_H_

@@ -1,0 +1,66 @@
+#include "stream/reservoir.h"
+
+#include <cmath>
+
+namespace substream {
+
+ReservoirSampler::ReservoirSampler(std::uint64_t seed) : rng_(seed) {}
+
+void ReservoirSampler::Update(item_t item) {
+  ++count_;
+  if (rng_.NextBounded(count_) == 0) sample_ = item;
+}
+
+item_t ReservoirSampler::Sample() const {
+  SUBSTREAM_CHECK(count_ > 0);
+  return sample_;
+}
+
+KReservoirSampler::KReservoirSampler(std::size_t k, std::uint64_t seed)
+    : k_(k), rng_(seed) {
+  SUBSTREAM_CHECK(k >= 1);
+  reservoir_.reserve(k);
+}
+
+void KReservoirSampler::Update(item_t item) {
+  ++count_;
+  if (reservoir_.size() < k_) {
+    reservoir_.push_back(item);
+    return;
+  }
+  const std::uint64_t j = rng_.NextBounded(count_);
+  if (j < k_) reservoir_[j] = item;
+}
+
+WeightedReservoirSampler::WeightedReservoirSampler(std::size_t k,
+                                                   std::uint64_t seed)
+    : k_(k), rng_(seed) {
+  SUBSTREAM_CHECK(k >= 1);
+}
+
+void WeightedReservoirSampler::Update(item_t item, double weight) {
+  SUBSTREAM_CHECK(weight > 0.0);
+  ++count_;
+  double u = rng_.NextUnit();
+  if (u <= 0.0) u = 0x1.0p-53;
+  const double key = std::pow(u, 1.0 / weight);
+  if (heap_.size() < k_) {
+    heap_.push({key, item});
+  } else if (key > heap_.top().key) {
+    heap_.pop();
+    heap_.push({key, item});
+  }
+}
+
+std::vector<item_t> WeightedReservoirSampler::Samples() const {
+  std::vector<item_t> out;
+  out.reserve(heap_.size());
+  auto copy = heap_;
+  while (!copy.empty()) {
+    out.push_back(copy.top().item);
+    copy.pop();
+  }
+  return out;
+}
+
+}  // namespace substream

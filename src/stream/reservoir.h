@@ -1,0 +1,84 @@
+#ifndef SUBSTREAM_STREAM_RESERVOIR_H_
+#define SUBSTREAM_STREAM_RESERVOIR_H_
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "stream/stream.h"
+#include "util/random.h"
+
+/// \file reservoir.h
+/// Reservoir sampling substrate (Related Work [37, 20]). The AMS-style
+/// entropy estimator draws uniform positions from the sampled stream via
+/// single-item reservoirs; the weighted variant (Efraimidis–Spirakis) is
+/// included for completeness of the sampling toolbox the paper builds on.
+
+namespace substream {
+
+/// Classic single-item reservoir: after n updates, holds a uniformly random
+/// element of the prefix seen so far.
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(std::uint64_t seed);
+
+  void Update(item_t item);
+
+  bool HasSample() const { return count_ > 0; }
+  item_t Sample() const;
+  std::uint64_t Count() const { return count_; }
+
+ private:
+  Rng rng_;
+  item_t sample_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Algorithm R: uniform sample of k items without replacement.
+class KReservoirSampler {
+ public:
+  KReservoirSampler(std::size_t k, std::uint64_t seed);
+
+  void Update(item_t item);
+
+  const std::vector<item_t>& Samples() const { return reservoir_; }
+  std::uint64_t Count() const { return count_; }
+
+ private:
+  std::size_t k_;
+  Rng rng_;
+  std::vector<item_t> reservoir_;
+  std::uint64_t count_ = 0;
+};
+
+/// Efraimidis–Spirakis weighted reservoir: item i with weight w_i is kept
+/// with probability proportional to w_i among all seen items. Keys are
+/// u^{1/w}; the k largest keys win.
+class WeightedReservoirSampler {
+ public:
+  WeightedReservoirSampler(std::size_t k, std::uint64_t seed);
+
+  void Update(item_t item, double weight);
+
+  /// Sampled items (unordered).
+  std::vector<item_t> Samples() const;
+  std::uint64_t Count() const { return count_; }
+
+ private:
+  struct Entry {
+    double key;
+    item_t item;
+    bool operator>(const Entry& other) const { return key > other.key; }
+  };
+
+  std::size_t k_;
+  Rng rng_;
+  // Min-heap on key: the root is the smallest key and is evicted first.
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_STREAM_RESERVOIR_H_

@@ -1,0 +1,53 @@
+#include "stream/sample_and_hold.h"
+
+#include <algorithm>
+
+namespace substream {
+
+SampleAndHoldMonitor::SampleAndHoldMonitor(double p, std::size_t capacity,
+                                           std::uint64_t seed)
+    : p_(p), capacity_(capacity), rng_(seed) {
+  SUBSTREAM_CHECK_MSG(p > 0.0 && p <= 1.0, "sampling probability p=%f", p);
+}
+
+void SampleAndHoldMonitor::Update(item_t flow) {
+  ++packets_;
+  auto it = held_.find(flow);
+  if (it != held_.end()) {
+    ++it->second;
+    return;
+  }
+  if (!rng_.NextBernoulli(p_)) return;
+  if (capacity_ != 0 && held_.size() >= capacity_) return;
+  held_.emplace(flow, 1);
+}
+
+count_t SampleAndHoldMonitor::HeldCount(item_t flow) const {
+  auto it = held_.find(flow);
+  return it == held_.end() ? 0 : it->second;
+}
+
+double SampleAndHoldMonitor::EstimateFlowSize(item_t flow) const {
+  auto it = held_.find(flow);
+  if (it == held_.end()) return 0.0;
+  // The missed prefix before the first sampled packet is Geometric(p) with
+  // mean (1-p)/p; adding it unbiases the estimate (Estan & Varghese).
+  return static_cast<double>(it->second) + (1.0 - p_) / p_;
+}
+
+std::vector<std::pair<item_t, double>> SampleAndHoldMonitor::HeavyFlows(
+    double threshold) const {
+  std::vector<std::pair<item_t, double>> out;
+  for (const auto& [flow, count] : held_) {
+    (void)count;
+    const double estimate = EstimateFlowSize(flow);
+    if (estimate >= threshold) out.emplace_back(flow, estimate);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace substream

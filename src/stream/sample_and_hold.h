@@ -1,0 +1,69 @@
+#ifndef SUBSTREAM_STREAM_SAMPLE_AND_HOLD_H_
+#define SUBSTREAM_STREAM_SAMPLE_AND_HOLD_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "stream/stream.h"
+#include "util/random.h"
+
+/// \file sample_and_hold.h
+/// The sample-and-hold (SH) sampling model of Estan & Varghese [22],
+/// discussed in the paper's related work as the main alternative to the
+/// Bernoulli/NetFlow (NF) model: once any packet of a flow is sampled,
+/// *all* subsequent packets of that flow are counted exactly.
+///
+/// SH trades memory (a table of held flows) for far better per-flow
+/// accuracy on heavy flows: a flow of size f is held from its first
+/// sampled packet onward, so the count misses only a Geometric(p) prefix.
+/// The unbiased size estimate is count + 1/p - 1.
+///
+/// Provided so experiments can compare the NF model the paper analyzes
+/// against SH on the same workloads (bench exp_nf_vs_sh).
+
+namespace substream {
+
+/// Streaming sample-and-hold monitor.
+class SampleAndHoldMonitor {
+ public:
+  /// `p`: per-packet sampling probability; `capacity`: maximum number of
+  /// held flows (0 = unlimited). When full, new flows are not admitted
+  /// (the flow may be admitted by a later sampled packet after evictions;
+  /// this implementation never evicts, matching the classic description).
+  SampleAndHoldMonitor(double p, std::size_t capacity, std::uint64_t seed);
+
+  /// Processes one packet of the *original* stream (SH decides sampling
+  /// itself — unlike Bernoulli sampling, the model is stateful).
+  void Update(item_t flow);
+
+  /// Exact count of packets observed for `flow` since it was held
+  /// (0 if never held).
+  count_t HeldCount(item_t flow) const;
+
+  /// Unbiased estimate of the flow's true size: count + 1/p - 1.
+  double EstimateFlowSize(item_t flow) const;
+
+  /// Held flows with estimated size >= threshold, sorted descending.
+  std::vector<std::pair<item_t, double>> HeavyFlows(double threshold) const;
+
+  /// Number of flows currently held (the memory cost of SH).
+  std::size_t HeldFlows() const { return held_.size(); }
+
+  count_t PacketsSeen() const { return packets_; }
+
+  std::size_t SpaceBytes() const {
+    return held_.size() * (sizeof(item_t) + sizeof(count_t));
+  }
+
+ private:
+  double p_;
+  std::size_t capacity_;
+  Rng rng_;
+  std::unordered_map<item_t, count_t> held_;
+  count_t packets_ = 0;
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_STREAM_SAMPLE_AND_HOLD_H_

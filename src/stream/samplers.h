@@ -1,0 +1,61 @@
+#ifndef SUBSTREAM_STREAM_SAMPLERS_H_
+#define SUBSTREAM_STREAM_SAMPLERS_H_
+
+#include <cstdint>
+
+#include "stream/stream.h"
+#include "util/random.h"
+
+/// \file samplers.h
+/// The sub-sampling models of Section 1.1 / Related Work.
+///
+/// BernoulliSampler is the paper's model (and "Randomly Sampled NetFlow"
+/// [9]): each element of P survives independently with probability p,
+/// producing L. DeterministicSampler is the 1-out-of-N variant mentioned
+/// under the sampled-NetFlow umbrella [23]; it is provided as a baseline and
+/// to demonstrate where the independence assumption matters.
+
+namespace substream {
+
+/// Streaming Bernoulli(p) filter. Stateless per item: the decision for each
+/// arriving element is an independent coin flip, exactly the model under
+/// which all the paper's guarantees are stated.
+class BernoulliSampler {
+ public:
+  /// `p` must lie in (0, 1]. `seed` fixes the sampling coin flips.
+  BernoulliSampler(double p, std::uint64_t seed);
+
+  /// Decides whether the next arriving element is included in L.
+  bool Keep() { return rng_.NextBernoulli(p_); }
+
+  /// Filters a whole stream: returns L given P.
+  Stream Sample(const Stream& original);
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+/// Deterministic 1-in-N sampler: keeps elements at positions N, 2N, 3N, ...
+/// (phase configurable). Corresponds to deterministic sampled NetFlow.
+class DeterministicSampler {
+ public:
+  explicit DeterministicSampler(std::uint64_t every, std::uint64_t phase = 0);
+
+  bool Keep();
+
+  Stream Sample(const Stream& original);
+
+  /// Effective sampling probability 1/N.
+  double p() const { return 1.0 / static_cast<double>(every_); }
+
+ private:
+  std::uint64_t every_;
+  std::uint64_t position_;
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_STREAM_SAMPLERS_H_

@@ -1,0 +1,42 @@
+#ifndef SUBSTREAM_STREAM_STREAM_H_
+#define SUBSTREAM_STREAM_STREAM_H_
+
+#include <vector>
+
+#include "util/common.h"
+
+/// \file stream.h
+/// The stream abstraction of the paper (Section 1.1): the original stream
+/// P = <a_1 ... a_n> with a_i in [m] is an ordered sequence of items. The
+/// library treats streams either as materialized vectors (for experiments
+/// needing exact ground truth) or as generators consumed one item at a time.
+
+namespace substream {
+
+/// A materialized stream.
+using Stream = std::vector<item_t>;
+
+/// Produces stream items one at a time. Implementations own their
+/// randomness (seeded at construction) so a generator replays identically.
+class StreamGenerator {
+ public:
+  virtual ~StreamGenerator() = default;
+
+  /// Returns the next item of the stream.
+  virtual item_t Next() = 0;
+
+  /// Size of the universe [m] items are drawn from (upper bound).
+  virtual item_t UniverseSize() const = 0;
+};
+
+/// Materializes the next `n` items of `gen` into a vector.
+inline Stream Materialize(StreamGenerator& gen, std::size_t n) {
+  Stream out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(gen.Next());
+  return out;
+}
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_STREAM_STREAM_H_

@@ -1,0 +1,49 @@
+#ifndef SUBSTREAM_UTIL_COMMON_H_
+#define SUBSTREAM_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+/// \file common.h
+/// Project-wide type aliases and invariant-checking macros.
+///
+/// The library follows a no-exceptions policy on hot paths: violated
+/// preconditions are programming errors and abort via SUBSTREAM_CHECK.
+
+namespace substream {
+
+/// Identity of a stream element. Items are drawn from a universe [m];
+/// 64 bits accommodates synthetic universes as well as hashed flow keys.
+using item_t = std::uint64_t;
+
+/// Count type for frequencies within a stream.
+using count_t = std::uint64_t;
+
+}  // namespace substream
+
+/// Aborts with a message when `cond` is false. Enabled in all build types:
+/// estimator code relies on these checks to document and enforce API
+/// contracts (e.g., 0 < p <= 1).
+#define SUBSTREAM_CHECK(cond)                                                \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SUBSTREAM_CHECK failed at %s:%d: %s\n",          \
+                   __FILE__, __LINE__, #cond);                               \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Like SUBSTREAM_CHECK but with a printf-style explanation.
+#define SUBSTREAM_CHECK_MSG(cond, ...)                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SUBSTREAM_CHECK failed at %s:%d: %s: ",         \
+                   __FILE__, __LINE__, #cond);                              \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // SUBSTREAM_UTIL_COMMON_H_

@@ -1,0 +1,51 @@
+#include "util/hash.h"
+
+namespace substream {
+
+namespace {
+
+/// Reduces a 128-bit product modulo 2^61 - 1 using the Mersenne identity
+/// 2^61 ≡ 1 (mod p).
+inline std::uint64_t ModMersenne(unsigned __int128 x) {
+  constexpr std::uint64_t kP = PolynomialHash::kPrime;
+  std::uint64_t lo = static_cast<std::uint64_t>(x & kP);
+  std::uint64_t hi = static_cast<std::uint64_t>(x >> 61);
+  std::uint64_t r = lo + hi;
+  if (r >= kP) r -= kP;
+  return r;
+}
+
+}  // namespace
+
+PolynomialHash::PolynomialHash(int independence, std::uint64_t seed) {
+  SUBSTREAM_CHECK(independence >= 1);
+  coeffs_.resize(static_cast<std::size_t>(independence));
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    // Rejection-free: Mix64 output folded into [0, p). Coefficients need
+    // only be uniform over the field; the leading coefficient may be zero
+    // without affecting the independence guarantee.
+    coeffs_[i] = Mix64(DeriveSeed(seed, i)) % kPrime;
+  }
+}
+
+std::uint64_t PolynomialHash::Hash(std::uint64_t x) const {
+  // Map the key into the field first.
+  std::uint64_t xm = x % kPrime;
+  unsigned __int128 acc = coeffs_.back();
+  for (std::size_t i = coeffs_.size(); i-- > 1;) {
+    acc = static_cast<unsigned __int128>(ModMersenne(acc)) * xm +
+          coeffs_[i - 1];
+  }
+  return ModMersenne(acc);
+}
+
+TabulationHash::TabulationHash(std::uint64_t seed) {
+  for (int c = 0; c < 8; ++c) {
+    for (int v = 0; v < 256; ++v) {
+      table_[c][v] =
+          Mix64(DeriveSeed(seed, static_cast<std::uint64_t>(c) * 256 + v));
+    }
+  }
+}
+
+}  // namespace substream

@@ -1,0 +1,107 @@
+#ifndef SUBSTREAM_UTIL_HASH_H_
+#define SUBSTREAM_UTIL_HASH_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+/// \file hash.h
+/// Hash families used by the sketches.
+///
+/// Three families are provided, ordered by strength:
+///  - Mix64: a fixed 64-bit finalizer (SplitMix64/Murmur3-style). Fast,
+///    good avalanche, no independence guarantee. Used for seeding and
+///    non-adversarial partitioning.
+///  - PolynomialHash: k-wise independent hashing via a degree-(k-1)
+///    polynomial over the Mersenne-prime field GF(2^61 - 1). CountMin needs
+///    pairwise independence; CountSketch needs pairwise for buckets and
+///    4-wise for signs; AMS needs 4-wise.
+///  - TabulationHash: 3-wise independent but with much stronger
+///    concentration behaviour in practice (Patrascu–Thorup); used where
+///    hierarchical subsampling wants per-bit uniformity.
+
+namespace substream {
+
+/// SplitMix64 finalizer: a bijective 64-bit mixer with full avalanche.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a seed with a stream index to derive independent sub-seeds.
+inline std::uint64_t DeriveSeed(std::uint64_t seed, std::uint64_t index) {
+  return Mix64(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+}
+
+/// k-wise independent hash over GF(2^61 - 1).
+///
+/// h(x) = (c_{k-1} x^{k-1} + ... + c_1 x + c_0) mod (2^61 - 1), evaluated by
+/// Horner's rule with 128-bit intermediate products. Output is uniform over
+/// [0, 2^61 - 2]; helpers map it to buckets, signs, and unit doubles.
+class PolynomialHash {
+ public:
+  /// Mersenne prime 2^61 - 1.
+  static constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+
+  /// Creates a hash with `independence` >= 1 random coefficients derived
+  /// deterministically from `seed`.
+  PolynomialHash(int independence, std::uint64_t seed);
+
+  /// Raw hash value in [0, kPrime - 1].
+  std::uint64_t Hash(std::uint64_t x) const;
+
+  /// Bucket index in [0, buckets).
+  std::uint64_t Bucket(std::uint64_t x, std::uint64_t buckets) const {
+    return Hash(x) % buckets;
+  }
+
+  /// Rademacher sign in {-1, +1}.
+  int Sign(std::uint64_t x) const {
+    return (Hash(x) & 1) ? +1 : -1;
+  }
+
+  /// Uniform double in [0, 1).
+  double Unit(std::uint64_t x) const {
+    return static_cast<double>(Hash(x)) / static_cast<double>(kPrime);
+  }
+
+  int independence() const { return static_cast<int>(coeffs_.size()); }
+
+  /// Memory footprint of the hash description in bytes.
+  std::size_t SpaceBytes() const {
+    return coeffs_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;
+};
+
+/// Simple (twisted) tabulation hashing on 8-bit characters of a 64-bit key.
+///
+/// 3-wise independent; empirically behaves like a fully random function for
+/// the subsampling and level-set machinery.
+class TabulationHash {
+ public:
+  explicit TabulationHash(std::uint64_t seed);
+
+  std::uint64_t Hash(std::uint64_t x) const {
+    std::uint64_t h = 0;
+    for (int c = 0; c < 8; ++c) {
+      h ^= table_[c][(x >> (8 * c)) & 0xff];
+    }
+    return h;
+  }
+
+  std::size_t SpaceBytes() const { return sizeof(table_); }
+
+ private:
+  std::uint64_t table_[8][256];
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_UTIL_HASH_H_

@@ -1,0 +1,115 @@
+#include "util/math.h"
+
+#include <algorithm>
+
+namespace substream {
+
+namespace {
+
+constexpr int kMaxStirlingN = 21;
+
+/// Builds the triangle of signed Stirling numbers of the first kind with the
+/// recurrence s(n+1, k) = s(n, k-1) - n * s(n, k).
+const std::int64_t* StirlingTable() {
+  static std::int64_t table[kMaxStirlingN][kMaxStirlingN] = {};
+  static bool built = [] {
+    table[0][0] = 1;
+    for (int n = 1; n < kMaxStirlingN; ++n) {
+      for (int k = 1; k <= n; ++k) {
+        table[n][k] = table[n - 1][k - 1] -
+                      static_cast<std::int64_t>(n - 1) * table[n - 1][k];
+      }
+    }
+    return true;
+  }();
+  (void)built;
+  return &table[0][0];
+}
+
+}  // namespace
+
+std::int64_t StirlingFirstSigned(int n, int k) {
+  SUBSTREAM_CHECK_MSG(n >= 0 && n < kMaxStirlingN,
+                      "Stirling numbers supported for n in [0, %d], got %d",
+                      kMaxStirlingN - 1, n);
+  if (k < 0 || k > n) return 0;
+  return StirlingTable()[n * kMaxStirlingN + k];
+}
+
+std::uint64_t StirlingFirstUnsigned(int n, int k) {
+  std::int64_t s = StirlingFirstSigned(n, k);
+  return static_cast<std::uint64_t>(s < 0 ? -s : s);
+}
+
+double BinomialDouble(double n, int k) {
+  SUBSTREAM_CHECK(k >= 0);
+  if (n < k) return 0.0;
+  double result = 1.0;
+  for (int i = 0; i < k; ++i) {
+    result *= (n - i) / (i + 1);
+  }
+  return result;
+}
+
+std::uint64_t BinomialExact(std::uint64_t n, int k) {
+  SUBSTREAM_CHECK(k >= 0);
+  if (n < static_cast<std::uint64_t>(k)) return 0;
+  unsigned __int128 result = 1;
+  for (int i = 0; i < k; ++i) {
+    result = result * (n - static_cast<std::uint64_t>(i)) /
+             static_cast<std::uint64_t>(i + 1);
+    // Division is exact at each step because any (i+1) consecutive integers
+    // contain a multiple of every d <= i+1.
+    SUBSTREAM_CHECK_MSG(result <= ~static_cast<std::uint64_t>(0),
+                        "binomial overflow: C(%llu, %d)",
+                        static_cast<unsigned long long>(n), k);
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+double FallingFactorial(double n, int k) {
+  SUBSTREAM_CHECK(k >= 0);
+  double result = 1.0;
+  for (int i = 0; i < k; ++i) result *= (n - i);
+  return result;
+}
+
+double EntropyTerm(double f, double n) {
+  if (f <= 0.0 || n <= 0.0) return 0.0;
+  if (f >= n) return 0.0;
+  return (f / n) * std::log2(n / f);
+}
+
+int MedianRepetitions(double delta) {
+  SUBSTREAM_CHECK(delta > 0.0 && delta < 1.0);
+  // Chernoff: t = 36 ln(1/delta) repetitions of a 3/4-success estimator give
+  // a failing median with probability < delta. Constant chosen conservative.
+  int t = static_cast<int>(std::ceil(36.0 * std::log(1.0 / delta)));
+  return std::max(t | 1, 1);  // force odd
+}
+
+int CeilLog2(std::uint64_t x) {
+  SUBSTREAM_CHECK(x > 0);
+  int bits = 0;
+  std::uint64_t v = x - 1;
+  while (v > 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+bool WithinFactor(double estimate, double truth, double alpha) {
+  SUBSTREAM_CHECK(alpha >= 1.0);
+  if (truth == 0.0) return estimate == 0.0;
+  if (estimate <= 0.0) return false;
+  double ratio = truth / estimate;
+  return ratio >= 1.0 / alpha && ratio <= alpha;
+}
+
+double RelativeError(double estimate, double truth) {
+  if (truth == 0.0) return std::abs(estimate);
+  return std::abs(estimate - truth) / std::abs(truth);
+}
+
+}  // namespace substream

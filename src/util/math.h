@@ -1,0 +1,85 @@
+#ifndef SUBSTREAM_UTIL_MATH_H_
+#define SUBSTREAM_UTIL_MATH_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+/// \file math.h
+/// Combinatorial and numeric helpers used by the collision algebra of
+/// Section 3 of the paper (Eq. 1) and by the estimator bookkeeping.
+
+namespace substream {
+
+/// Signed Stirling numbers of the first kind s(n, k), defined by
+///   x(x-1)...(x-n+1) = sum_k s(n, k) x^k.
+/// Eq. (1) of the paper is exactly this expansion: the beta coefficients are
+/// beta^l_j = -s(l, j). Values are exact for n <= 20 in int64.
+std::int64_t StirlingFirstSigned(int n, int k);
+
+/// Unsigned Stirling numbers of the first kind c(n, k) = |s(n, k)|;
+/// c(n, k) = e_{n-k}(1, 2, ..., n-1), the elementary symmetric polynomial
+/// form used in the paper's statement of Lemma 1.
+std::uint64_t StirlingFirstUnsigned(int n, int k);
+
+/// Binomial coefficient C(n, k) as a double (exact for small n, graceful for
+/// the huge frequencies that appear in collision counts).
+double BinomialDouble(double n, int k);
+
+/// Exact integer binomial C(n, k) via __int128 accumulation; requires the
+/// result to fit in uint64 (checked).
+std::uint64_t BinomialExact(std::uint64_t n, int k);
+
+/// Falling factorial n^(k) = n (n-1) ... (n-k+1) as a double.
+double FallingFactorial(double n, int k);
+
+/// log2 with the streaming-entropy convention 0 * lg(x/0) = 0.
+inline double Lg(double x) { return std::log2(x); }
+
+/// Contribution of one frequency to the empirical entropy: (f/n) lg(n/f).
+/// Returns 0 when f == 0 or f == n (by convention / exact value).
+double EntropyTerm(double f, double n);
+
+/// Kahan–Neumaier compensated accumulator: collision counts can mix values
+/// of wildly different magnitude, so naive summation loses the small terms.
+class KahanSum {
+ public:
+  void Add(double x) {
+    double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  double Value() const { return sum_ + comp_; }
+
+  void Reset() { sum_ = comp_ = 0.0; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+/// Number of independent repetitions for a median amplification from
+/// constant success probability to 1 - delta.
+int MedianRepetitions(double delta);
+
+/// log2 ceiling of a positive integer.
+int CeilLog2(std::uint64_t x);
+
+/// True if x is within multiplicative factor alpha (>1) of y, i.e.
+/// alpha^{-1} <= y/x <= alpha (Definition 1 of the paper).
+bool WithinFactor(double estimate, double truth, double alpha);
+
+/// Relative error |estimate - truth| / truth, with truth == 0 treated as
+/// returning |estimate| (absolute error fallback).
+double RelativeError(double estimate, double truth);
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_UTIL_MATH_H_

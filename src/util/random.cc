@@ -1,0 +1,196 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace substream {
+
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // SplitMix64 expansion of the seed into 256 bits of state; guaranteed
+  // not all-zero because Mix64 is a bijection applied to distinct inputs.
+  for (int i = 0; i < 4; ++i) {
+    state_[i] = Mix64(seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1));
+  }
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextUnit() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  SUBSTREAM_CHECK(bound > 0);
+  // Lemire's method with rejection to remove modulo bias.
+  unsigned __int128 product =
+      static_cast<unsigned __int128>(Next()) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(product);
+  if (low < bound) {
+    std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      product = static_cast<unsigned __int128>(Next()) * bound;
+      low = static_cast<std::uint64_t>(product);
+    }
+  }
+  return static_cast<std::uint64_t>(product >> 64);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextUnit() < p;
+}
+
+std::uint64_t Rng::NextGeometric(double p) {
+  SUBSTREAM_CHECK(p > 0.0 && p <= 1.0);
+  if (p == 1.0) return 0;
+  double u = NextUnit();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::uint64_t Rng::NextBinomial(std::uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  bool flipped = false;
+  if (p > 0.5) {
+    p = 1.0 - p;
+    flipped = true;
+  }
+  const double mean = static_cast<double>(n) * p;
+  std::uint64_t x;
+  if (mean < 30.0) {
+    // Waiting-time (geometric skips) method: exact and O(np) expected.
+    std::uint64_t count = 0;
+    std::uint64_t pos = 0;
+    while (true) {
+      pos += NextGeometric(p) + 1;
+      if (pos > n) break;
+      ++count;
+    }
+    x = count;
+  } else {
+    // Normal approximation with continuity correction, clamped; adequate for
+    // workload generation where np is large (error exponentially small in np).
+    const double sd = std::sqrt(mean * (1.0 - p));
+    double sample = std::round(mean + sd * NextGaussian());
+    if (sample < 0.0) sample = 0.0;
+    if (sample > static_cast<double>(n)) sample = static_cast<double>(n);
+    x = static_cast<std::uint64_t>(sample);
+  }
+  return flipped ? n - x : x;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextUnit();
+  double u2 = NextUnit();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.141592653589793238462643383279502884 * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+ZipfDistribution::ZipfDistribution(std::uint64_t universe, double skew)
+    : universe_(universe), skew_(skew) {
+  SUBSTREAM_CHECK(universe >= 1);
+  SUBSTREAM_CHECK(skew >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_universe_ = H(static_cast<double>(universe) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -skew));
+}
+
+double ZipfDistribution::H(double x) const {
+  // Integral of x^{-skew}: (x^{1-skew} - 1) / (1 - skew); log(x) at skew = 1.
+  if (std::abs(skew_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - skew_) - 1.0) / (1.0 - skew_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (std::abs(skew_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - skew_), 1.0 / (1.0 - skew_));
+}
+
+std::uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  if (universe_ == 1) return 1;
+  while (true) {
+    const double u = h_universe_ + rng.NextUnit() * (h_x1_ - h_universe_);
+    const double x = HInverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > universe_) k = universe_;
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= H(static_cast<double>(k) + 0.5) - std::pow(static_cast<double>(k), -skew_)) {
+      return k;
+    }
+  }
+}
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  SUBSTREAM_CHECK(!weights.empty());
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    SUBSTREAM_CHECK(w >= 0.0);
+    total += w;
+  }
+  SUBSTREAM_CHECK(total > 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasTable::Sample(Rng& rng) const {
+  const std::size_t column = rng.NextBounded(prob_.size());
+  return rng.NextUnit() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace substream

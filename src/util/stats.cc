@@ -1,0 +1,85 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+#include "util/math.h"
+
+namespace substream {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Mean() const { return count_ ? mean_ : 0.0; }
+
+double RunningStats::Variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::Min() const { return min_; }
+
+double RunningStats::Max() const { return max_; }
+
+double Median(std::vector<double> values) {
+  SUBSTREAM_CHECK(!values.empty());
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  std::nth_element(values.begin(), values.begin() + mid - 1,
+                   values.begin() + mid);
+  return 0.5 * (values[mid - 1] + hi);
+}
+
+double Quantile(std::vector<double> values, double q) {
+  SUBSTREAM_CHECK(!values.empty());
+  SUBSTREAM_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double MedianOfMeans(const std::vector<double>& values, std::size_t groups) {
+  SUBSTREAM_CHECK(!values.empty());
+  SUBSTREAM_CHECK(groups >= 1);
+  groups = std::min(groups, values.size());
+  const std::size_t per_group = values.size() / groups;
+  std::vector<double> means;
+  means.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    double sum = 0.0;
+    for (std::size_t i = g * per_group; i < (g + 1) * per_group; ++i) {
+      sum += values[i];
+    }
+    means.push_back(sum / static_cast<double>(per_group));
+  }
+  return Median(std::move(means));
+}
+
+double FractionWithinFactor(const std::vector<double>& values, double truth,
+                            double alpha) {
+  if (values.empty()) return 0.0;
+  std::size_t good = 0;
+  for (double v : values) {
+    if (WithinFactor(v, truth, alpha)) ++good;
+  }
+  return static_cast<double>(good) / static_cast<double>(values.size());
+}
+
+}  // namespace substream

@@ -1,0 +1,85 @@
+#include "sketch/ams_f2.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/exact_stats.h"
+#include "core/collision.h"
+#include "stream/generators.h"
+#include "util/math.h"
+#include "util/stats.h"
+
+namespace substream {
+namespace {
+
+TEST(AmsF2Test, AccurateOnSkewedStream) {
+  ZipfGenerator g(2000, 1.2, 1);
+  Stream s = Materialize(g, 100000);
+  FrequencyTable exact = ExactStats(s);
+  AmsF2Sketch ams = AmsF2Sketch::WithGeometry(9, 400, 2);
+  for (item_t a : s) ams.Update(a);
+  EXPECT_LT(RelativeError(ams.Estimate(), exact.Fk(2)), 0.15);
+}
+
+TEST(AmsF2Test, AccurateOnUniformStream) {
+  UniformGenerator g(500, 3);
+  Stream s = Materialize(g, 50000);
+  FrequencyTable exact = ExactStats(s);
+  AmsF2Sketch ams = AmsF2Sketch::WithGeometry(9, 400, 4);
+  for (item_t a : s) ams.Update(a);
+  EXPECT_LT(RelativeError(ams.Estimate(), exact.Fk(2)), 0.15);
+}
+
+TEST(AmsF2Test, UnbiasedAcrossSeeds) {
+  // One atomic estimator per seed; the average of Z^2 should converge to F2.
+  const std::vector<count_t> freqs = {30, 20, 10, 5, 5};
+  Stream s = StreamFromFrequencies(freqs, 5);
+  const double f2 = MomentFromFrequencies(freqs, 2);
+  RunningStats stats;
+  for (int rep = 0; rep < 3000; ++rep) {
+    AmsF2Sketch ams = AmsF2Sketch::WithGeometry(1, 1, static_cast<std::uint64_t>(rep));
+    for (item_t a : s) ams.Update(a);
+    stats.Add(ams.Estimate());
+  }
+  EXPECT_NEAR(stats.Mean(), f2, 0.08 * f2);
+}
+
+TEST(AmsF2Test, SingleItemStreamExact) {
+  // One distinct item: every atom is (+-f)^2 = f^2 exactly.
+  AmsF2Sketch ams = AmsF2Sketch::WithGeometry(3, 5, 6);
+  for (int i = 0; i < 250; ++i) ams.Update(9);
+  EXPECT_DOUBLE_EQ(ams.Estimate(), 250.0 * 250.0);
+}
+
+TEST(AmsF2Test, DeletionsSupported) {
+  AmsF2Sketch ams = AmsF2Sketch::WithGeometry(3, 50, 7);
+  for (int i = 0; i < 100; ++i) ams.Update(1, 1);
+  for (int i = 0; i < 100; ++i) ams.Update(1, -1);
+  EXPECT_DOUBLE_EQ(ams.Estimate(), 0.0);
+}
+
+TEST(AmsF2Test, GeometryFromEpsilonDelta) {
+  AmsF2Sketch ams(0.1, 0.01, 8);
+  EXPECT_GE(ams.per_group(), 16.0 / (0.1 * 0.1) - 1);
+  EXPECT_GE(ams.groups(), 1u);
+  EXPECT_GT(ams.SpaceBytes(), 0u);
+}
+
+TEST(AmsF2Test, MoreSpaceGivesSmallerError) {
+  ZipfGenerator g(1000, 1.3, 9);
+  Stream s = Materialize(g, 60000);
+  FrequencyTable exact = ExactStats(s);
+  // Median error over seeds for a tiny and a large sketch.
+  auto median_error = [&](std::size_t per_group) {
+    std::vector<double> errors;
+    for (int rep = 0; rep < 11; ++rep) {
+      AmsF2Sketch ams = AmsF2Sketch::WithGeometry(1, per_group, 100 + static_cast<std::uint64_t>(rep));
+      for (item_t a : s) ams.Update(a);
+      errors.push_back(RelativeError(ams.Estimate(), exact.Fk(2)));
+    }
+    return Median(errors);
+  };
+  EXPECT_LT(median_error(256), median_error(4));
+}
+
+}  // namespace
+}  // namespace substream

@@ -1,0 +1,126 @@
+#include "core/baselines.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stream/exact_stats.h"
+#include "core/collision.h"
+#include "stream/generators.h"
+#include "stream/samplers.h"
+#include "util/math.h"
+#include "util/stats.h"
+
+namespace substream {
+namespace {
+
+TEST(NaiveScaledFkTest, ExactAtPEqualOne) {
+  ZipfGenerator g(500, 1.2, 1);
+  Stream s = Materialize(g, 30000);
+  FrequencyTable exact = ExactStats(s);
+  NaiveScaledFkEstimator naive(1.0);
+  for (item_t a : s) naive.Update(a);
+  EXPECT_DOUBLE_EQ(naive.Estimate(2), exact.Fk(2));
+  EXPECT_DOUBLE_EQ(naive.Estimate(3), exact.Fk(3));
+}
+
+TEST(NaiveScaledFkTest, BiasMatchesTheory) {
+  // E[F2(L)] = p^2 F2 + p(1-p) F1, so the naive estimate F2(L)/p^2 has
+  // expected bias (1-p) F1 / p — the term the paper's intro warns about.
+  const std::vector<count_t> freqs(200, 50);  // uniform f=50, F1=10000
+  Stream s = StreamFromFrequencies(freqs, 2);
+  const double p = 0.1;
+  const double f1 = 10000.0;
+  const double f2 = MomentFromFrequencies(freqs, 2);
+  RunningStats stats;
+  for (int rep = 0; rep < 400; ++rep) {
+    BernoulliSampler sampler(p, static_cast<std::uint64_t>(rep));
+    NaiveScaledFkEstimator naive(p);
+    for (item_t a : s) {
+      if (sampler.Keep()) naive.Update(a);
+    }
+    stats.Add(naive.Estimate(2));
+  }
+  const double predicted_bias = (1.0 - p) * f1 / p;
+  EXPECT_NEAR(stats.Mean() - f2, predicted_bias, 0.15 * predicted_bias);
+  // The bias is material: 18% of F2 here.
+  EXPECT_GT(predicted_bias, 0.15 * f2);
+}
+
+TEST(NaiveScaledFkTest, SampledMomentDiagnostics) {
+  NaiveScaledFkEstimator naive(0.5);
+  for (item_t x : Stream{1, 1, 2}) naive.Update(x);
+  EXPECT_DOUBLE_EQ(naive.SampledMoment(2), 5.0);
+  EXPECT_DOUBLE_EQ(naive.Estimate(2), 20.0);
+  EXPECT_EQ(naive.SampledLength(), 3u);
+}
+
+TEST(RusuDobraTest, UnbiasedAcrossReplicates) {
+  const std::vector<count_t> freqs(200, 50);
+  Stream s = StreamFromFrequencies(freqs, 3);
+  const double p = 0.1;
+  const double f2 = MomentFromFrequencies(freqs, 2);
+  RunningStats stats;
+  for (int rep = 0; rep < 400; ++rep) {
+    BernoulliSampler sampler(p, 900 + static_cast<std::uint64_t>(rep));
+    RusuDobraF2Estimator rd(p, 5, 200, static_cast<std::uint64_t>(rep));
+    for (item_t a : s) {
+      if (sampler.Keep()) rd.Update(a);
+    }
+    stats.Add(rd.Estimate());
+  }
+  // Monte Carlo mean within 6 standard errors of F2.
+  const double stderr_mc =
+      stats.StdDev() / std::sqrt(static_cast<double>(stats.Count()));
+  EXPECT_NEAR(stats.Mean(), f2, 6.0 * stderr_mc + 0.01 * f2);
+}
+
+TEST(RusuDobraTest, AccurateAtModerateP) {
+  ZipfGenerator g(2000, 1.2, 4);
+  Stream s = Materialize(g, 100000);
+  FrequencyTable exact = ExactStats(s);
+  const double p = 0.5;
+  std::vector<double> errors;
+  for (int rep = 0; rep < 9; ++rep) {
+    BernoulliSampler sampler(p, 50 + static_cast<std::uint64_t>(rep));
+    RusuDobraF2Estimator rd(p, 7, 400, 80 + static_cast<std::uint64_t>(rep));
+    for (item_t a : s) {
+      if (sampler.Keep()) rd.Update(a);
+    }
+    errors.push_back(RelativeError(rd.Estimate(), exact.Fk(2)));
+  }
+  EXPECT_LT(Median(errors), 0.2);
+}
+
+TEST(RusuDobraTest, VarianceGrowsAsPShrinks) {
+  // The 1/p^2 unbiasing amplifies sketch noise whenever the p(1-p)F1 term
+  // is comparable to p^2 F2 — i.e. on diffuse streams with small item
+  // frequencies. (On heavily skewed streams F2 >> F1 and the effect
+  // vanishes, which is why this test uses a uniform workload.)
+  UniformGenerator g(20000, 5);
+  Stream s = Materialize(g, 80000);
+  FrequencyTable exact = ExactStats(s);
+  auto median_error = [&](double p) {
+    std::vector<double> errors;
+    for (int rep = 0; rep < 11; ++rep) {
+      BernoulliSampler sampler(p, 200 + static_cast<std::uint64_t>(rep));
+      RusuDobraF2Estimator rd(p, 5, 60, 300 + static_cast<std::uint64_t>(rep));
+      for (item_t a : s) {
+        if (sampler.Keep()) rd.Update(a);
+      }
+      errors.push_back(RelativeError(rd.Estimate(), exact.Fk(2)));
+    }
+    return Median(errors);
+  };
+  EXPECT_GT(median_error(0.05), median_error(0.8));
+}
+
+TEST(RusuDobraTest, SampledF2Diagnostic) {
+  RusuDobraF2Estimator rd(1.0, 3, 100, 6);
+  for (int i = 0; i < 100; ++i) rd.Update(7);
+  EXPECT_DOUBLE_EQ(rd.SampledF2Estimate(), 10000.0);
+  EXPECT_DOUBLE_EQ(rd.Estimate(), 10000.0);  // p=1: no correction
+}
+
+}  // namespace
+}  // namespace substream

@@ -1,0 +1,148 @@
+#include "core/collision.h"
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/generators.h"
+#include "stream/samplers.h"
+#include "stream/exact_stats.h"
+#include "util/math.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace substream {
+namespace {
+
+TEST(BetaCoefficientTest, MatchesElementarySymmetricFormula) {
+  // beta^l_j = (-1)^{l-j+1} e_{l-j}(1, 2, ..., l-1).
+  auto elementary = [](int degree, int top) {
+    // e_degree(1..top) by DP.
+    std::vector<double> e(static_cast<std::size_t>(degree) + 1, 0.0);
+    e[0] = 1.0;
+    for (int v = 1; v <= top; ++v) {
+      for (int d = degree; d >= 1; --d) {
+        e[static_cast<std::size_t>(d)] +=
+            e[static_cast<std::size_t>(d - 1)] * v;
+      }
+    }
+    return e[static_cast<std::size_t>(degree)];
+  };
+  for (int l = 2; l <= 10; ++l) {
+    for (int j = 1; j < l; ++j) {
+      const double expected =
+          std::pow(-1.0, l - j + 1) * elementary(l - j, l - 1);
+      EXPECT_DOUBLE_EQ(BetaCoefficient(l, j), expected)
+          << "l=" << l << " j=" << j;
+    }
+  }
+}
+
+TEST(BetaCoefficientTest, KnownSmallValues) {
+  // F2 = 2 C2 + F1.
+  EXPECT_DOUBLE_EQ(BetaCoefficient(2, 1), 1.0);
+  // F3 = 6 C3 + 3 F2 - 2 F1.
+  EXPECT_DOUBLE_EQ(BetaCoefficient(3, 2), 3.0);
+  EXPECT_DOUBLE_EQ(BetaCoefficient(3, 1), -2.0);
+  // F4 = 24 C4 + 6 F3 - 11 F2 + 6 F1.
+  EXPECT_DOUBLE_EQ(BetaCoefficient(4, 3), 6.0);
+  EXPECT_DOUBLE_EQ(BetaCoefficient(4, 2), -11.0);
+  EXPECT_DOUBLE_EQ(BetaCoefficient(4, 1), 6.0);
+}
+
+TEST(BetaAbsSumTest, MatchesManualSums) {
+  EXPECT_DOUBLE_EQ(BetaAbsSum(2), 1.0);
+  EXPECT_DOUBLE_EQ(BetaAbsSum(3), 5.0);
+  EXPECT_DOUBLE_EQ(BetaAbsSum(4), 23.0);
+}
+
+TEST(EpsilonScheduleTest, DecreasingAndAnchored) {
+  const auto schedule = EpsilonSchedule(4, 0.2);
+  ASSERT_EQ(schedule.size(), 4u);
+  EXPECT_DOUBLE_EQ(schedule[3], 0.2);
+  EXPECT_DOUBLE_EQ(schedule[2], 0.2 / 24.0);          // /(A4+1)
+  EXPECT_DOUBLE_EQ(schedule[1], 0.2 / 24.0 / 6.0);    // /(A3+1)
+  EXPECT_DOUBLE_EQ(schedule[0], 0.2 / 24.0 / 6.0 / 2.0);  // /(A2+1)
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_LT(schedule[i - 1], schedule[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property test: Eq. (1) is an exact algebraic identity. For arbitrary
+// frequency vectors, recovering F_l from exact collision counts and exact
+// lower moments must reproduce F_l exactly (up to float rounding).
+// ---------------------------------------------------------------------------
+
+class CollisionIdentityTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CollisionIdentityTest, MomentRecoveredExactly) {
+  const int l = std::get<0>(GetParam());
+  const int seed = std::get<1>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<count_t> freqs;
+  const int support = 1 + static_cast<int>(rng.NextBounded(50));
+  for (int i = 0; i < support; ++i) {
+    freqs.push_back(1 + rng.NextBounded(200));
+  }
+  std::vector<double> lower;
+  for (int j = 1; j < l; ++j) lower.push_back(MomentFromFrequencies(freqs, j));
+  const double collisions = CollisionsFromFrequencies(freqs, l);
+  const double recovered = MomentFromCollisions(l, collisions, lower);
+  const double expected = MomentFromFrequencies(freqs, l);
+  EXPECT_NEAR(recovered, expected, 1e-7 * expected + 1e-9)
+      << "l=" << l << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IdentitySweep, CollisionIdentityTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 6, 7),
+                       ::testing::Range(0, 8)));
+
+// ---------------------------------------------------------------------------
+// Lemma 2 (Monte Carlo): E[C_l(L)] = p^l C_l(P).
+// ---------------------------------------------------------------------------
+
+class SampledCollisionMeanTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SampledCollisionMeanTest, ExpectationMatchesLemma2) {
+  const int l = std::get<0>(GetParam());
+  const double p = std::get<1>(GetParam());
+  const std::vector<count_t> freqs = {40, 25, 25, 10, 5, 5, 5, 1, 1, 1};
+  Stream original = StreamFromFrequencies(freqs, 7);
+  const double c_original = CollisionsFromFrequencies(freqs, l);
+  RunningStats stats;
+  const int reps = 1500;
+  for (int rep = 0; rep < reps; ++rep) {
+    BernoulliSampler sampler(p, 1000 + static_cast<std::uint64_t>(rep));
+    FrequencyTable sampled = ExactStats(sampler.Sample(original));
+    stats.Add(sampled.CollisionCount(l));
+  }
+  const double expected = ExpectedSampledCollisions(c_original, p, l);
+  // 6-sigma band on the Monte Carlo mean.
+  const double tolerance =
+      6.0 * stats.StdDev() / std::sqrt(static_cast<double>(reps)) + 1e-9;
+  EXPECT_NEAR(stats.Mean(), expected, tolerance) << "l=" << l << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lemma2Sweep, SampledCollisionMeanTest,
+    ::testing::Combine(::testing::Values(2, 3),
+                       ::testing::Values(0.1, 0.3, 0.7)));
+
+TEST(UnbiasedOriginalCollisionsTest, InvertsExpectation) {
+  EXPECT_DOUBLE_EQ(UnbiasedOriginalCollisions(
+                       ExpectedSampledCollisions(500.0, 0.2, 3), 0.2, 3),
+                   500.0);
+}
+
+TEST(MomentFromCollisionsTest, L1IsPassthrough) {
+  EXPECT_DOUBLE_EQ(MomentFromCollisions(1, 42.0, {}), 42.0);
+}
+
+}  // namespace
+}  // namespace substream

@@ -1,0 +1,102 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sketch/hyperloglog.h"
+#include "sketch/kmv.h"
+#include "stream/exact_stats.h"
+#include "stream/generators.h"
+#include "util/math.h"
+
+namespace substream {
+namespace {
+
+TEST(KmvTest, ExactBelowK) {
+  KmvSketch kmv(64, 1);
+  for (item_t x = 1; x <= 50; ++x) kmv.Update(x);
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), 50.0);
+}
+
+TEST(KmvTest, DuplicatesDoNotInflate) {
+  KmvSketch kmv(64, 2);
+  for (int rep = 0; rep < 100; ++rep) {
+    for (item_t x = 1; x <= 30; ++x) kmv.Update(x);
+  }
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), 30.0);
+}
+
+TEST(KmvTest, AccurateOnLargeUniverse) {
+  KmvSketch kmv(1024, 3);
+  const item_t distinct = 200000;
+  for (item_t x = 1; x <= distinct; ++x) kmv.Update(x);
+  EXPECT_LT(RelativeError(kmv.Estimate(), static_cast<double>(distinct)), 0.1);
+}
+
+TEST(KmvTest, AccurateOnSkewedStream) {
+  ZipfGenerator g(100000, 1.05, 4);
+  Stream s = Materialize(g, 300000);
+  FrequencyTable exact = ExactStats(s);
+  KmvSketch kmv(1024, 5);
+  for (item_t a : s) kmv.Update(a);
+  EXPECT_LT(
+      RelativeError(kmv.Estimate(), static_cast<double>(exact.F0())), 0.1);
+}
+
+TEST(KmvTest, SpaceBounded) {
+  KmvSketch kmv(256, 6);
+  for (item_t x = 1; x <= 100000; ++x) kmv.Update(x);
+  EXPECT_LE(kmv.SpaceBytes(), 256u * sizeof(std::uint64_t) + 64u);
+}
+
+TEST(HllTest, ExactishOnSmallCounts) {
+  HyperLogLog hll(12, 1);
+  for (item_t x = 1; x <= 100; ++x) hll.Update(x);
+  EXPECT_LT(RelativeError(hll.Estimate(), 100.0), 0.05);
+}
+
+TEST(HllTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12, 2);
+  for (int rep = 0; rep < 50; ++rep) {
+    for (item_t x = 1; x <= 500; ++x) hll.Update(x);
+  }
+  EXPECT_LT(RelativeError(hll.Estimate(), 500.0), 0.05);
+}
+
+TEST(HllTest, AccurateOnLargeUniverse) {
+  HyperLogLog hll(14, 3);
+  const item_t distinct = 500000;
+  for (item_t x = 1; x <= distinct; ++x) hll.Update(x);
+  // Standard error 1.04/sqrt(2^14) ~ 0.8%; allow 4 sigma.
+  EXPECT_LT(RelativeError(hll.Estimate(), static_cast<double>(distinct)),
+            0.04);
+}
+
+TEST(HllTest, MergeEqualsUnion) {
+  HyperLogLog a(12, 4), b(12, 4), u(12, 4);
+  for (item_t x = 1; x <= 3000; ++x) {
+    a.Update(x);
+    u.Update(x);
+  }
+  for (item_t x = 2000; x <= 6000; ++x) {
+    b.Update(x);
+    u.Update(x);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), u.Estimate());
+}
+
+TEST(HllTest, PrecisionTradesSpaceForAccuracy) {
+  const item_t distinct = 100000;
+  auto error_at = [&](int precision) {
+    HyperLogLog hll(precision, 5);
+    for (item_t x = 1; x <= distinct; ++x) hll.Update(x);
+    return RelativeError(hll.Estimate(), static_cast<double>(distinct));
+  };
+  // 2^14 registers should comfortably beat 2^6 registers.
+  EXPECT_LT(error_at(14), error_at(6) + 1e-9);
+  HyperLogLog small(6, 6), big(14, 6);
+  EXPECT_LT(small.SpaceBytes(), big.SpaceBytes());
+}
+
+}  // namespace
+}  // namespace substream

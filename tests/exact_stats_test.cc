@@ -1,0 +1,138 @@
+#include "stream/exact_stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stream/generators.h"
+
+namespace substream {
+namespace {
+
+Stream SmallStream() {
+  // Frequencies: item1 -> 3, item2 -> 2, item3 -> 1.
+  return {1, 2, 1, 3, 2, 1};
+}
+
+TEST(FrequencyTableTest, BasicMoments) {
+  FrequencyTable t = ExactStats(SmallStream());
+  EXPECT_EQ(t.F0(), 3u);
+  EXPECT_EQ(t.F1(), 6u);
+  EXPECT_DOUBLE_EQ(t.Fk(1), 6.0);
+  EXPECT_DOUBLE_EQ(t.Fk(2), 9.0 + 4.0 + 1.0);
+  EXPECT_DOUBLE_EQ(t.Fk(3), 27.0 + 8.0 + 1.0);
+  EXPECT_DOUBLE_EQ(t.Fk(0), 3.0);
+}
+
+TEST(FrequencyTableTest, EmptyTable) {
+  FrequencyTable t;
+  EXPECT_EQ(t.F0(), 0u);
+  EXPECT_EQ(t.F1(), 0u);
+  EXPECT_DOUBLE_EQ(t.Entropy(), 0.0);
+  EXPECT_DOUBLE_EQ(t.CollisionCount(2), 0.0);
+}
+
+TEST(FrequencyTableTest, EntropyUniform) {
+  FrequencyTable t;
+  for (item_t i = 1; i <= 8; ++i) t.Add(i, 4);
+  EXPECT_NEAR(t.Entropy(), 3.0, 1e-12);  // lg 8
+}
+
+TEST(FrequencyTableTest, EntropyConstantIsZero) {
+  FrequencyTable t;
+  t.Add(5, 1000);
+  EXPECT_DOUBLE_EQ(t.Entropy(), 0.0);
+}
+
+TEST(FrequencyTableTest, EntropyHandComputed) {
+  // f = (3, 1): H = (3/4) lg(4/3) + (1/4) lg 4.
+  FrequencyTable t;
+  t.Add(1, 3);
+  t.Add(2, 1);
+  const double expected = 0.75 * std::log2(4.0 / 3.0) + 0.25 * 2.0;
+  EXPECT_NEAR(t.Entropy(), expected, 1e-12);
+}
+
+TEST(FrequencyTableTest, CollisionCounts) {
+  FrequencyTable t = ExactStats(SmallStream());
+  // C2 = C(3,2) + C(2,2) + C(1,2) = 3 + 1 + 0 = 4.
+  EXPECT_DOUBLE_EQ(t.CollisionCount(2), 4.0);
+  // C3 = C(3,3) = 1.
+  EXPECT_DOUBLE_EQ(t.CollisionCount(3), 1.0);
+  // C1 = F1.
+  EXPECT_DOUBLE_EQ(t.CollisionCount(1), 6.0);
+}
+
+TEST(FrequencyTableTest, FrequencyLookup) {
+  FrequencyTable t = ExactStats(SmallStream());
+  EXPECT_EQ(t.Frequency(1), 3u);
+  EXPECT_EQ(t.Frequency(99), 0u);
+}
+
+TEST(FrequencyTableTest, HeavyHittersAndTopK) {
+  FrequencyTable t = ExactStats(SmallStream());
+  auto hh = t.HeavyHitters(2.0);
+  ASSERT_EQ(hh.size(), 2u);
+  EXPECT_EQ(hh[0].first, 1u);
+  EXPECT_EQ(hh[0].second, 3u);
+  EXPECT_EQ(hh[1].first, 2u);
+
+  auto top = t.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 1u);
+
+  auto all = t.TopK(10);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(FrequencyTableTest, F1AndF2HeavyHitterDefinitions) {
+  FrequencyTable t;
+  t.Add(1, 80);
+  t.Add(2, 15);
+  t.Add(3, 5);
+  // F1 = 100: alpha = 0.5 -> only item 1.
+  auto f1hh = t.F1HeavyHitters(0.5);
+  ASSERT_EQ(f1hh.size(), 1u);
+  EXPECT_EQ(f1hh[0], 1u);
+  // sqrt(F2) = sqrt(6400+225+25) ~ 81.5: alpha = 0.15 -> items with f >= 12.2.
+  auto f2hh = t.F2HeavyHitters(0.15);
+  ASSERT_EQ(f2hh.size(), 2u);
+  EXPECT_EQ(f2hh[0], 1u);
+  EXPECT_EQ(f2hh[1], 2u);
+}
+
+TEST(FrequencyTableTest, MergeAddsCounts) {
+  FrequencyTable a = ExactStats({1, 1, 2});
+  FrequencyTable b = ExactStats({2, 3});
+  a.Merge(b);
+  EXPECT_EQ(a.F1(), 5u);
+  EXPECT_EQ(a.Frequency(1), 2u);
+  EXPECT_EQ(a.Frequency(2), 2u);
+  EXPECT_EQ(a.Frequency(3), 1u);
+}
+
+TEST(FrequencyTableTest, AddWithMultiplicity) {
+  FrequencyTable t;
+  t.Add(7, 100);
+  t.Add(7);
+  EXPECT_EQ(t.Frequency(7), 101u);
+  EXPECT_EQ(t.F1(), 101u);
+}
+
+TEST(FrequencyTableTest, MomentsOnGeneratedStream) {
+  // Cross-check Fk against a direct computation on an explicit frequency
+  // realization.
+  const std::vector<count_t> freqs = {10, 7, 7, 3, 1, 1, 1};
+  FrequencyTable t = ExactStats(StreamFromFrequencies(freqs, 3));
+  double f2 = 0.0, f3 = 0.0;
+  for (count_t f : freqs) {
+    f2 += static_cast<double>(f) * f;
+    f3 += static_cast<double>(f) * f * f;
+  }
+  EXPECT_DOUBLE_EQ(t.Fk(2), f2);
+  EXPECT_DOUBLE_EQ(t.Fk(3), f3);
+  EXPECT_EQ(t.F0(), freqs.size());
+}
+
+}  // namespace
+}  // namespace substream

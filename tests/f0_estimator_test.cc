@@ -1,0 +1,155 @@
+#include "core/f0_estimator.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "stream/exact_stats.h"
+#include "stream/generators.h"
+#include "stream/samplers.h"
+#include "util/math.h"
+
+namespace substream {
+namespace {
+
+double RunF0(const Stream& original, const F0Params& params,
+             std::uint64_t seed) {
+  BernoulliSampler sampler(params.p, seed);
+  F0Estimator estimator(params, seed + 1);
+  for (item_t a : original) {
+    if (sampler.Keep()) estimator.Update(a);
+  }
+  return estimator.Estimate();
+}
+
+TEST(F0EstimatorTest, ErrorBoundFormula) {
+  F0Params params;
+  params.p = 0.25;
+  F0Estimator est(params, 1);
+  EXPECT_DOUBLE_EQ(est.ErrorFactorBound(), 8.0);  // 4 / sqrt(0.25)
+}
+
+TEST(F0EstimatorTest, AtPEqualOneScalingIsIdentity) {
+  DistinctGenerator g;
+  Stream s = Materialize(g, 20000);
+  F0Params params;
+  params.p = 1.0;
+  params.backend = F0Backend::kExact;
+  F0Estimator est(params, 2);
+  for (item_t a : s) est.Update(a);
+  EXPECT_DOUBLE_EQ(est.Estimate(), 20000.0);
+  EXPECT_DOUBLE_EQ(est.EstimateSampledDistinct(), 20000.0);
+}
+
+// Lemma 8 property sweep: across backends, workloads, and p, the output
+// must stay within factor 4/sqrt(p) of F0(P).
+class F0BoundSweepTest
+    : public ::testing::TestWithParam<std::tuple<F0Backend, double, int>> {};
+
+TEST_P(F0BoundSweepTest, WithinLemma8Factor) {
+  const F0Backend backend = std::get<0>(GetParam());
+  const double p = std::get<1>(GetParam());
+  const int workload = std::get<2>(GetParam());
+  Stream s;
+  switch (workload) {
+    case 0: {  // all distinct
+      DistinctGenerator g;
+      s = Materialize(g, 50000);
+      break;
+    }
+    case 1: {  // zipf duplicates
+      ZipfGenerator g(20000, 1.1, 3);
+      s = Materialize(g, 50000);
+      break;
+    }
+    case 2: {  // few distinct, many repeats
+      UniformGenerator g(64, 4);
+      s = Materialize(g, 50000);
+      break;
+    }
+  }
+  const double truth = static_cast<double>(ExactStats(s).F0());
+  F0Params params;
+  params.p = p;
+  params.backend = backend;
+  const double estimate = RunF0(s, params, 77);
+  EXPECT_TRUE(WithinFactor(estimate, truth, 4.0 / std::sqrt(p)))
+      << "estimate=" << estimate << " truth=" << truth << " p=" << p
+      << " workload=" << workload;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lemma8Sweep, F0BoundSweepTest,
+    ::testing::Combine(::testing::Values(F0Backend::kKmv,
+                                         F0Backend::kHyperLogLog,
+                                         F0Backend::kExact),
+                       ::testing::Values(1.0, 0.3, 0.1, 0.03),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(F0EstimatorTest, SqrtScalingBeatsNoScalingOnDistinctStream) {
+  // On an all-distinct stream, F0(L) ~ p F0(P): dividing by sqrt(p) halves
+  // the log-error compared to not scaling at all.
+  DistinctGenerator g;
+  Stream s = Materialize(g, 100000);
+  const double truth = 100000.0;
+  F0Params params;
+  params.p = 0.04;
+  params.backend = F0Backend::kExact;
+  BernoulliSampler sampler(params.p, 5);
+  F0Estimator est(params, 6);
+  for (item_t a : s) {
+    if (sampler.Keep()) est.Update(a);
+  }
+  const double raw = est.EstimateSampledDistinct();
+  const double scaled = est.Estimate();
+  EXPECT_LT(RelativeError(scaled, truth), RelativeError(raw, truth));
+}
+
+TEST(F0EstimatorTest, SqrtScalingProtectsOnDuplicateHeavyStream) {
+  // On a duplicate-heavy stream F0(L) ~ F0(P); scaling by 1/p would inflate
+  // by 25x, while 1/sqrt(p) only inflates by 5x (within the 4/sqrt(p) bound
+  // as the theory promises for the worst case over streams).
+  UniformGenerator g(100, 7);
+  Stream s = Materialize(g, 100000);
+  F0Params params;
+  params.p = 0.04;
+  params.backend = F0Backend::kExact;
+  BernoulliSampler sampler(params.p, 8);
+  F0Estimator est(params, 9);
+  for (item_t a : s) {
+    if (sampler.Keep()) est.Update(a);
+  }
+  const double naive_full_scaling = est.EstimateSampledDistinct() / params.p;
+  EXPECT_FALSE(WithinFactor(naive_full_scaling, 100.0, 4.0 / std::sqrt(0.04)));
+  EXPECT_TRUE(WithinFactor(est.Estimate(), 100.0, 4.0 / std::sqrt(0.04)));
+}
+
+TEST(F0EstimatorTest, BackendsAgreeOnLargeStream) {
+  ZipfGenerator g(50000, 1.05, 10);
+  Stream s = Materialize(g, 200000);
+  F0Params kmv_params;
+  kmv_params.p = 0.5;
+  kmv_params.backend = F0Backend::kKmv;
+  kmv_params.kmv_k = 2048;
+  F0Params hll_params = kmv_params;
+  hll_params.backend = F0Backend::kHyperLogLog;
+  hll_params.hll_precision = 14;
+  const double a = RunF0(s, kmv_params, 11);
+  const double b = RunF0(s, hll_params, 11);
+  EXPECT_TRUE(WithinFactor(a, b, 1.1)) << "kmv=" << a << " hll=" << b;
+}
+
+TEST(F0EstimatorTest, SketchSpaceIndependentOfStream) {
+  F0Params params;
+  params.p = 0.5;
+  params.backend = F0Backend::kKmv;
+  params.kmv_k = 256;
+  F0Estimator est(params, 12);
+  for (item_t x = 0; x < 100000; ++x) est.Update(x);
+  EXPECT_LE(est.SpaceBytes(), 256 * sizeof(std::uint64_t) + 64);
+  EXPECT_EQ(est.SampledLength(), 100000u);
+}
+
+}  // namespace
+}  // namespace substream

@@ -1,0 +1,132 @@
+#include "stream/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "stream/exact_stats.h"
+
+namespace substream {
+namespace {
+
+TEST(UniformGeneratorTest, RangeAndDeterminism) {
+  UniformGenerator g1(100, 42), g2(100, 42);
+  for (int i = 0; i < 1000; ++i) {
+    const item_t x = g1.Next();
+    EXPECT_EQ(x, g2.Next());
+    ASSERT_GE(x, 1u);
+    ASSERT_LE(x, 100u);
+  }
+  EXPECT_EQ(g1.UniverseSize(), 100u);
+}
+
+TEST(UniformGeneratorTest, CoversUniverse) {
+  UniformGenerator g(16, 7);
+  std::set<item_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(g.Next());
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(ZipfGeneratorTest, SkewConcentratesMass) {
+  ZipfGenerator heavy(1000, 1.5, 1);
+  ZipfGenerator light(1000, 0.5, 1);
+  auto top_share = [](StreamGenerator& g) {
+    FrequencyTable table;
+    table.AddStream(Materialize(g, 50000));
+    count_t top = 0;
+    for (const auto& [item, count] : table.counts()) {
+      if (item <= 10) top += count;
+    }
+    return static_cast<double>(top) / 50000.0;
+  };
+  EXPECT_GT(top_share(heavy), top_share(light) + 0.2);
+}
+
+TEST(DistinctGeneratorTest, AllDistinct) {
+  DistinctGenerator g;
+  Stream s = Materialize(g, 1000);
+  std::set<item_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 1000u);
+  EXPECT_EQ(s.front(), 1u);
+  EXPECT_EQ(s.back(), 1000u);
+}
+
+TEST(ConstantGeneratorTest, Constant) {
+  ConstantGenerator g(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(g.Next(), 7u);
+}
+
+TEST(PlantedHeavyHitterTest, HeavyMassConcentrates) {
+  const int num_heavy = 4;
+  const double mass = 0.4;
+  PlantedHeavyHitterGenerator g(num_heavy, mass, 10000, 3);
+  FrequencyTable table;
+  table.AddStream(Materialize(g, 100000));
+  count_t heavy_total = 0;
+  for (item_t id : g.HeavyIds()) heavy_total += table.Frequency(id);
+  EXPECT_NEAR(static_cast<double>(heavy_total) / 100000.0, mass, 0.02);
+  // Each heavy item individually carries ~ mass/num_heavy = 10% >> any tail item.
+  const count_t tail_max = table.TopK(num_heavy + 1).back().second;
+  for (item_t id : g.HeavyIds()) {
+    EXPECT_GT(table.Frequency(id), 5 * tail_max);
+  }
+}
+
+TEST(PlantedHeavyHitterTest, HeavyIdsAreSmallIds) {
+  PlantedHeavyHitterGenerator g(3, 0.5, 100, 4);
+  const auto ids = g.HeavyIds();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 1u);
+  EXPECT_EQ(ids[2], 3u);
+  EXPECT_EQ(g.UniverseSize(), 103u);
+}
+
+TEST(StreamFromFrequenciesTest, ExactRealization) {
+  const std::vector<count_t> freqs = {5, 0, 3, 1};
+  Stream s = StreamFromFrequencies(freqs, 9);
+  EXPECT_EQ(s.size(), 9u);
+  FrequencyTable table = ExactStats(s);
+  EXPECT_EQ(table.Frequency(1), 5u);
+  EXPECT_EQ(table.Frequency(2), 0u);
+  EXPECT_EQ(table.Frequency(3), 3u);
+  EXPECT_EQ(table.Frequency(4), 1u);
+}
+
+TEST(StreamFromFrequenciesTest, ShuffleDiffersBySeed) {
+  const std::vector<count_t> freqs(100, 2);
+  Stream a = StreamFromFrequencies(freqs, 1);
+  Stream b = StreamFromFrequencies(freqs, 2);
+  EXPECT_NE(a, b);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);  // same multiset
+}
+
+TEST(Lemma9PairTest, EntropiesMatchLemma) {
+  const std::size_t n = 10000, k = 50;
+  EntropyScenarioPair pair = MakeLemma9Pair(n, k, 5);
+  EXPECT_EQ(pair.low_entropy.size(), n);
+  EXPECT_EQ(pair.high_entropy.size(), n);
+  EXPECT_DOUBLE_EQ(pair.entropy_low, 0.0);
+  EXPECT_DOUBLE_EQ(ExactStats(pair.low_entropy).Entropy(), 0.0);
+  EXPECT_NEAR(ExactStats(pair.high_entropy).Entropy(), pair.entropy_high,
+              1e-9);
+  // Lemma 9: H = (Theta(1) + lg n) * k / n, small but nonzero.
+  EXPECT_GT(pair.entropy_high, 0.0);
+  EXPECT_LT(pair.entropy_high, 0.2);
+}
+
+TEST(F0HardPairTest, DistinctCounts) {
+  const std::size_t n = 5000, d = 10;
+  F0HardPair pair = MakeF0HardPair(n, d, 6);
+  EXPECT_EQ(pair.few_distinct.size(), n);
+  EXPECT_EQ(pair.many_distinct.size(), n);
+  EXPECT_EQ(ExactStats(pair.few_distinct).F0(), d);
+  EXPECT_EQ(ExactStats(pair.many_distinct).F0(), n);
+  EXPECT_EQ(pair.f0_few, d);
+  EXPECT_EQ(pair.f0_many, n);
+}
+
+}  // namespace
+}  // namespace substream

@@ -1,0 +1,185 @@
+#include "core/heavy_hitters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "stream/exact_stats.h"
+#include "stream/generators.h"
+#include "stream/samplers.h"
+#include "util/math.h"
+
+namespace substream {
+namespace {
+
+template <typename Estimator>
+std::vector<HeavyHitter> RunSampled(const Stream& original, Estimator& estimator,
+                             double p, std::uint64_t seed) {
+  BernoulliSampler sampler(p, seed);
+  for (item_t a : original) {
+    if (sampler.Keep()) estimator.Update(a);
+  }
+  return estimator.Estimate();
+}
+
+bool Contains(const std::vector<HeavyHitter>& hh, item_t item) {
+  return std::any_of(hh.begin(), hh.end(),
+                     [item](const HeavyHitter& h) { return h.item == item; });
+}
+
+// Theorem 6 sweep: recall of true F1-heavy items, exclusion of items below
+// (1 - eps) alpha F1, and (1 +- eps)-accurate rescaled frequencies.
+class F1HHSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(F1HHSweepTest, RecallExclusionAccuracy) {
+  const double p = GetParam();
+  PlantedHeavyHitterGenerator g(5, 0.6, 50000, 1);
+  Stream s = Materialize(g, 400000);
+  FrequencyTable exact = ExactStats(s);
+  HeavyHitterParams params;
+  params.alpha = 0.05;
+  params.epsilon = 0.25;
+  params.delta = 0.05;
+  params.p = p;
+  // Premise check: this workload satisfies Theorem 6's length requirement.
+  ASSERT_GE(static_cast<double>(s.size()),
+            F1HeavyHitterEstimator::RequiredOriginalLength(
+                params, static_cast<double>(s.size())));
+  F1HeavyHitterEstimator estimator(params, 2);
+  const auto hh = RunSampled(s, estimator, p, 3);
+
+  const double f1 = static_cast<double>(exact.F1());
+  for (const auto& [item, f] : exact.counts()) {
+    const double freq = static_cast<double>(f);
+    if (freq >= params.alpha * f1) {
+      EXPECT_TRUE(Contains(hh, item)) << "missed heavy item " << item
+                                      << " (f=" << f << ") at p=" << p;
+    }
+    if (freq < (1.0 - params.epsilon) * params.alpha * f1) {
+      EXPECT_FALSE(Contains(hh, item))
+          << "false positive " << item << " (f=" << f << ") at p=" << p;
+    }
+  }
+  // Frequency accuracy for reported items.
+  for (const HeavyHitter& h : hh) {
+    const double truth = static_cast<double>(exact.Frequency(h.item));
+    EXPECT_LT(RelativeError(h.estimated_frequency, truth), params.epsilon)
+        << "item " << h.item << " at p=" << p;
+  }
+  // Output size is O(1/alpha).
+  EXPECT_LE(hh.size(), static_cast<std::size_t>(2.0 / params.alpha) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(TheoremSixSweep, F1HHSweepTest,
+                         ::testing::Values(1.0, 0.5, 0.2, 0.1));
+
+TEST(F1HeavyHittersTest, RequiredLengthMonotoneInP) {
+  HeavyHitterParams a;
+  a.p = 0.1;
+  HeavyHitterParams b = a;
+  b.p = 0.01;
+  EXPECT_LT(F1HeavyHitterEstimator::RequiredOriginalLength(a, 1e6),
+            F1HeavyHitterEstimator::RequiredOriginalLength(b, 1e6));
+}
+
+TEST(F1HeavyHittersTest, NoHeavyItemsYieldsEmptyOrLightResult) {
+  UniformGenerator g(100000, 4);
+  Stream s = Materialize(g, 200000);
+  HeavyHitterParams params;
+  params.alpha = 0.05;
+  params.epsilon = 0.2;
+  params.p = 0.5;
+  F1HeavyHitterEstimator estimator(params, 5);
+  const auto hh = RunSampled(s, estimator, params.p, 6);
+  EXPECT_TRUE(hh.empty());
+}
+
+// Theorem 7 sweep: F2-heavy recall; exclusion below the sqrt(p)-degraded
+// threshold.
+class F2HHSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(F2HHSweepTest, RecallAndExclusion) {
+  const double p = GetParam();
+  // Skewed tail so that sqrt(F2) is dominated by the planted items.
+  PlantedHeavyHitterGenerator g(4, 0.5, 100000, 7);
+  Stream s = Materialize(g, 400000);
+  FrequencyTable exact = ExactStats(s);
+  HeavyHitterParams params;
+  params.alpha = 0.2;
+  params.epsilon = 0.25;
+  params.delta = 0.05;
+  params.p = p;
+  F2HeavyHitterEstimator estimator(params, 8);
+  const auto hh = RunSampled(s, estimator, p, 9);
+
+  const double sqrt_f2 = std::sqrt(exact.Fk(2));
+  for (const auto& [item, f] : exact.counts()) {
+    const double freq = static_cast<double>(f);
+    if (freq >= params.alpha * sqrt_f2) {
+      EXPECT_TRUE(Contains(hh, item))
+          << "missed F2-heavy item " << item << " (f=" << f << ") at p=" << p;
+    }
+    // Theorem 7's exclusion level: (1 - eps) sqrt(p) alpha sqrt(F2).
+    if (freq <
+        0.5 * (1.0 - params.epsilon) * std::sqrt(p) * params.alpha * sqrt_f2) {
+      EXPECT_FALSE(Contains(hh, item))
+          << "false positive " << item << " (f=" << f << ") at p=" << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TheoremSevenSweep, F2HHSweepTest,
+                         ::testing::Values(1.0, 0.5, 0.25));
+
+TEST(F2HeavyHittersTest, FrequenciesRescaledByP) {
+  PlantedHeavyHitterGenerator g(2, 0.8, 1000, 10);
+  Stream s = Materialize(g, 200000);
+  FrequencyTable exact = ExactStats(s);
+  HeavyHitterParams params;
+  params.alpha = 0.3;
+  params.epsilon = 0.25;
+  params.p = 0.5;
+  F2HeavyHitterEstimator estimator(params, 11);
+  const auto hh = RunSampled(s, estimator, params.p, 12);
+  ASSERT_FALSE(hh.empty());
+  for (const HeavyHitter& h : hh) {
+    const double truth = static_cast<double>(exact.Frequency(h.item));
+    EXPECT_LT(RelativeError(h.estimated_frequency, truth), 0.3)
+        << "item " << h.item;
+  }
+}
+
+TEST(F2HeavyHittersTest, RequiredSqrtF2Monotone) {
+  HeavyHitterParams a;
+  a.p = 0.5;
+  HeavyHitterParams b = a;
+  b.p = 0.1;
+  EXPECT_LT(F2HeavyHitterEstimator::RequiredSqrtF2(a, 1e6),
+            F2HeavyHitterEstimator::RequiredSqrtF2(b, 1e6));
+}
+
+TEST(HeavyHittersTest, F2DetectsSubF1Heavy) {
+  // An item can be F2-heavy without being F1-heavy: sqrt(F2) << F1 on
+  // diffuse streams. Planted item at 2% of F1 over a huge uniform tail.
+  const std::size_t n = 400000;
+  PlantedHeavyHitterGenerator g(1, 0.02, 200000, 13);
+  Stream s = Materialize(g, n);
+  FrequencyTable exact = ExactStats(s);
+  const double f_planted = static_cast<double>(exact.Frequency(1));
+  const double sqrt_f2 = std::sqrt(exact.Fk(2));
+  ASSERT_GT(f_planted, 0.5 * sqrt_f2);  // F2-heavy-ish
+  ASSERT_LT(f_planted, 0.05 * static_cast<double>(n));  // not F1-heavy at 5%
+
+  HeavyHitterParams params;
+  params.alpha = 0.5;
+  params.epsilon = 0.25;
+  params.p = 0.5;
+  F2HeavyHitterEstimator estimator(params, 14);
+  const auto hh = RunSampled(s, estimator, params.p, 15);
+  EXPECT_TRUE(Contains(hh, 1));
+}
+
+}  // namespace
+}  // namespace substream

@@ -1,0 +1,166 @@
+#include "sketch/level_sets.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stream/exact_stats.h"
+#include "stream/generators.h"
+#include "util/math.h"
+
+namespace substream {
+namespace {
+
+TEST(LevelIndexTest, BoundariesRespectDefinition) {
+  const double eta = 0.5, eps = 0.25;
+  // v_i = 0.5 * 1.25^i. g = 1 -> i such that 0.5*1.25^i <= 1 < ...: i = 3
+  // (0.5*1.25^3 = 0.9766 <= 1 < 1.2207).
+  EXPECT_EQ(LevelIndex(1.0, eta, eps), 3);
+  for (int i = 0; i < 30; ++i) {
+    const double v = eta * std::pow(1.0 + eps, i);
+    EXPECT_EQ(LevelIndex(v * 1.0001, eta, eps), i);
+    EXPECT_EQ(LevelIndex(v * (1.0 + eps) * 0.9999, eta, eps), i);
+  }
+}
+
+TEST(LevelIndexTest, SmallGClampsToZero) {
+  EXPECT_EQ(LevelIndex(0.3, 0.5, 0.25), 0);
+}
+
+TEST(DrawEtaTest, RangeAndDeterminism) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const double eta = DrawEta(seed);
+    EXPECT_EQ(eta, DrawEta(seed));
+    ASSERT_GE(eta, 0.25);
+    ASSERT_LT(eta, 1.0);
+  }
+  EXPECT_NE(DrawEta(1), DrawEta(2));
+}
+
+TEST(ExactLevelSetsTest, SizesPartitionSupport) {
+  ZipfGenerator g(1000, 1.2, 1);
+  Stream s = Materialize(g, 40000);
+  ExactLevelSets ls(0.25, 0.7);
+  for (item_t a : s) ls.Update(a);
+  double total = 0.0;
+  for (const auto& est : ls.EstimateLevelSets()) total += est.size;
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(ExactStats(s).F0()));
+}
+
+TEST(ExactLevelSetsTest, ExactCollisionsMatchTable) {
+  ZipfGenerator g(500, 1.3, 2);
+  Stream s = Materialize(g, 30000);
+  ExactLevelSets ls(0.25, 0.6);
+  for (item_t a : s) ls.Update(a);
+  FrequencyTable exact = ExactStats(s);
+  for (int l = 1; l <= 4; ++l) {
+    EXPECT_NEAR(ls.ExactCollisions(l), exact.CollisionCount(l),
+                1e-6 * exact.CollisionCount(l) + 1e-9)
+        << "l=" << l;
+  }
+  EXPECT_DOUBLE_EQ(ls.ExactMoment(2), exact.Fk(2));
+}
+
+TEST(ExactLevelSetsTest, DiscretizationErrorBounded) {
+  // Members of level i have g in [v_i, v_i (1+eps')) and the estimator
+  // evaluates C(., l) at the midpoint, so the discretized collision count
+  // must stay within the (1+eps')^l envelope of the exact one.
+  ZipfGenerator g(2000, 1.2, 3);
+  Stream s = Materialize(g, 60000);
+  const double eps = 0.1;
+  ExactLevelSets ls(eps, 0.9);
+  for (item_t a : s) ls.Update(a);
+  for (int l = 2; l <= 3; ++l) {
+    const double exact = ls.ExactCollisions(l);
+    const double approx = ls.EstimateCollisions(l);
+    const double envelope = std::pow(1.0 + eps, l);
+    EXPECT_LE(approx, exact * envelope) << "l=" << l;
+    EXPECT_GE(approx * envelope, exact) << "l=" << l;
+  }
+}
+
+LevelSetParams TestParams() {
+  LevelSetParams p;
+  p.eps_prime = 0.2;
+  p.max_depth = 14;
+  p.cs_depth = 5;
+  p.cs_width = 2048;
+  p.heavy_factor = 4.0;
+  return p;
+}
+
+TEST(IndykWoodruffTest, MomentEstimateOnSkewedStream) {
+  ZipfGenerator g(4000, 1.3, 4);
+  Stream s = Materialize(g, 120000);
+  FrequencyTable exact = ExactStats(s);
+  IndykWoodruffEstimator iw(TestParams(), 5);
+  for (item_t a : s) iw.Update(a);
+  EXPECT_TRUE(WithinFactor(iw.EstimateMoment(2), exact.Fk(2), 1.6))
+      << "estimate=" << iw.EstimateMoment(2) << " exact=" << exact.Fk(2);
+}
+
+TEST(IndykWoodruffTest, CollisionEstimateOnSkewedStream) {
+  ZipfGenerator g(4000, 1.3, 6);
+  Stream s = Materialize(g, 120000);
+  FrequencyTable exact = ExactStats(s);
+  IndykWoodruffEstimator iw(TestParams(), 7);
+  for (item_t a : s) iw.Update(a);
+  EXPECT_TRUE(WithinFactor(iw.EstimateCollisions(2), exact.CollisionCount(2),
+                           1.6))
+      << "estimate=" << iw.EstimateCollisions(2)
+      << " exact=" << exact.CollisionCount(2);
+}
+
+TEST(IndykWoodruffTest, SingletonStreamHasNoPairCollisions) {
+  DistinctGenerator g;
+  Stream s = Materialize(g, 50000);
+  IndykWoodruffEstimator iw(TestParams(), 8);
+  for (item_t a : s) iw.Update(a);
+  // All frequencies are 1 < 2, so C(v, 2) sums over level sets with v < 2
+  // vanish; only boundary rounding can contribute, and it must stay tiny
+  // relative to F1.
+  EXPECT_LT(iw.EstimateCollisions(2), 0.05 * static_cast<double>(s.size()));
+}
+
+TEST(IndykWoodruffTest, HeavyLevelSetRecovered) {
+  // Planted: 6 items of frequency ~5000 over a light tail; the structure
+  // must report a level set near v ~ 5000 with size ~ 6.
+  PlantedHeavyHitterGenerator g(6, 0.3, 50000, 9);
+  Stream s = Materialize(g, 100000);
+  IndykWoodruffEstimator iw(TestParams(), 10);
+  for (item_t a : s) iw.Update(a);
+  double mass_near_heavy = 0.0;
+  for (const auto& est : iw.EstimateLevelSets()) {
+    if (est.value > 2500.0 && est.value < 10000.0) mass_near_heavy += est.size;
+  }
+  EXPECT_GE(mass_near_heavy, 4.0);
+  EXPECT_LE(mass_near_heavy, 9.0);
+}
+
+TEST(IndykWoodruffTest, DeterministicGivenSeed) {
+  ZipfGenerator g1(1000, 1.2, 11), g2(1000, 1.2, 11);
+  Stream s1 = Materialize(g1, 20000), s2 = Materialize(g2, 20000);
+  IndykWoodruffEstimator a(TestParams(), 12), b(TestParams(), 12);
+  for (item_t x : s1) a.Update(x);
+  for (item_t x : s2) b.Update(x);
+  EXPECT_DOUBLE_EQ(a.EstimateCollisions(2), b.EstimateCollisions(2));
+  EXPECT_DOUBLE_EQ(a.eta(), b.eta());
+}
+
+TEST(IndykWoodruffTest, SpaceScalesWithWidth) {
+  LevelSetParams small = TestParams();
+  small.cs_width = 256;
+  LevelSetParams large = TestParams();
+  large.cs_width = 4096;
+  IndykWoodruffEstimator a(small, 13), b(large, 13);
+  EXPECT_LT(a.SpaceBytes(), b.SpaceBytes());
+}
+
+TEST(IndykWoodruffTest, EmptyStreamReportsNothing) {
+  IndykWoodruffEstimator iw(TestParams(), 14);
+  EXPECT_TRUE(iw.EstimateLevelSets().empty());
+  EXPECT_DOUBLE_EQ(iw.EstimateCollisions(2), 0.0);
+}
+
+}  // namespace
+}  // namespace substream

@@ -1,0 +1,183 @@
+/// Merge semantics across the sketch family: a merged sketch must be
+/// equivalent (exactly, for linear sketches; within guarantees, for
+/// summaries) to a single sketch fed the concatenated stream. This is the
+/// distributed-monitors setting of the related work [16, 36]: several
+/// routers each sample and sketch locally, a collector merges.
+
+#include <gtest/gtest.h>
+
+#include "core/substream.h"
+
+namespace substream {
+namespace {
+
+struct TwoStreams {
+  Stream a;
+  Stream b;
+  Stream both;
+};
+
+TwoStreams MakeStreams() {
+  TwoStreams t;
+  ZipfGenerator g1(2000, 1.2, 1);
+  ZipfGenerator g2(3000, 1.0, 2);
+  t.a = Materialize(g1, 30000);
+  t.b = Materialize(g2, 40000);
+  t.both = t.a;
+  t.both.insert(t.both.end(), t.b.begin(), t.b.end());
+  return t;
+}
+
+TEST(MergeTest, CountMinEqualsConcatenation) {
+  TwoStreams t = MakeStreams();
+  CountMinSketch sa(5, 1024, false, 7), sb(5, 1024, false, 7),
+      sboth(5, 1024, false, 7);
+  for (item_t x : t.a) sa.Update(x);
+  for (item_t x : t.b) sb.Update(x);
+  for (item_t x : t.both) sboth.Update(x);
+  sa.Merge(sb);
+  EXPECT_EQ(sa.TotalCount(), sboth.TotalCount());
+  for (item_t probe : {1, 2, 3, 10, 100, 999}) {
+    EXPECT_EQ(sa.Estimate(static_cast<item_t>(probe)),
+              sboth.Estimate(static_cast<item_t>(probe)));
+  }
+}
+
+TEST(MergeTest, CountSketchEqualsConcatenation) {
+  TwoStreams t = MakeStreams();
+  CountSketch sa(5, 1024, 9), sb(5, 1024, 9), sboth(5, 1024, 9);
+  for (item_t x : t.a) sa.Update(x);
+  for (item_t x : t.b) sb.Update(x);
+  for (item_t x : t.both) sboth.Update(x);
+  sa.Merge(sb);
+  EXPECT_DOUBLE_EQ(sa.EstimateF2(), sboth.EstimateF2());
+  for (item_t probe : {1, 2, 3, 10, 100}) {
+    EXPECT_DOUBLE_EQ(sa.Estimate(static_cast<item_t>(probe)),
+                     sboth.Estimate(static_cast<item_t>(probe)));
+  }
+}
+
+TEST(MergeTest, AmsEqualsConcatenation) {
+  TwoStreams t = MakeStreams();
+  AmsF2Sketch sa = AmsF2Sketch::WithGeometry(5, 64, 11);
+  AmsF2Sketch sb = AmsF2Sketch::WithGeometry(5, 64, 11);
+  AmsF2Sketch sboth = AmsF2Sketch::WithGeometry(5, 64, 11);
+  for (item_t x : t.a) sa.Update(x);
+  for (item_t x : t.b) sb.Update(x);
+  for (item_t x : t.both) sboth.Update(x);
+  sa.Merge(sb);
+  EXPECT_DOUBLE_EQ(sa.Estimate(), sboth.Estimate());
+}
+
+TEST(MergeTest, KmvEqualsConcatenation) {
+  TwoStreams t = MakeStreams();
+  KmvSketch sa(256, 13), sb(256, 13), sboth(256, 13);
+  for (item_t x : t.a) sa.Update(x);
+  for (item_t x : t.b) sb.Update(x);
+  for (item_t x : t.both) sboth.Update(x);
+  sa.Merge(sb);
+  EXPECT_DOUBLE_EQ(sa.Estimate(), sboth.Estimate());
+}
+
+TEST(MergeTest, HllEqualsConcatenation) {
+  TwoStreams t = MakeStreams();
+  HyperLogLog sa(12, 15), sb(12, 15), sboth(12, 15);
+  for (item_t x : t.a) sa.Update(x);
+  for (item_t x : t.b) sb.Update(x);
+  for (item_t x : t.both) sboth.Update(x);
+  sa.Merge(sb);
+  EXPECT_DOUBLE_EQ(sa.Estimate(), sboth.Estimate());
+}
+
+TEST(MergeTest, MisraGriesKeepsGuaranteeAfterMerge) {
+  TwoStreams t = MakeStreams();
+  const std::size_t k = 64;
+  MisraGries sa(k), sb(k);
+  for (item_t x : t.a) sa.Update(x);
+  for (item_t x : t.b) sb.Update(x);
+  sa.Merge(sb);
+  FrequencyTable exact = ExactStats(t.both);
+  // Mergeable-summaries guarantee: estimates never overestimate and the
+  // total error stays within F1 / (k+1) for the combined stream (Agarwal
+  // et al.); the accumulated decrement bound is exposed directly.
+  for (const auto& [item, f] : exact.counts()) {
+    EXPECT_LE(sa.Estimate(item), f);
+    EXPECT_GE(static_cast<double>(sa.Estimate(item)),
+              static_cast<double>(f) -
+                  static_cast<double>(sa.ErrorBound()) - 1.0);
+  }
+  EXPECT_LE(static_cast<double>(sa.ErrorBound()),
+            2.0 * static_cast<double>(exact.F1()) / (k + 1));
+}
+
+TEST(MergeTest, MisraGriesMergeBoundedSize) {
+  MisraGries sa(16), sb(16);
+  for (item_t x = 0; x < 200; ++x) sa.Update(x, 10 + x);
+  for (item_t x = 100; x < 300; ++x) sb.Update(x, 5 + x);
+  sa.Merge(sb);
+  EXPECT_LE(sa.SpaceBytes(), 16u * (sizeof(item_t) + sizeof(count_t)));
+}
+
+TEST(MergeTest, IndykWoodruffEqualsConcatenationEstimates) {
+  TwoStreams t = MakeStreams();
+  LevelSetParams params;
+  params.eps_prime = 0.2;
+  params.max_depth = 12;
+  params.cs_depth = 5;
+  params.cs_width = 1024;
+  IndykWoodruffEstimator sa(params, 17), sb(params, 17), sboth(params, 17);
+  for (item_t x : t.a) sa.Update(x);
+  for (item_t x : t.b) sb.Update(x);
+  for (item_t x : t.both) sboth.Update(x);
+  sa.Merge(sb);
+  EXPECT_EQ(sa.ConsumedLength(), sboth.ConsumedLength());
+  // The underlying CountSketches merge exactly; candidate pools may differ
+  // slightly (tracking is order-dependent), so compare the final collision
+  // estimates within a modest tolerance.
+  EXPECT_NEAR(sa.EstimateCollisions(2), sboth.EstimateCollisions(2),
+              0.25 * sboth.EstimateCollisions(2) + 1.0);
+}
+
+TEST(MergeTest, DistributedMonitorsPipeline) {
+  // End-to-end distributed scenario: two routers Bernoulli-sample their
+  // local traffic at the same rate, sketch locally, and a collector merges
+  // to answer about the union of the *original* streams.
+  TwoStreams t = MakeStreams();
+  const double p = 0.2;
+  FrequencyTable exact = ExactStats(t.both);
+
+  KmvSketch kmv_a(1024, 19), kmv_b(1024, 19);
+  CountSketch cs_a(7, 2048, 21), cs_b(7, 2048, 21);
+  BernoulliSampler sampler_a(p, 23), sampler_b(p, 29);
+  count_t len_a = 0, len_b = 0;
+  for (item_t x : t.a) {
+    if (sampler_a.Keep()) {
+      kmv_a.Update(x);
+      cs_a.Update(x);
+      ++len_a;
+    }
+  }
+  for (item_t x : t.b) {
+    if (sampler_b.Keep()) {
+      kmv_b.Update(x);
+      cs_b.Update(x);
+      ++len_b;
+    }
+  }
+  kmv_a.Merge(kmv_b);
+  cs_a.Merge(cs_b);
+
+  // F0 via Algorithm 2 scaling on the merged sketch.
+  const double f0_est = kmv_a.Estimate() / std::sqrt(p);
+  EXPECT_TRUE(WithinFactor(f0_est, static_cast<double>(exact.F0()),
+                           4.0 / std::sqrt(p)));
+
+  // F2 via Rusu–Dobra-style unbiasing of the merged CountSketch F2.
+  const double f1_sampled = static_cast<double>(len_a + len_b);
+  const double f2_est =
+      (cs_a.EstimateF2() - (1.0 - p) * f1_sampled) / (p * p);
+  EXPECT_TRUE(WithinFactor(f2_est, exact.Fk(2), 1.5));
+}
+
+}  // namespace
+}  // namespace substream

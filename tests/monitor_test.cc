@@ -1,0 +1,104 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stream/exact_stats.h"
+#include "stream/generators.h"
+#include "stream/samplers.h"
+#include "util/math.h"
+
+namespace substream {
+namespace {
+
+TEST(MonitorTest, FullReportAccuracy) {
+  const double p = 0.2;
+  ZipfGenerator g(4000, 1.2, 1);
+  Stream original = Materialize(g, 200000);
+  FrequencyTable exact = ExactStats(original);
+
+  MonitorConfig config;
+  config.p = p;
+  config.universe = 4000;
+  config.n_hint = static_cast<double>(original.size());
+  config.hh_alpha = 0.02;
+  Monitor monitor(config, 2);
+
+  BernoulliSampler sampler(p, 3);
+  for (item_t a : original) {
+    if (sampler.Keep()) monitor.Update(a);
+  }
+  const MonitorReport report = monitor.Report();
+
+  ASSERT_TRUE(report.distinct_items.has_value());
+  EXPECT_TRUE(WithinFactor(*report.distinct_items,
+                           static_cast<double>(exact.F0()),
+                           4.0 / std::sqrt(p)));
+  ASSERT_TRUE(report.second_moment.has_value());
+  EXPECT_TRUE(WithinFactor(*report.second_moment, exact.Fk(2), 1.6));
+  ASSERT_TRUE(report.entropy.has_value());
+  EXPECT_TRUE(WithinFactor(report.entropy->entropy, exact.Entropy(), 2.0));
+  ASSERT_TRUE(report.heavy_hitters.has_value());
+  const auto top = exact.TopK(1);
+  EXPECT_TRUE(std::any_of(report.heavy_hitters->begin(),
+                          report.heavy_hitters->end(),
+                          [&](const HeavyHitter& h) {
+                            return h.item == top[0].first;
+                          }));
+  EXPECT_NEAR(report.scaled_length, static_cast<double>(original.size()),
+              0.05 * static_cast<double>(original.size()));
+}
+
+TEST(MonitorTest, DisabledStatisticsAreAbsentAndFree) {
+  MonitorConfig everything;
+  everything.p = 0.5;
+  MonitorConfig only_f0;
+  only_f0.p = 0.5;
+  only_f0.enable_f2 = false;
+  only_f0.enable_entropy = false;
+  only_f0.enable_heavy_hitters = false;
+
+  Monitor full(everything, 4), slim(only_f0, 4);
+  for (item_t i = 0; i < 1000; ++i) {
+    full.Update(i);
+    slim.Update(i);
+  }
+  const MonitorReport report = slim.Report();
+  EXPECT_TRUE(report.distinct_items.has_value());
+  EXPECT_FALSE(report.second_moment.has_value());
+  EXPECT_FALSE(report.entropy.has_value());
+  EXPECT_FALSE(report.heavy_hitters.has_value());
+  EXPECT_LT(slim.SpaceBytes(), full.SpaceBytes() / 4);
+}
+
+TEST(MonitorTest, DeterministicGivenSeed) {
+  auto run = [] {
+    MonitorConfig config;
+    config.p = 0.3;
+    Monitor monitor(config, 9);
+    ZipfGenerator g(500, 1.3, 10);
+    BernoulliSampler sampler(0.3, 11);
+    for (item_t a : Materialize(g, 30000)) {
+      if (sampler.Keep()) monitor.Update(a);
+    }
+    return monitor.Report();
+  };
+  const MonitorReport r1 = run(), r2 = run();
+  EXPECT_DOUBLE_EQ(*r1.second_moment, *r2.second_moment);
+  EXPECT_DOUBLE_EQ(*r1.distinct_items, *r2.distinct_items);
+}
+
+TEST(MonitorTest, EmptyStreamReport) {
+  MonitorConfig config;
+  config.p = 0.5;
+  Monitor monitor(config, 12);
+  const MonitorReport report = monitor.Report();
+  EXPECT_EQ(report.sampled_length, 0u);
+  EXPECT_DOUBLE_EQ(report.scaled_length, 0.0);
+  EXPECT_DOUBLE_EQ(*report.second_moment, 0.0);
+}
+
+}  // namespace
+}  // namespace substream

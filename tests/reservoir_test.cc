@@ -1,0 +1,108 @@
+#include "stream/reservoir.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace substream {
+namespace {
+
+TEST(ReservoirSamplerTest, EmptyHasNoSample) {
+  ReservoirSampler r(1);
+  EXPECT_FALSE(r.HasSample());
+}
+
+TEST(ReservoirSamplerTest, SingleItem) {
+  ReservoirSampler r(2);
+  r.Update(42);
+  ASSERT_TRUE(r.HasSample());
+  EXPECT_EQ(r.Sample(), 42u);
+  EXPECT_EQ(r.Count(), 1u);
+}
+
+TEST(ReservoirSamplerTest, UniformOverPositions) {
+  // Over many replicates, each of the 10 stream positions should be chosen
+  // ~10% of the time.
+  std::map<item_t, int> chosen;
+  const int reps = 30000;
+  for (int rep = 0; rep < reps; ++rep) {
+    ReservoirSampler r(static_cast<std::uint64_t>(rep));
+    for (item_t x = 1; x <= 10; ++x) r.Update(x);
+    ++chosen[r.Sample()];
+  }
+  for (item_t x = 1; x <= 10; ++x) {
+    EXPECT_NEAR(chosen[x], reps / 10.0, 5.0 * std::sqrt(reps / 10.0))
+        << "position " << x;
+  }
+}
+
+TEST(KReservoirSamplerTest, HoldsPrefixWhenSmall) {
+  KReservoirSampler r(5, 3);
+  for (item_t x = 1; x <= 3; ++x) r.Update(x);
+  EXPECT_EQ(r.Samples().size(), 3u);
+}
+
+TEST(KReservoirSamplerTest, SizeCapsAtK) {
+  KReservoirSampler r(5, 4);
+  for (item_t x = 1; x <= 100; ++x) r.Update(x);
+  EXPECT_EQ(r.Samples().size(), 5u);
+  EXPECT_EQ(r.Count(), 100u);
+}
+
+TEST(KReservoirSamplerTest, InclusionProbabilityIsKOverN) {
+  const std::size_t k = 3;
+  const item_t n = 12;
+  std::map<item_t, int> included;
+  const int reps = 20000;
+  for (int rep = 0; rep < reps; ++rep) {
+    KReservoirSampler r(k, static_cast<std::uint64_t>(rep));
+    for (item_t x = 1; x <= n; ++x) r.Update(x);
+    for (item_t x : r.Samples()) ++included[x];
+  }
+  const double expected = static_cast<double>(reps) * k / n;
+  for (item_t x = 1; x <= n; ++x) {
+    EXPECT_NEAR(included[x], expected, 5.0 * std::sqrt(expected))
+        << "item " << x;
+  }
+}
+
+TEST(WeightedReservoirTest, HeavyWeightDominates) {
+  // Item 1 has weight 9, items 2..10 weight 1 each: item 1 should be
+  // included in a 1-sample roughly 9/18 = 50% of the time.
+  int item1 = 0;
+  const int reps = 20000;
+  for (int rep = 0; rep < reps; ++rep) {
+    WeightedReservoirSampler r(1, static_cast<std::uint64_t>(rep));
+    r.Update(1, 9.0);
+    for (item_t x = 2; x <= 10; ++x) r.Update(x, 1.0);
+    if (r.Samples()[0] == 1) ++item1;
+  }
+  EXPECT_NEAR(static_cast<double>(item1) / reps, 0.5, 0.02);
+}
+
+TEST(WeightedReservoirTest, SizeCapsAtK) {
+  WeightedReservoirSampler r(4, 5);
+  for (item_t x = 1; x <= 50; ++x) r.Update(x, 1.0 + static_cast<double>(x));
+  EXPECT_EQ(r.Samples().size(), 4u);
+  EXPECT_EQ(r.Count(), 50u);
+}
+
+TEST(WeightedReservoirTest, UniformWeightsAreUniform) {
+  std::map<item_t, int> included;
+  const int reps = 15000;
+  for (int rep = 0; rep < reps; ++rep) {
+    WeightedReservoirSampler r(2, static_cast<std::uint64_t>(rep) + 999);
+    for (item_t x = 1; x <= 8; ++x) r.Update(x, 1.0);
+    for (item_t x : r.Samples()) ++included[x];
+  }
+  const double expected = static_cast<double>(reps) * 2.0 / 8.0;
+  for (item_t x = 1; x <= 8; ++x) {
+    EXPECT_NEAR(included[x], expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+}  // namespace
+}  // namespace substream

@@ -1,0 +1,151 @@
+#include "util/hash.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace substream {
+namespace {
+
+TEST(Mix64Test, DeterministicAndDistinct) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 4096; ++x) outputs.insert(Mix64(x));
+  EXPECT_EQ(outputs.size(), 4096u);  // bijection => no collisions
+}
+
+TEST(Mix64Test, AvalancheOnSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  double total_flips = 0.0;
+  int cases = 0;
+  for (std::uint64_t x = 1; x < 200; ++x) {
+    for (int b = 0; b < 64; b += 7) {
+      const std::uint64_t diff = Mix64(x) ^ Mix64(x ^ (1ULL << b));
+      total_flips += __builtin_popcountll(diff);
+      ++cases;
+    }
+  }
+  const double mean_flips = total_flips / cases;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(DeriveSeedTest, DistinctPerIndex) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(DeriveSeed(7, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(PolynomialHashTest, DeterministicGivenSeed) {
+  PolynomialHash h1(4, 123);
+  PolynomialHash h2(4, 123);
+  PolynomialHash h3(4, 124);
+  bool any_different = false;
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    EXPECT_EQ(h1.Hash(x), h2.Hash(x));
+    any_different |= (h1.Hash(x) != h3.Hash(x));
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(PolynomialHashTest, OutputInFieldRange) {
+  PolynomialHash h(3, 99);
+  for (std::uint64_t x = 0; x < 10000; x += 37) {
+    EXPECT_LT(h.Hash(x), PolynomialHash::kPrime);
+  }
+}
+
+TEST(PolynomialHashTest, BucketsAreUniform) {
+  PolynomialHash h(2, 5);
+  const std::uint64_t buckets = 16;
+  std::vector<int> histogram(buckets, 0);
+  const int n = 160000;
+  for (int x = 0; x < n; ++x) ++histogram[h.Bucket(static_cast<std::uint64_t>(x), buckets)];
+  const double expected = static_cast<double>(n) / buckets;
+  for (std::uint64_t b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(histogram[b], expected, 0.05 * expected) << "bucket " << b;
+  }
+}
+
+TEST(PolynomialHashTest, SignsAreBalanced) {
+  PolynomialHash h(4, 17);
+  int sum = 0;
+  const int n = 100000;
+  for (int x = 0; x < n; ++x) sum += h.Sign(static_cast<std::uint64_t>(x));
+  // Balanced signs: |sum| should be O(sqrt(n)).
+  EXPECT_LT(std::abs(sum), 10 * static_cast<int>(std::sqrt(n)));
+}
+
+TEST(PolynomialHashTest, PairwiseCollisionRate) {
+  // Pairwise independence: Pr_h[h(x) mod B == h(y) mod B] ~ 1/B, where the
+  // probability is over the random draw of the hash function (for a fixed
+  // linear hash, differences are constant, so we must sample seeds).
+  const std::uint64_t buckets = 64;
+  int collisions = 0;
+  const int trials = 8000;
+  for (int seed = 0; seed < trials; ++seed) {
+    PolynomialHash h(2, static_cast<std::uint64_t>(seed));
+    if (h.Bucket(123456, buckets) == h.Bucket(654321, buckets)) ++collisions;
+  }
+  const double rate = static_cast<double>(collisions) / trials;
+  EXPECT_NEAR(rate, 1.0 / buckets, 0.008);
+}
+
+TEST(PolynomialHashTest, UnitInRange) {
+  PolynomialHash h(2, 77);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int x = 0; x < n; ++x) {
+    const double u = h.Unit(static_cast<std::uint64_t>(x));
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(PolynomialHashTest, IndependenceAccessors) {
+  PolynomialHash h(4, 3);
+  EXPECT_EQ(h.independence(), 4);
+  EXPECT_EQ(h.SpaceBytes(), 4 * sizeof(std::uint64_t));
+}
+
+TEST(TabulationHashTest, DeterministicGivenSeed) {
+  TabulationHash h1(55);
+  TabulationHash h2(55);
+  for (std::uint64_t x = 0; x < 200; ++x) EXPECT_EQ(h1.Hash(x), h2.Hash(x));
+}
+
+TEST(TabulationHashTest, TrailingZeroGeometry) {
+  // Depth assignment for the level-set machinery: Pr[ctz(h(x)) >= t] ~ 2^-t.
+  TabulationHash h(91);
+  const int n = 1 << 16;
+  std::vector<int> depth_count(8, 0);
+  for (int x = 0; x < n; ++x) {
+    const std::uint64_t v = h.Hash(static_cast<std::uint64_t>(x));
+    const int tz = v == 0 ? 64 : __builtin_ctzll(v);
+    for (int t = 0; t < 8 && t <= tz; ++t) ++depth_count[t];
+  }
+  for (int t = 1; t < 8; ++t) {
+    const double expected = std::ldexp(static_cast<double>(n), -t);
+    EXPECT_NEAR(depth_count[t], expected, 6.0 * std::sqrt(expected) + 8.0)
+        << "depth " << t;
+  }
+}
+
+TEST(TabulationHashTest, BitsAreBalanced) {
+  TabulationHash h(123);
+  const int n = 1 << 14;
+  for (int bit = 0; bit < 64; bit += 9) {
+    int ones = 0;
+    for (int x = 0; x < n; ++x) {
+      ones += (h.Hash(static_cast<std::uint64_t>(x)) >> bit) & 1;
+    }
+    EXPECT_NEAR(ones, n / 2, 6 * std::sqrt(n)) << "bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace substream

@@ -1,0 +1,209 @@
+#include "util/math.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace substream {
+namespace {
+
+TEST(StirlingTest, BaseCases) {
+  EXPECT_EQ(StirlingFirstSigned(0, 0), 1);
+  EXPECT_EQ(StirlingFirstSigned(1, 1), 1);
+  EXPECT_EQ(StirlingFirstSigned(1, 0), 0);
+  EXPECT_EQ(StirlingFirstSigned(2, 1), -1);
+  EXPECT_EQ(StirlingFirstSigned(2, 2), 1);
+}
+
+TEST(StirlingTest, KnownRow5) {
+  // x(x-1)(x-2)(x-3)(x-4) = x^5 - 10x^4 + 35x^3 - 50x^2 + 24x.
+  EXPECT_EQ(StirlingFirstSigned(5, 5), 1);
+  EXPECT_EQ(StirlingFirstSigned(5, 4), -10);
+  EXPECT_EQ(StirlingFirstSigned(5, 3), 35);
+  EXPECT_EQ(StirlingFirstSigned(5, 2), -50);
+  EXPECT_EQ(StirlingFirstSigned(5, 1), 24);
+}
+
+TEST(StirlingTest, OutOfRangeKIsZero) {
+  EXPECT_EQ(StirlingFirstSigned(4, 0), 0);
+  EXPECT_EQ(StirlingFirstSigned(4, 5), 0);
+  EXPECT_EQ(StirlingFirstSigned(3, -1), 0);
+}
+
+TEST(StirlingTest, RecurrenceHolds) {
+  // s(n+1, k) = s(n, k-1) - n s(n, k).
+  for (int n = 1; n < 19; ++n) {
+    for (int k = 1; k <= n + 1; ++k) {
+      EXPECT_EQ(StirlingFirstSigned(n + 1, k),
+                StirlingFirstSigned(n, k - 1) -
+                    static_cast<std::int64_t>(n) * StirlingFirstSigned(n, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(StirlingTest, SignAlternates) {
+  // sign(s(n, k)) = (-1)^{n-k} for nonzero entries.
+  for (int n = 1; n < 15; ++n) {
+    for (int k = 1; k <= n; ++k) {
+      const std::int64_t s = StirlingFirstSigned(n, k);
+      ASSERT_NE(s, 0);
+      EXPECT_EQ(s > 0, (n - k) % 2 == 0) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(StirlingTest, UnsignedMatchesAbs) {
+  for (int n = 0; n < 15; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_EQ(StirlingFirstUnsigned(n, k),
+                static_cast<std::uint64_t>(std::llabs(StirlingFirstSigned(n, k))));
+    }
+  }
+}
+
+TEST(StirlingTest, RowSumsToFactorialUnsigned) {
+  // sum_k |s(n,k)| = n!.
+  std::uint64_t factorial = 1;
+  for (int n = 1; n < 15; ++n) {
+    factorial *= static_cast<std::uint64_t>(n);
+    std::uint64_t sum = 0;
+    for (int k = 0; k <= n; ++k) sum += StirlingFirstUnsigned(n, k);
+    EXPECT_EQ(sum, factorial) << "n=" << n;
+  }
+}
+
+TEST(StirlingTest, FallingFactorialExpansionIdentity) {
+  // For several x, x^(n) == sum_k s(n,k) x^k exactly (small integers).
+  for (int n = 1; n <= 8; ++n) {
+    for (int x = 0; x <= 12; ++x) {
+      double falling = FallingFactorial(x, n);
+      double expansion = 0.0;
+      for (int k = 0; k <= n; ++k) {
+        expansion += static_cast<double>(StirlingFirstSigned(n, k)) *
+                     std::pow(static_cast<double>(x), k);
+      }
+      EXPECT_DOUBLE_EQ(falling, expansion) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_DOUBLE_EQ(BinomialDouble(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(BinomialDouble(10, 3), 120.0);
+  EXPECT_DOUBLE_EQ(BinomialDouble(4, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialDouble(3, 4), 0.0);
+}
+
+TEST(BinomialTest, RealValuedArgument) {
+  // C(2.5, 2) = 2.5 * 1.5 / 2 = 1.875 (used for level-set boundaries).
+  EXPECT_DOUBLE_EQ(BinomialDouble(2.5, 2), 1.875);
+}
+
+TEST(BinomialTest, BelowKIsZero) {
+  EXPECT_DOUBLE_EQ(BinomialDouble(1.0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialDouble(1.9, 2), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialDouble(2.9, 3), 0.0);
+}
+
+TEST(BinomialTest, ExactMatchesDouble) {
+  for (std::uint64_t n = 0; n <= 30; ++n) {
+    for (int k = 0; k <= 6; ++k) {
+      EXPECT_DOUBLE_EQ(static_cast<double>(BinomialExact(n, k)),
+                       BinomialDouble(static_cast<double>(n), k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialTest, PascalRule) {
+  for (std::uint64_t n = 1; n <= 40; ++n) {
+    for (int k = 1; k <= 8; ++k) {
+      EXPECT_EQ(BinomialExact(n, k),
+                BinomialExact(n - 1, k) + BinomialExact(n - 1, k - 1));
+    }
+  }
+}
+
+TEST(FallingFactorialTest, Values) {
+  EXPECT_DOUBLE_EQ(FallingFactorial(5, 3), 60.0);
+  EXPECT_DOUBLE_EQ(FallingFactorial(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(FallingFactorial(3, 4), 0.0);
+  // l! * C(n, l) == n^(l).
+  for (int n = 0; n <= 12; ++n) {
+    for (int l = 0; l <= 5; ++l) {
+      double factorial = 1.0;
+      for (int i = 2; i <= l; ++i) factorial *= i;
+      EXPECT_DOUBLE_EQ(FallingFactorial(n, l),
+                       factorial * BinomialDouble(n, l));
+    }
+  }
+}
+
+TEST(EntropyTermTest, Conventions) {
+  EXPECT_DOUBLE_EQ(EntropyTerm(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyTerm(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyTerm(5, 10), 0.5);
+  EXPECT_NEAR(EntropyTerm(1, 2) + EntropyTerm(1, 2), 1.0, 1e-12);
+}
+
+TEST(EntropyTermTest, UniformSumsToLogM) {
+  const int m = 64;
+  double h = 0.0;
+  for (int i = 0; i < m; ++i) h += EntropyTerm(1.0, m);
+  EXPECT_NEAR(h, 6.0, 1e-9);
+}
+
+TEST(KahanSumTest, RecoversSmallTerms) {
+  KahanSum sum;
+  sum.Add(1e16);
+  for (int i = 0; i < 10000; ++i) sum.Add(1.0);
+  sum.Add(-1e16);
+  EXPECT_DOUBLE_EQ(sum.Value(), 10000.0);
+}
+
+TEST(KahanSumTest, ResetClears) {
+  KahanSum sum;
+  sum.Add(42.0);
+  sum.Reset();
+  EXPECT_DOUBLE_EQ(sum.Value(), 0.0);
+}
+
+TEST(MedianRepetitionsTest, OddAndMonotone) {
+  const int r1 = MedianRepetitions(0.1);
+  const int r2 = MedianRepetitions(0.01);
+  EXPECT_EQ(r1 % 2, 1);
+  EXPECT_EQ(r2 % 2, 1);
+  EXPECT_LT(r1, r2);
+}
+
+TEST(CeilLog2Test, Values) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1ULL << 20), 20);
+  EXPECT_EQ(CeilLog2((1ULL << 20) + 1), 21);
+}
+
+TEST(WithinFactorTest, Basics) {
+  EXPECT_TRUE(WithinFactor(10.0, 10.0, 1.0));
+  EXPECT_TRUE(WithinFactor(5.0, 10.0, 2.0));
+  EXPECT_TRUE(WithinFactor(20.0, 10.0, 2.0));
+  EXPECT_FALSE(WithinFactor(4.9, 10.0, 2.0));
+  EXPECT_FALSE(WithinFactor(20.1, 10.0, 2.0));
+  EXPECT_FALSE(WithinFactor(-1.0, 10.0, 2.0));
+  EXPECT_TRUE(WithinFactor(0.0, 0.0, 2.0));
+  EXPECT_FALSE(WithinFactor(1.0, 0.0, 2.0));
+}
+
+TEST(RelativeErrorTest, Basics) {
+  EXPECT_DOUBLE_EQ(RelativeError(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(9.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(3.0, 0.0), 3.0);
+}
+
+}  // namespace
+}  // namespace substream

@@ -1,0 +1,201 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace substream {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(9), b(9), c(10);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    differs |= (va != c.Next());
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UnitInRangeWithCorrectMean) {
+  Rng rng(1);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.NextUnit();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    stats.Add(u);
+  }
+  EXPECT_NEAR(stats.Mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.Variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(RngTest, BoundedIsUniform) {
+  Rng rng(2);
+  const std::uint64_t bound = 10;
+  std::vector<int> histogram(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++histogram[rng.NextBounded(bound)];
+  for (std::uint64_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(histogram[b], n / 10.0, 0.05 * n / 10.0);
+  }
+}
+
+TEST(RngTest, BoundedOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, BernoulliMean) {
+  Rng rng(4);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int successes = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) successes += rng.NextBernoulli(p);
+    EXPECT_NEAR(static_cast<double>(successes) / n, p, 0.01) << "p=" << p;
+  }
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(5);
+  const double p = 0.25;
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(static_cast<double>(rng.NextGeometric(p)));
+  }
+  // E[failures before success] = (1-p)/p = 3.
+  EXPECT_NEAR(stats.Mean(), 3.0, 0.1);
+}
+
+TEST(RngTest, BinomialSmallRegimeMoments) {
+  Rng rng(6);
+  const std::uint64_t n = 100;
+  const double p = 0.05;  // np = 5 < 30: exact waiting-time path
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t x = rng.NextBinomial(n, p);
+    ASSERT_LE(x, n);
+    stats.Add(static_cast<double>(x));
+  }
+  EXPECT_NEAR(stats.Mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.Variance(), 4.75, 0.3);
+}
+
+TEST(RngTest, BinomialLargeRegimeMoments) {
+  Rng rng(7);
+  const std::uint64_t n = 10000;
+  const double p = 0.3;  // np = 3000: normal approximation path
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(static_cast<double>(rng.NextBinomial(n, p)));
+  }
+  EXPECT_NEAR(stats.Mean(), 3000.0, 5.0);
+  EXPECT_NEAR(stats.Variance(), 2100.0, 150.0);
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng rng(8);
+  EXPECT_EQ(rng.NextBinomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.NextBinomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.NextBinomial(100, 1.0), 100u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.Variance(), 1.0, 0.02);
+}
+
+TEST(ZipfTest, RangeAndDeterminism) {
+  ZipfDistribution zipf(1000, 1.1);
+  Rng a(10), b(10);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = zipf.Sample(a);
+    EXPECT_EQ(x, zipf.Sample(b));
+    ASSERT_GE(x, 1u);
+    ASSERT_LE(x, 1000u);
+  }
+}
+
+TEST(ZipfTest, RankOneProbabilityMatchesAnalytic) {
+  const std::uint64_t universe = 1000;
+  const double skew = 1.0;
+  ZipfDistribution zipf(universe, skew);
+  Rng rng(11);
+  const int n = 200000;
+  int rank_one = 0;
+  for (int i = 0; i < n; ++i) rank_one += (zipf.Sample(rng) == 1);
+  double harmonic = 0.0;
+  for (std::uint64_t r = 1; r <= universe; ++r) {
+    harmonic += 1.0 / static_cast<double>(r);
+  }
+  const double expected = 1.0 / harmonic;
+  EXPECT_NEAR(static_cast<double>(rank_one) / n, expected, 0.15 * expected);
+}
+
+TEST(ZipfTest, FrequenciesDecreaseWithRank) {
+  ZipfDistribution zipf(100, 1.5);
+  Rng rng(12);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[1], counts[4]);
+  EXPECT_GT(counts[2], counts[8]);
+  EXPECT_GT(counts[1], counts[10]);
+}
+
+TEST(ZipfTest, ZeroSkewIsNearUniform) {
+  ZipfDistribution zipf(50, 0.0);
+  Rng rng(13);
+  std::vector<int> counts(51, 0);
+  const int n = 250000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (std::uint64_t v = 1; v <= 50; ++v) {
+    EXPECT_NEAR(counts[v], n / 50.0, 0.1 * n / 50.0) << "value " << v;
+  }
+}
+
+TEST(ZipfTest, SingletonUniverse) {
+  ZipfDistribution zipf(1, 1.2);
+  Rng rng(14);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 1u);
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  Rng rng(15);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(rng)];
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double expected = weights[i] / 10.0 * n;
+    EXPECT_NEAR(counts[i], expected, 0.05 * expected) << "index " << i;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table({0.0, 1.0, 0.0, 1.0});
+  Rng rng(16);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t s = table.Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTableTest, SingleBucket) {
+  AliasTable table({5.0});
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace substream

@@ -1,0 +1,66 @@
+#include "util/stats.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace substream {
+namespace {
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_EQ(stats.Count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  EXPECT_NEAR(stats.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats stats;
+  EXPECT_EQ(stats.Count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Variance(), 0.0);
+  stats.Add(3.0);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Variance(), 0.0);
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7.0}), 7.0);
+}
+
+TEST(QuantileTest, Extremes) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+}
+
+TEST(MedianOfMeansTest, SingleGroupIsMean) {
+  EXPECT_DOUBLE_EQ(MedianOfMeans({1.0, 2.0, 3.0, 4.0}, 1), 2.5);
+}
+
+TEST(MedianOfMeansTest, RobustToOutlierGroup) {
+  // 3 groups of 2; the outlier pair lands in one group and is voted out.
+  const std::vector<double> values = {1.0, 1.0, 1.0, 1.0, 1000.0, 1000.0};
+  EXPECT_DOUBLE_EQ(MedianOfMeans(values, 3), 1.0);
+}
+
+TEST(MedianOfMeansTest, GroupsClampedToSize) {
+  EXPECT_DOUBLE_EQ(MedianOfMeans({5.0, 7.0}, 10), 6.0);
+}
+
+TEST(FractionWithinFactorTest, Counts) {
+  const std::vector<double> values = {10.0, 5.0, 20.0, 4.0, 21.0};
+  // truth 10, factor 2: accepts [5, 20].
+  EXPECT_DOUBLE_EQ(FractionWithinFactor(values, 10.0, 2.0), 0.6);
+  EXPECT_DOUBLE_EQ(FractionWithinFactor({}, 10.0, 2.0), 0.0);
+}
+
+}  // namespace
+}  // namespace substream
