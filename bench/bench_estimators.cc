@@ -56,6 +56,17 @@ void BM_FkUpdateExactBackend(benchmark::State& state) {
 }
 BENCHMARK(BM_FkUpdateExactBackend);
 
+void BM_FkUpdateBatchSketch(benchmark::State& state) {
+  FkEstimator est(SketchFkParams(static_cast<int>(state.range(0))), 5);
+  Stream s = BenchStream(1 << 14);
+  for (auto _ : state) {
+    est.UpdateBatch(s.data(), s.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_FkUpdateBatchSketch)->Arg(2)->Arg(4);
+
 void BM_FkEstimateSketch(benchmark::State& state) {
   FkEstimator est(SketchFkParams(2), 9);
   for (item_t a : BenchStream(1 << 15)) est.Update(a);
@@ -93,6 +104,21 @@ void BM_EntropyUpdateMle(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EntropyUpdateMle);
+
+void BM_F0UpdateBatch(benchmark::State& state) {
+  F0Params params;
+  params.p = 0.1;
+  params.backend =
+      state.range(0) == 0 ? F0Backend::kKmv : F0Backend::kHyperLogLog;
+  F0Estimator est(params, 11);
+  Stream s = BenchStream(1 << 14);
+  for (auto _ : state) {
+    est.UpdateBatch(s.data(), s.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_F0UpdateBatch)->Arg(0)->Arg(1);
 
 void BM_F1HeavyHitterUpdate(benchmark::State& state) {
   HeavyHitterParams params;

@@ -1,0 +1,103 @@
+/// Ingestion-scaling harness: items/sec for the three ways of feeding a
+/// Monitor — item-at-a-time Update, UpdateBatch, and ShardedMonitor at
+/// 1/2/4/8 shards — over the same Zipf workload. One JSON row per
+/// configuration on stdout, so BENCH_*.json trajectories can track the
+/// batching and sharding speedups across commits.
+///
+///   ./bench_ingest_scaling [items] [repeats]
+///
+/// Output (one object per line):
+///   {"bench":"monitor_ingest","mode":"update","shards":0,...}
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/monitor.h"
+#include "core/sharded_monitor.h"
+#include "stream/generators.h"
+
+using namespace substream;
+
+namespace {
+
+MonitorConfig BenchConfig() {
+  MonitorConfig config;
+  config.p = 0.1;
+  config.universe = 1 << 16;
+  config.hh_alpha = 0.02;
+  config.max_f2_width = 1 << 12;
+  return config;
+}
+
+double BestOf(int repeats, double (*run)(const Stream&), const Stream& s) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    best = std::max(best, run(s));
+  }
+  return best;
+}
+
+double RunUpdate(const Stream& s) {
+  Monitor monitor(BenchConfig(), 3);
+  bench::Stopwatch timer;
+  for (item_t a : s) monitor.Update(a);
+  return static_cast<double>(s.size()) / timer.Seconds();
+}
+
+double RunBatch(const Stream& s) {
+  Monitor monitor(BenchConfig(), 3);
+  constexpr std::size_t kBatch = 8192;
+  bench::Stopwatch timer;
+  for (std::size_t i = 0; i < s.size(); i += kBatch) {
+    monitor.UpdateBatch(s.data() + i, std::min(kBatch, s.size() - i));
+  }
+  return static_cast<double>(s.size()) / timer.Seconds();
+}
+
+std::size_t g_shards = 1;
+
+double RunSharded(const Stream& s) {
+  ShardedMonitorOptions options;
+  options.shards = g_shards;
+  ShardedMonitor monitor(BenchConfig(), 3, options);
+  bench::Stopwatch timer;
+  monitor.Ingest(s);
+  (void)monitor.Report();  // includes drain + merge: end-to-end cost
+  return static_cast<double>(s.size()) / timer.Seconds();
+}
+
+void EmitRow(const char* mode, std::size_t shards, std::size_t items,
+             double items_per_sec, double baseline) {
+  std::printf(
+      "{\"bench\":\"monitor_ingest\",\"mode\":\"%s\",\"shards\":%zu,"
+      "\"items\":%zu,\"items_per_sec\":%.0f,\"speedup_vs_update\":%.3f}\n",
+      mode, shards, items, items_per_sec,
+      baseline > 0.0 ? items_per_sec / baseline : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t items =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : (1u << 21);
+  const int repeats = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  ZipfGenerator generator(1 << 16, 1.1, 7);
+  const Stream sampled = Materialize(generator, items);
+
+  const double update_rate = BestOf(repeats, RunUpdate, sampled);
+  EmitRow("update", 0, items, update_rate, update_rate);
+
+  const double batch_rate = BestOf(repeats, RunBatch, sampled);
+  EmitRow("update_batch", 0, items, batch_rate, update_rate);
+
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+    g_shards = shards;
+    const double rate = BestOf(repeats, RunSharded, sampled);
+    EmitRow("sharded", shards, items, rate, update_rate);
+  }
+  return 0;
+}

@@ -2,8 +2,18 @@
 /// paper claims O~(1) update time per sampled item; these microbenchmarks
 /// report ns/update (and bytes) for each substrate so the claim is
 /// checkable on real hardware.
+///
+/// The *_Batch variants measure the UpdateBatch fast paths of the
+/// mergeable-summary contract (row-major loops with hoisted hash state) on
+/// the same workloads, and the Monitor/ShardedMonitor benchmarks measure
+/// end-to-end ingestion; `bench_ingest_scaling` emits the same comparison
+/// as JSON rows for trajectory tracking. Run with
+/// --benchmark_format=json for machine-readable output here too.
 
 #include <benchmark/benchmark.h>
+
+#include "core/monitor.h"
+#include "core/sharded_monitor.h"
 
 #include "sketch/ams_f2.h"
 #include "sketch/countmin.h"
@@ -89,6 +99,92 @@ void BM_CountSketchUpdate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CountSketchUpdate)->Arg(5)->Arg(9);
+
+void BM_CountMinUpdateBatch(benchmark::State& state) {
+  CountMinSketch cm(static_cast<int>(state.range(0)), 4096, false, 9);
+  Stream s = BenchStream(1 << 14);
+  for (auto _ : state) {
+    cm.UpdateBatch(s.data(), s.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_CountMinUpdateBatch)->Arg(4)->Arg(8);
+
+void BM_CountSketchUpdateBatch(benchmark::State& state) {
+  CountSketch cs(static_cast<int>(state.range(0)), 4096, 11);
+  Stream s = BenchStream(1 << 14);
+  for (auto _ : state) {
+    cs.UpdateBatch(s.data(), s.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_CountSketchUpdateBatch)->Arg(5)->Arg(9);
+
+void BM_AmsF2UpdateBatch(benchmark::State& state) {
+  AmsF2Sketch ams = AmsF2Sketch::WithGeometry(
+      5, static_cast<std::size_t>(state.range(0)), 15);
+  Stream s = BenchStream(1 << 14);
+  for (auto _ : state) {
+    ams.UpdateBatch(s.data(), s.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_AmsF2UpdateBatch)->Arg(16)->Arg(128);
+
+void BM_MonitorUpdate(benchmark::State& state) {
+  MonitorConfig config;
+  config.p = 0.1;
+  config.universe = 1 << 16;
+  config.max_f2_width = 1 << 12;
+  Monitor monitor(config, 3);
+  Stream s = BenchStream(1 << 14);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    monitor.Update(s[i++ & (s.size() - 1)]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MonitorUpdate);
+
+void BM_MonitorUpdateBatch(benchmark::State& state) {
+  MonitorConfig config;
+  config.p = 0.1;
+  config.universe = 1 << 16;
+  config.max_f2_width = 1 << 12;
+  Monitor monitor(config, 3);
+  Stream s = BenchStream(1 << 14);
+  for (auto _ : state) {
+    monitor.UpdateBatch(s.data(), s.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_MonitorUpdateBatch);
+
+void BM_ShardedMonitorIngest(benchmark::State& state) {
+  MonitorConfig config;
+  config.p = 0.1;
+  config.universe = 1 << 16;
+  config.max_f2_width = 1 << 12;
+  ShardedMonitorOptions options;
+  options.shards = static_cast<std::size_t>(state.range(0));
+  ShardedMonitor monitor(config, 3, options);
+  Stream s = BenchStream(1 << 16);
+  for (auto _ : state) {
+    monitor.Ingest(s.data(), s.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.size()));
+}
+BENCHMARK(BM_ShardedMonitorIngest)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_CountSketchPointQuery(benchmark::State& state) {
   CountSketch cs(7, 4096, 13);

@@ -1,14 +1,20 @@
-/// Distributed monitoring: several routers, one collector.
+/// Distributed monitoring: several routers, one collector — now built on
+/// the mergeable Monitor contract and the ShardedMonitor pipeline.
 ///
-/// Each router Bernoulli-samples its local traffic at rate p and maintains
-/// small mergeable sketches (KMV for distinct flows, CountSketch for F2,
-/// CountMin for flow counts). The collector merges the sketches and answers
-/// about the UNION of the original streams — without any router shipping
-/// raw samples. This is the distributed-streams setting of the related
-/// work the paper builds on [16, 36], composed with its sampled-stream
-/// estimators.
+/// Stage 1 (distributed merge): each router Bernoulli-samples its local
+/// traffic at rate p and runs a full Monitor (same config + seed across
+/// the fleet, the Monitor::Merge precondition). The collector merges the
+/// monitors and reports on the UNION of the original streams — without any
+/// router shipping raw samples. This is the distributed-streams setting of
+/// the related work the paper builds on [16, 36], composed with its
+/// sampled-stream estimators.
 ///
-///   ./distributed_monitors [p] [routers]
+/// Stage 2 (sharded collector): the same union of sampled traffic is fed
+/// through a ShardedMonitor, the multi-core version of the same merge —
+/// demonstrating that a single busy collector box can spread ingestion
+/// across cores and still produce the same window report.
+///
+///   ./distributed_monitors [p] [routers] [shards]
 
 #include <cmath>
 #include <cstdio>
@@ -19,46 +25,26 @@
 
 using namespace substream;
 
-namespace {
-
-struct RouterSketches {
-  KmvSketch distinct;
-  CountSketch f2;
-  CountMinSketch counts;
-  count_t sampled_packets = 0;
-
-  explicit RouterSketches(std::uint64_t shared_seed)
-      : distinct(2048, DeriveSeed(shared_seed, 1)),
-        f2(7, 4096, DeriveSeed(shared_seed, 2)),
-        counts(5, 1 << 14, false, DeriveSeed(shared_seed, 3)) {}
-
-  void Consume(const Stream& packets, double p, std::uint64_t sampler_seed) {
-    BernoulliSampler sampler(p, sampler_seed);
-    for (item_t flow : packets) {
-      if (!sampler.Keep()) continue;
-      distinct.Update(flow);
-      f2.Update(flow);
-      counts.Update(flow);
-      ++sampled_packets;
-    }
-  }
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const double p = argc > 1 ? std::atof(argv[1]) : 0.1;
   const int routers = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::size_t shards =
+      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 4;
   const std::size_t packets_per_router = 1 << 19;
-  // All routers share sketch seeds (mandatory for mergeability) but have
-  // independent sampling randomness.
+  // All monitors share config and sketch seeds (mandatory for mergeability)
+  // but routers have independent sampling randomness.
   const std::uint64_t kSketchSeed = 42;
+  MonitorConfig config;
+  config.p = p;
+  config.universe = 1 << 16;
+  config.hh_alpha = 0.02;
 
   std::printf("distributed sampled-stream monitoring: %d routers, p=%.2f,"
               " %zu packets each\n\n", routers, p, packets_per_router);
 
   FrequencyTable exact_union;
-  std::vector<RouterSketches> fleet;
+  std::vector<Monitor> fleet;
+  Stream sampled_union;  // replayed later through the sharded collector
   for (int r = 0; r < routers; ++r) {
     // Router r sees its own flow population with some overlap (shared flows
     // 1..20000 plus a router-private range).
@@ -66,46 +52,66 @@ int main(int argc, char** argv) {
                       static_cast<std::uint64_t>(100 + r));
     Stream local = Materialize(gen, packets_per_router);
     exact_union.AddStream(local);
-    fleet.emplace_back(kSketchSeed);
-    fleet.back().Consume(local, p, static_cast<std::uint64_t>(500 + r));
-    std::printf("  router %d: sampled %llu packets, local sketch %zu KB\n", r,
-                static_cast<unsigned long long>(fleet.back().sampled_packets),
-                (fleet.back().distinct.SpaceBytes() +
-                 fleet.back().f2.SpaceBytes() +
-                 fleet.back().counts.SpaceBytes()) / 1024);
+    BernoulliSampler sampler(p, static_cast<std::uint64_t>(500 + r));
+    Stream sampled = sampler.Sample(local);
+    sampled_union.insert(sampled_union.end(), sampled.begin(), sampled.end());
+
+    fleet.emplace_back(config, kSketchSeed);
+    fleet.back().UpdateBatch(sampled.data(), sampled.size());
+    std::printf("  router %d: sampled %llu packets, local monitor %zu KB\n",
+                r,
+                static_cast<unsigned long long>(
+                    fleet.back().Report().sampled_length),
+                fleet.back().SpaceBytes() / 1024);
   }
 
-  // Collector: merge everything into router 0's sketches.
-  RouterSketches& merged = fleet.front();
-  count_t total_sampled = merged.sampled_packets;
+  // Collector: one Merge call per router folds everything into monitor 0.
+  Monitor& merged = fleet.front();
   for (int r = 1; r < routers; ++r) {
-    merged.distinct.Merge(fleet[static_cast<std::size_t>(r)].distinct);
-    merged.f2.Merge(fleet[static_cast<std::size_t>(r)].f2);
-    merged.counts.Merge(fleet[static_cast<std::size_t>(r)].counts);
-    total_sampled += fleet[static_cast<std::size_t>(r)].sampled_packets;
+    merged.Merge(fleet[static_cast<std::size_t>(r)]);
   }
-
-  // Estimates about the union of original streams.
-  const double f0_est = merged.distinct.Estimate() / std::sqrt(p);
-  const double f1_sampled = static_cast<double>(total_sampled);
-  const double f2_est =
-      (merged.f2.EstimateF2() - (1.0 - p) * f1_sampled) / (p * p);
+  const MonitorReport report = merged.Report();
 
   std::printf("\ncollector estimates (union of all routers):\n");
   std::printf("  distinct flows: %12.0f (exact %llu, factor bound %.1f)\n",
-              f0_est, static_cast<unsigned long long>(exact_union.F0()),
+              report.distinct_items.value_or(0.0),
+              static_cast<unsigned long long>(exact_union.F0()),
               4.0 / std::sqrt(p));
   std::printf("  self-join size: %12.4g (exact %.4g, rel.err %.1f%%)\n",
-              f2_est, exact_union.Fk(2),
-              100.0 * RelativeError(f2_est, exact_union.Fk(2)));
+              report.second_moment.value_or(0.0), exact_union.Fk(2),
+              100.0 * RelativeError(report.second_moment.value_or(0.0),
+                                    exact_union.Fk(2)));
+  std::printf("  scaled length:  %12.0f (exact %llu)\n", report.scaled_length,
+              static_cast<unsigned long long>(exact_union.F1()));
 
-  // Global heavy flows from the merged CountMin.
-  std::printf("  top shared flows (merged CountMin, scaled 1/p):\n");
-  for (item_t flow = 1; flow <= 3; ++flow) {
+  std::printf("  top flows (merged CountMin trackers, scaled 1/p):\n");
+  int shown = 0;
+  for (const HeavyHitter& hit : report.heavy_hitters.value_or(
+           std::vector<HeavyHitter>{})) {
+    if (++shown > 3) break;
     std::printf("    flow %llu: est %10.0f  exact %10llu\n",
-                static_cast<unsigned long long>(flow),
-                static_cast<double>(merged.counts.Estimate(flow)) / p,
-                static_cast<unsigned long long>(exact_union.Frequency(flow)));
+                static_cast<unsigned long long>(hit.item),
+                hit.estimated_frequency,
+                static_cast<unsigned long long>(
+                    exact_union.Frequency(hit.item)));
   }
+
+  // Stage 2: the same union of sampled traffic through a multi-core
+  // collector. Same config + seed => same kind of report, produced by K
+  // worker threads behind per-shard ring buffers.
+  ShardedMonitorOptions options;
+  options.shards = shards;
+  ShardedMonitor sharded(config, kSketchSeed, options);
+  sharded.Ingest(sampled_union);
+  const MonitorReport sharded_report = sharded.Report();
+  std::printf("\nsharded collector (%zu shards, %llu packets ingested):\n",
+              sharded.shards(),
+              static_cast<unsigned long long>(sharded.ItemsIngested()));
+  std::printf("  distinct flows: %12.0f   self-join size: %12.4g\n",
+              sharded_report.distinct_items.value_or(0.0),
+              sharded_report.second_moment.value_or(0.0));
+  std::printf("  (vs merged-router estimates %.0f / %.4g)\n",
+              report.distinct_items.value_or(0.0),
+              report.second_moment.value_or(0.0));
   return 0;
 }

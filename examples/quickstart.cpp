@@ -6,6 +6,15 @@
 /// estimator families over L in a single pass, and compares with the exact
 /// values of P.
 ///
+/// Every estimator here follows the mergeable-summary contract
+/// (sketch/sketch.h): besides the item-at-a-time Update used below for the
+/// sampling loop, each supports UpdateBatch(data, n) for contiguous runs,
+/// Merge(other) for combining same-seeded summaries built on different
+/// machines or threads (see examples/distributed_monitors.cpp and
+/// ShardedMonitor in core/sharded_monitor.h), and Reset() for reusing a
+/// summary across measurement windows. The Monitor facade at the end shows
+/// the batched one-object version of the same pipeline.
+///
 ///   ./quickstart [p] [n]
 
 #include <cmath>
@@ -94,5 +103,28 @@ int main(int argc, char** argv) {
               " heavy hitters %zu KB\n",
               f2.SpaceBytes() / 1024, f0.SpaceBytes(),
               entropy.SpaceBytes() / 1024, heavy.SpaceBytes() / 1024);
+
+  // 5. The same pipeline through the Monitor facade, fed in batches: one
+  //    UpdateBatch call per buffer of sampled elements fans out to every
+  //    enabled estimator's tight batch loop.
+  MonitorConfig monitor_config;
+  monitor_config.p = p;
+  monitor_config.universe = universe;
+  monitor_config.n_hint = static_cast<double>(n);
+  monitor_config.hh_alpha = hh_params.alpha;
+  Monitor monitor(monitor_config, /*seed=*/6);
+  BernoulliSampler monitor_sampler(p, /*seed=*/7);
+  const Stream sampled = monitor_sampler.Sample(original);
+  monitor.UpdateBatch(sampled.data(), sampled.size());
+  const MonitorReport window = monitor.Report();
+  std::printf("\nmonitor facade (batched ingestion of %zu sampled items):\n",
+              sampled.size());
+  std::printf("  F0 %.4g | F2 %.4g | H %.3f bits | %zu heavy hitters"
+              " | %zu KB total\n",
+              window.distinct_items.value_or(0.0),
+              window.second_moment.value_or(0.0),
+              window.entropy ? window.entropy->entropy : 0.0,
+              window.heavy_hitters ? window.heavy_hitters->size() : 0,
+              monitor.SpaceBytes() / 1024);
   return 0;
 }

@@ -43,6 +43,37 @@ void EntropyEstimator::Update(item_t item) {
   }
 }
 
+void EntropyEstimator::UpdateBatch(const item_t* data, std::size_t n) {
+  sampled_length_ += n;
+  if (mle_) {
+    mle_->UpdateBatch(data, n);
+  } else {
+    ams_->UpdateBatch(data, n);
+  }
+}
+
+void EntropyEstimator::Merge(const EntropyEstimator& other) {
+  SUBSTREAM_CHECK_MSG(params_.backend == other.params_.backend &&
+                          params_.p == other.params_.p,
+                      "merging entropy estimators with different "
+                      "configurations");
+  sampled_length_ += other.sampled_length_;
+  if (mle_) {
+    mle_->Merge(*other.mle_);
+  } else {
+    ams_->Merge(*other.ams_);
+  }
+}
+
+void EntropyEstimator::Reset() {
+  sampled_length_ = 0;
+  if (mle_) {
+    mle_->Reset();
+  } else {
+    ams_->Reset();
+  }
+}
+
 EntropyResult EntropyEstimator::Estimate() const {
   EntropyResult result;
   const double n = params_.n_hint > 0.0

@@ -64,6 +64,17 @@ class EntropyEstimator {
   /// Feeds one element of the sampled stream L.
   void Update(item_t item);
 
+  /// Feeds `n` contiguous elements of L.
+  void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Merges an estimator built with the same parameters and seed. The MLE
+  /// backends merge exactly; the AMS sketch merges via the distributed-
+  /// reservoir rule (see AmsEntropySketch::Merge).
+  void Merge(const EntropyEstimator& other);
+
+  /// Clears all state; parameters, seed and backend are kept.
+  void Reset();
+
   EntropyResult Estimate() const;
 
   count_t SampledLength() const { return sampled_length_; }

@@ -44,6 +44,43 @@ void F0Estimator::Update(item_t item) {
   }
 }
 
+void F0Estimator::UpdateBatch(const item_t* data, std::size_t n) {
+  sampled_length_ += n;
+  if (kmv_) {
+    kmv_->UpdateBatch(data, n);
+  } else if (hll_) {
+    hll_->UpdateBatch(data, n);
+  } else {
+    exact_->items.insert(data, data + n);
+  }
+}
+
+void F0Estimator::Merge(const F0Estimator& other) {
+  SUBSTREAM_CHECK_MSG(params_.backend == other.params_.backend &&
+                          params_.p == other.params_.p,
+                      "merging F0 estimators with different configurations");
+  sampled_length_ += other.sampled_length_;
+  if (kmv_) {
+    kmv_->Merge(*other.kmv_);
+  } else if (hll_) {
+    hll_->Merge(*other.hll_);
+  } else {
+    exact_->items.insert(other.exact_->items.begin(),
+                         other.exact_->items.end());
+  }
+}
+
+void F0Estimator::Reset() {
+  sampled_length_ = 0;
+  if (kmv_) {
+    kmv_->Reset();
+  } else if (hll_) {
+    hll_->Reset();
+  } else {
+    exact_->items.clear();
+  }
+}
+
 double F0Estimator::EstimateSampledDistinct() const {
   if (kmv_) return kmv_->Estimate();
   if (hll_) return hll_->Estimate();

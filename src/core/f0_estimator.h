@@ -47,6 +47,16 @@ class F0Estimator {
   /// Feeds one element of the sampled stream L.
   void Update(item_t item);
 
+  /// Feeds `n` contiguous elements of L.
+  void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Merges an estimator built with the same parameters and seed (backend
+  /// sketches merge under their own geometry/seed preconditions).
+  void Merge(const F0Estimator& other);
+
+  /// Clears all state; parameters, seed and backend are kept.
+  void Reset();
+
   /// Algorithm 2's output: X / sqrt(p).
   double Estimate() const;
 

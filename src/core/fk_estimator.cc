@@ -75,6 +75,37 @@ void FkEstimator::Update(item_t item) {
   }
 }
 
+void FkEstimator::UpdateBatch(const item_t* data, std::size_t n) {
+  sampled_length_ += n;
+  if (sketch_backend_) {
+    sketch_backend_->UpdateBatch(data, n);
+  } else {
+    exact_backend_->UpdateBatch(data, n);
+  }
+}
+
+void FkEstimator::Merge(const FkEstimator& other) {
+  SUBSTREAM_CHECK_MSG(params_.k == other.params_.k &&
+                          params_.backend == other.params_.backend &&
+                          params_.p == other.params_.p,
+                      "merging Fk estimators with different configurations");
+  sampled_length_ += other.sampled_length_;
+  if (sketch_backend_) {
+    sketch_backend_->Merge(*other.sketch_backend_);
+  } else {
+    exact_backend_->Merge(*other.exact_backend_);
+  }
+}
+
+void FkEstimator::Reset() {
+  sampled_length_ = 0;
+  if (sketch_backend_) {
+    sketch_backend_->Reset();
+  } else {
+    exact_backend_->Reset();
+  }
+}
+
 double FkEstimator::CollisionsOf(int l) const {
   switch (params_.backend) {
     case CollisionBackend::kSketch:

@@ -67,6 +67,16 @@ class FkEstimator {
   /// Feeds one element of the *sampled* stream L.
   void Update(item_t item);
 
+  /// Feeds `n` contiguous elements of L.
+  void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Merges an estimator built with the same parameters and seed (the
+  /// level-set backends merge under their own geometry/seed preconditions).
+  void Merge(const FkEstimator& other);
+
+  /// Clears all state; parameters, seed and backend are kept.
+  void Reset();
+
   /// phi~_k, the estimate of F_k(P).
   double Estimate() const;
 

@@ -35,6 +35,26 @@ void F1HeavyHitterEstimator::Update(item_t item) {
   tracker_.Update(item);
 }
 
+void F1HeavyHitterEstimator::UpdateBatch(const item_t* data, std::size_t n) {
+  sampled_length_ += n;
+  tracker_.UpdateBatch(data, n);
+}
+
+void F1HeavyHitterEstimator::Merge(const F1HeavyHitterEstimator& other) {
+  SUBSTREAM_CHECK_MSG(params_.alpha == other.params_.alpha &&
+                          params_.epsilon == other.params_.epsilon &&
+                          params_.p == other.params_.p,
+                      "merging F1 heavy-hitter estimators with different "
+                      "configurations");
+  sampled_length_ += other.sampled_length_;
+  tracker_.Merge(other.tracker_);
+}
+
+void F1HeavyHitterEstimator::Reset() {
+  sampled_length_ = 0;
+  tracker_.Reset();
+}
+
 std::vector<HeavyHitter> F1HeavyHitterEstimator::Estimate() const {
   std::vector<HeavyHitter> out;
   for (const auto& [item, estimate] : tracker_.Candidates(alpha_prime_)) {
@@ -73,6 +93,26 @@ F2HeavyHitterEstimator::F2HeavyHitterEstimator(const HeavyHitterParams& params,
 void F2HeavyHitterEstimator::Update(item_t item) {
   ++sampled_length_;
   tracker_.Update(item);
+}
+
+void F2HeavyHitterEstimator::UpdateBatch(const item_t* data, std::size_t n) {
+  sampled_length_ += n;
+  tracker_.UpdateBatch(data, n);
+}
+
+void F2HeavyHitterEstimator::Merge(const F2HeavyHitterEstimator& other) {
+  SUBSTREAM_CHECK_MSG(params_.alpha == other.params_.alpha &&
+                          params_.epsilon == other.params_.epsilon &&
+                          params_.p == other.params_.p,
+                      "merging F2 heavy-hitter estimators with different "
+                      "configurations");
+  sampled_length_ += other.sampled_length_;
+  tracker_.Merge(other.tracker_);
+}
+
+void F2HeavyHitterEstimator::Reset() {
+  sampled_length_ = 0;
+  tracker_.Reset();
 }
 
 std::vector<HeavyHitter> F2HeavyHitterEstimator::Estimate() const {

@@ -45,6 +45,15 @@ class F1HeavyHitterEstimator {
   /// Feeds one element of the sampled stream L.
   void Update(item_t item);
 
+  /// Feeds `n` contiguous elements of L.
+  void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Merges an estimator built with the same parameters and seed.
+  void Merge(const F1HeavyHitterEstimator& other);
+
+  /// Clears all state; parameters and seed are kept.
+  void Reset();
+
   /// Items with f_i >= alpha F1(P) (whp), with (1 +- eps) frequency
   /// estimates, sorted by decreasing estimate; at most O(1/alpha) items.
   std::vector<HeavyHitter> Estimate() const;
@@ -70,6 +79,15 @@ class F2HeavyHitterEstimator {
   F2HeavyHitterEstimator(const HeavyHitterParams& params, std::uint64_t seed);
 
   void Update(item_t item);
+
+  /// Feeds `n` contiguous elements of L.
+  void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Merges an estimator built with the same parameters and seed.
+  void Merge(const F2HeavyHitterEstimator& other);
+
+  /// Clears all state; parameters and seed are kept.
+  void Reset();
 
   /// Items with f_i >= alpha sqrt(F2(P)) (whp), sorted by decreasing
   /// estimate. Items below (1 - eps) sqrt(p) alpha sqrt(F2(P)) are excluded

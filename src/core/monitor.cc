@@ -1,11 +1,36 @@
 #include "core/monitor.h"
 
+#include "sketch/sketch.h"
 #include "util/hash.h"
 
 namespace substream {
 
+// The core estimators and the Monitor facade honor the same mergeable-
+// summary contract as the sketch layer (their headers cannot assert it
+// without depending on sketch/sketch.h in every interface).
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(F0Estimator);
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(FkEstimator);
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(EntropyEstimator);
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(F1HeavyHitterEstimator);
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(F2HeavyHitterEstimator);
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(Monitor);
+
+namespace {
+
+bool SameConfig(const MonitorConfig& a, const MonitorConfig& b) {
+  return a.p == b.p && a.universe == b.universe && a.n_hint == b.n_hint &&
+         a.enable_f0 == b.enable_f0 && a.enable_f2 == b.enable_f2 &&
+         a.enable_entropy == b.enable_entropy &&
+         a.enable_heavy_hitters == b.enable_heavy_hitters &&
+         a.hh_alpha == b.hh_alpha && a.hh_epsilon == b.hh_epsilon &&
+         a.epsilon == b.epsilon && a.delta == b.delta &&
+         a.max_f2_width == b.max_f2_width;
+}
+
+}  // namespace
+
 Monitor::Monitor(const MonitorConfig& config, std::uint64_t seed)
-    : config_(config) {
+    : config_(config), seed_(seed) {
   SUBSTREAM_CHECK_MSG(config.p > 0.0 && config.p <= 1.0,
                       "sampling probability p=%f", config.p);
   if (config.enable_f0) {
@@ -47,6 +72,34 @@ void Monitor::Update(item_t item) {
   if (f2_) f2_->Update(item);
   if (entropy_) entropy_->Update(item);
   if (heavy_) heavy_->Update(item);
+}
+
+void Monitor::UpdateBatch(const item_t* data, std::size_t n) {
+  sampled_length_ += n;
+  if (f0_) f0_->UpdateBatch(data, n);
+  if (f2_) f2_->UpdateBatch(data, n);
+  if (entropy_) entropy_->UpdateBatch(data, n);
+  if (heavy_) heavy_->UpdateBatch(data, n);
+}
+
+void Monitor::Merge(const Monitor& other) {
+  SUBSTREAM_CHECK_MSG(seed_ == other.seed_,
+                      "merging monitors with different seeds");
+  SUBSTREAM_CHECK_MSG(SameConfig(config_, other.config_),
+                      "merging monitors with different configurations");
+  sampled_length_ += other.sampled_length_;
+  if (f0_) f0_->Merge(*other.f0_);
+  if (f2_) f2_->Merge(*other.f2_);
+  if (entropy_) entropy_->Merge(*other.entropy_);
+  if (heavy_) heavy_->Merge(*other.heavy_);
+}
+
+void Monitor::Reset() {
+  sampled_length_ = 0;
+  if (f0_) f0_->Reset();
+  if (f2_) f2_->Reset();
+  if (entropy_) entropy_->Reset();
+  if (heavy_) heavy_->Reset();
 }
 
 MonitorReport Monitor::Report() const {

@@ -16,6 +16,16 @@
 /// NetFlow collector would instantiate per measurement window: configure the
 /// sampling rate once, feed the sampled elements, read a consolidated
 /// report about the *original* stream.
+///
+/// Monitor itself satisfies the mergeable-summary contract (sketch/sketch.h):
+/// two monitors constructed with the same MonitorConfig and seed can be fed
+/// disjoint portions of the sampled stream — on different routers, threads
+/// or processes — and merged with Merge(); the merged monitor reports on the
+/// concatenation. ShardedMonitor (core/sharded_monitor.h) builds a
+/// multi-core ingestion pipeline directly on this property. Use
+/// UpdateBatch() to feed contiguous runs of elements: it forwards one batch
+/// call to every enabled estimator, whose underlying sketches walk their
+/// counter arrays row-major instead of re-deriving per-item state.
 
 namespace substream {
 
@@ -63,16 +73,31 @@ class Monitor {
   /// Feeds one element of the sampled stream L.
   void Update(item_t item);
 
+  /// Feeds `n` contiguous elements of L in one call per estimator.
+  void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Merges a monitor constructed with the same config and seed, so that
+  /// this monitor summarizes the concatenation of both sampled streams.
+  /// Mismatched configuration or seed aborts (mergeability requires
+  /// identical sketch geometry and hash seeds).
+  void Merge(const Monitor& other);
+
+  /// Returns every estimator to its freshly-constructed state, keeping
+  /// configuration, seeds and allocations: ready for the next window.
+  void Reset();
+
   /// Consolidated estimates about the original stream P.
   MonitorReport Report() const;
 
   const MonitorConfig& config() const { return config_; }
+  std::uint64_t seed() const { return seed_; }
 
   /// Total memory across enabled estimators.
   std::size_t SpaceBytes() const;
 
  private:
   MonitorConfig config_;
+  std::uint64_t seed_;
   count_t sampled_length_ = 0;
   std::optional<F0Estimator> f0_;
   std::optional<FkEstimator> f2_;

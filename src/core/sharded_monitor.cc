@@ -1,0 +1,140 @@
+#include "core/sharded_monitor.h"
+
+#include <utility>
+
+#include "util/hash.h"
+
+namespace substream {
+
+namespace {
+
+/// Salt for the shard-routing hash, so routing is independent of every
+/// sketch hash (which are all derived through DeriveSeed chains).
+constexpr std::uint64_t kShardSalt = 0x5ca1ab1e0ddba11ULL;
+
+std::size_t RoundUpPow2(std::size_t x) {
+  std::size_t pow2 = 1;
+  while (pow2 < x) pow2 <<= 1;
+  return pow2;
+}
+
+}  // namespace
+
+ShardedMonitor::BatchRing::BatchRing(std::size_t capacity_pow2)
+    : slots_(capacity_pow2), mask_(capacity_pow2 - 1) {}
+
+bool ShardedMonitor::BatchRing::TryPush(std::vector<item_t>&& batch) {
+  const std::size_t head = head_.load(std::memory_order_relaxed);
+  const std::size_t tail = tail_.load(std::memory_order_acquire);
+  if (head - tail > mask_) return false;  // full
+  slots_[head & mask_] = std::move(batch);
+  head_.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+bool ShardedMonitor::BatchRing::TryPop(std::vector<item_t>* out) {
+  const std::size_t tail = tail_.load(std::memory_order_relaxed);
+  const std::size_t head = head_.load(std::memory_order_acquire);
+  if (tail == head) return false;  // empty
+  *out = std::move(slots_[tail & mask_]);
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+ShardedMonitor::ShardedMonitor(const MonitorConfig& config, std::uint64_t seed,
+                               ShardedMonitorOptions options)
+    : options_(options) {
+  SUBSTREAM_CHECK_MSG(options.shards >= 1, "ShardedMonitor needs >= 1 shard");
+  SUBSTREAM_CHECK(options.ring_capacity >= 1);
+  SUBSTREAM_CHECK(options.batch_items >= 1);
+  options_.ring_capacity = RoundUpPow2(options.ring_capacity);
+
+  monitors_.reserve(options.shards);
+  rings_.reserve(options.shards);
+  staged_.resize(options.shards);
+  for (std::size_t s = 0; s < options.shards; ++s) {
+    // Same config and seed on every shard: the Monitor::Merge precondition.
+    monitors_.emplace_back(config, seed);
+    rings_.push_back(std::make_unique<BatchRing>(options_.ring_capacity));
+    staged_[s].reserve(options_.batch_items);
+  }
+  workers_.reserve(options.shards);
+  for (std::size_t s = 0; s < options.shards; ++s) {
+    workers_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+}
+
+ShardedMonitor::~ShardedMonitor() {
+  done_.store(true, std::memory_order_release);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::size_t ShardedMonitor::ShardOf(item_t item, std::size_t shards) {
+  return shards <= 1 ? 0 : Mix64(item ^ kShardSalt) % shards;
+}
+
+void ShardedMonitor::WorkerLoop(std::size_t shard) {
+  Monitor& monitor = monitors_[shard];
+  BatchRing& ring = *rings_[shard];
+  std::vector<item_t> batch;
+  while (true) {
+    if (ring.TryPop(&batch)) {
+      monitor.UpdateBatch(batch.data(), batch.size());
+      batch.clear();
+      continue;
+    }
+    if (done_.load(std::memory_order_acquire)) {
+      // The done flag is set only after every batch is pushed; one more
+      // drain pass after observing it empties anything that raced in.
+      if (!ring.TryPop(&batch)) break;
+      monitor.UpdateBatch(batch.data(), batch.size());
+      batch.clear();
+      continue;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void ShardedMonitor::FlushStaged(std::size_t shard) {
+  if (staged_[shard].empty()) return;
+  std::vector<item_t> batch = std::move(staged_[shard]);
+  staged_[shard] = std::vector<item_t>();
+  staged_[shard].reserve(options_.batch_items);
+  while (!rings_[shard]->TryPush(std::move(batch))) {
+    std::this_thread::yield();  // ring full: wait for the worker
+  }
+}
+
+void ShardedMonitor::Ingest(const item_t* data, std::size_t n) {
+  SUBSTREAM_CHECK_MSG(!finished_, "Ingest after Report on a ShardedMonitor");
+  items_ingested_ += n;
+  const std::size_t shards = monitors_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t s = ShardOf(data[i], shards);
+    staged_[s].push_back(data[i]);
+    if (staged_[s].size() >= options_.batch_items) FlushStaged(s);
+  }
+}
+
+MonitorReport ShardedMonitor::Report() {
+  SUBSTREAM_CHECK_MSG(!finished_, "Report called twice on a ShardedMonitor");
+  for (std::size_t s = 0; s < monitors_.size(); ++s) FlushStaged(s);
+  done_.store(true, std::memory_order_release);
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  finished_ = true;
+  for (std::size_t s = 1; s < monitors_.size(); ++s) {
+    monitors_[0].Merge(monitors_[s]);
+  }
+  return monitors_[0].Report();
+}
+
+std::size_t ShardedMonitor::SpaceBytes() const {
+  std::size_t bytes = 0;
+  for (const Monitor& monitor : monitors_) bytes += monitor.SpaceBytes();
+  return bytes;
+}
+
+}  // namespace substream

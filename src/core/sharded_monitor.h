@@ -1,0 +1,125 @@
+#ifndef SUBSTREAM_CORE_SHARDED_MONITOR_H_
+#define SUBSTREAM_CORE_SHARDED_MONITOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/monitor.h"
+#include "stream/stream.h"
+#include "util/common.h"
+
+/// \file sharded_monitor.h
+/// Multi-core ingestion pipeline over mergeable Monitors: the
+/// sampled-NetFlow collector that scales across cores.
+///
+/// Layout: one producer (the caller of Ingest) and `shards` worker threads.
+/// Each worker owns a Monitor constructed with the *same* config and seed —
+/// the precondition for Monitor::Merge — and consumes batches from its own
+/// bounded single-producer/single-consumer ring buffer. The producer
+/// hash-partitions incoming items by identity (a salted Mix64, independent
+/// of every sketch hash), so all occurrences of an item land on the same
+/// shard; linear sketches merge identically under any partition, but
+/// identity partitioning also keeps candidate-tracking summaries (heavy
+/// hitters, level-set candidate pools) accurate, since each shard sees the
+/// full local frequency of its items.
+///
+/// Lifecycle: construct → Ingest() any number of times → Report() once.
+/// Report() flushes the staged batches, waits for the rings to drain, joins
+/// the workers and merges all shards; the merged report is identical (for
+/// linear sketches) to a single monitor fed the whole stream. After
+/// Report(), the pipeline is finished: further Ingest() calls abort.
+///
+/// ```
+///   ShardedMonitor monitor(config, /*seed=*/7, {.shards = 4});
+///   while (ReceiveBatch(&buf)) monitor.Ingest(buf.data(), buf.size());
+///   MonitorReport report = monitor.Report();
+/// ```
+
+namespace substream {
+
+/// Tuning knobs for the pipeline.
+struct ShardedMonitorOptions {
+  /// Number of worker shards (>= 1), each a thread owning one Monitor.
+  std::size_t shards = 4;
+  /// Capacity (in batches) of each shard's ring buffer; rounded up to a
+  /// power of two. The producer blocks (spin + yield) when a ring is full.
+  std::size_t ring_capacity = 64;
+  /// Target items per batch handed to a shard. Larger batches amortize
+  /// ring-buffer traffic and let UpdateBatch's row-major loops run longer.
+  std::size_t batch_items = 4096;
+};
+
+/// Sharded ingestion front-end for Monitor. Not itself a mergeable summary
+/// (it is a pipeline), but everything it owns is.
+class ShardedMonitor {
+ public:
+  ShardedMonitor(const MonitorConfig& config, std::uint64_t seed,
+                 ShardedMonitorOptions options = {});
+
+  /// Joins workers; safe to destroy without calling Report().
+  ~ShardedMonitor();
+
+  ShardedMonitor(const ShardedMonitor&) = delete;
+  ShardedMonitor& operator=(const ShardedMonitor&) = delete;
+
+  /// Feeds `n` contiguous elements of the sampled stream. Items are staged
+  /// per shard and shipped in batches; returns as soon as the input is
+  /// staged or enqueued (workers consume concurrently).
+  void Ingest(const item_t* data, std::size_t n);
+
+  /// Convenience overload for materialized streams.
+  void Ingest(const Stream& stream) { Ingest(stream.data(), stream.size()); }
+
+  /// Flushes and drains the pipeline, joins all workers, merges every
+  /// shard's monitor and returns the consolidated report about the
+  /// original stream. Terminal: the pipeline cannot ingest afterwards.
+  MonitorReport Report();
+
+  /// Shard an item the same way the pipeline does (exposed so tests and
+  /// external partitioners can reproduce the routing).
+  static std::size_t ShardOf(item_t item, std::size_t shards);
+
+  std::size_t shards() const { return monitors_.size(); }
+  count_t ItemsIngested() const { return items_ingested_; }
+
+  /// Total memory across all shard monitors (ring buffers excluded).
+  std::size_t SpaceBytes() const;
+
+ private:
+  /// Bounded SPSC ring of item batches. Index monotonicity: head_ is
+  /// advanced only by the producer, tail_ only by the consumer; slot
+  /// (index & mask) is owned by the producer when index - tail_ < capacity
+  /// and by the consumer when tail_ < head_.
+  class BatchRing {
+   public:
+    explicit BatchRing(std::size_t capacity_pow2);
+
+    bool TryPush(std::vector<item_t>&& batch);
+    bool TryPop(std::vector<item_t>* out);
+
+   private:
+    std::vector<std::vector<item_t>> slots_;
+    std::size_t mask_;
+    alignas(64) std::atomic<std::size_t> head_{0};  // next write index
+    alignas(64) std::atomic<std::size_t> tail_{0};  // next read index
+  };
+
+  void WorkerLoop(std::size_t shard);
+  void FlushStaged(std::size_t shard);
+
+  ShardedMonitorOptions options_;
+  std::vector<Monitor> monitors_;
+  std::vector<std::unique_ptr<BatchRing>> rings_;
+  std::vector<std::vector<item_t>> staged_;  // producer-side, per shard
+  std::vector<std::thread> workers_;
+  std::atomic<bool> done_{false};
+  bool finished_ = false;
+  count_t items_ingested_ = 0;
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_CORE_SHARDED_MONITOR_H_

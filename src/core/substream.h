@@ -14,7 +14,9 @@
 #include "core/fk_estimator.h"       // IWYU pragma: export
 #include "core/heavy_hitters.h"      // IWYU pragma: export
 #include "core/monitor.h"            // IWYU pragma: export
+#include "core/sharded_monitor.h"    // IWYU pragma: export
 #include "sketch/ams_f2.h"           // IWYU pragma: export
+#include "sketch/sketch.h"           // IWYU pragma: export
 #include "sketch/countmin.h"         // IWYU pragma: export
 #include "sketch/countsketch.h"      // IWYU pragma: export
 #include "sketch/entropy_sketch.h"   // IWYU pragma: export

@@ -55,6 +55,21 @@ void AmsF2Sketch::Update(item_t item, std::int64_t count) {
   }
 }
 
+void AmsF2Sketch::UpdateBatch(const item_t* data, std::size_t n) {
+  for (std::size_t j = 0; j < counters_.size(); ++j) {
+    const PolynomialHash& hash = sign_hashes_[j];
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) acc += hash.Sign(data[i]);
+    counters_[j] += acc;
+  }
+  total_ += n;
+}
+
+void AmsF2Sketch::Reset() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  total_ = 0;
+}
+
 void AmsF2Sketch::Merge(const AmsF2Sketch& other) {
   SUBSTREAM_CHECK_MSG(groups_ == other.groups_ &&
                           per_group_ == other.per_group_ &&

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sketch/sketch.h"
 #include "util/common.h"
 #include "util/hash.h"
 
@@ -31,6 +32,14 @@ class AmsF2Sketch {
 
   void Update(item_t item, std::int64_t count = 1);
 
+  /// Adds `n` contiguous elements, estimator-major: each atomic estimator
+  /// accumulates its signed sum over the whole batch in a register before
+  /// touching the counter array.
+  void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Zeroes all counters; geometry, seed and sign hashes are kept.
+  void Reset();
+
   /// Median-of-means estimate of F2.
   double Estimate() const;
 
@@ -56,6 +65,8 @@ class AmsF2Sketch {
   std::vector<PolynomialHash> sign_hashes_;
   count_t total_ = 0;
 };
+
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(AmsF2Sketch);
 
 }  // namespace substream
 

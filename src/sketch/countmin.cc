@@ -63,6 +63,27 @@ void CountMinSketch::Update(item_t item, count_t count) {
   }
 }
 
+void CountMinSketch::UpdateBatch(const item_t* data, std::size_t n) {
+  if (conservative_update_) {
+    UpdateBatchByLoop(*this, data, n);
+    return;
+  }
+  for (int r = 0; r < depth_; ++r) {
+    count_t* const row = rows_[static_cast<std::size_t>(r)].data();
+    const PolynomialHash& hash = hashes_[static_cast<std::size_t>(r)];
+    const std::uint64_t width = width_;
+    for (std::size_t i = 0; i < n; ++i) {
+      ++row[hash.Bucket(data[i], width)];
+    }
+  }
+  total_ += n;
+}
+
+void CountMinSketch::Reset() {
+  for (auto& row : rows_) std::fill(row.begin(), row.end(), 0);
+  total_ = 0;
+}
+
 void CountMinSketch::Merge(const CountMinSketch& other) {
   SUBSTREAM_CHECK_MSG(depth_ == other.depth_ && width_ == other.width_ &&
                           seed_ == other.seed_,
@@ -118,6 +139,32 @@ void CountMinHeavyHitters::Update(item_t item, count_t count) {
       0.5 * phi_ * static_cast<double>(sketch_.TotalCount())) {
     MaybeInsert(item, est);
   }
+}
+
+void CountMinHeavyHitters::UpdateBatch(const item_t* data, std::size_t n) {
+  UpdateBatchByLoop(*this, data, n);
+}
+
+void CountMinHeavyHitters::Merge(const CountMinHeavyHitters& other) {
+  SUBSTREAM_CHECK_MSG(phi_ == other.phi_ && capacity_ == other.capacity_,
+                      "merging CountMin heavy-hitter trackers with different "
+                      "phi/capacity");
+  sketch_.Merge(other.sketch_);  // enforces geometry + seed equality
+  // Union the candidate pools, re-estimating BOTH sides against the merged
+  // sketch so eviction decisions compare current estimates; a stale
+  // pre-merge value could otherwise get a genuinely heavy item evicted.
+  for (auto& [item, estimate] : candidates_) {
+    estimate = sketch_.Estimate(item);
+  }
+  for (const auto& [item, stale] : other.candidates_) {
+    (void)stale;
+    MaybeInsert(item, sketch_.Estimate(item));
+  }
+}
+
+void CountMinHeavyHitters::Reset() {
+  sketch_.Reset();
+  candidates_.clear();
 }
 
 void CountMinHeavyHitters::MaybeInsert(item_t item, count_t estimate) {

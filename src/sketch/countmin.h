@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "sketch/sketch.h"
 #include "util/common.h"
 #include "util/hash.h"
 
@@ -44,6 +45,15 @@ class CountMinSketch {
 
   /// Adds `count` occurrences of `item`.
   void Update(item_t item, count_t count = 1);
+
+  /// Adds `n` contiguous elements. Equivalent to `n` calls to Update but
+  /// walks the sketch row-major: per row the counter array pointer and hash
+  /// are hoisted, so the inner loop is hash + increment with no vector
+  /// indirection (conservative-update mode falls back to the plain loop).
+  void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Zeroes all counters; geometry, seed and hash functions are kept.
+  void Reset();
 
   /// Point estimate of the frequency of `item` (never underestimates).
   count_t Estimate(item_t item) const;
@@ -85,6 +95,17 @@ class CountMinHeavyHitters {
 
   void Update(item_t item, count_t count = 1);
 
+  /// Feeds `n` contiguous elements (per-item candidate tracking keeps this
+  /// a plain loop).
+  void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Merges a tracker with the same phi, geometry and seed: sketches add,
+  /// candidate pools union (estimates refreshed from the merged sketch).
+  void Merge(const CountMinHeavyHitters& other);
+
+  /// Clears sketch counters and the candidate pool.
+  void Reset();
+
   /// Items whose estimated frequency >= threshold_fraction * F1, with their
   /// estimates, sorted by decreasing estimate. Pass phi to get the heavy
   /// hitters; a slightly smaller fraction widens the net.
@@ -107,6 +128,9 @@ class CountMinHeavyHitters {
 
   void MaybeInsert(item_t item, count_t estimate);
 };
+
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(CountMinSketch);
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(CountMinHeavyHitters);
 
 }  // namespace substream
 

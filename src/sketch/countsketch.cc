@@ -36,6 +36,31 @@ void CountSketch::Update(item_t item, std::int64_t count) {
   }
 }
 
+void CountSketch::UpdateBatch(const item_t* data, std::size_t n) {
+  for (int r = 0; r < depth_; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    std::int64_t* const row = rows_[rr].data();
+    const PolynomialHash& bucket_hash = bucket_hashes_[rr];
+    const PolynomialHash& sign_hash = sign_hashes_[rr];
+    const std::uint64_t width = width_;
+    double sumsq = row_sumsq_[rr];
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int64_t& cell = row[bucket_hash.Bucket(data[i], width)];
+      const std::int64_t delta = sign_hash.Sign(data[i]);
+      sumsq += static_cast<double>(2 * cell * delta + 1);
+      cell += delta;
+    }
+    row_sumsq_[rr] = sumsq;
+  }
+  total_ += static_cast<std::int64_t>(n);
+}
+
+void CountSketch::Reset() {
+  for (auto& row : rows_) std::fill(row.begin(), row.end(), 0);
+  std::fill(row_sumsq_.begin(), row_sumsq_.end(), 0.0);
+  total_ = 0;
+}
+
 void CountSketch::Merge(const CountSketch& other) {
   SUBSTREAM_CHECK_MSG(depth_ == other.depth_ && width_ == other.width_ &&
                           seed_ == other.seed_,
@@ -119,6 +144,33 @@ void CountSketchHeavyHitters::Update(item_t item, count_t count) {
   if (est >= 0.5 * phi_ * lower_bound_sqrt_f2) {
     MaybeInsert(item, est);
   }
+}
+
+void CountSketchHeavyHitters::UpdateBatch(const item_t* data, std::size_t n) {
+  UpdateBatchByLoop(*this, data, n);
+}
+
+void CountSketchHeavyHitters::Merge(const CountSketchHeavyHitters& other) {
+  SUBSTREAM_CHECK_MSG(phi_ == other.phi_ && capacity_ == other.capacity_,
+                      "merging CountSketch heavy-hitter trackers with "
+                      "different phi/capacity");
+  sketch_.Merge(other.sketch_);  // enforces geometry + seed equality
+  updates_ += other.updates_;
+  // Re-estimate BOTH pools against the merged sketch before unioning, so
+  // eviction compares current estimates rather than stale per-shard ones.
+  for (auto& [item, estimate] : candidates_) {
+    estimate = sketch_.Estimate(item);
+  }
+  for (const auto& [item, stale] : other.candidates_) {
+    (void)stale;
+    MaybeInsert(item, sketch_.Estimate(item));
+  }
+}
+
+void CountSketchHeavyHitters::Reset() {
+  sketch_.Reset();
+  candidates_.clear();
+  updates_ = 0;
 }
 
 void CountSketchHeavyHitters::MaybeInsert(item_t item, double estimate) {

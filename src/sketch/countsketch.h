@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "sketch/sketch.h"
 #include "util/common.h"
 #include "util/hash.h"
 
@@ -29,6 +30,14 @@ class CountSketch {
   CountSketch(int depth, std::uint64_t width, std::uint64_t seed);
 
   void Update(item_t item, std::int64_t count = 1);
+
+  /// Adds `n` contiguous elements (each with count 1), row-major: per row
+  /// the counter pointer and both hashes are hoisted so the inner loop is
+  /// two hash evaluations and an add.
+  void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Zeroes all counters and row norms; geometry and hashes are kept.
+  void Reset();
 
   /// Median-of-rows point estimate of the (signed) frequency of `item`.
   double Estimate(item_t item) const;
@@ -77,6 +86,17 @@ class CountSketchHeavyHitters {
 
   void Update(item_t item, count_t count = 1);
 
+  /// Feeds `n` contiguous elements (per-item candidate tracking keeps this
+  /// a plain loop).
+  void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Merges a tracker with the same phi, geometry and seed: sketches add,
+  /// candidate pools union (estimates refreshed from the merged sketch).
+  void Merge(const CountSketchHeavyHitters& other);
+
+  /// Clears sketch counters and the candidate pool.
+  void Reset();
+
   /// Items whose estimate >= threshold_phi * sqrt(EstimateF2()), sorted by
   /// decreasing estimate.
   std::vector<std::pair<item_t, double>> Candidates(double threshold_phi) const;
@@ -94,6 +114,9 @@ class CountSketchHeavyHitters {
 
   void MaybeInsert(item_t item, double estimate);
 };
+
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(CountSketch);
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(CountSketchHeavyHitters);
 
 }  // namespace substream
 

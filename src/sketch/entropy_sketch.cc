@@ -44,9 +44,16 @@ double EntropyMleEstimator::EstimateHpn(double expected_length) const {
   return sum.Value();
 }
 
+void EntropyMleEstimator::Merge(const EntropyMleEstimator& other) {
+  for (const auto& [item, count] : other.counts_) {
+    counts_[item] += count;
+  }
+  total_ += other.total_;
+}
+
 AmsEntropySketch::AmsEntropySketch(GeometryTag, std::size_t groups,
                                    std::size_t per_group, std::uint64_t seed)
-    : groups_(groups), rng_(seed) {
+    : groups_(groups), seed_(seed), rng_(seed) {
   SUBSTREAM_CHECK(groups >= 1);
   SUBSTREAM_CHECK(per_group >= 1);
   atoms_.assign(groups * per_group, Atom{});
@@ -80,6 +87,40 @@ void AmsEntropySketch::Update(item_t item) {
       ++atom.suffix_count;
     }
   }
+}
+
+void AmsEntropySketch::Merge(const AmsEntropySketch& other) {
+  SUBSTREAM_CHECK_MSG(groups_ == other.groups_ &&
+                          atoms_.size() == other.atoms_.size() &&
+                          seed_ == other.seed_,
+                      "merging incompatible AMS entropy sketches");
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    atoms_ = other.atoms_;
+    total_ = other.total_;
+    return;
+  }
+  // Each atom holds a uniform position of its own stream; choosing a source
+  // in proportion to the stream lengths yields a uniform position of the
+  // concatenation. The suffix count transfers unchanged: positions in this
+  // stream precede all of other's, and an atom kept from this stream whose
+  // item also occurs in other's suffix cannot be corrected from the sketch
+  // alone, so the merged estimator is (slightly) approximate whenever the
+  // same item is frequent in both halves — acceptable for the
+  // constant-factor entropy pipeline of Theorem 5.
+  const count_t combined = total_ + other.total_;
+  for (std::size_t j = 0; j < atoms_.size(); ++j) {
+    if (rng_.NextBounded(combined) >= total_) {
+      atoms_[j] = other.atoms_[j];
+    }
+  }
+  total_ = combined;
+}
+
+void AmsEntropySketch::Reset() {
+  atoms_.assign(atoms_.size(), Atom{});
+  rng_ = Rng(seed_);
+  total_ = 0;
 }
 
 double AmsEntropySketch::Estimate() const {

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sketch/sketch.h"
 #include "util/common.h"
 #include "util/random.h"
 
@@ -28,6 +29,26 @@ class EntropyMleEstimator {
   EntropyMleEstimator() = default;
 
   void Update(item_t item);
+
+  /// Adds `count` occurrences of `item`.
+  void Update(item_t item, count_t count) {
+    counts_[item] += count;
+    total_ += count;
+  }
+
+  /// Feeds `n` contiguous elements.
+  void UpdateBatch(const item_t* data, std::size_t n) {
+    UpdateBatchByLoop(*this, data, n);
+  }
+
+  /// Merges another frequency map (exact: counts add pointwise).
+  void Merge(const EntropyMleEstimator& other);
+
+  /// Forgets all counts.
+  void Reset() {
+    counts_.clear();
+    total_ = 0;
+  }
 
   /// H(g) = sum (g_i/n') lg(n'/g_i) where n' is the consumed length.
   double Estimate() const;
@@ -71,6 +92,21 @@ class AmsEntropySketch {
 
   void Update(item_t item);
 
+  /// Feeds `n` contiguous elements.
+  void UpdateBatch(const item_t* data, std::size_t n) {
+    UpdateBatchByLoop(*this, data, n);
+  }
+
+  /// Merges a same-geometry, same-seed sketch: each atom keeps its holding
+  /// with probability n_this/(n_this + n_other), otherwise adopts the
+  /// other's (the distributed-reservoir merge rule), so every atom still
+  /// holds a uniformly random position of the concatenated stream.
+  void Merge(const AmsEntropySketch& other);
+
+  /// Empties all atoms and restarts the reservoir randomness from the
+  /// construction seed.
+  void Reset();
+
   /// Median-of-means estimate of H(g) in bits. Requires at least 1 update.
   double Estimate() const;
 
@@ -91,10 +127,14 @@ class AmsEntropySketch {
                    std::uint64_t seed);
 
   std::size_t groups_;
+  std::uint64_t seed_;
   std::vector<Atom> atoms_;
   Rng rng_;
   count_t total_ = 0;
 };
+
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(EntropyMleEstimator);
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(AmsEntropySketch);
 
 }  // namespace substream
 

@@ -8,6 +8,7 @@ namespace substream {
 HyperLogLog::HyperLogLog(int precision, std::uint64_t seed)
     : precision_(precision),
       mask_((1ULL << precision) - 1),
+      seed_(seed),
       hash_(seed),
       registers_(1ULL << precision, 0) {
   SUBSTREAM_CHECK(precision >= 4 && precision <= 20);
@@ -52,7 +53,8 @@ double HyperLogLog::Estimate() const {
 }
 
 void HyperLogLog::Merge(const HyperLogLog& other) {
-  SUBSTREAM_CHECK(precision_ == other.precision_);
+  SUBSTREAM_CHECK_MSG(precision_ == other.precision_ && seed_ == other.seed_,
+                      "merging incompatible HyperLogLog sketches");
   for (std::size_t i = 0; i < registers_.size(); ++i) {
     registers_[i] = std::max(registers_[i], other.registers_[i]);
   }

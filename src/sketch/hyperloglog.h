@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include <algorithm>
+
+#include "sketch/sketch.h"
 #include "util/common.h"
 #include "util/hash.h"
 
@@ -22,6 +25,21 @@ class HyperLogLog {
 
   void Update(item_t item);
 
+  /// Weighted-update form of the contract: HLL is frequency-insensitive,
+  /// so any positive count is a single distinct observation.
+  void Update(item_t item, count_t count) {
+    SUBSTREAM_CHECK(count >= 1);
+    Update(item);
+  }
+
+  /// Feeds `n` contiguous elements.
+  void UpdateBatch(const item_t* data, std::size_t n) {
+    UpdateBatchByLoop(*this, data, n);
+  }
+
+  /// Zeroes all registers; precision, seed and hash table are kept.
+  void Reset() { std::fill(registers_.begin(), registers_.end(), 0); }
+
   double Estimate() const;
 
   /// Merges another sketch built with the same precision and seed.
@@ -36,9 +54,12 @@ class HyperLogLog {
  private:
   int precision_;
   std::uint64_t mask_;
+  std::uint64_t seed_;
   TabulationHash hash_;
   std::vector<std::uint8_t> registers_;
 };
+
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(HyperLogLog);
 
 }  // namespace substream
 

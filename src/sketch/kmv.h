@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <set>
 
+#include "sketch/sketch.h"
 #include "util/common.h"
 #include "util/hash.h"
 
@@ -25,6 +26,21 @@ class KmvSketch {
 
   void Update(item_t item);
 
+  /// Weighted-update form of the contract: KMV is frequency-insensitive,
+  /// so any positive count is a single distinct observation.
+  void Update(item_t item, count_t count) {
+    SUBSTREAM_CHECK(count >= 1);
+    Update(item);
+  }
+
+  /// Feeds `n` contiguous elements.
+  void UpdateBatch(const item_t* data, std::size_t n) {
+    UpdateBatchByLoop(*this, data, n);
+  }
+
+  /// Forgets all observed values; k, seed and hash are kept.
+  void Reset() { values_.clear(); }
+
   /// Estimated number of distinct items. Exact while fewer than k distinct
   /// hashes have been observed.
   double Estimate() const;
@@ -45,6 +61,8 @@ class KmvSketch {
   PolynomialHash hash_;
   std::set<std::uint64_t> values_;  // k smallest distinct hash values
 };
+
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(KmvSketch);
 
 }  // namespace substream
 

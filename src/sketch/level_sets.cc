@@ -46,7 +46,9 @@ IndykWoodruffEstimator::IndykWoodruffEstimator(const LevelSetParams& params,
     depths_.push_back(DepthSlot{
         CountSketch(params.cs_depth, params.cs_width,
                     DeriveSeed(seed, 0x100 + static_cast<std::uint64_t>(t))),
-        {}});
+        {},
+        {},
+        true});
   }
 }
 
@@ -103,6 +105,16 @@ void IndykWoodruffEstimator::TrackCandidate(DepthSlot& slot, item_t item,
     slot.candidates.erase(weakest);
     slot.candidates.emplace(item, estimate);
   }
+}
+
+void IndykWoodruffEstimator::Reset() {
+  for (DepthSlot& slot : depths_) {
+    slot.sketch.Reset();
+    slot.candidates.clear();
+    slot.exact.clear();
+    slot.exact_valid = true;
+  }
+  total_ = 0;
 }
 
 void IndykWoodruffEstimator::Merge(const IndykWoodruffEstimator& other) {
@@ -293,6 +305,16 @@ ExactLevelSets::ExactLevelSets(double eps_prime, double eta)
 void ExactLevelSets::Update(item_t item) {
   ++counts_[item];
   ++total_;
+}
+
+void ExactLevelSets::Merge(const ExactLevelSets& other) {
+  SUBSTREAM_CHECK_MSG(eps_prime_ == other.eps_prime_ && eta_ == other.eta_,
+                      "merging level-set references with different "
+                      "discretizations");
+  for (const auto& [item, g] : other.counts_) {
+    counts_[item] += g;
+  }
+  total_ += other.total_;
 }
 
 std::vector<LevelSetEstimate> ExactLevelSets::EstimateLevelSets() const {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sketch/countsketch.h"
+#include "sketch/sketch.h"
 #include "util/common.h"
 #include "util/hash.h"
 
@@ -78,6 +79,16 @@ class IndykWoodruffEstimator {
 
   void Update(item_t item);
 
+  /// Feeds `n` contiguous elements (per-item depth routing and candidate
+  /// tracking keep this a plain loop).
+  void UpdateBatch(const item_t* data, std::size_t n) {
+    UpdateBatchByLoop(*this, data, n);
+  }
+
+  /// Clears all per-depth sketches, candidate pools and exact maps;
+  /// parameters, eta and hash functions are kept.
+  void Reset();
+
   /// Estimated level sets with nonzero size, in increasing level order.
   std::vector<LevelSetEstimate> EstimateLevelSets() const;
 
@@ -138,6 +149,21 @@ class ExactLevelSets {
 
   void Update(item_t item);
 
+  /// Feeds `n` contiguous elements.
+  void UpdateBatch(const item_t* data, std::size_t n) {
+    UpdateBatchByLoop(*this, data, n);
+  }
+
+  /// Merges another reference structure with identical discretization
+  /// (same eps_prime and eta): exact counts add pointwise.
+  void Merge(const ExactLevelSets& other);
+
+  /// Forgets all counts; discretization parameters are kept.
+  void Reset() {
+    counts_.clear();
+    total_ = 0;
+  }
+
   std::vector<LevelSetEstimate> EstimateLevelSets() const;
 
   /// Discretized collision count sum_i |S_i| * C(v_i, l).
@@ -151,6 +177,7 @@ class ExactLevelSets {
 
   count_t ConsumedLength() const { return total_; }
   double eta() const { return eta_; }
+  double eps_prime() const { return eps_prime_; }
 
   std::size_t SpaceBytes() const {
     return counts_.size() * (sizeof(item_t) + sizeof(count_t));
@@ -162,6 +189,9 @@ class ExactLevelSets {
   std::unordered_map<item_t, count_t> counts_;
   count_t total_ = 0;
 };
+
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(IndykWoodruffEstimator);
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(ExactLevelSets);
 
 /// Level index of frequency g for boundaries eta (1+eps')^i:
 /// the unique i >= 0 with eta (1+eps')^i <= g < eta (1+eps')^{i+1}.

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "sketch/sketch.h"
 #include "util/common.h"
 
 /// \file misra_gries.h
@@ -21,6 +22,18 @@ class MisraGries {
   explicit MisraGries(std::size_t k);
 
   void Update(item_t item, count_t count = 1);
+
+  /// Feeds `n` contiguous elements.
+  void UpdateBatch(const item_t* data, std::size_t n) {
+    UpdateBatchByLoop(*this, data, n);
+  }
+
+  /// Forgets all counters and error state; k is kept.
+  void Reset() {
+    counters_.clear();
+    total_ = 0;
+    decrement_total_ = 0;
+  }
 
   /// Lower-bound estimate of the frequency of `item` (0 if not tracked).
   count_t Estimate(item_t item) const;
@@ -50,6 +63,8 @@ class MisraGries {
   count_t total_ = 0;
   count_t decrement_total_ = 0;
 };
+
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(MisraGries);
 
 }  // namespace substream
 

@@ -1,0 +1,114 @@
+#ifndef SUBSTREAM_SKETCH_SKETCH_H_
+#define SUBSTREAM_SKETCH_SKETCH_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "util/common.h"
+
+/// \file sketch.h
+/// The uniform mergeable-summary contract shared by every sketch in
+/// `src/sketch/` and every estimator in `src/core/`.
+///
+/// All of the paper's summaries (F0, F2-via-level-sets, entropy, F1-heavy
+/// hitters over a Bernoulli-sampled stream) are mergeable: a summary of the
+/// concatenation of two streams can be computed from summaries of the parts,
+/// provided both were built with the same geometry and seed. The library
+/// leans on that property everywhere — distributed routers merging at a
+/// collector, `ShardedMonitor` merging per-core shards, multi-window
+/// roll-ups — so the contract is made explicit and checked at compile time.
+///
+/// ## The contract
+///
+/// A conforming summary type `S` provides:
+///
+///  - `void Update(item_t item)` — feed one stream element. Weighted
+///    summaries additionally accept `Update(item, count)`; frequency-
+///    insensitive summaries (KMV, HyperLogLog) accept and ignore the count
+///    so generic call sites need not special-case them.
+///  - `void UpdateBatch(const item_t* data, std::size_t n)` — feed `n`
+///    contiguous elements. Semantically identical to `n` calls to
+///    `Update`, but sketches with array-shaped state (CountMin,
+///    CountSketch, AMS) specialize it into row-major tight loops that hoist
+///    hash/row lookups out of the per-item path.
+///  - `void Merge(const S& other)` — fold `other` into `*this` so the
+///    result summarizes the concatenated input. Preconditions (identical
+///    geometry and seed) are enforced loudly via SUBSTREAM_CHECK: merging
+///    incompatible summaries aborts instead of silently corrupting
+///    estimates.
+///  - `void Reset()` — return to the freshly-constructed state while
+///    keeping geometry, seeds and hash functions, so a summary can be
+///    reused across measurement windows without reallocation.
+///  - `std::size_t SpaceBytes()` — memory footprint.
+///
+/// Conformance is asserted with `SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(S)`
+/// (see the bottom of this header for the sketch layer; `monitor.cc` does
+/// the same for the core estimators), so a regression in any class is a
+/// compile error, not a runtime surprise.
+
+namespace substream {
+
+namespace sketch_internal {
+
+template <typename, typename = void>
+struct HasUpdate : std::false_type {};
+template <typename S>
+struct HasUpdate<S, std::void_t<decltype(std::declval<S&>().Update(
+                        std::declval<item_t>()))>> : std::true_type {};
+
+template <typename, typename = void>
+struct HasUpdateBatch : std::false_type {};
+template <typename S>
+struct HasUpdateBatch<
+    S, std::void_t<decltype(std::declval<S&>().UpdateBatch(
+           std::declval<const item_t*>(), std::declval<std::size_t>()))>>
+    : std::true_type {};
+
+template <typename, typename = void>
+struct HasMerge : std::false_type {};
+template <typename S>
+struct HasMerge<S, std::void_t<decltype(std::declval<S&>().Merge(
+                       std::declval<const S&>()))>> : std::true_type {};
+
+template <typename, typename = void>
+struct HasReset : std::false_type {};
+template <typename S>
+struct HasReset<S, std::void_t<decltype(std::declval<S&>().Reset())>>
+    : std::true_type {};
+
+template <typename, typename = void>
+struct HasSpaceBytes : std::false_type {};
+template <typename S>
+struct HasSpaceBytes<
+    S, std::void_t<decltype(std::declval<const S&>().SpaceBytes())>>
+    : std::true_type {};
+
+}  // namespace sketch_internal
+
+/// True when `S` satisfies the mergeable-summary contract documented above.
+template <typename S>
+inline constexpr bool IsMergeableSummary =
+    sketch_internal::HasUpdate<S>::value &&
+    sketch_internal::HasUpdateBatch<S>::value &&
+    sketch_internal::HasMerge<S>::value &&
+    sketch_internal::HasReset<S>::value &&
+    sketch_internal::HasSpaceBytes<S>::value;
+
+/// Compile-time conformance check, one line per summary class.
+#define SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(S)                         \
+  static_assert(::substream::IsMergeableSummary<S>,                   \
+                #S " does not satisfy the mergeable-summary contract " \
+                   "(Update/UpdateBatch/Merge/Reset/SpaceBytes)")
+
+/// Default `UpdateBatch` body: the plain item-at-a-time loop. Summaries
+/// whose per-item work is pointer-chasing (hash maps, heaps, reservoirs)
+/// delegate to this; array-shaped sketches override with row-major loops.
+template <typename S>
+inline void UpdateBatchByLoop(S& summary, const item_t* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) summary.Update(data[i]);
+}
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_SKETCH_SKETCH_H_

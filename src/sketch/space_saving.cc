@@ -29,6 +29,66 @@ void SpaceSaving::Update(item_t item, count_t count) {
   min_count_when_full_ = std::max(min_count_when_full_, floor);
 }
 
+void SpaceSaving::Merge(const SpaceSaving& other) {
+  SUBSTREAM_CHECK_MSG(k_ == other.k_,
+                      "merging SpaceSaving summaries of different k");
+  // An item untracked by a FULL table has true frequency at most that
+  // table's minimum counter; merging substitutes that fill-in value so the
+  // "never underestimates" invariant survives (Cafaro et al.).
+  auto fill_in = [](const SpaceSaving& s) -> count_t {
+    if (s.counters_.size() < s.k_) return 0;
+    count_t min_count = ~static_cast<count_t>(0);
+    for (const auto& [item, cell] : s.counters_) {
+      (void)item;
+      min_count = std::min(min_count, cell.count);
+    }
+    return min_count;
+  };
+  const count_t min_a = fill_in(*this);
+  const count_t min_b = fill_in(other);
+
+  std::unordered_map<item_t, Cell> merged;
+  merged.reserve(counters_.size() + other.counters_.size());
+  for (const auto& [item, cell] : counters_) {
+    auto it = other.counters_.find(item);
+    if (it != other.counters_.end()) {
+      merged.emplace(item, Cell{cell.count + it->second.count,
+                                cell.overestimate + it->second.overestimate});
+    } else {
+      merged.emplace(item,
+                     Cell{cell.count + min_b, cell.overestimate + min_b});
+    }
+  }
+  for (const auto& [item, cell] : other.counters_) {
+    if (counters_.find(item) == counters_.end()) {
+      merged.emplace(item,
+                     Cell{cell.count + min_a, cell.overestimate + min_a});
+    }
+  }
+
+  count_t evicted_max = 0;
+  if (merged.size() > k_) {
+    std::vector<std::pair<item_t, Cell>> cells(merged.begin(), merged.end());
+    std::nth_element(cells.begin(), cells.begin() + static_cast<long>(k_ - 1),
+                     cells.end(), [](const auto& a, const auto& b) {
+                       if (a.second.count != b.second.count) {
+                         return a.second.count > b.second.count;
+                       }
+                       return a.first < b.first;
+                     });
+    merged.clear();
+    for (std::size_t i = 0; i < k_; ++i) merged.insert(cells[i]);
+    for (std::size_t i = k_; i < cells.size(); ++i) {
+      evicted_max = std::max(evicted_max, cells[i].second.count);
+    }
+  }
+  counters_ = std::move(merged);
+  total_ += other.total_;
+  min_count_when_full_ =
+      std::max({min_count_when_full_ + other.min_count_when_full_,
+                min_a + min_b, evicted_max});
+}
+
 item_t SpaceSaving::FindMin() const {
   item_t best_item = 0;
   count_t best = ~static_cast<count_t>(0);

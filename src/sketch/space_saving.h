@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "sketch/sketch.h"
 #include "util/common.h"
 
 /// \file space_saving.h
@@ -22,6 +23,24 @@ class SpaceSaving {
   explicit SpaceSaving(std::size_t k);
 
   void Update(item_t item, count_t count = 1);
+
+  /// Feeds `n` contiguous elements.
+  void UpdateBatch(const item_t* data, std::size_t n) {
+    UpdateBatchByLoop(*this, data, n);
+  }
+
+  /// Merges another k-counter summary (Agarwal et al. mergeability):
+  /// counters add pointwise (overestimates too), then the table is pruned
+  /// back to the k largest counts. The merged summary keeps the combined
+  /// f_i <= Estimate(i) <= f_i + F1_total/k guarantee.
+  void Merge(const SpaceSaving& other);
+
+  /// Forgets all counters and error state; k is kept.
+  void Reset() {
+    counters_.clear();
+    total_ = 0;
+    min_count_when_full_ = 0;
+  }
 
   /// Upper-bound estimate (0 if never tracked and table not yet full).
   count_t Estimate(item_t item) const;
@@ -52,6 +71,8 @@ class SpaceSaving {
 
   item_t FindMin() const;
 };
+
+SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(SpaceSaving);
 
 }  // namespace substream
 

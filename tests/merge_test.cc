@@ -138,6 +138,133 @@ TEST(MergeTest, IndykWoodruffEqualsConcatenationEstimates) {
               0.25 * sboth.EstimateCollisions(2) + 1.0);
 }
 
+TEST(MergeTest, SpaceSavingKeepsGuaranteeAfterMerge) {
+  TwoStreams t = MakeStreams();
+  const std::size_t k = 64;
+  SpaceSaving sa(k), sb(k);
+  for (item_t x : t.a) sa.Update(x);
+  for (item_t x : t.b) sb.Update(x);
+  sa.Merge(sb);
+  FrequencyTable exact = ExactStats(t.both);
+  // Merged summary keeps the SpaceSaving envelope for the combined stream:
+  // estimates never underestimate, and overestimate by at most F1_total/k.
+  const double bound = static_cast<double>(exact.F1()) / static_cast<double>(k);
+  for (const auto& [item, est] : sa.Candidates(0.0)) {
+    EXPECT_GE(static_cast<double>(est),
+              static_cast<double>(exact.Frequency(item)))
+        << "item " << item;
+    EXPECT_LE(static_cast<double>(est),
+              static_cast<double>(exact.Frequency(item)) + bound)
+        << "item " << item;
+  }
+  EXPECT_LE(sa.SpaceBytes(), k * (sizeof(item_t) + 2 * sizeof(count_t)));
+}
+
+TEST(MergeTest, EntropyMleEqualsConcatenation) {
+  TwoStreams t = MakeStreams();
+  EntropyMleEstimator ea, eb, eboth;
+  for (item_t x : t.a) ea.Update(x);
+  for (item_t x : t.b) eb.Update(x);
+  for (item_t x : t.both) eboth.Update(x);
+  ea.Merge(eb);
+  EXPECT_EQ(ea.ConsumedLength(), eboth.ConsumedLength());
+  EXPECT_NEAR(ea.Estimate(), eboth.Estimate(), 1e-9);
+}
+
+TEST(MergeTest, HeavyHitterTrackersMerge) {
+  TwoStreams t = MakeStreams();
+  CountMinHeavyHitters ha(0.02, 0.25, 0.05, 31), hb(0.02, 0.25, 0.05, 31),
+      hboth(0.02, 0.25, 0.05, 31);
+  for (item_t x : t.a) ha.Update(x);
+  for (item_t x : t.b) hb.Update(x);
+  for (item_t x : t.both) hboth.Update(x);
+  ha.Merge(hb);
+  EXPECT_EQ(ha.TotalCount(), hboth.TotalCount());
+  // The merged CountMin is exactly the concatenation sketch, so shared
+  // candidates get identical estimates.
+  const auto merged = ha.Candidates(0.02);
+  const auto whole = hboth.Candidates(0.02);
+  ASSERT_FALSE(whole.empty());
+  EXPECT_EQ(merged.front().first, whole.front().first);
+  EXPECT_EQ(merged.front().second, whole.front().second);
+}
+
+TEST(MergeTest, MonitorMergeMatchesSingleMonitor) {
+  TwoStreams t = MakeStreams();
+  MonitorConfig config;
+  config.p = 1.0;
+  config.universe = 4000;
+  Monitor ma(config, 41), mb(config, 41), mboth(config, 41);
+  ma.UpdateBatch(t.a.data(), t.a.size());
+  mb.UpdateBatch(t.b.data(), t.b.size());
+  mboth.UpdateBatch(t.both.data(), t.both.size());
+  ma.Merge(mb);
+  const MonitorReport merged = ma.Report(), whole = mboth.Report();
+  EXPECT_EQ(merged.sampled_length, whole.sampled_length);
+  EXPECT_DOUBLE_EQ(*merged.distinct_items, *whole.distinct_items);
+  EXPECT_NEAR(merged.entropy->entropy, whole.entropy->entropy, 1e-9);
+  EXPECT_NEAR(*merged.second_moment, *whole.second_moment,
+              0.15 * *whole.second_moment + 1.0);
+}
+
+using MergePreconditionDeathTest = ::testing::Test;
+
+TEST(MergePreconditionDeathTest, MismatchedGeometryOrSeedAborts) {
+  // Merging sketches with different geometry or seed must fail loudly
+  // (SUBSTREAM_CHECK abort), never silently corrupt estimates.
+  CountMinSketch cm_a(5, 1024, false, 7), cm_seed(5, 1024, false, 8),
+      cm_width(5, 512, false, 7);
+  EXPECT_DEATH(cm_a.Merge(cm_seed), "incompatible CountMin");
+  EXPECT_DEATH(cm_a.Merge(cm_width), "incompatible CountMin");
+
+  CountSketch cs_a(5, 1024, 9), cs_b(7, 1024, 9);
+  EXPECT_DEATH(cs_a.Merge(cs_b), "incompatible CountSketch");
+
+  AmsF2Sketch ams_a = AmsF2Sketch::WithGeometry(5, 64, 11);
+  AmsF2Sketch ams_b = AmsF2Sketch::WithGeometry(5, 32, 11);
+  EXPECT_DEATH(ams_a.Merge(ams_b), "incompatible AMS");
+
+  KmvSketch kmv_a(256, 13), kmv_b(256, 14);
+  EXPECT_DEATH(kmv_a.Merge(kmv_b), "incompatible KMV");
+
+  HyperLogLog hll_a(12, 15), hll_b(12, 16);
+  EXPECT_DEATH(hll_a.Merge(hll_b), "incompatible HyperLogLog");
+
+  MisraGries mg_a(16), mg_b(32);
+  EXPECT_DEATH(mg_a.Merge(mg_b), "different k");
+
+  SpaceSaving ss_a(16), ss_b(32);
+  EXPECT_DEATH(ss_a.Merge(ss_b), "different k");
+
+  LevelSetParams params;
+  IndykWoodruffEstimator iw_a(params, 17), iw_b(params, 18);
+  EXPECT_DEATH(iw_a.Merge(iw_b), "incompatible level-set");
+}
+
+TEST(MergePreconditionDeathTest, MismatchedMonitorsAbort) {
+  MonitorConfig config;
+  config.p = 0.5;
+  Monitor seed_a(config, 1), seed_b(config, 2);
+  EXPECT_DEATH(seed_a.Merge(seed_b), "different seeds");
+
+  MonitorConfig other = config;
+  other.p = 0.25;
+  Monitor config_a(config, 3), config_b(other, 3);
+  EXPECT_DEATH(config_a.Merge(config_b), "different configurations");
+}
+
+TEST(MergePreconditionDeathTest, MismatchedEstimatorsAbort) {
+  F0Params f0_kmv, f0_hll;
+  f0_hll.backend = F0Backend::kHyperLogLog;
+  F0Estimator f0_a(f0_kmv, 1), f0_b(f0_hll, 1);
+  EXPECT_DEATH(f0_a.Merge(f0_b), "different configurations");
+
+  HeavyHitterParams hh_params, hh_other;
+  hh_other.alpha = 0.5;
+  F1HeavyHitterEstimator hh_a(hh_params, 1), hh_b(hh_other, 1);
+  EXPECT_DEATH(hh_a.Merge(hh_b), "different configurations");
+}
+
 TEST(MergeTest, DistributedMonitorsPipeline) {
   // End-to-end distributed scenario: two routers Bernoulli-sample their
   // local traffic at the same rate, sketch locally, and a collector merges

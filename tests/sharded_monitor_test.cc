@@ -1,0 +1,162 @@
+/// Shard-equivalence property: splitting the sampled stream across K
+/// same-seeded monitors and merging must yield the same MonitorReport as
+/// one monitor consuming the whole stream — bit-identical for the linear
+/// summaries (KMV distinct set, frequency maps, stream lengths), within a
+/// modest tolerance for candidate-tracking ones (level-set F2, heavy-hitter
+/// pools, whose candidate membership is order-dependent). This is the
+/// correctness contract ShardedMonitor's pipeline is built on.
+
+#include "core/sharded_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/exact_stats.h"
+#include "stream/generators.h"
+#include "stream/samplers.h"
+
+namespace substream {
+namespace {
+
+MonitorConfig TestConfig() {
+  MonitorConfig config;
+  config.p = 0.3;
+  config.universe = 3000;
+  config.hh_alpha = 0.02;
+  config.max_f2_width = 1 << 12;
+  return config;
+}
+
+Stream SampledStream(std::size_t n) {
+  ZipfGenerator generator(3000, 1.2, 11);
+  Stream original = Materialize(generator, n);
+  BernoulliSampler sampler(TestConfig().p, 13);
+  return sampler.Sample(original);
+}
+
+void ExpectEquivalentReports(const MonitorReport& merged,
+                             const MonitorReport& whole) {
+  // Linear summaries: exact.
+  EXPECT_EQ(merged.sampled_length, whole.sampled_length);
+  EXPECT_DOUBLE_EQ(merged.scaled_length, whole.scaled_length);
+  ASSERT_TRUE(merged.distinct_items.has_value());
+  EXPECT_DOUBLE_EQ(*merged.distinct_items, *whole.distinct_items);
+  // Entropy runs on an exact frequency map (MLE backend): the merged map
+  // equals the whole-stream map; only summation order may differ.
+  ASSERT_TRUE(merged.entropy.has_value());
+  EXPECT_NEAR(merged.entropy->entropy, whole.entropy->entropy,
+              1e-9 * std::max(1.0, std::abs(whole.entropy->entropy)));
+  // Candidate-tracking summaries: within tolerance.
+  ASSERT_TRUE(merged.second_moment.has_value());
+  EXPECT_NEAR(*merged.second_moment, *whole.second_moment,
+              0.15 * *whole.second_moment + 1.0);
+  ASSERT_TRUE(merged.heavy_hitters.has_value());
+  ASSERT_FALSE(whole.heavy_hitters->empty());
+  const HeavyHitter& top = whole.heavy_hitters->front();
+  const auto found = std::find_if(
+      merged.heavy_hitters->begin(), merged.heavy_hitters->end(),
+      [&](const HeavyHitter& h) { return h.item == top.item; });
+  ASSERT_NE(found, merged.heavy_hitters->end());
+  EXPECT_NEAR(found->estimated_frequency, top.estimated_frequency,
+              0.05 * top.estimated_frequency + 1.0);
+}
+
+TEST(ShardEquivalenceTest, SplitAndMergeMatchesSingleMonitor) {
+  const Stream sampled = SampledStream(120000);
+  const MonitorConfig config = TestConfig();
+  const std::uint64_t seed = 7;
+
+  Monitor whole(config, seed);
+  for (item_t a : sampled) whole.Update(a);
+  const MonitorReport whole_report = whole.Report();
+
+  for (std::size_t shards : {1u, 2u, 8u}) {
+    std::vector<Monitor> fleet;
+    fleet.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) fleet.emplace_back(config, seed);
+    for (item_t a : sampled) {
+      fleet[ShardedMonitor::ShardOf(a, shards)].Update(a);
+    }
+    for (std::size_t s = 1; s < shards; ++s) fleet[0].Merge(fleet[s]);
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    ExpectEquivalentReports(fleet[0].Report(), whole_report);
+  }
+}
+
+TEST(ShardedMonitorTest, PipelineMatchesSingleMonitor) {
+  const Stream sampled = SampledStream(120000);
+  const MonitorConfig config = TestConfig();
+  const std::uint64_t seed = 7;
+
+  Monitor whole(config, seed);
+  whole.UpdateBatch(sampled.data(), sampled.size());
+  const MonitorReport whole_report = whole.Report();
+
+  for (std::size_t shards : {2u, 4u}) {
+    ShardedMonitorOptions options;
+    options.shards = shards;
+    options.batch_items = 1024;
+    ShardedMonitor sharded(config, seed, options);
+    // Ingest in uneven chunks to exercise staging and flushing.
+    std::size_t offset = 0;
+    std::size_t chunk = 777;
+    while (offset < sampled.size()) {
+      const std::size_t n = std::min(chunk, sampled.size() - offset);
+      sharded.Ingest(sampled.data() + offset, n);
+      offset += n;
+      chunk = chunk * 2 + 1;
+    }
+    EXPECT_EQ(sharded.ItemsIngested(), sampled.size());
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    ExpectEquivalentReports(sharded.Report(), whole_report);
+  }
+}
+
+TEST(ShardedMonitorTest, BatchAndItemAtATimeAreIdentical) {
+  const Stream sampled = SampledStream(60000);
+  const MonitorConfig config = TestConfig();
+  Monitor one(config, 3), batched(config, 3);
+  for (item_t a : sampled) one.Update(a);
+  batched.UpdateBatch(sampled.data(), sampled.size());
+  const MonitorReport r1 = one.Report(), r2 = batched.Report();
+  EXPECT_DOUBLE_EQ(*r1.distinct_items, *r2.distinct_items);
+  EXPECT_DOUBLE_EQ(*r1.second_moment, *r2.second_moment);
+  EXPECT_DOUBLE_EQ(r1.entropy->entropy, r2.entropy->entropy);
+  EXPECT_EQ(r1.sampled_length, r2.sampled_length);
+}
+
+TEST(ShardedMonitorTest, ResetReusesAMonitorAcrossWindows) {
+  const Stream sampled = SampledStream(40000);
+  const MonitorConfig config = TestConfig();
+  Monitor fresh(config, 5), reused(config, 5);
+
+  // Pollute `reused` with an unrelated window, then reset.
+  UniformGenerator other(512, 21);
+  for (item_t a : Materialize(other, 10000)) reused.Update(a);
+  reused.Reset();
+  EXPECT_EQ(reused.Report().sampled_length, 0u);
+
+  for (item_t a : sampled) {
+    fresh.Update(a);
+    reused.Update(a);
+  }
+  const MonitorReport r1 = fresh.Report(), r2 = reused.Report();
+  EXPECT_DOUBLE_EQ(*r1.distinct_items, *r2.distinct_items);
+  EXPECT_DOUBLE_EQ(*r1.second_moment, *r2.second_moment);
+  EXPECT_DOUBLE_EQ(r1.entropy->entropy, r2.entropy->entropy);
+}
+
+TEST(ShardedMonitorTest, EmptyPipelineReports) {
+  ShardedMonitorOptions options;
+  options.shards = 2;
+  ShardedMonitor sharded(TestConfig(), 9, options);
+  const MonitorReport report = sharded.Report();
+  EXPECT_EQ(report.sampled_length, 0u);
+  EXPECT_DOUBLE_EQ(report.scaled_length, 0.0);
+}
+
+}  // namespace
+}  // namespace substream
