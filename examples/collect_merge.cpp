@@ -1,0 +1,211 @@
+/// Cross-process router→collector aggregation over the wire format.
+///
+/// N producer processes (real fork()ed children, not threads) each
+/// Bernoulli-sample their local traffic at rate p and run a full Monitor
+/// with the fleet-shared config and sketch seed. Each producer then ships
+/// its summary as one serde record — even-numbered producers stream the
+/// bytes through a pipe, odd-numbered ones durably Checkpoint() to a file,
+/// the crash-safe window handoff. The parent's Collector decodes and
+/// merges whatever arrives, so its Report() describes the union of every
+/// producer's stream even though no process ever saw another's packets.
+///
+/// The collector's estimates are compared against a monolithic Monitor fed
+/// the concatenation of all sampled slices in one process: linear
+/// summaries (F0, F2, entropy, lengths) match exactly, candidate-tracking
+/// heavy hitters within the usual merge tolerance. A garbage record is
+/// also thrown at the collector to show reject-don't-abort accounting.
+///
+///   ./collect_merge [producers] [p]
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/substream.h"
+#include "serde/collector.h"
+#include "serde/serde.h"
+
+using namespace substream;
+
+namespace {
+
+/// Deterministic per-producer traffic: producer r's local Zipf population
+/// with a private range, sampled at rate p with producer-owned randomness.
+/// The parent replays the same streams to build the monolithic reference.
+Stream ProducerSampledStream(int r, double p, std::size_t packets) {
+  ZipfGenerator gen(20000 + 5000 * static_cast<item_t>(r), 1.1,
+                    static_cast<std::uint64_t>(100 + r));
+  Stream local = Materialize(gen, packets);
+  BernoulliSampler sampler(p, static_cast<std::uint64_t>(500 + r));
+  return sampler.Sample(local);
+}
+
+/// Child body: monitor the slice, serialize, ship, exit. Never returns.
+[[noreturn]] void RunProducer(int r, const MonitorConfig& config,
+                              std::uint64_t seed, std::size_t packets,
+                              int pipe_fd, const std::string& ckpt_path) {
+  Monitor monitor(config, seed);
+  const Stream sampled = ProducerSampledStream(r, config.p, packets);
+  monitor.UpdateBatch(sampled.data(), sampled.size());
+  bool ok = true;
+  if (pipe_fd >= 0) {
+    serde::Writer writer;
+    monitor.Serialize(writer);
+    const std::uint8_t* data = writer.bytes().data();
+    std::size_t left = writer.size();
+    while (left > 0) {
+      const ssize_t n = ::write(pipe_fd, data, left);
+      if (n <= 0) {
+        ok = false;
+        break;
+      }
+      data += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    ::close(pipe_fd);
+  } else {
+    ok = monitor.Checkpoint(ckpt_path);
+  }
+  ::_exit(ok ? 0 : 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int producers = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double p = argc > 2 ? std::atof(argv[2]) : 0.1;
+  const std::size_t packets_per_producer = 1 << 17;
+  const std::uint64_t kSketchSeed = 42;  // fleet-shared: Merge precondition
+  MonitorConfig config;
+  config.p = p;
+  config.universe = 1 << 16;
+  config.hh_alpha = 0.05;
+
+  std::printf("cross-process collection: %d producer processes, p=%.2f, "
+              "%zu packets each\n\n",
+              producers, p, packets_per_producer);
+
+  struct Producer {
+    pid_t pid;
+    int read_fd;        // -1 for checkpoint transport
+    std::string path;   // empty for pipe transport
+  };
+  std::vector<Producer> fleet;
+  for (int r = 0; r < producers; ++r) {
+    const bool via_pipe = (r % 2) == 0;
+    int fds[2] = {-1, -1};
+    std::string path;
+    if (via_pipe) {
+      if (::pipe(fds) != 0) {
+        std::perror("pipe");
+        return 1;
+      }
+    } else {
+      path = "/tmp/substream_collect_" + std::to_string(::getpid()) + "_" +
+             std::to_string(r) + ".ckpt";
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      if (via_pipe) ::close(fds[0]);
+      RunProducer(r, config, kSketchSeed, packets_per_producer, fds[1], path);
+    }
+    if (via_pipe) ::close(fds[1]);
+    fleet.push_back(Producer{pid, fds[0], path});
+  }
+
+  // Collect. Pipes are drained before waiting on their writers (a record
+  // can exceed the pipe capacity); checkpoint producers are reaped first so
+  // the file is complete — their atomic rename means we never see a torn
+  // half-written file either way.
+  serde::Collector collector;
+  std::size_t wire_bytes = 0;
+  for (int r = 0; r < producers; ++r) {
+    const Producer& producer = fleet[static_cast<std::size_t>(r)];
+    bool accepted = false;
+    if (producer.read_fd >= 0) {
+      std::vector<std::uint8_t> record;
+      std::uint8_t chunk[1 << 16];
+      ssize_t n;
+      while ((n = ::read(producer.read_fd, chunk, sizeof chunk)) > 0) {
+        record.insert(record.end(), chunk, chunk + n);
+      }
+      ::close(producer.read_fd);
+      ::waitpid(producer.pid, nullptr, 0);
+      wire_bytes += record.size();
+      accepted = collector.AddSerialized(record);
+      std::printf("  producer %d: %7zu wire bytes via pipe       -> %s\n", r,
+                  record.size(), accepted ? "merged" : "REJECTED");
+    } else {
+      int status = 0;
+      ::waitpid(producer.pid, &status, 0);
+      accepted = status == 0 && collector.AddCheckpointFile(producer.path);
+      std::printf("  producer %d: checkpoint file %s -> %s\n", r,
+                  producer.path.c_str(), accepted ? "merged" : "REJECTED");
+      std::remove(producer.path.c_str());
+    }
+  }
+
+  // A corrupt record must be counted, not fatal.
+  const std::vector<std::uint8_t> garbage(256, 0xAB);
+  collector.AddSerialized(garbage);
+  std::printf("  garbage record: -> %s\n",
+              collector.rejected() > 0 ? "REJECTED (as it should be)"
+                                       : "accepted?!");
+  std::printf("\ncollector: %zu accepted, %zu rejected, %zu KB shipped\n",
+              collector.accepted(), collector.rejected(), wire_bytes / 1024);
+  if (collector.empty()) {
+    std::printf("no records accepted; nothing to report\n");
+    return 1;
+  }
+
+  // Monolithic reference: one process, one monitor, concatenated slices.
+  Monitor whole(config, kSketchSeed);
+  for (int r = 0; r < producers; ++r) {
+    const Stream sampled = ProducerSampledStream(r, p, packets_per_producer);
+    whole.UpdateBatch(sampled.data(), sampled.size());
+  }
+
+  const MonitorReport merged = collector.Report();
+  const MonitorReport mono = whole.Report();
+  std::printf("\n%-18s %16s %16s\n", "estimate", "collector", "monolithic");
+  std::printf("%-18s %16llu %16llu\n", "sampled length",
+              static_cast<unsigned long long>(merged.sampled_length),
+              static_cast<unsigned long long>(mono.sampled_length));
+  std::printf("%-18s %16.0f %16.0f\n", "distinct flows",
+              merged.distinct_items.value_or(0.0),
+              mono.distinct_items.value_or(0.0));
+  std::printf("%-18s %16.4g %16.4g\n", "self-join size",
+              merged.second_moment.value_or(0.0),
+              mono.second_moment.value_or(0.0));
+  if (merged.entropy && mono.entropy) {
+    std::printf("%-18s %16.4f %16.4f\n", "entropy (bits)",
+                merged.entropy->entropy, mono.entropy->entropy);
+  }
+  std::printf("%-18s %16.0f %16.0f\n", "scaled length", merged.scaled_length,
+              mono.scaled_length);
+
+  std::printf("\ntop flows (collector est / monolithic est):\n");
+  int shown = 0;
+  const auto hits = merged.heavy_hitters.value_or(std::vector<HeavyHitter>{});
+  const auto mono_hits =
+      mono.heavy_hitters.value_or(std::vector<HeavyHitter>{});
+  for (const HeavyHitter& hit : hits) {
+    if (++shown > 3) break;
+    double mono_est = 0.0;
+    for (const HeavyHitter& m : mono_hits) {
+      if (m.item == hit.item) mono_est = m.estimated_frequency;
+    }
+    std::printf("  flow %6llu: %10.0f / %10.0f\n",
+                static_cast<unsigned long long>(hit.item),
+                hit.estimated_frequency, mono_est);
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "serde/serde.h"
 #include "util/hash.h"
 
 namespace substream {
@@ -52,9 +53,19 @@ void EntropyEstimator::UpdateBatch(const item_t* data, std::size_t n) {
   }
 }
 
+bool EntropyEstimator::MergeCompatibleWith(
+    const EntropyEstimator& other) const {
+  if (params_.backend != other.params_.backend ||
+      params_.p != other.params_.p) {
+    return false;
+  }
+  if (static_cast<bool>(mle_) != static_cast<bool>(other.mle_)) return false;
+  if (mle_) return mle_->MergeCompatibleWith(*other.mle_);
+  return ams_->MergeCompatibleWith(*other.ams_);
+}
+
 void EntropyEstimator::Merge(const EntropyEstimator& other) {
-  SUBSTREAM_CHECK_MSG(params_.backend == other.params_.backend &&
-                          params_.p == other.params_.p,
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging entropy estimators with different "
                       "configurations");
   sampled_length_ += other.sampled_length_;
@@ -103,6 +114,52 @@ EntropyResult EntropyEstimator::Estimate() const {
 std::size_t EntropyEstimator::SpaceBytes() const {
   if (mle_) return mle_->SpaceBytes();
   return ams_->SpaceBytes();
+}
+
+void EntropyEstimator::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kEntropyEstimator);
+  out.F64(params_.p);
+  out.F64(params_.n_hint);
+  out.U8(static_cast<std::uint8_t>(params_.backend));
+  out.F64(params_.epsilon);
+  out.F64(params_.delta);
+  out.Varint(sampled_length_);
+  if (mle_) {
+    mle_->Serialize(out);
+  } else {
+    ams_->Serialize(out);
+  }
+}
+
+std::optional<EntropyEstimator> EntropyEstimator::Deserialize(
+    serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kEntropyEstimator)) {
+    return std::nullopt;
+  }
+  EntropyParams params;
+  params.p = in.F64();
+  params.n_hint = in.F64();
+  const std::uint8_t backend = in.U8();
+  params.epsilon = in.F64();
+  params.delta = in.F64();
+  const count_t sampled_length = in.Varint();
+  if (!in.ok() || !serde::ValidProbability(params.p) || backend > 2 ||
+      !std::isfinite(params.n_hint) || params.n_hint < 0.0) {
+    return std::nullopt;
+  }
+  params.backend = static_cast<EntropyBackend>(backend);
+  EntropyEstimator estimator(DeserializeTag{}, params);
+  estimator.sampled_length_ = sampled_length;
+  if (params.backend == EntropyBackend::kAmsSketch) {
+    auto ams = AmsEntropySketch::Deserialize(in);
+    if (!ams) return std::nullopt;
+    estimator.ams_ = std::make_unique<AmsEntropySketch>(std::move(*ams));
+  } else {
+    auto mle = EntropyMleEstimator::Deserialize(in);
+    if (!mle) return std::nullopt;
+    estimator.mle_ = std::make_unique<EntropyMleEstimator>(std::move(*mle));
+  }
+  return estimator;
 }
 
 }  // namespace substream

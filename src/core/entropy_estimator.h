@@ -2,6 +2,7 @@
 #define SUBSTREAM_CORE_ENTROPY_ESTIMATOR_H_
 
 #include <memory>
+#include <optional>
 
 #include "sketch/entropy_sketch.h"
 #include "util/common.h"
@@ -71,6 +72,10 @@ class EntropyEstimator {
   /// backends merge exactly; the AMS sketch merges via the distributed-
   /// reservoir rule (see AmsEntropySketch::Merge).
   void Merge(const EntropyEstimator& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const EntropyEstimator& other) const;
 
   /// Clears all state; parameters, seed and backend are kept.
   void Reset();
@@ -85,7 +90,20 @@ class EntropyEstimator {
 
   std::size_t SpaceBytes() const;
 
+  /// Appends the versioned wire record: parameter header, then the active
+  /// backend's nested record.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<EntropyEstimator> Deserialize(serde::Reader& in);
+
  private:
+  /// Deserialize-only: adopts params without building a backend (the
+  /// decoded nested record supplies it).
+  struct DeserializeTag {};
+  EntropyEstimator(DeserializeTag, const EntropyParams& params)
+      : params_(params) {}
+
   EntropyParams params_;
   count_t sampled_length_ = 0;
   std::unique_ptr<EntropyMleEstimator> mle_;

@@ -2,6 +2,7 @@
 #define SUBSTREAM_CORE_F0_ESTIMATOR_H_
 
 #include <memory>
+#include <optional>
 
 #include "sketch/hyperloglog.h"
 #include "sketch/kmv.h"
@@ -53,6 +54,10 @@ class F0Estimator {
   /// Merges an estimator built with the same parameters and seed (backend
   /// sketches merge under their own geometry/seed preconditions).
   void Merge(const F0Estimator& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const F0Estimator& other) const;
 
   /// Clears all state; parameters, seed and backend are kept.
   void Reset();
@@ -72,8 +77,21 @@ class F0Estimator {
 
   std::size_t SpaceBytes() const;
 
+  /// Appends the versioned wire record: parameter header, then the active
+  /// backend's nested record (serde/serde.h).
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<F0Estimator> Deserialize(serde::Reader& in);
+
  private:
   struct ExactSet;
+
+  /// Deserialize-only: adopts params without building a backend (the
+  /// decoded nested record supplies it), so corrupted wire parameters can
+  /// never size an allocation.
+  struct DeserializeTag {};
+  F0Estimator(DeserializeTag, const F0Params& params);
 
   F0Params params_;
   count_t sampled_length_ = 0;

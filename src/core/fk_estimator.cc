@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/collision.h"
+#include "serde/serde.h"
 #include "util/hash.h"
 #include "util/math.h"
 
@@ -62,6 +63,9 @@ FkEstimator::FkEstimator(const FkParams& params, std::uint64_t seed)
   }
 }
 
+FkEstimator::FkEstimator(DeserializeTag, const FkParams& params)
+    : params_(params), schedule_(EpsilonSchedule(params.k, params.epsilon)) {}
+
 FkEstimator::~FkEstimator() = default;
 FkEstimator::FkEstimator(FkEstimator&&) noexcept = default;
 FkEstimator& FkEstimator::operator=(FkEstimator&&) noexcept = default;
@@ -84,10 +88,24 @@ void FkEstimator::UpdateBatch(const item_t* data, std::size_t n) {
   }
 }
 
+bool FkEstimator::MergeCompatibleWith(const FkEstimator& other) const {
+  if (params_.k != other.params_.k ||
+      params_.backend != other.params_.backend ||
+      params_.p != other.params_.p) {
+    return false;
+  }
+  if (static_cast<bool>(sketch_backend_) !=
+      static_cast<bool>(other.sketch_backend_)) {
+    return false;
+  }
+  if (sketch_backend_) {
+    return sketch_backend_->MergeCompatibleWith(*other.sketch_backend_);
+  }
+  return exact_backend_->MergeCompatibleWith(*other.exact_backend_);
+}
+
 void FkEstimator::Merge(const FkEstimator& other) {
-  SUBSTREAM_CHECK_MSG(params_.k == other.params_.k &&
-                          params_.backend == other.params_.backend &&
-                          params_.p == other.params_.p,
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging Fk estimators with different configurations");
   sampled_length_ += other.sampled_length_;
   if (sketch_backend_) {
@@ -147,6 +165,62 @@ double FkEstimator::Estimate() const { return AllMoments().back(); }
 std::size_t FkEstimator::SpaceBytes() const {
   if (sketch_backend_) return sketch_backend_->SpaceBytes();
   return exact_backend_->SpaceBytes();
+}
+
+void FkEstimator::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kFkEstimator);
+  out.Varint(static_cast<std::uint64_t>(params_.k));
+  out.F64(params_.epsilon);
+  out.F64(params_.delta);
+  out.F64(params_.p);
+  out.Varint(params_.universe);
+  out.Varint(params_.n_hint);
+  out.U8(static_cast<std::uint8_t>(params_.backend));
+  out.F64(params_.space_multiplier);
+  out.Varint(params_.max_width);
+  out.Varint(sampled_length_);
+  if (sketch_backend_) {
+    sketch_backend_->Serialize(out);
+  } else {
+    exact_backend_->Serialize(out);
+  }
+}
+
+std::optional<FkEstimator> FkEstimator::Deserialize(serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kFkEstimator)) return std::nullopt;
+  FkParams params;
+  const std::uint64_t k = in.Varint();
+  params.epsilon = in.F64();
+  params.delta = in.F64();
+  params.p = in.F64();
+  params.universe = in.Varint();
+  params.n_hint = in.Varint();
+  const std::uint8_t backend = in.U8();
+  params.space_multiplier = in.F64();
+  params.max_width = in.Varint();
+  const count_t sampled_length = in.Varint();
+  if (!in.ok() || k < 1 || k > 12 || !serde::ValidOpenUnit(params.epsilon) ||
+      !serde::ValidOpenUnit(params.delta) ||
+      !serde::ValidProbability(params.p) || backend > 2 ||
+      !serde::ValidPositive(params.space_multiplier)) {
+    return std::nullopt;
+  }
+  params.k = static_cast<int>(k);
+  params.backend = static_cast<CollisionBackend>(backend);
+  FkEstimator estimator(DeserializeTag{}, params);
+  estimator.sampled_length_ = sampled_length;
+  if (params.backend == CollisionBackend::kSketch) {
+    auto sketch = IndykWoodruffEstimator::Deserialize(in);
+    if (!sketch) return std::nullopt;
+    estimator.sketch_backend_ =
+        std::make_unique<IndykWoodruffEstimator>(std::move(*sketch));
+  } else {
+    auto exact = ExactLevelSets::Deserialize(in);
+    if (!exact) return std::nullopt;
+    estimator.exact_backend_ =
+        std::make_unique<ExactLevelSets>(std::move(*exact));
+  }
+  return estimator;
 }
 
 }  // namespace substream

@@ -2,6 +2,7 @@
 #define SUBSTREAM_CORE_FK_ESTIMATOR_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sketch/level_sets.h"
@@ -73,6 +74,10 @@ class FkEstimator {
   /// Merges an estimator built with the same parameters and seed (the
   /// level-set backends merge under their own geometry/seed preconditions).
   void Merge(const FkEstimator& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const FkEstimator& other) const;
 
   /// Clears all state; parameters, seed and backend are kept.
   void Reset();
@@ -104,7 +109,19 @@ class FkEstimator {
   /// ceil(space_multiplier * m^{1-2/k} / (p * eps^2)).
   static std::uint64_t SketchWidth(const FkParams& params);
 
+  /// Appends the versioned wire record: parameter header, then the active
+  /// backend's nested record.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<FkEstimator> Deserialize(serde::Reader& in);
+
  private:
+  /// Deserialize-only: adopts params and recomputes the epsilon schedule
+  /// without building a backend (the decoded nested record supplies it).
+  struct DeserializeTag {};
+  FkEstimator(DeserializeTag, const FkParams& params);
+
   FkParams params_;
   std::vector<double> schedule_;
   count_t sampled_length_ = 0;

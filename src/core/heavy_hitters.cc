@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "serde/serde.h"
 #include "util/hash.h"
 
 namespace substream {
@@ -15,6 +16,29 @@ void ValidateParams(const HeavyHitterParams& params) {
   SUBSTREAM_CHECK(params.delta > 0.0 && params.delta < 1.0);
   SUBSTREAM_CHECK_MSG(params.p > 0.0 && params.p <= 1.0,
                       "sampling probability p=%f", params.p);
+}
+
+bool WireValidParams(const HeavyHitterParams& params) {
+  return serde::ValidProbability(params.alpha) &&
+         serde::ValidOpenUnit(params.epsilon) &&
+         serde::ValidOpenUnit(params.delta) &&
+         serde::ValidProbability(params.p);
+}
+
+void SerializeParams(serde::Writer& out, const HeavyHitterParams& params) {
+  out.F64(params.alpha);
+  out.F64(params.epsilon);
+  out.F64(params.delta);
+  out.F64(params.p);
+}
+
+HeavyHitterParams DeserializeParams(serde::Reader& in) {
+  HeavyHitterParams params;
+  params.alpha = in.F64();
+  params.epsilon = in.F64();
+  params.delta = in.F64();
+  params.p = in.F64();
+  return params;
 }
 
 }  // namespace
@@ -40,10 +64,16 @@ void F1HeavyHitterEstimator::UpdateBatch(const item_t* data, std::size_t n) {
   tracker_.UpdateBatch(data, n);
 }
 
+bool F1HeavyHitterEstimator::MergeCompatibleWith(
+    const F1HeavyHitterEstimator& other) const {
+  return params_.alpha == other.params_.alpha &&
+         params_.epsilon == other.params_.epsilon &&
+         params_.p == other.params_.p &&
+         tracker_.MergeCompatibleWith(other.tracker_);
+}
+
 void F1HeavyHitterEstimator::Merge(const F1HeavyHitterEstimator& other) {
-  SUBSTREAM_CHECK_MSG(params_.alpha == other.params_.alpha &&
-                          params_.epsilon == other.params_.epsilon &&
-                          params_.p == other.params_.p,
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging F1 heavy-hitter estimators with different "
                       "configurations");
   sampled_length_ += other.sampled_length_;
@@ -66,6 +96,34 @@ std::vector<HeavyHitter> F1HeavyHitterEstimator::Estimate() const {
       static_cast<std::size_t>(std::ceil(2.0 / params_.alpha));
   if (out.size() > cap) out.resize(cap);
   return out;
+}
+
+void F1HeavyHitterEstimator::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kF1HeavyHitterEstimator);
+  SerializeParams(out, params_);
+  out.Varint(sampled_length_);
+  tracker_.Serialize(out);
+}
+
+std::optional<F1HeavyHitterEstimator> F1HeavyHitterEstimator::Deserialize(
+    serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kF1HeavyHitterEstimator)) {
+    return std::nullopt;
+  }
+  const HeavyHitterParams params = DeserializeParams(in);
+  const count_t sampled_length = in.Varint();
+  if (!in.ok() || !WireValidParams(params)) return std::nullopt;
+  auto tracker = CountMinHeavyHitters::Deserialize(in);
+  if (!tracker) return std::nullopt;
+  // Construct with fixed safe parameters (they only size the tracker the
+  // nested record replaces; wire params with a tiny alpha would otherwise
+  // drive an allocation bomb), then install the decoded state.
+  F1HeavyHitterEstimator estimator(HeavyHitterParams{0.5, 0.5, 0.5, 1.0}, 0);
+  estimator.params_ = params;
+  estimator.alpha_prime_ = (1.0 - 0.4 * params.epsilon) * params.alpha;
+  estimator.tracker_ = std::move(*tracker);
+  estimator.sampled_length_ = sampled_length;
+  return estimator;
 }
 
 double F1HeavyHitterEstimator::RequiredOriginalLength(
@@ -100,10 +158,16 @@ void F2HeavyHitterEstimator::UpdateBatch(const item_t* data, std::size_t n) {
   tracker_.UpdateBatch(data, n);
 }
 
+bool F2HeavyHitterEstimator::MergeCompatibleWith(
+    const F2HeavyHitterEstimator& other) const {
+  return params_.alpha == other.params_.alpha &&
+         params_.epsilon == other.params_.epsilon &&
+         params_.p == other.params_.p &&
+         tracker_.MergeCompatibleWith(other.tracker_);
+}
+
 void F2HeavyHitterEstimator::Merge(const F2HeavyHitterEstimator& other) {
-  SUBSTREAM_CHECK_MSG(params_.alpha == other.params_.alpha &&
-                          params_.epsilon == other.params_.epsilon &&
-                          params_.p == other.params_.p,
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging F2 heavy-hitter estimators with different "
                       "configurations");
   sampled_length_ += other.sampled_length_;
@@ -124,6 +188,32 @@ std::vector<HeavyHitter> F2HeavyHitterEstimator::Estimate() const {
       static_cast<std::size_t>(std::ceil(2.0 / params_.alpha));
   if (out.size() > cap) out.resize(cap);
   return out;
+}
+
+void F2HeavyHitterEstimator::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kF2HeavyHitterEstimator);
+  SerializeParams(out, params_);
+  out.Varint(sampled_length_);
+  tracker_.Serialize(out);
+}
+
+std::optional<F2HeavyHitterEstimator> F2HeavyHitterEstimator::Deserialize(
+    serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kF2HeavyHitterEstimator)) {
+    return std::nullopt;
+  }
+  const HeavyHitterParams params = DeserializeParams(in);
+  const count_t sampled_length = in.Varint();
+  if (!in.ok() || !WireValidParams(params)) return std::nullopt;
+  auto tracker = CountSketchHeavyHitters::Deserialize(in);
+  if (!tracker) return std::nullopt;
+  F2HeavyHitterEstimator estimator(HeavyHitterParams{0.5, 0.5, 0.5, 1.0}, 0);
+  estimator.params_ = params;
+  estimator.alpha_prime_ =
+      (1.0 - 0.4 * params.epsilon) * params.alpha * std::sqrt(params.p);
+  estimator.tracker_ = std::move(*tracker);
+  estimator.sampled_length_ = sampled_length;
+  return estimator;
 }
 
 double F2HeavyHitterEstimator::RequiredSqrtF2(const HeavyHitterParams& params,

@@ -1,6 +1,7 @@
 #ifndef SUBSTREAM_CORE_HEAVY_HITTERS_H_
 #define SUBSTREAM_CORE_HEAVY_HITTERS_H_
 
+#include <optional>
 #include <vector>
 
 #include "sketch/countmin.h"
@@ -50,6 +51,10 @@ class F1HeavyHitterEstimator {
 
   /// Merges an estimator built with the same parameters and seed.
   void Merge(const F1HeavyHitterEstimator& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const F1HeavyHitterEstimator& other) const;
 
   /// Clears all state; parameters and seed are kept.
   void Reset();
@@ -65,6 +70,13 @@ class F1HeavyHitterEstimator {
   count_t SampledLength() const { return sampled_length_; }
   const HeavyHitterParams& params() const { return params_; }
   std::size_t SpaceBytes() const { return tracker_.SpaceBytes(); }
+
+  /// Appends the versioned wire record: parameter header, then the nested
+  /// tracker record.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<F1HeavyHitterEstimator> Deserialize(serde::Reader& in);
 
  private:
   HeavyHitterParams params_;
@@ -85,6 +97,10 @@ class F2HeavyHitterEstimator {
 
   /// Merges an estimator built with the same parameters and seed.
   void Merge(const F2HeavyHitterEstimator& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const F2HeavyHitterEstimator& other) const;
 
   /// Clears all state; parameters and seed are kept.
   void Reset();
@@ -100,6 +116,13 @@ class F2HeavyHitterEstimator {
   count_t SampledLength() const { return sampled_length_; }
   const HeavyHitterParams& params() const { return params_; }
   std::size_t SpaceBytes() const { return tracker_.SpaceBytes(); }
+
+  /// Appends the versioned wire record: parameter header, then the nested
+  /// tracker record.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<F2HeavyHitterEstimator> Deserialize(serde::Reader& in);
 
  private:
   HeavyHitterParams params_;

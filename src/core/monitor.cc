@@ -1,5 +1,7 @@
 #include "core/monitor.h"
 
+#include "serde/checkpoint.h"
+#include "serde/serde.h"
 #include "sketch/sketch.h"
 #include "util/hash.h"
 
@@ -82,6 +84,28 @@ void Monitor::UpdateBatch(const item_t* data, std::size_t n) {
   if (heavy_) heavy_->UpdateBatch(data, n);
 }
 
+bool Monitor::MergeCompatibleWith(const Monitor& other) const {
+  if (seed_ != other.seed_ || !SameConfig(config_, other.config_)) {
+    return false;
+  }
+  // Deep check: a decoded record can agree on the monitor-level header yet
+  // hold nested summaries with flipped seeds or geometry, which would trip
+  // the nested Merge aborts. Walk every enabled estimator.
+  if (f0_.has_value() != other.f0_.has_value() ||
+      f2_.has_value() != other.f2_.has_value() ||
+      entropy_.has_value() != other.entropy_.has_value() ||
+      heavy_.has_value() != other.heavy_.has_value()) {
+    return false;
+  }
+  if (f0_ && !f0_->MergeCompatibleWith(*other.f0_)) return false;
+  if (f2_ && !f2_->MergeCompatibleWith(*other.f2_)) return false;
+  if (entropy_ && !entropy_->MergeCompatibleWith(*other.entropy_)) {
+    return false;
+  }
+  if (heavy_ && !heavy_->MergeCompatibleWith(*other.heavy_)) return false;
+  return true;
+}
+
 void Monitor::Merge(const Monitor& other) {
   SUBSTREAM_CHECK_MSG(seed_ == other.seed_,
                       "merging monitors with different seeds");
@@ -120,6 +144,90 @@ std::size_t Monitor::SpaceBytes() const {
   if (entropy_) bytes += entropy_->SpaceBytes();
   if (heavy_) bytes += heavy_->SpaceBytes();
   return bytes;
+}
+
+void Monitor::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kMonitor);
+  out.F64(config_.p);
+  out.Varint(config_.universe);
+  out.F64(config_.n_hint);
+  out.Bool(config_.enable_f0);
+  out.Bool(config_.enable_f2);
+  out.Bool(config_.enable_entropy);
+  out.Bool(config_.enable_heavy_hitters);
+  out.F64(config_.hh_alpha);
+  out.F64(config_.hh_epsilon);
+  out.F64(config_.epsilon);
+  out.F64(config_.delta);
+  out.Varint(config_.max_f2_width);
+  out.U64(seed_);
+  out.Varint(sampled_length_);
+  if (f0_) f0_->Serialize(out);
+  if (f2_) f2_->Serialize(out);
+  if (entropy_) entropy_->Serialize(out);
+  if (heavy_) heavy_->Serialize(out);
+}
+
+std::optional<Monitor> Monitor::Deserialize(serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kMonitor)) return std::nullopt;
+  MonitorConfig config;
+  config.p = in.F64();
+  config.universe = in.Varint();
+  config.n_hint = in.F64();
+  config.enable_f0 = in.Bool();
+  config.enable_f2 = in.Bool();
+  config.enable_entropy = in.Bool();
+  config.enable_heavy_hitters = in.Bool();
+  config.hh_alpha = in.F64();
+  config.hh_epsilon = in.F64();
+  config.epsilon = in.F64();
+  config.delta = in.F64();
+  config.max_f2_width = in.Varint();
+  const std::uint64_t seed = in.U64();
+  const count_t sampled_length = in.Varint();
+  if (!in.ok() || !serde::ValidProbability(config.p)) return std::nullopt;
+  Monitor monitor(DeserializeTag{}, config, seed);
+  monitor.sampled_length_ = sampled_length;
+  // Nested records follow in fixed order, one per enabled estimator; their
+  // own headers re-check parameters and geometry.
+  if (config.enable_f0) {
+    auto f0 = F0Estimator::Deserialize(in);
+    if (!f0) return std::nullopt;
+    monitor.f0_.emplace(std::move(*f0));
+  }
+  if (config.enable_f2) {
+    auto f2 = FkEstimator::Deserialize(in);
+    if (!f2) return std::nullopt;
+    monitor.f2_.emplace(std::move(*f2));
+  }
+  if (config.enable_entropy) {
+    auto entropy = EntropyEstimator::Deserialize(in);
+    if (!entropy) return std::nullopt;
+    monitor.entropy_.emplace(std::move(*entropy));
+  }
+  if (config.enable_heavy_hitters) {
+    auto heavy = F1HeavyHitterEstimator::Deserialize(in);
+    if (!heavy) return std::nullopt;
+    monitor.heavy_.emplace(std::move(*heavy));
+  }
+  return monitor;
+}
+
+bool Monitor::Checkpoint(const std::string& path) const {
+  serde::Writer writer;
+  Serialize(writer);
+  return serde::WriteCheckpointFile(path, writer.bytes());
+}
+
+std::optional<Monitor> Monitor::Restore(const std::string& path) {
+  const auto payload = serde::ReadCheckpointFile(path);
+  if (!payload) return std::nullopt;
+  serde::Reader reader(*payload);
+  auto monitor = Deserialize(reader);
+  // A checkpoint holds exactly one record; trailing bytes mean corruption
+  // the CRC happened to miss (or a foreign file), so refuse them.
+  if (!monitor || reader.remaining() != 0) return std::nullopt;
+  return monitor;
 }
 
 }  // namespace substream

@@ -2,6 +2,7 @@
 #define SUBSTREAM_CORE_MONITOR_H_
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/entropy_estimator.h"
@@ -92,10 +93,44 @@ class Monitor {
   const MonitorConfig& config() const { return config_; }
   std::uint64_t seed() const { return seed_; }
 
+  /// True exactly when Merge(other) would succeed: same config and seed,
+  /// and every nested estimator deep-compatible (a decoded record can
+  /// agree on the top-level header yet carry a corrupted nested seed). The
+  /// Collector uses this to reject foreign or corrupted summaries
+  /// gracefully instead of tripping the Merge abort.
+  bool MergeCompatibleWith(const Monitor& other) const;
+
   /// Total memory across enabled estimators.
   std::size_t SpaceBytes() const;
 
+  /// Appends the versioned wire record: config + seed header, then one
+  /// nested record per enabled estimator (serde/serde.h).
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<Monitor> Deserialize(serde::Reader& in);
+
+  /// Durably writes this monitor's wire record to `path` inside a
+  /// CRC-validated checkpoint container (serde/checkpoint.h; atomic
+  /// tmp-file + rename). Returns false on I/O failure. This is the
+  /// crash-safe window handoff: checkpoint at window close, restore in a
+  /// fresh process, keep merging.
+  bool Checkpoint(const std::string& path) const;
+
+  /// Reads a checkpoint written by Checkpoint(); std::nullopt when the
+  /// file is missing, corrupt (CRC/size/version mismatch) or undecodable.
+  /// The restored monitor is state-identical to the checkpointed one and
+  /// merges with live peers exactly as the original would have.
+  static std::optional<Monitor> Restore(const std::string& path);
+
  private:
+  /// Deserialize-only: adopts config and seed without building estimators
+  /// (the decoded nested records supply them), so corrupted wire configs
+  /// can never size an allocation.
+  struct DeserializeTag {};
+  Monitor(DeserializeTag, const MonitorConfig& config, std::uint64_t seed)
+      : config_(config), seed_(seed) {}
+
   MonitorConfig config_;
   std::uint64_t seed_;
   count_t sampled_length_ = 0;

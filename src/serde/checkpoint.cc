@@ -1,0 +1,119 @@
+#include "serde/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "serde/serde.h"
+
+namespace substream {
+namespace serde {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4;
+
+/// Flushes the directory entry for `path` so a completed rename survives
+/// power loss, not just the data it points at. Filesystems that do not
+/// support fsync on directories (EINVAL/ENOTSUP) are treated as best-effort.
+bool SyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok =
+      ::fsync(fd) == 0 || errno == EINVAL || errno == ENOTSUP;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+bool WriteCheckpointFile(const std::string& path,
+                         const std::vector<std::uint8_t>& payload) {
+  // The container header shares the wire format's little-endian primitives.
+  Writer header_writer;
+  header_writer.U32(kCheckpointMagic);
+  header_writer.U32(kCheckpointVersion);
+  header_writer.U64(payload.size());
+  header_writer.U32(Crc32(payload.data(), payload.size()));
+  const std::vector<std::uint8_t>& header = header_writer.bytes();
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  bool ok = true;
+  auto write_all = [&](const std::uint8_t* data, std::size_t n) {
+    while (n > 0) {
+      const ssize_t w = ::write(fd, data, n);
+      if (w <= 0) return false;
+      data += w;
+      n -= static_cast<std::size_t>(w);
+    }
+    return true;
+  };
+  ok = write_all(header.data(), header.size()) &&
+       write_all(payload.data(), payload.size());
+  // fsync before rename: the rename must not become durable ahead of the
+  // data it points at. The parent directory is fsync'd after the rename so
+  // the new directory entry itself survives a crash.
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (ok && !SyncParentDir(path)) ok = false;
+  if (!ok) std::remove(tmp.c_str());
+  return ok;
+}
+
+std::optional<std::vector<std::uint8_t>> ReadCheckpointFile(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+
+  std::uint8_t header[kHeaderBytes];
+  if (std::fread(header, 1, kHeaderBytes, f) != kHeaderBytes) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  Reader header_reader(header, kHeaderBytes);
+  const std::uint32_t magic = header_reader.U32();
+  const std::uint32_t version = header_reader.U32();
+  const std::uint64_t size = header_reader.U64();
+  const std::uint32_t crc = header_reader.U32();
+  if (!header_reader.ok() || magic != kCheckpointMagic ||
+      version != kCheckpointVersion) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+
+  // Bound the allocation by the actual file size, not the claimed one.
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  const long file_size = std::ftell(f);
+  if (file_size < 0 ||
+      static_cast<std::uint64_t>(file_size) != kHeaderBytes + size) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  if (std::fseek(f, kHeaderBytes, SEEK_SET) != 0) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> payload(size);
+  if (size > 0 && std::fread(payload.data(), 1, size, f) != size) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  std::fclose(f);
+  if (Crc32(payload.data(), payload.size()) != crc) return std::nullopt;
+  return payload;
+}
+
+}  // namespace serde
+}  // namespace substream

@@ -1,0 +1,46 @@
+#ifndef SUBSTREAM_SERDE_CHECKPOINT_H_
+#define SUBSTREAM_SERDE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file checkpoint.h
+/// Crash-safe durable transport for serialized summaries.
+///
+/// A checkpoint file is a CRC-validated container around one serde record:
+///
+///   u32 magic "SSCK" | u32 file version | u64 payload size |
+///   u32 crc32(payload) | payload bytes
+///
+/// (all little-endian). Writes go to `<path>.tmp` and are fsync'd and
+/// renamed into place, so a crash mid-write leaves either the previous
+/// checkpoint or none — never a torn file that Restore would half-trust.
+/// Reads validate magic, version, size and CRC before returning the
+/// payload; any mismatch yields std::nullopt.
+///
+/// `Monitor::Checkpoint(path)` / `Monitor::Restore(path)` (core/monitor.h)
+/// are the window-handoff entry points built on these primitives; the
+/// Collector (serde/collector.h) accepts the same files as its transport.
+
+namespace substream {
+namespace serde {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x4B435353u;  // "SSCK" LE
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Atomically writes `payload` to `path` (tmp file + fsync + rename).
+/// Returns false on any I/O failure; the previous file, if any, survives.
+bool WriteCheckpointFile(const std::string& path,
+                         const std::vector<std::uint8_t>& payload);
+
+/// Reads and validates a checkpoint file; std::nullopt when the file is
+/// missing, truncated, of a different version, or fails the CRC.
+std::optional<std::vector<std::uint8_t>> ReadCheckpointFile(
+    const std::string& path);
+
+}  // namespace serde
+}  // namespace substream
+
+#endif  // SUBSTREAM_SERDE_CHECKPOINT_H_

@@ -1,0 +1,54 @@
+#include "serde/collector.h"
+
+#include <utility>
+
+#include "serde/checkpoint.h"
+#include "serde/serde.h"
+
+namespace substream {
+namespace serde {
+
+bool Collector::AddSerialized(const std::uint8_t* data, std::size_t size) {
+  Reader reader(data, size);
+  auto monitor = Monitor::Deserialize(reader);
+  // A record transports exactly one monitor; trailing bytes indicate a
+  // framing error upstream.
+  if (!monitor || reader.remaining() != 0) {
+    ++rejected_;
+    return false;
+  }
+  return Fold(std::move(monitor));
+}
+
+bool Collector::AddCheckpointFile(const std::string& path) {
+  auto monitor = Monitor::Restore(path);
+  if (!monitor) {
+    ++rejected_;
+    return false;
+  }
+  return Fold(std::move(monitor));
+}
+
+bool Collector::Fold(std::optional<Monitor> monitor) {
+  if (!aggregate_) {
+    aggregate_.emplace(std::move(*monitor));
+    ++accepted_;
+    return true;
+  }
+  if (!aggregate_->MergeCompatibleWith(*monitor)) {
+    ++rejected_;
+    return false;
+  }
+  aggregate_->Merge(*monitor);
+  ++accepted_;
+  return true;
+}
+
+MonitorReport Collector::Report() const {
+  SUBSTREAM_CHECK_MSG(aggregate_.has_value(),
+                      "Collector::Report with no accepted records");
+  return aggregate_->Report();
+}
+
+}  // namespace serde
+}  // namespace substream

@@ -1,0 +1,82 @@
+#ifndef SUBSTREAM_SERDE_COLLECTOR_H_
+#define SUBSTREAM_SERDE_COLLECTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/monitor.h"
+#include "util/common.h"
+
+/// \file collector.h
+/// Cross-process aggregation endpoint: the collector half of the paper's
+/// router→collector deployment (Section 1's sampled-NetFlow motivation).
+///
+/// N independent producer processes each run a Monitor over their slice of
+/// the sampled stream, serialize it (or Checkpoint() it to a file), and
+/// ship the bytes over any transport — files, pipes, sockets. A Collector
+/// decodes each record and folds it into a running aggregate with
+/// Monitor::Merge, so the final Report() describes the concatenation of
+/// every producer's stream, exactly as ShardedMonitor does in-process.
+///
+/// Robustness contract: feeding the collector truncated, corrupted or
+/// incompatible (different config/seed) records never aborts — such
+/// records are counted in rejected() and skipped. The first accepted
+/// record fixes the config and seed every later one must match.
+///
+/// ```
+///   Collector collector;
+///   for (const std::string& path : checkpoint_files) {
+///     collector.AddCheckpointFile(path);
+///   }
+///   if (!collector.empty()) Publish(collector.Report());
+/// ```
+
+namespace substream {
+namespace serde {
+
+/// Merges serialized Monitor records produced by independent processes.
+class Collector {
+ public:
+  Collector() = default;
+
+  /// Decodes one Monitor wire record and merges it into the aggregate.
+  /// Returns false (and counts the record as rejected) when the bytes do
+  /// not decode, decode with trailing garbage, or describe a monitor
+  /// incompatible with the aggregate's config/seed.
+  bool AddSerialized(const std::uint8_t* data, std::size_t size);
+  bool AddSerialized(const std::vector<std::uint8_t>& bytes) {
+    return AddSerialized(bytes.data(), bytes.size());
+  }
+
+  /// Reads a checkpoint file (serde/checkpoint.h) and merges its monitor.
+  /// Returns false when the file is missing/corrupt or the record is
+  /// rejected as above.
+  bool AddCheckpointFile(const std::string& path);
+
+  std::size_t accepted() const { return accepted_; }
+  std::size_t rejected() const { return rejected_; }
+  bool empty() const { return !aggregate_.has_value(); }
+
+  /// The running aggregate; nullptr until the first record is accepted.
+  const Monitor* aggregate() const {
+    return aggregate_ ? &*aggregate_ : nullptr;
+  }
+
+  /// Consolidated report over every accepted producer's stream. At least
+  /// one record must have been accepted.
+  MonitorReport Report() const;
+
+ private:
+  bool Fold(std::optional<Monitor> monitor);
+
+  std::optional<Monitor> aggregate_;
+  std::size_t accepted_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace serde
+}  // namespace substream
+
+#endif  // SUBSTREAM_SERDE_COLLECTOR_H_

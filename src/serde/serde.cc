@@ -1,0 +1,232 @@
+#include "serde/serde.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace substream {
+namespace serde {
+
+void Writer::U32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::U64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::F64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void Writer::Varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::Svarint(std::int64_t v) {
+  // Zigzag: sign bit moves to bit 0 so small magnitudes stay short.
+  Varint((static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63));
+}
+
+void Writer::Raw(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+std::uint8_t Reader::U8() {
+  if (remaining() < 1) {
+    ok_ = false;
+    return 0;
+  }
+  return *cursor_++;
+}
+
+std::uint32_t Reader::U32() {
+  if (remaining() < 4) {
+    ok_ = false;
+    cursor_ = end_;
+    return 0;
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(*cursor_++) << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::U64() {
+  if (remaining() < 8) {
+    ok_ = false;
+    cursor_ = end_;
+    return 0;
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(*cursor_++) << (8 * i);
+  return v;
+}
+
+double Reader::F64() {
+  const std::uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool Reader::Bool() {
+  const std::uint8_t v = U8();
+  if (v > 1) ok_ = false;
+  return v == 1;
+}
+
+std::uint64_t Reader::Varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (remaining() < 1) {
+      ok_ = false;
+      return 0;
+    }
+    const std::uint8_t byte = *cursor_++;
+    // The 10th byte encodes bit 63 only; anything above is an overflow.
+    if (shift == 63 && byte > 1) {
+      ok_ = false;
+      return 0;
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // Canonicity: a zero final byte is padding (0x80 0x00 == 0x00), so
+      // each value has exactly one encoding. Writer never emits it.
+      if (shift > 0 && byte == 0) {
+        ok_ = false;
+        return 0;
+      }
+      return v;
+    }
+  }
+  ok_ = false;  // continuation bit set on the 10th byte
+  return 0;
+}
+
+std::int64_t Reader::Svarint() {
+  const std::uint64_t z = Varint();
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+bool Reader::Raw(void* out, std::size_t n) {
+  if (remaining() < n) {
+    ok_ = false;
+    cursor_ = end_;
+    return false;
+  }
+  std::memcpy(out, cursor_, n);
+  cursor_ += n;
+  return true;
+}
+
+bool Reader::ExpectRecord(TypeTag tag) {
+  const std::uint8_t got_tag = U8();
+  const std::uint8_t got_version = U8();
+  if (!ok_ || got_tag != static_cast<std::uint8_t>(tag) ||
+      got_version != kFormatVersion) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool Reader::CanHold(std::uint64_t count, std::size_t min_bytes_each) {
+  if (min_bytes_each == 0) min_bytes_each = 1;
+  if (count > remaining() / min_bytes_each) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+void WriteCountMap(Writer& out,
+                   const std::unordered_map<item_t, count_t>& map) {
+  out.Varint(map.size());
+  for (const auto& [item, count] : map) {
+    out.Varint(item);
+    out.Varint(count);
+  }
+}
+
+bool ReadCountMap(Reader& in, std::unordered_map<item_t, count_t>* out) {
+  const std::uint64_t n = in.Varint();
+  if (!in.CanHold(n, 2)) return false;  // each entry is >= 2 varint bytes
+  out->clear();
+  out->reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const item_t item = in.Varint();
+    const count_t count = in.Varint();
+    if (!in.ok()) return false;
+    if (!out->emplace(item, count).second) {
+      in.Fail();  // duplicate key: not a valid map encoding
+      return false;
+    }
+  }
+  return in.ok();
+}
+
+void WriteDoubleMap(Writer& out,
+                    const std::unordered_map<item_t, double>& map) {
+  out.Varint(map.size());
+  for (const auto& [item, value] : map) {
+    out.Varint(item);
+    out.F64(value);
+  }
+}
+
+bool ReadDoubleMap(Reader& in, std::unordered_map<item_t, double>* out) {
+  const std::uint64_t n = in.Varint();
+  if (!in.CanHold(n, 9)) return false;  // varint item + fixed f64
+  out->clear();
+  out->reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const item_t item = in.Varint();
+    const double value = in.F64();
+    if (!in.ok()) return false;
+    if (!out->emplace(item, value).second) {
+      in.Fail();
+      return false;
+    }
+  }
+  return in.ok();
+}
+
+bool ValidProbability(double p) {
+  return std::isfinite(p) && p > 0.0 && p <= 1.0;
+}
+
+bool ValidOpenUnit(double v) {
+  return std::isfinite(v) && v > 0.0 && v < 1.0;
+}
+
+bool ValidPositive(double v) { return std::isfinite(v) && v > 0.0; }
+
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t n) {
+  static const std::uint32_t* const kTable = [] {
+    static std::uint32_t table[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace serde
+}  // namespace substream

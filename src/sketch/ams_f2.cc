@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "serde/serde.h"
 #include "util/stats.h"
 
 namespace substream {
@@ -70,10 +71,13 @@ void AmsF2Sketch::Reset() {
   total_ = 0;
 }
 
+bool AmsF2Sketch::MergeCompatibleWith(const AmsF2Sketch& other) const {
+  return groups_ == other.groups_ && per_group_ == other.per_group_ &&
+         seed_ == other.seed_;
+}
+
 void AmsF2Sketch::Merge(const AmsF2Sketch& other) {
-  SUBSTREAM_CHECK_MSG(groups_ == other.groups_ &&
-                          per_group_ == other.per_group_ &&
-                          seed_ == other.seed_,
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging incompatible AMS sketches");
   for (std::size_t j = 0; j < counters_.size(); ++j) {
     counters_[j] += other.counters_[j];
@@ -94,6 +98,33 @@ std::size_t AmsF2Sketch::SpaceBytes() const {
   std::size_t bytes = counters_.size() * sizeof(std::int64_t);
   for (const auto& h : sign_hashes_) bytes += h.SpaceBytes();
   return bytes;
+}
+
+void AmsF2Sketch::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kAmsF2Sketch);
+  out.Varint(groups_);
+  out.Varint(per_group_);
+  out.U64(seed_);
+  out.Varint(total_);
+  for (std::int64_t z : counters_) out.Svarint(z);
+}
+
+std::optional<AmsF2Sketch> AmsF2Sketch::Deserialize(serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kAmsF2Sketch)) return std::nullopt;
+  const std::uint64_t groups = in.Varint();
+  const std::uint64_t per_group = in.Varint();
+  const std::uint64_t seed = in.U64();
+  const count_t total = in.Varint();
+  if (!in.ok() || groups < 1 || per_group < 1 || groups > (1ULL << 24) ||
+      per_group > (1ULL << 24)) {
+    return std::nullopt;
+  }
+  if (!in.CanHold(groups * per_group, 1)) return std::nullopt;
+  AmsF2Sketch sketch = WithGeometry(groups, per_group, seed);
+  sketch.total_ = total;
+  for (std::int64_t& z : sketch.counters_) z = in.Svarint();
+  if (!in.ok()) return std::nullopt;
+  return sketch;
 }
 
 }  // namespace substream

@@ -2,6 +2,7 @@
 #define SUBSTREAM_SKETCH_AMS_F2_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sketch/sketch.h"
@@ -45,13 +46,25 @@ class AmsF2Sketch {
 
   /// Merges a sketch with the same geometry and seed (linearity).
   void Merge(const AmsF2Sketch& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const AmsF2Sketch& other) const;
 
   count_t TotalCount() const { return total_; }
 
   std::size_t groups() const { return groups_; }
   std::size_t per_group() const { return per_group_; }
+  std::uint64_t seed() const { return seed_; }
 
   std::size_t SpaceBytes() const;
+
+  /// Appends the versioned wire record: geometry + seed header, then
+  /// counters.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<AmsF2Sketch> Deserialize(serde::Reader& in);
 
  private:
   struct GeometryTag {};

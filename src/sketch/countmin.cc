@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "serde/serde.h"
+
 namespace substream {
 
 namespace {
@@ -84,9 +86,13 @@ void CountMinSketch::Reset() {
   total_ = 0;
 }
 
+bool CountMinSketch::MergeCompatibleWith(const CountMinSketch& other) const {
+  return depth_ == other.depth_ && width_ == other.width_ &&
+         seed_ == other.seed_;
+}
+
 void CountMinSketch::Merge(const CountMinSketch& other) {
-  SUBSTREAM_CHECK_MSG(depth_ == other.depth_ && width_ == other.width_ &&
-                          seed_ == other.seed_,
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging incompatible CountMin sketches");
   for (int r = 0; r < depth_; ++r) {
     const auto rr = static_cast<std::size_t>(r);
@@ -111,6 +117,41 @@ std::size_t CountMinSketch::SpaceBytes() const {
   std::size_t bytes = static_cast<std::size_t>(depth_) * width_ * sizeof(count_t);
   for (const auto& h : hashes_) bytes += h.SpaceBytes();
   return bytes;
+}
+
+void CountMinSketch::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kCountMinSketch);
+  out.Varint(static_cast<std::uint64_t>(depth_));
+  out.Varint(width_);
+  out.Bool(conservative_update_);
+  out.U64(seed_);
+  out.Varint(total_);
+  for (const auto& row : rows_) {
+    for (count_t c : row) out.Varint(c);
+  }
+}
+
+std::optional<CountMinSketch> CountMinSketch::Deserialize(serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kCountMinSketch)) return std::nullopt;
+  const std::uint64_t depth = in.Varint();
+  const std::uint64_t width = in.Varint();
+  const bool conservative = in.Bool();
+  const std::uint64_t seed = in.U64();
+  const count_t total = in.Varint();
+  // Mirror the constructor checks, then bound the allocation by the bytes
+  // actually present (each counter is at least one varint byte).
+  if (!in.ok() || depth < 1 || depth > 64 || width < 1 ||
+      width > (1ULL << 48)) {
+    return std::nullopt;
+  }
+  if (!in.CanHold(depth * width, 1)) return std::nullopt;
+  CountMinSketch sketch(static_cast<int>(depth), width, conservative, seed);
+  sketch.total_ = total;
+  for (auto& row : sketch.rows_) {
+    for (count_t& c : row) c = in.Varint();
+  }
+  if (!in.ok()) return std::nullopt;
+  return sketch;
 }
 
 CountMinHeavyHitters::CountMinHeavyHitters(double phi, double eps_resolution,
@@ -145,8 +186,14 @@ void CountMinHeavyHitters::UpdateBatch(const item_t* data, std::size_t n) {
   UpdateBatchByLoop(*this, data, n);
 }
 
+bool CountMinHeavyHitters::MergeCompatibleWith(
+    const CountMinHeavyHitters& other) const {
+  return phi_ == other.phi_ && capacity_ == other.capacity_ &&
+         sketch_.MergeCompatibleWith(other.sketch_);
+}
+
 void CountMinHeavyHitters::Merge(const CountMinHeavyHitters& other) {
-  SUBSTREAM_CHECK_MSG(phi_ == other.phi_ && capacity_ == other.capacity_,
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging CountMin heavy-hitter trackers with different "
                       "phi/capacity");
   sketch_.Merge(other.sketch_);  // enforces geometry + seed equality
@@ -208,6 +255,40 @@ std::vector<std::pair<item_t, count_t>> CountMinHeavyHitters::Candidates(
 std::size_t CountMinHeavyHitters::SpaceBytes() const {
   return sketch_.SpaceBytes() +
          candidates_.size() * (sizeof(item_t) + sizeof(count_t));
+}
+
+void CountMinHeavyHitters::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kCountMinHeavyHitters);
+  out.F64(phi_);
+  out.Varint(capacity_);
+  sketch_.Serialize(out);
+  serde::WriteCountMap(out, candidates_);
+}
+
+std::optional<CountMinHeavyHitters> CountMinHeavyHitters::Deserialize(
+    serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kCountMinHeavyHitters)) {
+    return std::nullopt;
+  }
+  const double phi = in.F64();
+  const std::uint64_t capacity = in.Varint();
+  if (!in.ok() || !serde::ValidProbability(phi) ||
+      capacity > (1ULL << 48)) {
+    return std::nullopt;
+  }
+  auto sketch = CountMinSketch::Deserialize(in);
+  if (!sketch) return std::nullopt;
+  // Construct with fixed safe accuracy knobs (they only shape the sketch
+  // geometry, which the nested record replaces), then install the decoded
+  // state. Building from the wire phi instead would let a corrupted tiny
+  // phi drive an allocation bomb through the analytic width.
+  CountMinHeavyHitters tracker(0.5, 0.5, 0.5, sketch->seed());
+  tracker.phi_ = phi;
+  tracker.capacity_ = capacity;
+  tracker.sketch_ = std::move(*sketch);
+  if (!serde::ReadCountMap(in, &tracker.candidates_)) return std::nullopt;
+  if (tracker.candidates_.size() > tracker.capacity_) return std::nullopt;
+  return tracker;
 }
 
 }  // namespace substream

@@ -2,6 +2,7 @@
 #define SUBSTREAM_SKETCH_COUNTMIN_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -63,15 +64,27 @@ class CountMinSketch {
   /// (non-conservative) sketches is exact; conservative-update sketches
   /// merge by counter-wise max-sum and may further overestimate.
   void Merge(const CountMinSketch& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const CountMinSketch& other) const;
 
   /// Total number of updates F1.
   count_t TotalCount() const { return total_; }
 
   int depth() const { return depth_; }
   std::uint64_t width() const { return width_; }
+  std::uint64_t seed() const { return seed_; }
 
   /// Sketch memory footprint in bytes (counters + hash descriptions).
   std::size_t SpaceBytes() const;
+
+  /// Appends the versioned wire record (serde/serde.h): geometry + seed
+  /// header, then counters.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<CountMinSketch> Deserialize(serde::Reader& in);
 
  private:
   int depth_;
@@ -102,6 +115,10 @@ class CountMinHeavyHitters {
   /// Merges a tracker with the same phi, geometry and seed: sketches add,
   /// candidate pools union (estimates refreshed from the merged sketch).
   void Merge(const CountMinHeavyHitters& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const CountMinHeavyHitters& other) const;
 
   /// Clears sketch counters and the candidate pool.
   void Reset();
@@ -117,6 +134,13 @@ class CountMinHeavyHitters {
   const CountMinSketch& sketch() const { return sketch_; }
 
   std::size_t SpaceBytes() const;
+
+  /// Appends the versioned wire record: phi/capacity header, the nested
+  /// sketch record, then the candidate pool.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<CountMinHeavyHitters> Deserialize(serde::Reader& in);
 
  private:
   double phi_;

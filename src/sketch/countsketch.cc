@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "serde/serde.h"
 #include "util/stats.h"
 
 namespace substream {
@@ -61,9 +62,13 @@ void CountSketch::Reset() {
   total_ = 0;
 }
 
+bool CountSketch::MergeCompatibleWith(const CountSketch& other) const {
+  return depth_ == other.depth_ && width_ == other.width_ &&
+         seed_ == other.seed_;
+}
+
 void CountSketch::Merge(const CountSketch& other) {
-  SUBSTREAM_CHECK_MSG(depth_ == other.depth_ && width_ == other.width_ &&
-                          seed_ == other.seed_,
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging incompatible CountSketches");
   for (int r = 0; r < depth_; ++r) {
     const auto rr = static_cast<std::size_t>(r);
@@ -100,6 +105,41 @@ std::size_t CountSketch::SpaceBytes() const {
   for (const auto& h : bucket_hashes_) bytes += h.SpaceBytes();
   for (const auto& h : sign_hashes_) bytes += h.SpaceBytes();
   return bytes;
+}
+
+void CountSketch::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kCountSketch);
+  out.Varint(static_cast<std::uint64_t>(depth_));
+  out.Varint(width_);
+  out.U64(seed_);
+  out.Svarint(total_);
+  // Row norms are serialized (not recomputed) so a decoded sketch is
+  // bit-identical to the live one, incremental float error included.
+  for (double sumsq : row_sumsq_) out.F64(sumsq);
+  for (const auto& row : rows_) {
+    for (std::int64_t c : row) out.Svarint(c);
+  }
+}
+
+std::optional<CountSketch> CountSketch::Deserialize(serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kCountSketch)) return std::nullopt;
+  const std::uint64_t depth = in.Varint();
+  const std::uint64_t width = in.Varint();
+  const std::uint64_t seed = in.U64();
+  const std::int64_t total = in.Svarint();
+  if (!in.ok() || depth < 1 || depth > 64 || width < 1 ||
+      width > (1ULL << 48)) {
+    return std::nullopt;
+  }
+  if (!in.CanHold(depth * width, 1)) return std::nullopt;
+  CountSketch sketch(static_cast<int>(depth), width, seed);
+  sketch.total_ = total;
+  for (double& sumsq : sketch.row_sumsq_) sumsq = in.F64();
+  for (auto& row : sketch.rows_) {
+    for (std::int64_t& c : row) c = in.Svarint();
+  }
+  if (!in.ok()) return std::nullopt;
+  return sketch;
 }
 
 namespace {
@@ -150,8 +190,14 @@ void CountSketchHeavyHitters::UpdateBatch(const item_t* data, std::size_t n) {
   UpdateBatchByLoop(*this, data, n);
 }
 
+bool CountSketchHeavyHitters::MergeCompatibleWith(
+    const CountSketchHeavyHitters& other) const {
+  return phi_ == other.phi_ && capacity_ == other.capacity_ &&
+         sketch_.MergeCompatibleWith(other.sketch_);
+}
+
 void CountSketchHeavyHitters::Merge(const CountSketchHeavyHitters& other) {
-  SUBSTREAM_CHECK_MSG(phi_ == other.phi_ && capacity_ == other.capacity_,
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging CountSketch heavy-hitter trackers with "
                       "different phi/capacity");
   sketch_.Merge(other.sketch_);  // enforces geometry + seed equality
@@ -212,6 +258,41 @@ std::vector<std::pair<item_t, double>> CountSketchHeavyHitters::Candidates(
 std::size_t CountSketchHeavyHitters::SpaceBytes() const {
   return sketch_.SpaceBytes() +
          candidates_.size() * (sizeof(item_t) + sizeof(double));
+}
+
+void CountSketchHeavyHitters::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kCountSketchHeavyHitters);
+  out.F64(phi_);
+  out.Varint(capacity_);
+  out.Varint(updates_);
+  sketch_.Serialize(out);
+  serde::WriteDoubleMap(out, candidates_);
+}
+
+std::optional<CountSketchHeavyHitters> CountSketchHeavyHitters::Deserialize(
+    serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kCountSketchHeavyHitters)) {
+    return std::nullopt;
+  }
+  const double phi = in.F64();
+  const std::uint64_t capacity = in.Varint();
+  const count_t updates = in.Varint();
+  if (!in.ok() || !serde::ValidProbability(phi) ||
+      capacity > (1ULL << 48)) {
+    return std::nullopt;
+  }
+  auto sketch = CountSketch::Deserialize(in);
+  if (!sketch) return std::nullopt;
+  // Fixed safe accuracy knobs for construction; the nested record replaces
+  // the geometry they produce (see CountMinHeavyHitters::Deserialize).
+  CountSketchHeavyHitters tracker(0.5, 0.5, 0.5, sketch->seed());
+  tracker.phi_ = phi;
+  tracker.capacity_ = capacity;
+  tracker.updates_ = updates;
+  tracker.sketch_ = std::move(*sketch);
+  if (!serde::ReadDoubleMap(in, &tracker.candidates_)) return std::nullopt;
+  if (tracker.candidates_.size() > tracker.capacity_) return std::nullopt;
+  return tracker;
 }
 
 }  // namespace substream

@@ -2,6 +2,7 @@
 #define SUBSTREAM_SKETCH_COUNTSKETCH_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -46,6 +47,10 @@ class CountSketch {
   /// CountSketch: the merged sketch equals the sketch of the concatenated
   /// streams exactly).
   void Merge(const CountSketch& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const CountSketch& other) const;
 
   /// Median over rows of the row L2^2: an 8-approximation of F2 with
   /// constant probability per row, amplified by the median (standard
@@ -58,8 +63,16 @@ class CountSketch {
 
   int depth() const { return depth_; }
   std::uint64_t width() const { return width_; }
+  std::uint64_t seed() const { return seed_; }
 
   std::size_t SpaceBytes() const;
+
+  /// Appends the versioned wire record: geometry + seed header, row norms,
+  /// then counters.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<CountSketch> Deserialize(serde::Reader& in);
 
  private:
   int depth_;
@@ -93,6 +106,10 @@ class CountSketchHeavyHitters {
   /// Merges a tracker with the same phi, geometry and seed: sketches add,
   /// candidate pools union (estimates refreshed from the merged sketch).
   void Merge(const CountSketchHeavyHitters& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const CountSketchHeavyHitters& other) const;
 
   /// Clears sketch counters and the candidate pool.
   void Reset();
@@ -104,6 +121,13 @@ class CountSketchHeavyHitters {
   const CountSketch& sketch() const { return sketch_; }
 
   std::size_t SpaceBytes() const;
+
+  /// Appends the versioned wire record: phi/capacity header, the nested
+  /// sketch record, then the candidate pool.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<CountSketchHeavyHitters> Deserialize(serde::Reader& in);
 
  private:
   double phi_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "serde/serde.h"
 #include "util/math.h"
 #include "util/stats.h"
 
@@ -44,11 +45,34 @@ double EntropyMleEstimator::EstimateHpn(double expected_length) const {
   return sum.Value();
 }
 
+bool EntropyMleEstimator::MergeCompatibleWith(
+    const EntropyMleEstimator& other) const {
+  (void)other;  // exact counts carry no geometry or seeds
+  return true;
+}
+
 void EntropyMleEstimator::Merge(const EntropyMleEstimator& other) {
   for (const auto& [item, count] : other.counts_) {
     counts_[item] += count;
   }
   total_ += other.total_;
+}
+
+void EntropyMleEstimator::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kEntropyMleEstimator);
+  out.Varint(total_);
+  serde::WriteCountMap(out, counts_);
+}
+
+std::optional<EntropyMleEstimator> EntropyMleEstimator::Deserialize(
+    serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kEntropyMleEstimator)) {
+    return std::nullopt;
+  }
+  EntropyMleEstimator estimator;
+  estimator.total_ = in.Varint();
+  if (!serde::ReadCountMap(in, &estimator.counts_)) return std::nullopt;
+  return estimator;
 }
 
 AmsEntropySketch::AmsEntropySketch(GeometryTag, std::size_t groups,
@@ -89,10 +113,14 @@ void AmsEntropySketch::Update(item_t item) {
   }
 }
 
+bool AmsEntropySketch::MergeCompatibleWith(
+    const AmsEntropySketch& other) const {
+  return groups_ == other.groups_ && atoms_.size() == other.atoms_.size() &&
+         seed_ == other.seed_;
+}
+
 void AmsEntropySketch::Merge(const AmsEntropySketch& other) {
-  SUBSTREAM_CHECK_MSG(groups_ == other.groups_ &&
-                          atoms_.size() == other.atoms_.size() &&
-                          seed_ == other.seed_,
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging incompatible AMS entropy sketches");
   if (other.total_ == 0) return;
   if (total_ == 0) {
@@ -121,6 +149,51 @@ void AmsEntropySketch::Reset() {
   atoms_.assign(atoms_.size(), Atom{});
   rng_ = Rng(seed_);
   total_ = 0;
+}
+
+void AmsEntropySketch::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kAmsEntropySketch);
+  out.Varint(groups_);
+  out.Varint(atoms_.size() / groups_);  // per_group
+  out.U64(seed_);
+  out.Varint(total_);
+  for (std::uint64_t word : rng_.SaveState()) out.U64(word);
+  for (const Atom& atom : atoms_) {
+    out.Varint(atom.item);
+    out.Varint(atom.suffix_count);
+  }
+}
+
+std::optional<AmsEntropySketch> AmsEntropySketch::Deserialize(
+    serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kAmsEntropySketch)) {
+    return std::nullopt;
+  }
+  const std::uint64_t groups = in.Varint();
+  const std::uint64_t per_group = in.Varint();
+  const std::uint64_t seed = in.U64();
+  const count_t total = in.Varint();
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = in.U64();
+  if (!in.ok() || groups < 1 || per_group < 1 || groups > (1ULL << 24) ||
+      per_group > (1ULL << 24) || !in.CanHold(groups * per_group, 2)) {
+    return std::nullopt;
+  }
+  // The all-zero state is the xoshiro fixed point; RestoreState aborts on
+  // it, so reject it here instead (corrupt input must not crash).
+  if (rng_state[0] == 0 && rng_state[1] == 0 && rng_state[2] == 0 &&
+      rng_state[3] == 0) {
+    return std::nullopt;
+  }
+  AmsEntropySketch sketch = WithGeometry(groups, per_group, seed);
+  sketch.total_ = total;
+  sketch.rng_.RestoreState(rng_state);
+  for (Atom& atom : sketch.atoms_) {
+    atom.item = in.Varint();
+    atom.suffix_count = in.Varint();
+  }
+  if (!in.ok()) return std::nullopt;
+  return sketch;
 }
 
 double AmsEntropySketch::Estimate() const {

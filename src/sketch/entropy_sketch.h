@@ -2,6 +2,7 @@
 #define SUBSTREAM_SKETCH_ENTROPY_SKETCH_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -43,6 +44,10 @@ class EntropyMleEstimator {
 
   /// Merges another frequency map (exact: counts add pointwise).
   void Merge(const EntropyMleEstimator& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const EntropyMleEstimator& other) const;
 
   /// Forgets all counts.
   void Reset() {
@@ -66,6 +71,12 @@ class EntropyMleEstimator {
   std::size_t SpaceBytes() const {
     return counts_.size() * (sizeof(item_t) + sizeof(count_t));
   }
+
+  /// Appends the versioned wire record: consumed length + frequency map.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<EntropyMleEstimator> Deserialize(serde::Reader& in);
 
  private:
   std::unordered_map<item_t, count_t> counts_;
@@ -102,6 +113,10 @@ class AmsEntropySketch {
   /// other's (the distributed-reservoir merge rule), so every atom still
   /// holds a uniformly random position of the concatenated stream.
   void Merge(const AmsEntropySketch& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const AmsEntropySketch& other) const;
 
   /// Empties all atoms and restarts the reservoir randomness from the
   /// construction seed.
@@ -115,6 +130,14 @@ class AmsEntropySketch {
   std::size_t SpaceBytes() const {
     return atoms_.size() * sizeof(Atom) + sizeof(*this);
   }
+
+  /// Appends the versioned wire record: geometry + seed header, consumed
+  /// length, the reservoir PRNG state (so a restored sketch continues the
+  /// exact random sequence), then the atoms.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<AmsEntropySketch> Deserialize(serde::Reader& in);
 
  private:
   struct Atom {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "serde/serde.h"
+
 namespace substream {
 
 HyperLogLog::HyperLogLog(int precision, std::uint64_t seed)
@@ -52,12 +54,42 @@ double HyperLogLog::Estimate() const {
   return estimate;
 }
 
+bool HyperLogLog::MergeCompatibleWith(const HyperLogLog& other) const {
+  return precision_ == other.precision_ && seed_ == other.seed_;
+}
+
 void HyperLogLog::Merge(const HyperLogLog& other) {
-  SUBSTREAM_CHECK_MSG(precision_ == other.precision_ && seed_ == other.seed_,
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging incompatible HyperLogLog sketches");
   for (std::size_t i = 0; i < registers_.size(); ++i) {
     registers_[i] = std::max(registers_[i], other.registers_[i]);
   }
+}
+
+void HyperLogLog::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kHyperLogLog);
+  out.Varint(static_cast<std::uint64_t>(precision_));
+  out.U64(seed_);
+  out.Raw(registers_.data(), registers_.size());
+}
+
+std::optional<HyperLogLog> HyperLogLog::Deserialize(serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kHyperLogLog)) return std::nullopt;
+  const std::uint64_t precision = in.Varint();
+  const std::uint64_t seed = in.U64();
+  if (!in.ok() || precision < 4 || precision > 20) return std::nullopt;
+  if (!in.CanHold(1ULL << precision, 1)) return std::nullopt;
+  HyperLogLog sketch(static_cast<int>(precision), seed);
+  if (!in.Raw(sketch.registers_.data(), sketch.registers_.size())) {
+    return std::nullopt;
+  }
+  // Register values are ranks: at most 64 - precision + 1.
+  const std::uint8_t max_rank =
+      static_cast<std::uint8_t>(64 - precision + 1);
+  for (std::uint8_t r : sketch.registers_) {
+    if (r > max_rank) return std::nullopt;
+  }
+  return sketch;
 }
 
 }  // namespace substream

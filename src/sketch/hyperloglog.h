@@ -2,6 +2,7 @@
 #define SUBSTREAM_SKETCH_HYPERLOGLOG_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include <algorithm>
@@ -44,12 +45,24 @@ class HyperLogLog {
 
   /// Merges another sketch built with the same precision and seed.
   void Merge(const HyperLogLog& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const HyperLogLog& other) const;
 
   int precision() const { return precision_; }
+  std::uint64_t seed() const { return seed_; }
 
   std::size_t SpaceBytes() const {
     return registers_.size() * sizeof(std::uint8_t) + sizeof(*this);
   }
+
+  /// Appends the versioned wire record: precision + seed header, then the
+  /// raw register bytes.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<HyperLogLog> Deserialize(serde::Reader& in);
 
  private:
   int precision_;

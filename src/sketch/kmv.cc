@@ -1,5 +1,7 @@
 #include "sketch/kmv.h"
 
+#include "serde/serde.h"
+
 namespace substream {
 
 KmvSketch::KmvSketch(std::size_t k, std::uint64_t seed)
@@ -20,8 +22,12 @@ void KmvSketch::Update(item_t item) {
   }
 }
 
+bool KmvSketch::MergeCompatibleWith(const KmvSketch& other) const {
+  return k_ == other.k_ && seed_ == other.seed_;
+}
+
 void KmvSketch::Merge(const KmvSketch& other) {
-  SUBSTREAM_CHECK_MSG(k_ == other.k_ && seed_ == other.seed_,
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging incompatible KMV sketches");
   for (std::uint64_t h : other.values_) {
     values_.insert(h);
@@ -29,6 +35,37 @@ void KmvSketch::Merge(const KmvSketch& other) {
   while (values_.size() > k_) {
     values_.erase(std::prev(values_.end()));
   }
+}
+
+void KmvSketch::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kKmvSketch);
+  out.Varint(k_);
+  out.U64(seed_);
+  out.Varint(values_.size());
+  for (std::uint64_t h : values_) out.U64(h);  // increasing std::set order
+}
+
+std::optional<KmvSketch> KmvSketch::Deserialize(serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kKmvSketch)) return std::nullopt;
+  const std::uint64_t k = in.Varint();
+  const std::uint64_t seed = in.U64();
+  const std::uint64_t count = in.Varint();
+  if (!in.ok() || k < 2 || count > k || !in.CanHold(count, 8)) {
+    return std::nullopt;
+  }
+  KmvSketch sketch(k, seed);
+  std::uint64_t previous = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t h = in.U64();
+    if (!in.ok()) return std::nullopt;
+    if (i > 0 && h <= previous) {
+      in.Fail();  // not strictly increasing: corrupt set encoding
+      return std::nullopt;
+    }
+    sketch.values_.insert(sketch.values_.end(), h);
+    previous = h;
+  }
+  return sketch;
 }
 
 double KmvSketch::Estimate() const {

@@ -2,6 +2,7 @@
 #define SUBSTREAM_SKETCH_KMV_H_
 
 #include <cstdint>
+#include <optional>
 #include <set>
 
 #include "sketch/sketch.h"
@@ -48,12 +49,24 @@ class KmvSketch {
   /// Merges a sketch with the same k and seed: keeps the k smallest hash
   /// values of the union (the standard KMV union rule).
   void Merge(const KmvSketch& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const KmvSketch& other) const;
 
   std::size_t k() const { return k_; }
+  std::uint64_t seed() const { return seed_; }
 
   std::size_t SpaceBytes() const {
     return values_.size() * sizeof(std::uint64_t) + hash_.SpaceBytes();
   }
+
+  /// Appends the versioned wire record: k + seed header, then the retained
+  /// hash values in increasing order.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<KmvSketch> Deserialize(serde::Reader& in);
 
  private:
   std::size_t k_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "serde/serde.h"
 #include "util/math.h"
 #include "util/random.h"
 
@@ -117,12 +118,28 @@ void IndykWoodruffEstimator::Reset() {
   total_ = 0;
 }
 
+bool IndykWoodruffEstimator::MergeCompatibleWith(
+    const IndykWoodruffEstimator& other) const {
+  if (seed_ != other.seed_ || params_.cs_width != other.params_.cs_width ||
+      params_.cs_depth != other.params_.cs_depth ||
+      params_.max_depth != other.params_.max_depth ||
+      depths_.size() != other.depths_.size()) {
+    return false;
+  }
+  // Per-slot sketches carry their own seeds; a decoded record may agree on
+  // the top-level header yet hold a foreign slot (the decoder checks
+  // geometry, not seeds), so the deep check walks all of them.
+  for (std::size_t t = 0; t < depths_.size(); ++t) {
+    if (!depths_[t].sketch.MergeCompatibleWith(other.depths_[t].sketch)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void IndykWoodruffEstimator::Merge(const IndykWoodruffEstimator& other) {
-  SUBSTREAM_CHECK_MSG(
-      seed_ == other.seed_ && params_.cs_width == other.params_.cs_width &&
-          params_.cs_depth == other.params_.cs_depth &&
-          params_.max_depth == other.params_.max_depth,
-      "merging incompatible level-set structures");
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
+                      "merging incompatible level-set structures");
   total_ += other.total_;
   for (std::size_t t = 0; t < depths_.size(); ++t) {
     DepthSlot& slot = depths_[t];
@@ -286,6 +303,80 @@ double IndykWoodruffEstimator::LevelMidValue(double lower_boundary) const {
   return lower_boundary * (1.0 + 0.5 * params_.eps_prime);
 }
 
+void IndykWoodruffEstimator::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kIndykWoodruffEstimator);
+  out.F64(params_.eps_prime);
+  out.Varint(static_cast<std::uint64_t>(params_.max_depth));
+  out.Varint(static_cast<std::uint64_t>(params_.cs_depth));
+  out.Varint(params_.cs_width);
+  out.F64(params_.heavy_factor);
+  out.Varint(params_.candidate_capacity);
+  out.Varint(static_cast<std::uint64_t>(params_.integer_bin_max));
+  out.Varint(params_.exact_capacity);
+  out.U64(seed_);
+  out.Varint(total_);
+  for (const DepthSlot& slot : depths_) {
+    slot.sketch.Serialize(out);
+    serde::WriteDoubleMap(out, slot.candidates);
+    serde::WriteCountMap(out, slot.exact);
+    out.Bool(slot.exact_valid);
+  }
+}
+
+std::optional<IndykWoodruffEstimator> IndykWoodruffEstimator::Deserialize(
+    serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kIndykWoodruffEstimator)) {
+    return std::nullopt;
+  }
+  LevelSetParams params;
+  params.eps_prime = in.F64();
+  const std::uint64_t max_depth = in.Varint();
+  const std::uint64_t cs_depth = in.Varint();
+  params.cs_width = in.Varint();
+  params.heavy_factor = in.F64();
+  params.candidate_capacity = in.Varint();
+  const std::uint64_t integer_bin_max = in.Varint();
+  params.exact_capacity = in.Varint();
+  const std::uint64_t seed = in.U64();
+  const count_t total = in.Varint();
+  // Mirror the constructor checks on untrusted input, then bound the total
+  // counter allocation by the bytes present before constructing anything.
+  if (!in.ok() || !serde::ValidOpenUnit(params.eps_prime) || max_depth > 62 ||
+      cs_depth < 1 || cs_depth > 64 || params.cs_width < 2 ||
+      params.cs_width > (1ULL << 48) ||
+      !serde::ValidPositive(params.heavy_factor) ||
+      params.candidate_capacity > (1ULL << 48) ||
+      integer_bin_max > (1ULL << 20) ||
+      params.exact_capacity > (1ULL << 48)) {
+    return std::nullopt;
+  }
+  params.max_depth = static_cast<int>(max_depth);
+  params.cs_depth = static_cast<int>(cs_depth);
+  params.integer_bin_max = static_cast<int>(integer_bin_max);
+  if (!in.CanHold((max_depth + 1) * cs_depth * params.cs_width, 1)) {
+    return std::nullopt;
+  }
+  IndykWoodruffEstimator estimator(params, seed);
+  estimator.total_ = total;
+  for (DepthSlot& slot : estimator.depths_) {
+    auto sketch = CountSketch::Deserialize(in);
+    if (!sketch || sketch->depth() != params.cs_depth ||
+        sketch->width() != params.cs_width) {
+      return std::nullopt;
+    }
+    slot.sketch = std::move(*sketch);
+    if (!serde::ReadDoubleMap(in, &slot.candidates)) return std::nullopt;
+    if (!serde::ReadCountMap(in, &slot.exact)) return std::nullopt;
+    slot.exact_valid = in.Bool();
+    if (slot.candidates.size() > estimator.candidate_capacity_ ||
+        slot.exact.size() > estimator.exact_capacity_) {
+      return std::nullopt;
+    }
+  }
+  if (!in.ok()) return std::nullopt;
+  return estimator;
+}
+
 std::size_t IndykWoodruffEstimator::SpaceBytes() const {
   std::size_t bytes = sizeof(*this) + depth_hash_.SpaceBytes();
   for (const DepthSlot& slot : depths_) {
@@ -307,14 +398,41 @@ void ExactLevelSets::Update(item_t item) {
   ++total_;
 }
 
+bool ExactLevelSets::MergeCompatibleWith(const ExactLevelSets& other) const {
+  return eps_prime_ == other.eps_prime_ && eta_ == other.eta_;
+}
+
 void ExactLevelSets::Merge(const ExactLevelSets& other) {
-  SUBSTREAM_CHECK_MSG(eps_prime_ == other.eps_prime_ && eta_ == other.eta_,
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging level-set references with different "
                       "discretizations");
   for (const auto& [item, g] : other.counts_) {
     counts_[item] += g;
   }
   total_ += other.total_;
+}
+
+void ExactLevelSets::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kExactLevelSets);
+  out.F64(eps_prime_);
+  out.F64(eta_);
+  out.Varint(total_);
+  serde::WriteCountMap(out, counts_);
+}
+
+std::optional<ExactLevelSets> ExactLevelSets::Deserialize(serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kExactLevelSets)) return std::nullopt;
+  const double eps_prime = in.F64();
+  const double eta = in.F64();
+  const count_t total = in.Varint();
+  if (!in.ok() || !serde::ValidOpenUnit(eps_prime) ||
+      !serde::ValidProbability(eta)) {
+    return std::nullopt;
+  }
+  ExactLevelSets levels(eps_prime, eta);
+  levels.total_ = total;
+  if (!serde::ReadCountMap(in, &levels.counts_)) return std::nullopt;
+  return levels;
 }
 
 std::vector<LevelSetEstimate> ExactLevelSets::EstimateLevelSets() const {

@@ -2,6 +2,7 @@
 #define SUBSTREAM_SKETCH_LEVEL_SETS_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -102,14 +103,27 @@ class IndykWoodruffEstimator {
   /// depth hash, level boundaries and CountSketch seeds): per-depth
   /// sketches add linearly; candidate pools union with re-estimation.
   void Merge(const IndykWoodruffEstimator& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const IndykWoodruffEstimator& other) const;
 
   /// Number of stream elements consumed.
   count_t ConsumedLength() const { return total_; }
 
   double eta() const { return eta_; }
   const LevelSetParams& params() const { return params_; }
+  std::uint64_t seed() const { return seed_; }
 
   std::size_t SpaceBytes() const;
+
+  /// Appends the versioned wire record: full LevelSetParams + seed header
+  /// (eta and the depth hash re-derive from the seed), then per-depth
+  /// nested CountSketch records, candidate pools and exact maps.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<IndykWoodruffEstimator> Deserialize(serde::Reader& in);
 
  private:
   struct DepthSlot {
@@ -157,6 +171,10 @@ class ExactLevelSets {
   /// Merges another reference structure with identical discretization
   /// (same eps_prime and eta): exact counts add pointwise.
   void Merge(const ExactLevelSets& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const ExactLevelSets& other) const;
 
   /// Forgets all counts; discretization parameters are kept.
   void Reset() {
@@ -182,6 +200,13 @@ class ExactLevelSets {
   std::size_t SpaceBytes() const {
     return counts_.size() * (sizeof(item_t) + sizeof(count_t));
   }
+
+  /// Appends the versioned wire record: discretization header (eps', eta),
+  /// then the exact frequency map.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<ExactLevelSets> Deserialize(serde::Reader& in);
 
  private:
   double eps_prime_;

@@ -4,6 +4,8 @@
 #include <functional>
 #include <vector>
 
+#include "serde/serde.h"
+
 namespace substream {
 
 MisraGries::MisraGries(std::size_t k) : k_(k) {
@@ -41,8 +43,13 @@ void MisraGries::Update(item_t item, count_t count) {
   if (count > min_count) counters_.emplace(item, count - min_count);
 }
 
+bool MisraGries::MergeCompatibleWith(const MisraGries& other) const {
+  return k_ == other.k_;
+}
+
 void MisraGries::Merge(const MisraGries& other) {
-  SUBSTREAM_CHECK_MSG(k_ == other.k_, "merging MG summaries of different k");
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
+                      "merging MG summaries of different k");
   total_ += other.total_;
   decrement_total_ += other.decrement_total_;
   for (const auto& [item, count] : other.counters_) {
@@ -69,6 +76,28 @@ void MisraGries::Merge(const MisraGries& other) {
       ++it;
     }
   }
+}
+
+void MisraGries::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kMisraGries);
+  out.Varint(k_);
+  out.Varint(total_);
+  out.Varint(decrement_total_);
+  serde::WriteCountMap(out, counters_);
+}
+
+std::optional<MisraGries> MisraGries::Deserialize(serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kMisraGries)) return std::nullopt;
+  const std::uint64_t k = in.Varint();
+  const count_t total = in.Varint();
+  const count_t decrement_total = in.Varint();
+  if (!in.ok() || k < 1 || k > (1ULL << 48)) return std::nullopt;
+  MisraGries summary(k);
+  summary.total_ = total;
+  summary.decrement_total_ = decrement_total;
+  if (!serde::ReadCountMap(in, &summary.counters_)) return std::nullopt;
+  if (summary.counters_.size() > k) return std::nullopt;  // size invariant
+  return summary;
 }
 
 count_t MisraGries::Estimate(item_t item) const {

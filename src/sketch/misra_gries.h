@@ -1,6 +1,7 @@
 #ifndef SUBSTREAM_SKETCH_MISRA_GRIES_H_
 #define SUBSTREAM_SKETCH_MISRA_GRIES_H_
 
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -43,6 +44,10 @@ class MisraGries {
   /// and drop non-positive counters. The merged summary keeps the combined
   /// error bound (F1_total / (k+1) plus accumulated decrements).
   void Merge(const MisraGries& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const MisraGries& other) const;
 
   /// Upper bound on the estimation error: decrements / (k+1)-sized groups.
   count_t ErrorBound() const { return decrement_total_; }
@@ -56,6 +61,12 @@ class MisraGries {
   std::size_t SpaceBytes() const {
     return counters_.size() * (sizeof(item_t) + sizeof(count_t));
   }
+
+  /// Appends the versioned wire record: k header, error state, counters.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<MisraGries> Deserialize(serde::Reader& in);
 
  private:
   std::size_t k_;

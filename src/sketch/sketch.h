@@ -2,6 +2,7 @@
 #define SUBSTREAM_SKETCH_SKETCH_H_
 
 #include <cstddef>
+#include <optional>
 #include <type_traits>
 #include <utility>
 
@@ -37,10 +38,25 @@
 ///    geometry and seed) are enforced loudly via SUBSTREAM_CHECK: merging
 ///    incompatible summaries aborts instead of silently corrupting
 ///    estimates.
+///  - `bool MergeCompatibleWith(const S& other) const` — true exactly when
+///    `Merge(other)` would succeed, checked all the way down through
+///    nested summaries. This is the graceful form of the Merge
+///    precondition: callers holding untrusted (e.g. decoded) summaries ask
+///    first instead of risking the abort — the cross-process Collector
+///    depends on it.
 ///  - `void Reset()` — return to the freshly-constructed state while
 ///    keeping geometry, seeds and hash functions, so a summary can be
 ///    reused across measurement windows without reallocation.
-///  - `std::size_t SpaceBytes()` — memory footprint.
+///  - `std::size_t SpaceBytes() const` — memory footprint. Like every
+///    observer, it must be const: serde serializes through a const
+///    reference, and the trait rejects non-const declarations.
+///  - `void Serialize(serde::Writer&) const` — append the summary's
+///    versioned wire record (serde/serde.h): type tag, format version, the
+///    geometry/seed header that the Merge preconditions check, then state.
+///  - `static std::optional<S> Deserialize(serde::Reader&)` — decode one
+///    record. Returns std::nullopt (never crashes, never UB) on truncated
+///    or corrupted input; a decoded summary merges with a live one exactly
+///    as the original would have.
 ///
 /// Conformance is asserted with `SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(S)`
 /// (see the bottom of this header for the sketch layer; `monitor.cc` does
@@ -48,6 +64,11 @@
 /// compile error, not a runtime surprise.
 
 namespace substream {
+
+namespace serde {
+class Writer;
+class Reader;
+}  // namespace serde
 
 namespace sketch_internal {
 
@@ -84,6 +105,32 @@ struct HasSpaceBytes<
     S, std::void_t<decltype(std::declval<const S&>().SpaceBytes())>>
     : std::true_type {};
 
+template <typename, typename = void>
+struct HasMergeCompatibleWith : std::false_type {};
+template <typename S>
+struct HasMergeCompatibleWith<
+    S, std::enable_if_t<std::is_same_v<
+           decltype(std::declval<const S&>().MergeCompatibleWith(
+               std::declval<const S&>())),
+           bool>>> : std::true_type {};
+
+// Serialize must be callable on a const reference: serde reads state
+// through const access, so non-const observers are contract violations.
+template <typename, typename = void>
+struct HasSerialize : std::false_type {};
+template <typename S>
+struct HasSerialize<S, std::void_t<decltype(std::declval<const S&>().Serialize(
+                           std::declval<serde::Writer&>()))>>
+    : std::true_type {};
+
+template <typename, typename = void>
+struct HasDeserialize : std::false_type {};
+template <typename S>
+struct HasDeserialize<
+    S, std::enable_if_t<std::is_same_v<
+           decltype(S::Deserialize(std::declval<serde::Reader&>())),
+           std::optional<S>>>> : std::true_type {};
+
 }  // namespace sketch_internal
 
 /// True when `S` satisfies the mergeable-summary contract documented above.
@@ -92,14 +139,18 @@ inline constexpr bool IsMergeableSummary =
     sketch_internal::HasUpdate<S>::value &&
     sketch_internal::HasUpdateBatch<S>::value &&
     sketch_internal::HasMerge<S>::value &&
+    sketch_internal::HasMergeCompatibleWith<S>::value &&
     sketch_internal::HasReset<S>::value &&
-    sketch_internal::HasSpaceBytes<S>::value;
+    sketch_internal::HasSpaceBytes<S>::value &&
+    sketch_internal::HasSerialize<S>::value &&
+    sketch_internal::HasDeserialize<S>::value;
 
 /// Compile-time conformance check, one line per summary class.
 #define SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(S)                         \
   static_assert(::substream::IsMergeableSummary<S>,                   \
                 #S " does not satisfy the mergeable-summary contract " \
-                   "(Update/UpdateBatch/Merge/Reset/SpaceBytes)")
+                   "(Update/UpdateBatch/Merge/MergeCompatibleWith/"    \
+                   "Reset/SpaceBytes/Serialize/Deserialize)")
 
 /// Default `UpdateBatch` body: the plain item-at-a-time loop. Summaries
 /// whose per-item work is pointer-chasing (hash maps, heaps, reservoirs)

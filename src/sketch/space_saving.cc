@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "serde/serde.h"
+
 namespace substream {
 
 SpaceSaving::SpaceSaving(std::size_t k) : k_(k) {
@@ -29,8 +31,12 @@ void SpaceSaving::Update(item_t item, count_t count) {
   min_count_when_full_ = std::max(min_count_when_full_, floor);
 }
 
+bool SpaceSaving::MergeCompatibleWith(const SpaceSaving& other) const {
+  return k_ == other.k_;
+}
+
 void SpaceSaving::Merge(const SpaceSaving& other) {
-  SUBSTREAM_CHECK_MSG(k_ == other.k_,
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging SpaceSaving summaries of different k");
   // An item untracked by a FULL table has true frequency at most that
   // table's minimum counter; merging substitutes that fill-in value so the
@@ -87,6 +93,46 @@ void SpaceSaving::Merge(const SpaceSaving& other) {
   min_count_when_full_ =
       std::max({min_count_when_full_ + other.min_count_when_full_,
                 min_a + min_b, evicted_max});
+}
+
+void SpaceSaving::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kSpaceSaving);
+  out.Varint(k_);
+  out.Varint(total_);
+  out.Varint(min_count_when_full_);
+  out.Varint(counters_.size());
+  for (const auto& [item, cell] : counters_) {
+    out.Varint(item);
+    out.Varint(cell.count);
+    out.Varint(cell.overestimate);
+  }
+}
+
+std::optional<SpaceSaving> SpaceSaving::Deserialize(serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kSpaceSaving)) return std::nullopt;
+  const std::uint64_t k = in.Varint();
+  const count_t total = in.Varint();
+  const count_t min_count_when_full = in.Varint();
+  const std::uint64_t count = in.Varint();
+  if (!in.ok() || k < 1 || k > (1ULL << 48) || count > k ||
+      !in.CanHold(count, 3)) {
+    return std::nullopt;
+  }
+  SpaceSaving summary(k);
+  summary.total_ = total;
+  summary.min_count_when_full_ = min_count_when_full;
+  summary.counters_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const item_t item = in.Varint();
+    const count_t c = in.Varint();
+    const count_t overestimate = in.Varint();
+    if (!in.ok()) return std::nullopt;
+    if (!summary.counters_.emplace(item, Cell{c, overestimate}).second) {
+      in.Fail();
+      return std::nullopt;
+    }
+  }
+  return summary;
 }
 
 item_t SpaceSaving::FindMin() const {

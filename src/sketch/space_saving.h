@@ -2,6 +2,7 @@
 #define SUBSTREAM_SKETCH_SPACE_SAVING_H_
 
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -34,6 +35,10 @@ class SpaceSaving {
   /// back to the k largest counts. The merged summary keeps the combined
   /// f_i <= Estimate(i) <= f_i + F1_total/k guarantee.
   void Merge(const SpaceSaving& other);
+  /// True when Merge(other) preconditions hold, checked all the way
+  /// down through nested summaries; the Collector uses this to reject
+  /// decoded-but-incompatible records instead of tripping the abort.
+  bool MergeCompatibleWith(const SpaceSaving& other) const;
 
   /// Forgets all counters and error state; k is kept.
   void Reset() {
@@ -57,6 +62,13 @@ class SpaceSaving {
   std::size_t SpaceBytes() const {
     return counters_.size() * (sizeof(item_t) + 2 * sizeof(count_t));
   }
+
+  /// Appends the versioned wire record: k header, error state, counters
+  /// with their overestimate bounds.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one record; std::nullopt on truncated or corrupted input.
+  static std::optional<SpaceSaving> Deserialize(serde::Reader& in);
 
  private:
   struct Cell {

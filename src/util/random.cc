@@ -22,6 +22,14 @@ Rng::Rng(std::uint64_t seed) {
   }
 }
 
+void Rng::RestoreState(const std::array<std::uint64_t, 4>& state) {
+  SUBSTREAM_CHECK(state[0] != 0 || state[1] != 0 || state[2] != 0 ||
+                  state[3] != 0);
+  for (int i = 0; i < 4; ++i) state_[i] = state[i];
+  has_cached_gaussian_ = false;
+  cached_gaussian_ = 0.0;
+}
+
 std::uint64_t Rng::Next() {
   const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
   const std::uint64_t t = state_[1] << 17;

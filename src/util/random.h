@@ -1,6 +1,7 @@
 #ifndef SUBSTREAM_UTIL_RANDOM_H_
 #define SUBSTREAM_UTIL_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -42,6 +43,17 @@ class Rng {
 
   /// Geometric: number of failures before the first success, p in (0, 1].
   std::uint64_t NextGeometric(double p);
+
+  /// Raw 256-bit state, for checkpointing generators mid-sequence (serde).
+  /// The Gaussian cache is not part of the saved state; RestoreState drops
+  /// it, so interleaving NextGaussian with save/restore is not replayable.
+  std::array<std::uint64_t, 4> SaveState() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  /// Resumes from a previously saved state. The all-zero state is a fixed
+  /// point of xoshiro256++ and is rejected.
+  void RestoreState(const std::array<std::uint64_t, 4>& state);
 
  private:
   std::uint64_t state_[4];
