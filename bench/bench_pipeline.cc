@@ -1,0 +1,199 @@
+/// One-hash-per-item pipeline benchmark: items/sec for the three ingest
+/// paths — scalar Update, UpdateBatch (chunked prehash inside), and a
+/// caller-prehashed column through UpdatePrehashed — per summary class and
+/// for the full Monitor, over the same Zipf workload. Also measures
+/// pre-refactor reference kernels (per-row polynomial hash + `%` bucket
+/// selection, exactly the historical CountMin/CountSketch inner loops) so
+/// one run shows the one-hash-per-item gain without needing a checkout of
+/// the old code.
+///
+///   ./bench_pipeline [items] [repeats]
+///
+/// One JSON object per line on stdout; CI redirects the output into
+/// BENCH_ingest.json and uploads it as an artifact, so the speedup
+/// trajectory is comparable across commits:
+///   {"bench":"pipeline","target":"monitor","mode":"prehashed",...}
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/monitor.h"
+#include "sketch/countmin.h"
+#include "sketch/countsketch.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/kmv.h"
+#include "stream/generators.h"
+#include "util/hash.h"
+
+using namespace substream;
+
+namespace {
+
+MonitorConfig BenchConfig() {
+  MonitorConfig config;
+  config.p = 0.1;
+  config.universe = 1 << 16;
+  config.hh_alpha = 0.02;
+  config.max_f2_width = 1 << 12;
+  return config;
+}
+
+/// Pre-refactor CountMin inner loop: one pairwise polynomial hash and one
+/// `%` per row per item (the seed path this PR replaced).
+struct PolyhashCountMinReference {
+  int depth;
+  std::uint64_t width;
+  std::vector<std::vector<count_t>> rows;
+  std::vector<PolynomialHash> hashes;
+
+  PolyhashCountMinReference(int d, std::uint64_t w, std::uint64_t seed)
+      : depth(d), width(w) {
+    rows.assign(static_cast<std::size_t>(d), std::vector<count_t>(w, 0));
+    for (int r = 0; r < d; ++r) {
+      hashes.emplace_back(2, DeriveSeed(seed, static_cast<std::uint64_t>(r)));
+    }
+  }
+
+  void Update(item_t item) {
+    for (int r = 0; r < depth; ++r) {
+      ++rows[static_cast<std::size_t>(r)]
+            [hashes[static_cast<std::size_t>(r)].Hash(item) % width];
+    }
+  }
+};
+
+/// Pre-refactor CountSketch inner loop: polynomial bucket + polynomial
+/// sign per row per item.
+struct PolyhashCountSketchReference {
+  int depth;
+  std::uint64_t width;
+  std::vector<std::vector<std::int64_t>> rows;
+  std::vector<double> sumsq;
+  std::vector<PolynomialHash> buckets;
+  std::vector<PolynomialHash> signs;
+
+  PolyhashCountSketchReference(int d, std::uint64_t w, std::uint64_t seed)
+      : depth(d), width(w) {
+    rows.assign(static_cast<std::size_t>(d), std::vector<std::int64_t>(w, 0));
+    sumsq.assign(static_cast<std::size_t>(d), 0.0);
+    for (int r = 0; r < d; ++r) {
+      buckets.emplace_back(
+          2, DeriveSeed(seed, 2 * static_cast<std::uint64_t>(r)));
+      signs.emplace_back(
+          4, DeriveSeed(seed, 2 * static_cast<std::uint64_t>(r) + 1));
+    }
+  }
+
+  void Update(item_t item) {
+    for (int r = 0; r < depth; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      std::int64_t& cell = rows[rr][buckets[rr].Hash(item) % width];
+      const std::int64_t delta = signs[rr].Sign(item);
+      sumsq[rr] += static_cast<double>(2 * cell * delta + 1);
+      cell += delta;
+    }
+  }
+};
+
+void EmitRow(const char* target, const char* mode, std::size_t items,
+             double items_per_sec, double scalar_baseline) {
+  std::printf(
+      "{\"bench\":\"pipeline\",\"target\":\"%s\",\"mode\":\"%s\","
+      "\"items\":%zu,\"items_per_sec\":%.0f,\"speedup_vs_scalar\":%.3f}\n",
+      target, mode, items, items_per_sec,
+      scalar_baseline > 0.0 ? items_per_sec / scalar_baseline : 0.0);
+}
+
+/// Times `run(target)` best-of-`repeats` over a fresh `make()` instance per
+/// run, returns items/sec. Construction happens OUTSIDE the timed region:
+/// a Monitor zero-fills megabytes of counter tables, which would otherwise
+/// dominate small-item runs and corrupt the artifact rows.
+template <typename Make, typename Run>
+double BestRate(int repeats, std::size_t items, Make make, Run run) {
+  double best = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    auto target = make();
+    bench::Stopwatch timer;
+    run(target);
+    best = std::max(best, static_cast<double>(items) / timer.Seconds());
+  }
+  return best;
+}
+
+/// Benchmarks one summary across scalar / batch / prehashed, emits the
+/// three rows and returns the scalar rate so reference kernels can report
+/// their speedup against the same baseline. `make` constructs a fresh
+/// instance per timing run.
+template <typename Make>
+double BenchSummary(const char* target, int repeats, const Stream& s,
+                    const std::vector<PrehashedItem>& column, Make make) {
+  const double scalar = BestRate(repeats, s.size(), make, [&](auto& sk) {
+    for (item_t a : s) sk.Update(a);
+  });
+  EmitRow(target, "scalar", s.size(), scalar, scalar);
+
+  const double batch = BestRate(repeats, s.size(), make, [&](auto& sk) {
+    sk.UpdateBatch(s.data(), s.size());
+  });
+  EmitRow(target, "batch", s.size(), batch, scalar);
+
+  const double prehashed = BestRate(repeats, s.size(), make, [&](auto& sk) {
+    sk.UpdatePrehashed(column.data(), column.size());
+  });
+  EmitRow(target, "prehashed", s.size(), prehashed, scalar);
+  return scalar;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t items =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : (1u << 21);
+  const int repeats = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  ZipfGenerator generator(1 << 16, 1.1, 7);
+  const Stream sampled = Materialize(generator, items);
+  std::vector<PrehashedItem> column(sampled.size());
+  PrehashColumn(sampled.data(), sampled.size(), column.data());
+
+  // --- Individual counter-table sketches vs their pre-refactor kernels.
+  // Reference rows share the target's scalar baseline, so their
+  // speedup_vs_scalar (< 1) exposes the one-hash-per-item gain directly.
+  {
+    const double scalar =
+        BenchSummary("countmin", repeats, sampled, column,
+                     [] { return CountMinSketch(4, 4096, false, 3); });
+    const double poly = BestRate(
+        repeats, items, [] { return PolyhashCountMinReference(4, 4096, 3); },
+        [&](auto& ref) {
+          for (item_t a : sampled) ref.Update(a);
+        });
+    EmitRow("countmin", "polyhash_reference", items, poly, scalar);
+  }
+
+  {
+    const double scalar =
+        BenchSummary("countsketch", repeats, sampled, column,
+                     [] { return CountSketch(5, 4096, 3); });
+    const double poly = BestRate(
+        repeats, items, [] { return PolyhashCountSketchReference(5, 4096, 3); },
+        [&](auto& ref) {
+          for (item_t a : sampled) ref.Update(a);
+        });
+    EmitRow("countsketch", "polyhash_reference", items, poly, scalar);
+  }
+
+  BenchSummary("hyperloglog", repeats, sampled, column,
+               [] { return HyperLogLog(14, 3); });
+  BenchSummary("kmv", repeats, sampled, column,
+               [] { return KmvSketch(1024, 3); });
+
+  // --- The full Monitor: the paper's many-estimators-one-pass facade.
+  BenchSummary("monitor", repeats, sampled, column,
+               [] { return Monitor(BenchConfig(), 3); });
+
+  return 0;
+}

@@ -53,6 +53,16 @@ void EntropyEstimator::UpdateBatch(const item_t* data, std::size_t n) {
   }
 }
 
+void EntropyEstimator::UpdatePrehashed(const PrehashedItem* data,
+                                       std::size_t n) {
+  sampled_length_ += n;
+  if (mle_) {
+    mle_->UpdatePrehashed(data, n);
+  } else {
+    ams_->UpdatePrehashed(data, n);
+  }
+}
+
 bool EntropyEstimator::MergeCompatibleWith(
     const EntropyEstimator& other) const {
   if (params_.backend != other.params_.backend ||

@@ -68,6 +68,11 @@ class EntropyEstimator {
   /// Feeds `n` contiguous elements of L.
   void UpdateBatch(const item_t* data, std::size_t n);
 
+  /// Feeds `n` already-prehashed elements of L (the Monitor pipeline's
+  /// columnar entry point; the entropy backends replay scalar updates, so
+  /// all three ingest paths stay bit-identical).
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
+
   /// Merges an estimator built with the same parameters and seed. The MLE
   /// backends merge exactly; the AMS sketch merges via the distributed-
   /// reservoir rule (see AmsEntropySketch::Merge).

@@ -59,6 +59,17 @@ void F0Estimator::UpdateBatch(const item_t* data, std::size_t n) {
   }
 }
 
+void F0Estimator::UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
+  sampled_length_ += n;
+  if (kmv_) {
+    kmv_->UpdatePrehashed(data, n);
+  } else if (hll_) {
+    hll_->UpdatePrehashed(data, n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) exact_->items.insert(data[i].item);
+  }
+}
+
 bool F0Estimator::MergeCompatibleWith(const F0Estimator& other) const {
   if (params_.backend != other.params_.backend ||
       params_.p != other.params_.p) {

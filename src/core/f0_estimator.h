@@ -51,6 +51,11 @@ class F0Estimator {
   /// Feeds `n` contiguous elements of L.
   void UpdateBatch(const item_t* data, std::size_t n);
 
+  /// Feeds `n` already-prehashed elements of L (the Monitor pipeline's
+  /// columnar entry point; the backend sketches consume the shared prehash
+  /// directly).
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
+
   /// Merges an estimator built with the same parameters and seed (backend
   /// sketches merge under their own geometry/seed preconditions).
   void Merge(const F0Estimator& other);

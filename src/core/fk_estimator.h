@@ -71,6 +71,11 @@ class FkEstimator {
   /// Feeds `n` contiguous elements of L.
   void UpdateBatch(const item_t* data, std::size_t n);
 
+  /// Feeds `n` already-prehashed elements of L (the Monitor pipeline's
+  /// columnar entry point; the level-set CountSketches consume the shared
+  /// prehash directly).
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
+
   /// Merges an estimator built with the same parameters and seed (the
   /// level-set backends merge under their own geometry/seed preconditions).
   void Merge(const FkEstimator& other);

@@ -64,6 +64,12 @@ void F1HeavyHitterEstimator::UpdateBatch(const item_t* data, std::size_t n) {
   tracker_.UpdateBatch(data, n);
 }
 
+void F1HeavyHitterEstimator::UpdatePrehashed(const PrehashedItem* data,
+                                             std::size_t n) {
+  sampled_length_ += n;
+  tracker_.UpdatePrehashed(data, n);
+}
+
 bool F1HeavyHitterEstimator::MergeCompatibleWith(
     const F1HeavyHitterEstimator& other) const {
   return params_.alpha == other.params_.alpha &&
@@ -156,6 +162,12 @@ void F2HeavyHitterEstimator::Update(item_t item) {
 void F2HeavyHitterEstimator::UpdateBatch(const item_t* data, std::size_t n) {
   sampled_length_ += n;
   tracker_.UpdateBatch(data, n);
+}
+
+void F2HeavyHitterEstimator::UpdatePrehashed(const PrehashedItem* data,
+                                             std::size_t n) {
+  sampled_length_ += n;
+  tracker_.UpdatePrehashed(data, n);
 }
 
 bool F2HeavyHitterEstimator::MergeCompatibleWith(

@@ -49,6 +49,10 @@ class F1HeavyHitterEstimator {
   /// Feeds `n` contiguous elements of L.
   void UpdateBatch(const item_t* data, std::size_t n);
 
+  /// Feeds `n` already-prehashed elements of L (sketch adds and candidate
+  /// re-estimates share the caller's prehash).
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
+
   /// Merges an estimator built with the same parameters and seed.
   void Merge(const F1HeavyHitterEstimator& other);
   /// True when Merge(other) preconditions hold, checked all the way
@@ -94,6 +98,10 @@ class F2HeavyHitterEstimator {
 
   /// Feeds `n` contiguous elements of L.
   void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Feeds `n` already-prehashed elements of L (sketch adds and candidate
+  /// re-estimates share the caller's prehash).
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
 
   /// Merges an estimator built with the same parameters and seed.
   void Merge(const F2HeavyHitterEstimator& other);

@@ -1,5 +1,7 @@
 #include "core/monitor.h"
 
+#include <algorithm>
+
 #include "serde/checkpoint.h"
 #include "serde/serde.h"
 #include "sketch/sketch.h"
@@ -69,19 +71,25 @@ Monitor::Monitor(const MonitorConfig& config, std::uint64_t seed)
 }
 
 void Monitor::Update(item_t item) {
-  ++sampled_length_;
-  if (f0_) f0_->Update(item);
-  if (f2_) f2_->Update(item);
-  if (entropy_) entropy_->Update(item);
-  if (heavy_) heavy_->Update(item);
+  const PrehashedItem ph = MakePrehashed(item);
+  UpdatePrehashed(&ph, 1);
 }
 
 void Monitor::UpdateBatch(const item_t* data, std::size_t n) {
+  // Stage 1: one strong hash per item into a stack-resident column.
+  // Stage 2: fan the column to every estimator (UpdatePrehashed).
+  ForEachPrehashedChunk(data, n, [this](const PrehashedItem* column,
+                                        std::size_t m) {
+    UpdatePrehashed(column, m);
+  });
+}
+
+void Monitor::UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
   sampled_length_ += n;
-  if (f0_) f0_->UpdateBatch(data, n);
-  if (f2_) f2_->UpdateBatch(data, n);
-  if (entropy_) entropy_->UpdateBatch(data, n);
-  if (heavy_) heavy_->UpdateBatch(data, n);
+  if (f0_) f0_->UpdatePrehashed(data, n);
+  if (f2_) f2_->UpdatePrehashed(data, n);
+  if (entropy_) entropy_->UpdatePrehashed(data, n);
+  if (heavy_) heavy_->UpdatePrehashed(data, n);
 }
 
 bool Monitor::MergeCompatibleWith(const Monitor& other) const {

@@ -23,10 +23,19 @@
 /// disjoint portions of the sampled stream — on different routers, threads
 /// or processes — and merged with Merge(); the merged monitor reports on the
 /// concatenation. ShardedMonitor (core/sharded_monitor.h) builds a
-/// multi-core ingestion pipeline directly on this property. Use
-/// UpdateBatch() to feed contiguous runs of elements: it forwards one batch
-/// call to every enabled estimator, whose underlying sketches walk their
-/// counter arrays row-major instead of re-deriving per-item state.
+/// multi-core ingestion pipeline directly on this property.
+///
+/// ## The two-stage columnar ingest pipeline
+///
+/// Ingest runs in two stages. Stage 1 (prehash): each item is hashed ONCE
+/// with the strong shared PreHash (util/hash.h) — UpdateBatch() fills a
+/// stack-resident PrehashedItem column per chunk, Update() prehashes the
+/// single item. Stage 2 (fan-out): the prehashed column is fanned to every
+/// enabled estimator through UpdatePrehashed(); counter-array sketches
+/// derive each row's bucket with a cheap seeded remix + fast-range instead
+/// of re-hashing, and walk their flat counter tables row-major and
+/// cache-blocked. All three entry points (Update / UpdateBatch /
+/// UpdatePrehashed) produce bit-identical monitor state.
 
 namespace substream {
 
@@ -71,11 +80,17 @@ class Monitor {
  public:
   Monitor(const MonitorConfig& config, std::uint64_t seed);
 
-  /// Feeds one element of the sampled stream L.
+  /// Feeds one element of the sampled stream L (prehash once, fan out).
   void Update(item_t item);
 
-  /// Feeds `n` contiguous elements of L in one call per estimator.
+  /// Feeds `n` contiguous elements of L: prehashes each chunk once into a
+  /// stack buffer, then fans the prehashed column to every estimator.
   void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Feeds `n` already-prehashed elements of L — the columnar entry point
+  /// ShardedMonitor's rings feed so the partitioner's prehash is reused by
+  /// every sketch on the worker side.
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
 
   /// Merges a monitor constructed with the same config and seed, so that
   /// this monitor summarizes the concatenation of both sampled streams.

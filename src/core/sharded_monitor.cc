@@ -23,7 +23,7 @@ std::size_t RoundUpPow2(std::size_t x) {
 ShardedMonitor::BatchRing::BatchRing(std::size_t capacity_pow2)
     : slots_(capacity_pow2), mask_(capacity_pow2 - 1) {}
 
-bool ShardedMonitor::BatchRing::TryPush(std::vector<item_t>&& batch) {
+bool ShardedMonitor::BatchRing::TryPush(std::vector<PrehashedItem>&& batch) {
   const std::size_t head = head_.load(std::memory_order_relaxed);
   const std::size_t tail = tail_.load(std::memory_order_acquire);
   if (head - tail > mask_) return false;  // full
@@ -32,7 +32,7 @@ bool ShardedMonitor::BatchRing::TryPush(std::vector<item_t>&& batch) {
   return true;
 }
 
-bool ShardedMonitor::BatchRing::TryPop(std::vector<item_t>* out) {
+bool ShardedMonitor::BatchRing::TryPop(std::vector<PrehashedItem>* out) {
   const std::size_t tail = tail_.load(std::memory_order_relaxed);
   const std::size_t head = head_.load(std::memory_order_acquire);
   if (tail == head) return false;  // empty
@@ -71,17 +71,28 @@ ShardedMonitor::~ShardedMonitor() {
   }
 }
 
+std::size_t ShardedMonitor::ShardOfPrehash(std::uint64_t prehash,
+                                           std::size_t shards) {
+  // A salted remix keeps routing decorrelated from every sketch's bucket
+  // derivations (which remix the same prehash with DeriveSeed chains);
+  // fast-range replaces the historical `%`.
+  return shards <= 1
+             ? 0
+             : static_cast<std::size_t>(
+                   FastRange64(RemixHash(prehash, kShardSalt), shards));
+}
+
 std::size_t ShardedMonitor::ShardOf(item_t item, std::size_t shards) {
-  return shards <= 1 ? 0 : Mix64(item ^ kShardSalt) % shards;
+  return ShardOfPrehash(PreHash(item), shards);
 }
 
 void ShardedMonitor::WorkerLoop(std::size_t shard) {
   Monitor& monitor = monitors_[shard];
   BatchRing& ring = *rings_[shard];
-  std::vector<item_t> batch;
+  std::vector<PrehashedItem> batch;
   while (true) {
     if (ring.TryPop(&batch)) {
-      monitor.UpdateBatch(batch.data(), batch.size());
+      monitor.UpdatePrehashed(batch.data(), batch.size());
       batch.clear();
       continue;
     }
@@ -89,7 +100,7 @@ void ShardedMonitor::WorkerLoop(std::size_t shard) {
       // The done flag is set only after every batch is pushed; one more
       // drain pass after observing it empties anything that raced in.
       if (!ring.TryPop(&batch)) break;
-      monitor.UpdateBatch(batch.data(), batch.size());
+      monitor.UpdatePrehashed(batch.data(), batch.size());
       batch.clear();
       continue;
     }
@@ -99,8 +110,8 @@ void ShardedMonitor::WorkerLoop(std::size_t shard) {
 
 void ShardedMonitor::FlushStaged(std::size_t shard) {
   if (staged_[shard].empty()) return;
-  std::vector<item_t> batch = std::move(staged_[shard]);
-  staged_[shard] = std::vector<item_t>();
+  std::vector<PrehashedItem> batch = std::move(staged_[shard]);
+  staged_[shard] = std::vector<PrehashedItem>();
   staged_[shard].reserve(options_.batch_items);
   while (!rings_[shard]->TryPush(std::move(batch))) {
     std::this_thread::yield();  // ring full: wait for the worker
@@ -112,8 +123,11 @@ void ShardedMonitor::Ingest(const item_t* data, std::size_t n) {
   items_ingested_ += n;
   const std::size_t shards = monitors_.size();
   for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t s = ShardOf(data[i], shards);
-    staged_[s].push_back(data[i]);
+    // One strong hash here pays for routing now and every sketch's bucket
+    // derivations on the worker side.
+    const PrehashedItem ph = MakePrehashed(data[i]);
+    const std::size_t s = ShardOfPrehash(ph.hash, shards);
+    staged_[s].push_back(ph);
     if (staged_[s].size() >= options_.batch_items) FlushStaged(s);
   }
 }

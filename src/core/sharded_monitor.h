@@ -10,6 +10,7 @@
 #include "core/monitor.h"
 #include "stream/stream.h"
 #include "util/common.h"
+#include "util/hash.h"
 
 /// \file sharded_monitor.h
 /// Multi-core ingestion pipeline over mergeable Monitors: the
@@ -19,8 +20,11 @@
 /// Each worker owns a Monitor constructed with the *same* config and seed —
 /// the precondition for Monitor::Merge — and consumes batches from its own
 /// bounded single-producer/single-consumer ring buffer. The producer
-/// hash-partitions incoming items by identity (a salted Mix64, independent
-/// of every sketch hash), so all occurrences of an item land on the same
+/// prehashes each item ONCE (the shared PreHash of util/hash.h), routes on
+/// a salted remix of that prehash, and ships PrehashedItem batches through
+/// the rings — so the same strong hash pays for partitioning on the
+/// producer side AND every sketch's bucket derivations on the worker side
+/// (Monitor::UpdatePrehashed). All occurrences of an item land on the same
 /// shard; linear sketches merge identically under any partition, but
 /// identity partitioning also keeps candidate-tracking summaries (heavy
 /// hitters, level-set candidate pools) accurate, since each shard sees the
@@ -82,6 +86,10 @@ class ShardedMonitor {
   /// external partitioners can reproduce the routing).
   static std::size_t ShardOf(item_t item, std::size_t shards);
 
+  /// Routing from an already-computed prehash (what Ingest uses per item).
+  static std::size_t ShardOfPrehash(std::uint64_t prehash,
+                                    std::size_t shards);
+
   std::size_t shards() const { return monitors_.size(); }
   count_t ItemsIngested() const { return items_ingested_; }
 
@@ -89,19 +97,19 @@ class ShardedMonitor {
   std::size_t SpaceBytes() const;
 
  private:
-  /// Bounded SPSC ring of item batches. Index monotonicity: head_ is
-  /// advanced only by the producer, tail_ only by the consumer; slot
-  /// (index & mask) is owned by the producer when index - tail_ < capacity
-  /// and by the consumer when tail_ < head_.
+  /// Bounded SPSC ring of prehashed-item batches. Index monotonicity:
+  /// head_ is advanced only by the producer, tail_ only by the consumer;
+  /// slot (index & mask) is owned by the producer when index - tail_ <
+  /// capacity and by the consumer when tail_ < head_.
   class BatchRing {
    public:
     explicit BatchRing(std::size_t capacity_pow2);
 
-    bool TryPush(std::vector<item_t>&& batch);
-    bool TryPop(std::vector<item_t>* out);
+    bool TryPush(std::vector<PrehashedItem>&& batch);
+    bool TryPop(std::vector<PrehashedItem>* out);
 
    private:
-    std::vector<std::vector<item_t>> slots_;
+    std::vector<std::vector<PrehashedItem>> slots_;
     std::size_t mask_;
     alignas(64) std::atomic<std::size_t> head_{0};  // next write index
     alignas(64) std::atomic<std::size_t> tail_{0};  // next read index
@@ -113,7 +121,7 @@ class ShardedMonitor {
   ShardedMonitorOptions options_;
   std::vector<Monitor> monitors_;
   std::vector<std::unique_ptr<BatchRing>> rings_;
-  std::vector<std::vector<item_t>> staged_;  // producer-side, per shard
+  std::vector<std::vector<PrehashedItem>> staged_;  // producer-side, per shard
   std::vector<std::thread> workers_;
   std::atomic<bool> done_{false};
   bool finished_ = false;

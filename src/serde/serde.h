@@ -56,9 +56,20 @@
 namespace substream {
 namespace serde {
 
-/// Format version of every record envelope. Bump when any encoding changes;
-/// decoders reject versions they do not know.
-inline constexpr std::uint8_t kFormatVersion = 1;
+/// Format version of every record envelope. Bump when any encoding changes
+/// — including *semantic* changes that keep the byte layout but alter how
+/// decoded state is interpreted; decoders reject versions they do not know.
+///
+/// v1: polynomial bucket hashing, tabulation HLL hash, KMV values over
+///     [0, 2^61 - 1).
+/// v2: one-hash-per-item pipeline — buckets derive from the shared prehash
+///     (RemixHash + FastRange64, CounterTable row seeds DeriveSeed(seed,
+///     2r)), HLL uses the remixed prehash, KMV values span the full 64-bit
+///     range. Byte layout is unchanged from v1, but counters placed by a
+///     v1 writer are meaningless under v2 derivations (and vice versa), so
+///     v1 records must be rejected loudly instead of decoded into silently
+///     corrupt estimates and merges.
+inline constexpr std::uint8_t kFormatVersion = 2;
 
 /// One tag per serializable summary type. Values are wire-stable: never
 /// reorder or reuse, only append.

@@ -38,6 +38,11 @@ class AmsF2Sketch {
   /// touching the counter array.
   void UpdateBatch(const item_t* data, std::size_t n);
 
+  /// Feeds `n` already-prehashed elements. The 4-wise-independent sign
+  /// hashes need the raw identity (independence is what the variance bound
+  /// uses), so the prehash itself is unused here.
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
+
   /// Zeroes all counters; geometry, seed and sign hashes are kept.
   void Reset();
 

@@ -1,0 +1,153 @@
+#ifndef SUBSTREAM_SKETCH_COUNTER_TABLE_H_
+#define SUBSTREAM_SKETCH_COUNTER_TABLE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+#include "util/hash.h"
+
+/// \file counter_table.h
+/// The shared counter substrate of the counter-array sketches (CountMin,
+/// CountSketch, and the per-depth sketches inside the level-set machinery).
+///
+/// Storage is a single flat row-major array of `depth * width` counters —
+/// no per-row vector indirection — and bucket selection runs through the
+/// shared prehash stage (util/hash.h): one RemixHash with a per-row seed
+/// plus a branch-free FastRange64 reduction, instead of a per-row
+/// k-wise-independent polynomial evaluation and a `%`. Batched adds are
+/// cache-blocked: the prehashed column is consumed in L1-sized blocks so
+/// every row pass re-reads a resident block instead of streaming the whole
+/// column `depth` times from L2/DRAM.
+///
+/// The table deliberately knows nothing about signs, norms or candidate
+/// pools; sketches that need them (CountSketch) keep those alongside and
+/// drive the table through Row()/BucketOf().
+
+namespace substream {
+
+/// Flat depth x width counter matrix with prehash-derived bucket selection.
+template <typename CounterT>
+class CounterTable {
+ public:
+  /// Items per cache block of the batched add loops: 16 KiB of prehashed
+  /// column, small enough to stay L1-resident across all row passes.
+  static constexpr std::size_t kBlockItems = 1024;
+
+  /// Upper bound on rows, matching the serde decoders' geometry validation;
+  /// lets readout paths keep per-row scratch on the stack.
+  static constexpr int kMaxDepth = 64;
+
+  CounterTable(int depth, std::uint64_t width, std::uint64_t seed)
+      : depth_(depth), width_(width) {
+    SUBSTREAM_CHECK(depth >= 1 && depth <= kMaxDepth);
+    SUBSTREAM_CHECK(width >= 1);
+    row_seeds_.reserve(static_cast<std::size_t>(depth));
+    // Even indices, matching CountSketch's historical bucket/sign split so
+    // a table row seed can never collide with a sibling sign-hash seed.
+    for (int r = 0; r < depth; ++r) {
+      row_seeds_.push_back(DeriveSeed(seed, 2 * static_cast<std::uint64_t>(r)));
+    }
+    cells_.assign(static_cast<std::size_t>(depth) * width, CounterT{});
+  }
+
+  int depth() const { return depth_; }
+  std::uint64_t width() const { return width_; }
+
+  /// Bucket of `prehash` in row `row`: seeded remix + fast-range.
+  std::uint64_t BucketOf(int row, std::uint64_t prehash) const {
+    return FastRange64(
+        RemixHash(prehash, row_seeds_[static_cast<std::size_t>(row)]), width_);
+  }
+
+  CounterT* Row(int row) {
+    return cells_.data() + static_cast<std::size_t>(row) * width_;
+  }
+  const CounterT* Row(int row) const {
+    return cells_.data() + static_cast<std::size_t>(row) * width_;
+  }
+
+  std::uint64_t row_seed(int row) const {
+    return row_seeds_[static_cast<std::size_t>(row)];
+  }
+
+  /// Adds `count` to every row's bucket of `ph`.
+  void Add(const PrehashedItem& ph, CounterT count) {
+    for (int r = 0; r < depth_; ++r) {
+      Row(r)[BucketOf(r, ph.hash)] += count;
+    }
+  }
+
+  /// Minimum over rows of the bucket counters of `ph` (the CountMin read).
+  CounterT Min(const PrehashedItem& ph) const {
+    CounterT best = Row(0)[BucketOf(0, ph.hash)];
+    for (int r = 1; r < depth_; ++r) {
+      best = std::min(best, Row(r)[BucketOf(r, ph.hash)]);
+    }
+    return best;
+  }
+
+  /// Conservative update: raises each row's counter only as far as needed
+  /// for the new minimum to reflect the update (insert-only streams).
+  void AddConservative(const PrehashedItem& ph, CounterT count) {
+    const CounterT target = Min(ph) + count;
+    for (int r = 0; r < depth_; ++r) {
+      CounterT& cell = Row(r)[BucketOf(r, ph.hash)];
+      cell = std::max(cell, target);
+    }
+  }
+
+  /// Unit-count batched add of a prehashed column, cache-blocked and
+  /// row-major: per block, per row, the row pointer and seed are hoisted so
+  /// the inner loop is one remix, one fast-range and one increment.
+  void AddPrehashed(const PrehashedItem* data, std::size_t n) {
+    for (std::size_t base = 0; base < n; base += kBlockItems) {
+      const std::size_t m = std::min(kBlockItems, n - base);
+      const PrehashedItem* const block = data + base;
+      for (int r = 0; r < depth_; ++r) {
+        CounterT* const row = Row(r);
+        const std::uint64_t seed = row_seeds_[static_cast<std::size_t>(r)];
+        const std::uint64_t width = width_;
+        for (std::size_t i = 0; i < m; ++i) {
+          row[FastRange64(RemixHash(block[i].hash, seed), width)] +=
+              CounterT{1};
+        }
+      }
+    }
+  }
+
+  /// Pointwise counter sum. Callers enforce their merge preconditions
+  /// (same depth/width/seed) first; the row seeds derive from the seed, so
+  /// equal headers imply equal bucket derivations.
+  void MergeAdd(const CounterTable& other) {
+    SUBSTREAM_CHECK(cells_.size() == other.cells_.size());
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i] += other.cells_[i];
+    }
+  }
+
+  void Reset() { std::fill(cells_.begin(), cells_.end(), CounterT{}); }
+
+  /// Row-major flat counter array (serde iterates it in the same order the
+  /// historical nested-vector encoding produced, keeping the wire format
+  /// byte-identical).
+  std::vector<CounterT>& cells() { return cells_; }
+  const std::vector<CounterT>& cells() const { return cells_; }
+
+  std::size_t SpaceBytes() const {
+    return cells_.size() * sizeof(CounterT) +
+           row_seeds_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  int depth_;
+  std::uint64_t width_;
+  std::vector<std::uint64_t> row_seeds_;
+  std::vector<CounterT> cells_;
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_SKETCH_COUNTER_TABLE_H_

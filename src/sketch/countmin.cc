@@ -11,7 +11,11 @@ namespace {
 
 int DepthFromDelta(double delta) {
   SUBSTREAM_CHECK(delta > 0.0 && delta < 1.0);
-  return std::max(1, static_cast<int>(std::ceil(std::log(1.0 / delta))));
+  // Clamp at the CounterTable row bound: beyond it, extra rows buy
+  // nothing the width knob cannot (and the table would abort).
+  return std::min(CounterTable<count_t>::kMaxDepth,
+                  std::max(1, static_cast<int>(
+                                  std::ceil(std::log(1.0 / delta)))));
 }
 
 std::uint64_t WidthFromEpsilon(double epsilon) {
@@ -34,55 +38,43 @@ CountMinSketch::CountMinSketch(int depth, std::uint64_t width,
     : depth_(depth),
       width_(width),
       conservative_update_(conservative_update),
-      seed_(seed) {
-  SUBSTREAM_CHECK(depth >= 1);
-  SUBSTREAM_CHECK(width >= 1);
-  rows_.assign(static_cast<std::size_t>(depth), std::vector<count_t>(width, 0));
-  hashes_.reserve(static_cast<std::size_t>(depth));
-  for (int r = 0; r < depth; ++r) {
-    // Pairwise independence suffices for the CountMin analysis.
-    hashes_.emplace_back(2, DeriveSeed(seed, static_cast<std::uint64_t>(r)));
-  }
-}
+      seed_(seed),
+      table_(depth, width, seed) {}
 
-void CountMinSketch::Update(item_t item, count_t count) {
+void CountMinSketch::Update(const PrehashedItem& ph, count_t count) {
   total_ += count;
   if (!conservative_update_) {
-    for (int r = 0; r < depth_; ++r) {
-      rows_[static_cast<std::size_t>(r)][hashes_[static_cast<std::size_t>(r)]
-                                             .Bucket(item, width_)] += count;
-    }
+    table_.Add(ph, count);
     return;
   }
-  // Conservative update: raise every counter only as far as needed so that
-  // the new minimum reflects the update.
-  count_t current = Estimate(item);
-  const count_t target = current + count;
-  for (int r = 0; r < depth_; ++r) {
-    count_t& cell = rows_[static_cast<std::size_t>(r)]
-                         [hashes_[static_cast<std::size_t>(r)].Bucket(item, width_)];
-    cell = std::max(cell, target);
-  }
+  table_.AddConservative(ph, count);
 }
 
 void CountMinSketch::UpdateBatch(const item_t* data, std::size_t n) {
+  ForEachPrehashedChunk(data, n, [this](const PrehashedItem* column,
+                                        std::size_t m) {
+    UpdatePrehashed(column, m);
+  });
+}
+
+void CountMinSketch::UpdatePrehashed(const PrehashedItem* data,
+                                     std::size_t n) {
   if (conservative_update_) {
-    UpdateBatchByLoop(*this, data, n);
+    // Conservative update reads the current minimum before writing, so it
+    // stays a per-item loop — but each item's prehash is still shared
+    // across the read and write passes.
+    for (std::size_t i = 0; i < n; ++i) {
+      table_.AddConservative(data[i], 1);
+    }
+    total_ += n;
     return;
   }
-  for (int r = 0; r < depth_; ++r) {
-    count_t* const row = rows_[static_cast<std::size_t>(r)].data();
-    const PolynomialHash& hash = hashes_[static_cast<std::size_t>(r)];
-    const std::uint64_t width = width_;
-    for (std::size_t i = 0; i < n; ++i) {
-      ++row[hash.Bucket(data[i], width)];
-    }
-  }
+  table_.AddPrehashed(data, n);
   total_ += n;
 }
 
 void CountMinSketch::Reset() {
-  for (auto& row : rows_) std::fill(row.begin(), row.end(), 0);
+  table_.Reset();
   total_ = 0;
 }
 
@@ -94,30 +86,11 @@ bool CountMinSketch::MergeCompatibleWith(const CountMinSketch& other) const {
 void CountMinSketch::Merge(const CountMinSketch& other) {
   SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging incompatible CountMin sketches");
-  for (int r = 0; r < depth_; ++r) {
-    const auto rr = static_cast<std::size_t>(r);
-    for (std::uint64_t c = 0; c < width_; ++c) {
-      rows_[rr][c] += other.rows_[rr][c];
-    }
-  }
+  table_.MergeAdd(other.table_);
   total_ += other.total_;
 }
 
-count_t CountMinSketch::Estimate(item_t item) const {
-  count_t best = ~static_cast<count_t>(0);
-  for (int r = 0; r < depth_; ++r) {
-    best = std::min(best,
-                    rows_[static_cast<std::size_t>(r)]
-                         [hashes_[static_cast<std::size_t>(r)].Bucket(item, width_)]);
-  }
-  return best;
-}
-
-std::size_t CountMinSketch::SpaceBytes() const {
-  std::size_t bytes = static_cast<std::size_t>(depth_) * width_ * sizeof(count_t);
-  for (const auto& h : hashes_) bytes += h.SpaceBytes();
-  return bytes;
-}
+std::size_t CountMinSketch::SpaceBytes() const { return table_.SpaceBytes(); }
 
 void CountMinSketch::Serialize(serde::Writer& out) const {
   out.Record(serde::TypeTag::kCountMinSketch);
@@ -126,9 +99,8 @@ void CountMinSketch::Serialize(serde::Writer& out) const {
   out.Bool(conservative_update_);
   out.U64(seed_);
   out.Varint(total_);
-  for (const auto& row : rows_) {
-    for (count_t c : row) out.Varint(c);
-  }
+  // Flat row-major: byte-identical to the historical nested-row encoding.
+  for (count_t c : table_.cells()) out.Varint(c);
 }
 
 std::optional<CountMinSketch> CountMinSketch::Deserialize(serde::Reader& in) {
@@ -147,9 +119,7 @@ std::optional<CountMinSketch> CountMinSketch::Deserialize(serde::Reader& in) {
   if (!in.CanHold(depth * width, 1)) return std::nullopt;
   CountMinSketch sketch(static_cast<int>(depth), width, conservative, seed);
   sketch.total_ = total;
-  for (auto& row : sketch.rows_) {
-    for (count_t& c : row) c = in.Varint();
-  }
+  for (count_t& c : sketch.table_.cells()) c = in.Varint();
   if (!in.ok()) return std::nullopt;
   return sketch;
 }
@@ -171,19 +141,26 @@ CountMinHeavyHitters::CountMinHeavyHitters(double phi, double eps_resolution,
   capacity_ = static_cast<std::size_t>(std::ceil(8.0 / phi)) + 16;
 }
 
-void CountMinHeavyHitters::Update(item_t item, count_t count) {
-  sketch_.Update(item, count);
-  const count_t est = sketch_.Estimate(item);
+void CountMinHeavyHitters::Update(const PrehashedItem& ph, count_t count) {
+  sketch_.Update(ph, count);
+  const count_t est = sketch_.Estimate(ph);
   // Track anything that currently clears half the final threshold; final
   // filtering happens in Candidates() against the final F1.
   if (static_cast<double>(est) >=
       0.5 * phi_ * static_cast<double>(sketch_.TotalCount())) {
-    MaybeInsert(item, est);
+    MaybeInsert(ph.item, est);
   }
 }
 
 void CountMinHeavyHitters::UpdateBatch(const item_t* data, std::size_t n) {
-  UpdateBatchByLoop(*this, data, n);
+  for (std::size_t i = 0; i < n; ++i) Update(MakePrehashed(data[i]));
+}
+
+void CountMinHeavyHitters::UpdatePrehashed(const PrehashedItem* data,
+                                           std::size_t n) {
+  // Candidate tracking interleaves a read after every write, so the loop is
+  // per-item — but sketch add and estimate reuse the caller's prehash.
+  for (std::size_t i = 0; i < n; ++i) Update(data[i]);
 }
 
 bool CountMinHeavyHitters::MergeCompatibleWith(

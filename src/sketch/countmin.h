@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "sketch/counter_table.h"
 #include "sketch/sketch.h"
 #include "util/common.h"
 #include "util/hash.h"
@@ -17,6 +18,12 @@
 /// Theorem 6 of the paper runs CountMin on the sampled stream L with
 /// remapped parameters (alpha', eps', delta') to recover the F1-heavy
 /// hitters of the original stream P.
+///
+/// Counters live in a shared CounterTable (counter_table.h): flat row-major
+/// storage with bucket selection derived from the one-per-item prehash
+/// (util/hash.h) instead of per-row polynomial hashing — the scalar path
+/// computes the prehash itself, the columnar path receives it, and both
+/// produce bit-identical sketches.
 
 namespace substream {
 
@@ -45,19 +52,33 @@ class CountMinSketch {
                  std::uint64_t seed);
 
   /// Adds `count` occurrences of `item`.
-  void Update(item_t item, count_t count = 1);
+  void Update(item_t item, count_t count = 1) {
+    Update(MakePrehashed(item), count);
+  }
+
+  /// Prehashed form of Update: the caller already computed the shared
+  /// prehash, so only the cheap per-row derivations remain.
+  void Update(const PrehashedItem& ph, count_t count = 1);
 
   /// Adds `n` contiguous elements. Equivalent to `n` calls to Update but
-  /// walks the sketch row-major: per row the counter array pointer and hash
-  /// are hoisted, so the inner loop is hash + increment with no vector
-  /// indirection (conservative-update mode falls back to the plain loop).
+  /// prehashes the batch in stack-sized chunks and walks the counter table
+  /// row-major and cache-blocked.
   void UpdateBatch(const item_t* data, std::size_t n);
 
-  /// Zeroes all counters; geometry, seed and hash functions are kept.
+  /// Adds `n` already-prehashed elements (each with count 1). The columnar
+  /// hot path: no hashing beyond the per-row remix.
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
+
+  /// Zeroes all counters; geometry, seed and hash derivations are kept.
   void Reset();
 
   /// Point estimate of the frequency of `item` (never underestimates).
-  count_t Estimate(item_t item) const;
+  count_t Estimate(item_t item) const {
+    return Estimate(MakePrehashed(item));
+  }
+
+  /// Prehashed point estimate.
+  count_t Estimate(const PrehashedItem& ph) const { return table_.Min(ph); }
 
   /// Merges a sketch built with the same geometry and seed; afterwards this
   /// sketch summarizes the concatenation of both streams. Merging standard
@@ -76,7 +97,7 @@ class CountMinSketch {
   std::uint64_t width() const { return width_; }
   std::uint64_t seed() const { return seed_; }
 
-  /// Sketch memory footprint in bytes (counters + hash descriptions).
+  /// Sketch memory footprint in bytes (counters + row seeds).
   std::size_t SpaceBytes() const;
 
   /// Appends the versioned wire record (serde/serde.h): geometry + seed
@@ -91,8 +112,7 @@ class CountMinSketch {
   std::uint64_t width_;
   bool conservative_update_;
   std::uint64_t seed_;
-  std::vector<std::vector<count_t>> rows_;
-  std::vector<PolynomialHash> hashes_;
+  CounterTable<count_t> table_;
   count_t total_ = 0;
 };
 
@@ -106,11 +126,20 @@ class CountMinHeavyHitters {
   CountMinHeavyHitters(double phi, double eps_resolution, double delta,
                        std::uint64_t seed);
 
-  void Update(item_t item, count_t count = 1);
+  void Update(item_t item, count_t count = 1) {
+    Update(MakePrehashed(item), count);
+  }
+
+  /// Prehashed form: sketch add and candidate re-estimate share one
+  /// prehash.
+  void Update(const PrehashedItem& ph, count_t count = 1);
 
   /// Feeds `n` contiguous elements (per-item candidate tracking keeps this
-  /// a plain loop).
+  /// a per-item loop, but each item is prehashed once, not once per pass).
   void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Feeds `n` already-prehashed elements.
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
 
   /// Merges a tracker with the same phi, geometry and seed: sketches add,
   /// candidate pools union (estimates refreshed from the merged sketch).

@@ -9,55 +9,80 @@
 namespace substream {
 
 CountSketch::CountSketch(int depth, std::uint64_t width, std::uint64_t seed)
-    : depth_(depth), width_(width), seed_(seed) {
-  SUBSTREAM_CHECK(depth >= 1);
-  SUBSTREAM_CHECK(width >= 1);
-  rows_.assign(static_cast<std::size_t>(depth),
-               std::vector<std::int64_t>(width, 0));
+    : depth_(depth), width_(width), seed_(seed), table_(depth, width, seed) {
   row_sumsq_.assign(static_cast<std::size_t>(depth), 0.0);
-  bucket_hashes_.reserve(static_cast<std::size_t>(depth));
   sign_hashes_.reserve(static_cast<std::size_t>(depth));
   for (int r = 0; r < depth; ++r) {
-    bucket_hashes_.emplace_back(2, DeriveSeed(seed, 2 * static_cast<std::uint64_t>(r)));
     // 4-wise independent signs make row L2^2 an unbiased F2 estimate with
-    // bounded variance (as in AMS).
-    sign_hashes_.emplace_back(4, DeriveSeed(seed, 2 * static_cast<std::uint64_t>(r) + 1));
+    // bounded variance (as in AMS). Odd seed indices: the table's bucket
+    // row seeds occupy the even ones.
+    sign_hashes_.emplace_back(
+        4, DeriveSeed(seed, 2 * static_cast<std::uint64_t>(r) + 1));
   }
 }
 
-void CountSketch::Update(item_t item, std::int64_t count) {
+void CountSketch::Update(const PrehashedItem& ph, std::int64_t count) {
   total_ += count;
   for (int r = 0; r < depth_; ++r) {
     const auto rr = static_cast<std::size_t>(r);
-    std::int64_t& cell = rows_[rr][bucket_hashes_[rr].Bucket(item, width_)];
-    const std::int64_t delta = sign_hashes_[rr].Sign(item) * count;
+    std::int64_t& cell = table_.Row(r)[table_.BucketOf(r, ph.hash)];
+    const std::int64_t delta = sign_hashes_[rr].Sign(ph.item) * count;
     // (x + d)^2 - x^2 = 2xd + d^2, keeping the row norm current in O(1).
     row_sumsq_[rr] += static_cast<double>(2 * cell * delta + delta * delta);
     cell += delta;
   }
 }
 
-void CountSketch::UpdateBatch(const item_t* data, std::size_t n) {
+double CountSketch::UpdateAndEstimate(const PrehashedItem& ph,
+                                      std::int64_t count) {
+  total_ += count;
+  double row_estimates[CounterTable<std::int64_t>::kMaxDepth];
   for (int r = 0; r < depth_; ++r) {
     const auto rr = static_cast<std::size_t>(r);
-    std::int64_t* const row = rows_[rr].data();
-    const PolynomialHash& bucket_hash = bucket_hashes_[rr];
-    const PolynomialHash& sign_hash = sign_hashes_[rr];
-    const std::uint64_t width = width_;
-    double sumsq = row_sumsq_[rr];
-    for (std::size_t i = 0; i < n; ++i) {
-      std::int64_t& cell = row[bucket_hash.Bucket(data[i], width)];
-      const std::int64_t delta = sign_hash.Sign(data[i]);
-      sumsq += static_cast<double>(2 * cell * delta + 1);
-      cell += delta;
+    std::int64_t& cell = table_.Row(r)[table_.BucketOf(r, ph.hash)];
+    const int sign = sign_hashes_[rr].Sign(ph.item);
+    const std::int64_t delta = sign * count;
+    row_sumsq_[rr] += static_cast<double>(2 * cell * delta + delta * delta);
+    cell += delta;
+    row_estimates[rr] = static_cast<double>(sign) * static_cast<double>(cell);
+  }
+  return MedianInPlace(row_estimates, static_cast<std::size_t>(depth_));
+}
+
+void CountSketch::UpdateBatch(const item_t* data, std::size_t n) {
+  ForEachPrehashedChunk(data, n, [this](const PrehashedItem* column,
+                                        std::size_t m) {
+    UpdatePrehashed(column, m);
+  });
+}
+
+void CountSketch::UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
+  constexpr std::size_t kBlock = CounterTable<std::int64_t>::kBlockItems;
+  for (std::size_t base = 0; base < n; base += kBlock) {
+    const std::size_t m = std::min(kBlock, n - base);
+    const PrehashedItem* const block = data + base;
+    for (int r = 0; r < depth_; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      std::int64_t* const row = table_.Row(r);
+      const std::uint64_t row_seed = table_.row_seed(r);
+      const PolynomialHash& sign_hash = sign_hashes_[rr];
+      const std::uint64_t width = width_;
+      double sumsq = row_sumsq_[rr];
+      for (std::size_t i = 0; i < m; ++i) {
+        std::int64_t& cell =
+            row[FastRange64(RemixHash(block[i].hash, row_seed), width)];
+        const std::int64_t delta = sign_hash.Sign(block[i].item);
+        sumsq += static_cast<double>(2 * cell * delta + 1);
+        cell += delta;
+      }
+      row_sumsq_[rr] = sumsq;
     }
-    row_sumsq_[rr] = sumsq;
   }
   total_ += static_cast<std::int64_t>(n);
 }
 
 void CountSketch::Reset() {
-  for (auto& row : rows_) std::fill(row.begin(), row.end(), 0);
+  table_.Reset();
   std::fill(row_sumsq_.begin(), row_sumsq_.end(), 0.0);
   total_ = 0;
 }
@@ -72,37 +97,39 @@ void CountSketch::Merge(const CountSketch& other) {
                       "merging incompatible CountSketches");
   for (int r = 0; r < depth_; ++r) {
     const auto rr = static_cast<std::size_t>(r);
+    std::int64_t* const row = table_.Row(r);
+    const std::int64_t* const other_row = other.table_.Row(r);
     double sumsq = 0.0;
     for (std::uint64_t c = 0; c < width_; ++c) {
-      rows_[rr][c] += other.rows_[rr][c];
-      sumsq += static_cast<double>(rows_[rr][c]) *
-               static_cast<double>(rows_[rr][c]);
+      row[c] += other_row[c];
+      sumsq += static_cast<double>(row[c]) * static_cast<double>(row[c]);
     }
     row_sumsq_[rr] = sumsq;
   }
   total_ += other.total_;
 }
 
-double CountSketch::Estimate(item_t item) const {
-  std::vector<double> row_estimates;
-  row_estimates.reserve(static_cast<std::size_t>(depth_));
+double CountSketch::Estimate(const PrehashedItem& ph) const {
+  // Stack scratch: this runs per item inside the level-set candidate
+  // tracking, so a heap allocation here would dominate the readout.
+  double row_estimates[CounterTable<std::int64_t>::kMaxDepth];
   for (int r = 0; r < depth_; ++r) {
     const auto rr = static_cast<std::size_t>(r);
-    row_estimates.push_back(
-        static_cast<double>(sign_hashes_[rr].Sign(item)) *
-        static_cast<double>(rows_[rr][bucket_hashes_[rr].Bucket(item, width_)]));
+    row_estimates[rr] =
+        static_cast<double>(sign_hashes_[rr].Sign(ph.item)) *
+        static_cast<double>(table_.Row(r)[table_.BucketOf(r, ph.hash)]);
   }
-  return Median(std::move(row_estimates));
+  return MedianInPlace(row_estimates, static_cast<std::size_t>(depth_));
 }
 
 double CountSketch::EstimateF2() const {
-  return Median(row_sumsq_);
+  double sumsq[CounterTable<std::int64_t>::kMaxDepth];
+  std::copy(row_sumsq_.begin(), row_sumsq_.end(), sumsq);
+  return MedianInPlace(sumsq, row_sumsq_.size());
 }
 
 std::size_t CountSketch::SpaceBytes() const {
-  std::size_t bytes =
-      static_cast<std::size_t>(depth_) * width_ * sizeof(std::int64_t);
-  for (const auto& h : bucket_hashes_) bytes += h.SpaceBytes();
+  std::size_t bytes = table_.SpaceBytes();
   for (const auto& h : sign_hashes_) bytes += h.SpaceBytes();
   return bytes;
 }
@@ -116,9 +143,8 @@ void CountSketch::Serialize(serde::Writer& out) const {
   // Row norms are serialized (not recomputed) so a decoded sketch is
   // bit-identical to the live one, incremental float error included.
   for (double sumsq : row_sumsq_) out.F64(sumsq);
-  for (const auto& row : rows_) {
-    for (std::int64_t c : row) out.Svarint(c);
-  }
+  // Flat row-major: byte-identical to the historical nested-row encoding.
+  for (std::int64_t c : table_.cells()) out.Svarint(c);
 }
 
 std::optional<CountSketch> CountSketch::Deserialize(serde::Reader& in) {
@@ -135,9 +161,7 @@ std::optional<CountSketch> CountSketch::Deserialize(serde::Reader& in) {
   CountSketch sketch(static_cast<int>(depth), width, seed);
   sketch.total_ = total;
   for (double& sumsq : sketch.row_sumsq_) sumsq = in.F64();
-  for (auto& row : sketch.rows_) {
-    for (std::int64_t& c : row) c = in.Svarint();
-  }
+  for (std::int64_t& c : sketch.table_.cells()) c = in.Svarint();
   if (!in.ok()) return std::nullopt;
   return sketch;
 }
@@ -146,8 +170,12 @@ namespace {
 
 int DepthFromDelta(double delta) {
   SUBSTREAM_CHECK(delta > 0.0 && delta < 1.0);
-  // Median amplification: O(log 1/delta) rows.
-  return std::max(5, static_cast<int>(std::ceil(4.0 * std::log(1.0 / delta))) | 1);
+  // Median amplification: O(log 1/delta) rows, odd for a unique median.
+  // Clamped (at the largest odd depth the CounterTable row bound allows)
+  // so extreme deltas degrade accuracy instead of aborting construction.
+  const int rows =
+      std::max(5, static_cast<int>(std::ceil(4.0 * std::log(1.0 / delta))) | 1);
+  return std::min(CounterTable<std::int64_t>::kMaxDepth - 1, rows);
 }
 
 }  // namespace
@@ -171,10 +199,10 @@ CountSketchHeavyHitters::CountSketchHeavyHitters(double phi,
   capacity_ = static_cast<std::size_t>(std::ceil(8.0 / (phi * phi))) + 16;
 }
 
-void CountSketchHeavyHitters::Update(item_t item, count_t count) {
+void CountSketchHeavyHitters::Update(const PrehashedItem& ph, count_t count) {
   updates_ += count;
-  sketch_.Update(item, static_cast<std::int64_t>(count));
-  const double est = sketch_.Estimate(item);
+  sketch_.Update(ph, static_cast<std::int64_t>(count));
+  const double est = sketch_.Estimate(ph);
   // Cheap pre-filter: sqrt(F2) >= F1/sqrt(n)... instead of recomputing the
   // F2 estimate per update (expensive), compare against a lower bound that
   // uses the running update count: sqrt(F2(L)) >= sqrt(F1(L)). Anything that
@@ -182,12 +210,19 @@ void CountSketchHeavyHitters::Update(item_t item, count_t count) {
   const double lower_bound_sqrt_f2 =
       std::sqrt(static_cast<double>(updates_));
   if (est >= 0.5 * phi_ * lower_bound_sqrt_f2) {
-    MaybeInsert(item, est);
+    MaybeInsert(ph.item, est);
   }
 }
 
 void CountSketchHeavyHitters::UpdateBatch(const item_t* data, std::size_t n) {
-  UpdateBatchByLoop(*this, data, n);
+  for (std::size_t i = 0; i < n; ++i) Update(MakePrehashed(data[i]));
+}
+
+void CountSketchHeavyHitters::UpdatePrehashed(const PrehashedItem* data,
+                                              std::size_t n) {
+  // Candidate tracking interleaves a read after every write, so the loop is
+  // per-item — but sketch add and estimate reuse the caller's prehash.
+  for (std::size_t i = 0; i < n; ++i) Update(data[i]);
 }
 
 bool CountSketchHeavyHitters::MergeCompatibleWith(

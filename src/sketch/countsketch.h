@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "sketch/counter_table.h"
 #include "sketch/sketch.h"
 #include "util/common.h"
 #include "util/hash.h"
@@ -17,6 +18,11 @@
 /// Used in two places: Theorem 7 runs CountSketch on L to find F2-heavy
 /// hitters of P, and the Indyk–Woodruff level-set machinery (Theorem 2) runs
 /// one CountSketch per subsampling level to recover level-set members.
+///
+/// Buckets come from the shared prehash stage through a CounterTable
+/// (counter_table.h); signs keep their per-row 4-wise-independent
+/// PolynomialHash — the F2 variance bound genuinely needs the independence,
+/// while bucket selection only needs uniformity.
 
 namespace substream {
 
@@ -30,18 +36,41 @@ class CountSketch {
  public:
   CountSketch(int depth, std::uint64_t width, std::uint64_t seed);
 
-  void Update(item_t item, std::int64_t count = 1);
+  void Update(item_t item, std::int64_t count = 1) {
+    Update(MakePrehashed(item), count);
+  }
 
-  /// Adds `n` contiguous elements (each with count 1), row-major: per row
-  /// the counter pointer and both hashes are hoisted so the inner loop is
-  /// two hash evaluations and an add.
+  /// Prehashed form of Update: buckets derive from `ph.hash`, signs from
+  /// `ph.item` (the polynomial sign hashes need the raw identity).
+  void Update(const PrehashedItem& ph, std::int64_t count = 1);
+
+  /// Fused add + point estimate (the estimate reflects the add, exactly as
+  /// Update followed by Estimate would): one bucket and one sign
+  /// derivation per row serve both. The level-set candidate tracking calls
+  /// this per item per depth, where the duplicated 4-wise sign evaluations
+  /// would otherwise dominate.
+  double UpdateAndEstimate(const PrehashedItem& ph, std::int64_t count);
+
+  /// Adds `n` contiguous elements (each with count 1): prehashes the batch
+  /// in stack-sized chunks, then runs the cache-blocked row-major loops.
   void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Adds `n` already-prehashed elements (each with count 1), row-major and
+  /// cache-blocked: per row the counter pointer, row seed and sign hash are
+  /// hoisted, so the inner loop is one remix, one sign evaluation and an
+  /// add.
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
 
   /// Zeroes all counters and row norms; geometry and hashes are kept.
   void Reset();
 
   /// Median-of-rows point estimate of the (signed) frequency of `item`.
-  double Estimate(item_t item) const;
+  double Estimate(item_t item) const {
+    return Estimate(MakePrehashed(item));
+  }
+
+  /// Prehashed point estimate.
+  double Estimate(const PrehashedItem& ph) const;
 
   /// Merges a sketch built with the same geometry and seed (linearity of
   /// CountSketch: the merged sketch equals the sketch of the concatenated
@@ -78,12 +107,11 @@ class CountSketch {
   int depth_;
   std::uint64_t width_;
   std::uint64_t seed_;
-  std::vector<std::vector<std::int64_t>> rows_;
+  CounterTable<std::int64_t> table_;
   // Running sum of squared counters per row, maintained incrementally so
   // EstimateF2() costs O(depth) instead of O(depth * width). The level-set
   // machinery calls it on every update.
   std::vector<double> row_sumsq_;
-  std::vector<PolynomialHash> bucket_hashes_;
   std::vector<PolynomialHash> sign_hashes_;
   std::int64_t total_ = 0;
 };
@@ -97,11 +125,20 @@ class CountSketchHeavyHitters {
   CountSketchHeavyHitters(double phi, double eps_resolution, double delta,
                           std::uint64_t seed);
 
-  void Update(item_t item, count_t count = 1);
+  void Update(item_t item, count_t count = 1) {
+    Update(MakePrehashed(item), count);
+  }
+
+  /// Prehashed form: sketch add and candidate re-estimate share one
+  /// prehash.
+  void Update(const PrehashedItem& ph, count_t count = 1);
 
   /// Feeds `n` contiguous elements (per-item candidate tracking keeps this
-  /// a plain loop).
+  /// a per-item loop, but each item is prehashed once, not once per pass).
   void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Feeds `n` already-prehashed elements.
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
 
   /// Merges a tracker with the same phi, geometry and seed: sketches add,
   /// candidate pools union (estimates refreshed from the merged sketch).

@@ -42,6 +42,12 @@ class EntropyMleEstimator {
     UpdateBatchByLoop(*this, data, n);
   }
 
+  /// Feeds `n` already-prehashed elements (the frequency map never
+  /// consumes the prehash; scalar fallback keeps the paths bit-identical).
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
+    UpdatePrehashedByLoop(*this, data, n);
+  }
+
   /// Merges another frequency map (exact: counts add pointwise).
   void Merge(const EntropyMleEstimator& other);
   /// True when Merge(other) preconditions hold, checked all the way
@@ -106,6 +112,13 @@ class AmsEntropySketch {
   /// Feeds `n` contiguous elements.
   void UpdateBatch(const item_t* data, std::size_t n) {
     UpdateBatchByLoop(*this, data, n);
+  }
+
+  /// Feeds `n` already-prehashed elements (the reservoir is RNG-driven and
+  /// never consumes the prehash; scalar fallback keeps the paths
+  /// bit-identical, RNG sequence included).
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
+    UpdatePrehashedByLoop(*this, data, n);
   }
 
   /// Merges a same-geometry, same-seed sketch: each atom keeps its holding

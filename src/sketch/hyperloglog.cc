@@ -11,21 +11,8 @@ HyperLogLog::HyperLogLog(int precision, std::uint64_t seed)
     : precision_(precision),
       mask_((1ULL << precision) - 1),
       seed_(seed),
-      hash_(seed),
       registers_(1ULL << precision, 0) {
   SUBSTREAM_CHECK(precision >= 4 && precision <= 20);
-}
-
-void HyperLogLog::Update(item_t item) {
-  const std::uint64_t h = hash_.Hash(item);
-  const std::uint64_t index = h & mask_;
-  const std::uint64_t rest = h >> precision_;
-  // Rank = position of the first set bit in the remaining 64 - p bits.
-  const int rank =
-      rest == 0 ? (64 - precision_ + 1)
-                : (1 + __builtin_ctzll(rest));
-  registers_[index] =
-      std::max(registers_[index], static_cast<std::uint8_t>(rank));
 }
 
 double HyperLogLog::Estimate() const {

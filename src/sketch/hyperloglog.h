@@ -16,6 +16,11 @@
 /// backend for Algorithm 2, with constant-byte registers instead of KMV's
 /// 8-byte values. Standard bias correction and linear-counting small-range
 /// correction included.
+///
+/// Register selection and rank derive from the shared prehash (one seeded
+/// remix of the per-item PreHash — a bijection of the item identity, so
+/// duplicates still never inflate the estimate), replacing the former
+/// per-sketch tabulation hash and its 16 KiB of tables.
 
 namespace substream {
 
@@ -24,7 +29,20 @@ class HyperLogLog {
  public:
   HyperLogLog(int precision, std::uint64_t seed);
 
-  void Update(item_t item);
+  void Update(item_t item) { Update(MakePrehashed(item)); }
+
+  /// Prehashed form of Update: one remix, no further hashing.
+  void Update(const PrehashedItem& ph) {
+    const std::uint64_t h = RemixHash(ph.hash, seed_);
+    const std::uint64_t index = h & mask_;
+    const std::uint64_t rest = h >> precision_;
+    // Rank = position of the first set bit in the remaining 64 - p bits.
+    const int rank =
+        rest == 0 ? (64 - precision_ + 1)
+                  : (1 + __builtin_ctzll(rest));
+    registers_[index] =
+        std::max(registers_[index], static_cast<std::uint8_t>(rank));
+  }
 
   /// Weighted-update form of the contract: HLL is frequency-insensitive,
   /// so any positive count is a single distinct observation.
@@ -38,7 +56,12 @@ class HyperLogLog {
     UpdateBatchByLoop(*this, data, n);
   }
 
-  /// Zeroes all registers; precision, seed and hash table are kept.
+  /// Feeds `n` already-prehashed elements.
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) Update(data[i]);
+  }
+
+  /// Zeroes all registers; precision and seed are kept.
   void Reset() { std::fill(registers_.begin(), registers_.end(), 0); }
 
   double Estimate() const;
@@ -68,7 +91,6 @@ class HyperLogLog {
   int precision_;
   std::uint64_t mask_;
   std::uint64_t seed_;
-  TabulationHash hash_;
   std::vector<std::uint8_t> registers_;
 };
 

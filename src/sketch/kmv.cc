@@ -4,13 +4,12 @@
 
 namespace substream {
 
-KmvSketch::KmvSketch(std::size_t k, std::uint64_t seed)
-    : k_(k), seed_(seed), hash_(2, seed) {
+KmvSketch::KmvSketch(std::size_t k, std::uint64_t seed) : k_(k), seed_(seed) {
   SUBSTREAM_CHECK(k >= 2);
 }
 
-void KmvSketch::Update(item_t item) {
-  const std::uint64_t h = hash_.Hash(item);
+void KmvSketch::Update(const PrehashedItem& ph) {
+  const std::uint64_t h = RemixHash(ph.hash, seed_);
   if (values_.size() < k_) {
     values_.insert(h);
     return;
@@ -72,8 +71,8 @@ double KmvSketch::Estimate() const {
   if (values_.size() < k_) {
     return static_cast<double>(values_.size());
   }
-  const double vk = static_cast<double>(*values_.rbegin()) /
-                    static_cast<double>(PolynomialHash::kPrime);
+  // Hash values are uniform over the full 64-bit range.
+  const double vk = static_cast<double>(*values_.rbegin()) * 0x1.0p-64;
   if (vk <= 0.0) return static_cast<double>(values_.size());
   return (static_cast<double>(k_) - 1.0) / vk;
 }

@@ -16,6 +16,11 @@
 /// F0(L); KMV with k = O(1/eps^2) gives a (1+eps, delta) estimator, far
 /// stronger than required. The lower bound of Theorem 4 shows the dominant
 /// error is the sampling itself, not this sketch.
+///
+/// Hash values derive from the shared prehash (one seeded remix of the
+/// per-item PreHash). The derivation is a bijection of the item identity,
+/// so — unlike the former polynomial hash — two distinct items can never
+/// collide on a retained value.
 
 namespace substream {
 
@@ -25,7 +30,10 @@ class KmvSketch {
  public:
   KmvSketch(std::size_t k, std::uint64_t seed);
 
-  void Update(item_t item);
+  void Update(item_t item) { Update(MakePrehashed(item)); }
+
+  /// Prehashed form of Update: one remix, no further hashing.
+  void Update(const PrehashedItem& ph);
 
   /// Weighted-update form of the contract: KMV is frequency-insensitive,
   /// so any positive count is a single distinct observation.
@@ -39,7 +47,12 @@ class KmvSketch {
     UpdateBatchByLoop(*this, data, n);
   }
 
-  /// Forgets all observed values; k, seed and hash are kept.
+  /// Feeds `n` already-prehashed elements.
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) Update(data[i]);
+  }
+
+  /// Forgets all observed values; k and seed are kept.
   void Reset() { values_.clear(); }
 
   /// Estimated number of distinct items. Exact while fewer than k distinct
@@ -58,7 +71,7 @@ class KmvSketch {
   std::uint64_t seed() const { return seed_; }
 
   std::size_t SpaceBytes() const {
-    return values_.size() * sizeof(std::uint64_t) + hash_.SpaceBytes();
+    return values_.size() * sizeof(std::uint64_t) + sizeof(*this);
   }
 
   /// Appends the versioned wire record: k + seed header, then the retained
@@ -71,7 +84,6 @@ class KmvSketch {
  private:
   std::size_t k_;
   std::uint64_t seed_;
-  PolynomialHash hash_;
   std::set<std::uint64_t> values_;  // k smallest distinct hash values
 };
 

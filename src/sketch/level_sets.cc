@@ -33,7 +33,8 @@ IndykWoodruffEstimator::IndykWoodruffEstimator(const LevelSetParams& params,
       depth_hash_(DeriveSeed(seed, 0xd5)) {
   SUBSTREAM_CHECK(params.eps_prime > 0.0 && params.eps_prime < 1.0);
   SUBSTREAM_CHECK(params.max_depth >= 0 && params.max_depth <= 62);
-  SUBSTREAM_CHECK(params.cs_depth >= 1);
+  SUBSTREAM_CHECK(params.cs_depth >= 1 &&
+                  params.cs_depth <= CounterTable<std::int64_t>::kMaxDepth);
   SUBSTREAM_CHECK(params.cs_width >= 2);
   SUBSTREAM_CHECK(params.heavy_factor > 0.0);
   candidate_capacity_ = params.candidate_capacity != 0
@@ -60,12 +61,15 @@ int IndykWoodruffEstimator::DepthOf(item_t item) const {
   return std::min(tz, params_.max_depth);
 }
 
-void IndykWoodruffEstimator::Update(item_t item) {
+void IndykWoodruffEstimator::Update(const PrehashedItem& ph) {
   ++total_;
+  const item_t item = ph.item;
   const int item_depth = DepthOf(item);
   for (int t = 0; t <= item_depth; ++t) {
     DepthSlot& slot = depths_[static_cast<std::size_t>(t)];
-    slot.sketch.Update(item, 1);
+    // Fused add + estimate: identical in effect to Update then Estimate,
+    // with one bucket/sign derivation per row instead of two.
+    const double estimate = slot.sketch.UpdateAndEstimate(ph, 1);
     if (slot.exact_valid) {
       ++slot.exact[item];
       if (slot.exact.size() > exact_capacity_) {
@@ -73,7 +77,6 @@ void IndykWoodruffEstimator::Update(item_t item) {
         slot.exact_valid = false;
       }
     }
-    const double estimate = slot.sketch.Estimate(item);
     // Only items that currently clear (half of) the recoverability
     // threshold enter the candidate pool; this keeps insertions rare and
     // the pool populated with genuinely heavy items.
@@ -197,13 +200,21 @@ std::vector<LevelSetEstimate> IndykWoodruffEstimator::EstimateLevelSets()
   // Counts level members at the chosen depth, preferring exact sparse
   // counts (more members, zero classification noise) whenever a depth no
   // deeper than the CountSketch-recoverable one is exactly counted.
-  // Returns {members, depth used}.
+  // `exact_slack` relaxes that depth comparison: integer bins pass a small
+  // slack because CountSketch classification leaks *phantom* members into
+  // small-frequency bins (light items whose point estimate collides upward
+  // past the heavy threshold — a systematic overestimate), while their
+  // populous level sets tolerate the <= 2^slack extra subsample variance.
+  // Geometric levels pass zero: they can hold O(1) genuinely-heavy members
+  // whose recovery CountSketch handles reliably, and any avoidable
+  // subsampling there is catastrophic. Returns {members, depth used}.
   struct LevelCount {
     double members;
     int depth;
   };
-  auto count_members = [&](int t_sketch, auto matches) -> LevelCount {
-    if (exact_depth >= 0 && exact_depth <= t_sketch) {
+  auto count_members = [&](int t_sketch, int exact_slack,
+                           auto matches) -> LevelCount {
+    if (exact_depth >= 0 && exact_depth <= t_sketch + exact_slack) {
       const DepthSlot& slot = depths_[static_cast<std::size_t>(exact_depth)];
       double members = 0.0;
       for (const auto& [item, g] : slot.exact) {
@@ -231,11 +242,12 @@ std::vector<LevelSetEstimate> IndykWoodruffEstimator::EstimateLevelSets()
   // g = l (it jumps from 0 to 1), so a geometric boundary that lands just
   // below an integer misprices the whole level; rounding the recovered
   // estimates to integers is exact there.
+  constexpr int kIntegerBinExactSlack = 2;
   const int g0 = std::max(1, params_.integer_bin_max);
   for (int j = 1; j <= g0; ++j) {
     const double v = static_cast<double>(j);
     const LevelCount count =
-        count_members(depth_for(v), [&](double g_hat) {
+        count_members(depth_for(v), kIntegerBinExactSlack, [&](double g_hat) {
           return g_hat >= v - 0.5 && g_hat < v + 0.5;
         });
     if (count.members == 0.0) continue;
@@ -258,7 +270,8 @@ std::vector<LevelSetEstimate> IndykWoodruffEstimator::EstimateLevelSets()
     const double v = eta_ * std::pow(base, i);
     if (v * base <= geometric_start) continue;  // covered by integer bins
     const LevelCount count = count_members(
-        depth_for(std::max(v, geometric_start)), [&](double g_hat) {
+        depth_for(std::max(v, geometric_start)), /*exact_slack=*/0,
+        [&](double g_hat) {
           return g_hat >= geometric_start &&
                  LevelIndex(g_hat, eta_, params_.eps_prime) == i;
         });

@@ -78,12 +78,23 @@ class IndykWoodruffEstimator {
  public:
   IndykWoodruffEstimator(const LevelSetParams& params, std::uint64_t seed);
 
-  void Update(item_t item);
+  void Update(item_t item) { Update(MakePrehashed(item)); }
+
+  /// Prehashed form of Update: depth routing still uses the tabulation
+  /// hash on the raw identity (hierarchical subsampling wants its per-bit
+  /// uniformity), but every per-depth CountSketch add and candidate
+  /// re-estimate reuses the caller's prehash.
+  void Update(const PrehashedItem& ph);
 
   /// Feeds `n` contiguous elements (per-item depth routing and candidate
-  /// tracking keep this a plain loop).
+  /// tracking keep this a per-item loop, each item prehashed once).
   void UpdateBatch(const item_t* data, std::size_t n) {
-    UpdateBatchByLoop(*this, data, n);
+    for (std::size_t i = 0; i < n; ++i) Update(MakePrehashed(data[i]));
+  }
+
+  /// Feeds `n` already-prehashed elements.
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) Update(data[i]);
   }
 
   /// Clears all per-depth sketches, candidate pools and exact maps;
@@ -166,6 +177,12 @@ class ExactLevelSets {
   /// Feeds `n` contiguous elements.
   void UpdateBatch(const item_t* data, std::size_t n) {
     UpdateBatchByLoop(*this, data, n);
+  }
+
+  /// Feeds `n` already-prehashed elements (exact counts never consume the
+  /// prehash; scalar fallback keeps the paths bit-identical).
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
+    UpdatePrehashedByLoop(*this, data, n);
   }
 
   /// Merges another reference structure with identical discretization

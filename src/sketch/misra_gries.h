@@ -29,6 +29,12 @@ class MisraGries {
     UpdateBatchByLoop(*this, data, n);
   }
 
+  /// Feeds `n` already-prehashed elements (the counter map never consumes
+  /// the prehash; scalar fallback keeps the paths bit-identical).
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
+    UpdatePrehashedByLoop(*this, data, n);
+  }
+
   /// Forgets all counters and error state; k is kept.
   void Reset() {
     counters_.clear();

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "util/common.h"
+#include "util/hash.h"
 
 /// \file sketch.h
 /// The uniform mergeable-summary contract shared by every sketch in
@@ -33,6 +34,16 @@
 ///    `Update`, but sketches with array-shaped state (CountMin,
 ///    CountSketch, AMS) specialize it into row-major tight loops that hoist
 ///    hash/row lookups out of the per-item path.
+///  - `void UpdatePrehashed(const PrehashedItem* data, std::size_t n)` —
+///    feed `n` elements whose shared prehash (util/hash.h) was already
+///    computed by the caller. Bit-identical in effect to `UpdateBatch` on
+///    the same items: counter-array sketches derive their per-row buckets
+///    from `hash` via RemixHash (the same derivation their scalar `Update`
+///    performs internally), while map/heap/reservoir summaries fall back to
+///    `UpdatePrehashedByLoop`, which replays scalar `Update(item)`. This is
+///    the columnar entry point Monitor's two-stage ingest pipeline fans a
+///    prehashed batch through — one strong hash per item for the whole
+///    summary set instead of one per summary per row.
 ///  - `void Merge(const S& other)` — fold `other` into `*this` so the
 ///    result summarizes the concatenated input. Preconditions (identical
 ///    geometry and seed) are enforced loudly via SUBSTREAM_CHECK: merging
@@ -87,6 +98,14 @@ struct HasUpdateBatch<
     : std::true_type {};
 
 template <typename, typename = void>
+struct HasUpdatePrehashed : std::false_type {};
+template <typename S>
+struct HasUpdatePrehashed<
+    S, std::void_t<decltype(std::declval<S&>().UpdatePrehashed(
+           std::declval<const PrehashedItem*>(), std::declval<std::size_t>()))>>
+    : std::true_type {};
+
+template <typename, typename = void>
 struct HasMerge : std::false_type {};
 template <typename S>
 struct HasMerge<S, std::void_t<decltype(std::declval<S&>().Merge(
@@ -138,6 +157,7 @@ template <typename S>
 inline constexpr bool IsMergeableSummary =
     sketch_internal::HasUpdate<S>::value &&
     sketch_internal::HasUpdateBatch<S>::value &&
+    sketch_internal::HasUpdatePrehashed<S>::value &&
     sketch_internal::HasMerge<S>::value &&
     sketch_internal::HasMergeCompatibleWith<S>::value &&
     sketch_internal::HasReset<S>::value &&
@@ -146,11 +166,12 @@ inline constexpr bool IsMergeableSummary =
     sketch_internal::HasDeserialize<S>::value;
 
 /// Compile-time conformance check, one line per summary class.
-#define SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(S)                         \
-  static_assert(::substream::IsMergeableSummary<S>,                   \
-                #S " does not satisfy the mergeable-summary contract " \
-                   "(Update/UpdateBatch/Merge/MergeCompatibleWith/"    \
-                   "Reset/SpaceBytes/Serialize/Deserialize)")
+#define SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(S)                          \
+  static_assert(::substream::IsMergeableSummary<S>,                    \
+                #S " does not satisfy the mergeable-summary contract "  \
+                   "(Update/UpdateBatch/UpdatePrehashed/Merge/"         \
+                   "MergeCompatibleWith/Reset/SpaceBytes/Serialize/"    \
+                   "Deserialize)")
 
 /// Default `UpdateBatch` body: the plain item-at-a-time loop. Summaries
 /// whose per-item work is pointer-chasing (hash maps, heaps, reservoirs)
@@ -158,6 +179,17 @@ inline constexpr bool IsMergeableSummary =
 template <typename S>
 inline void UpdateBatchByLoop(S& summary, const item_t* data, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) summary.Update(data[i]);
+}
+
+/// Default `UpdatePrehashed` body: replays scalar `Update(item)` so the
+/// result is bit-identical to the scalar and batched paths. Summaries whose
+/// per-item work never consumes the prehash (hash maps, heaps, reservoirs)
+/// delegate to this; counter-array sketches override with loops that derive
+/// buckets from the prehash directly.
+template <typename S>
+inline void UpdatePrehashedByLoop(S& summary, const PrehashedItem* data,
+                                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) summary.Update(data[i].item);
 }
 
 }  // namespace substream

@@ -30,6 +30,12 @@ class SpaceSaving {
     UpdateBatchByLoop(*this, data, n);
   }
 
+  /// Feeds `n` already-prehashed elements (the counter map never consumes
+  /// the prehash; scalar fallback keeps the paths bit-identical).
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
+    UpdatePrehashedByLoop(*this, data, n);
+  }
+
   /// Merges another k-counter summary (Agarwal et al. mergeability):
   /// counters add pointwise (overestimates too), then the table is pruned
   /// back to the k largest counts. The merged summary keeps the combined

@@ -12,15 +12,26 @@
 ///
 /// Three families are provided, ordered by strength:
 ///  - Mix64: a fixed 64-bit finalizer (SplitMix64/Murmur3-style). Fast,
-///    good avalanche, no independence guarantee. Used for seeding and
-///    non-adversarial partitioning.
+///    good avalanche, no independence guarantee. Used for seeding,
+///    non-adversarial partitioning, and the shared prehash stage.
 ///  - PolynomialHash: k-wise independent hashing via a degree-(k-1)
-///    polynomial over the Mersenne-prime field GF(2^61 - 1). CountMin needs
-///    pairwise independence; CountSketch needs pairwise for buckets and
-///    4-wise for signs; AMS needs 4-wise.
+///    polynomial over the Mersenne-prime field GF(2^61 - 1). Kept for the
+///    independence-critical paths: CountSketch and AMS signs need 4-wise
+///    independence for their variance bounds.
 ///  - TabulationHash: 3-wise independent but with much stronger
 ///    concentration behaviour in practice (Patrascu–Thorup); used where
 ///    hierarchical subsampling wants per-bit uniformity.
+///
+/// ## The shared prehash stage
+///
+/// Bucket selection across all counter-array sketches runs through one
+/// strong 64-bit mix per item (PreHash) plus a cheap seeded remix per row
+/// (RemixHash) and a branch-free fast-range reduction (FastRange64). A
+/// `PrehashedItem` column computed once per batch feeds every summary in a
+/// Monitor, so ingest cost grows with useful counter work instead of with
+/// redundant per-sketch hashing. PreHash and RemixHash are bijections of
+/// the item identity, so distinctness is preserved exactly (KMV/HLL) and
+/// all occurrences of an item derive identical buckets everywhere.
 
 namespace substream {
 
@@ -35,6 +46,73 @@ inline std::uint64_t Mix64(std::uint64_t x) {
 /// Combines a seed with a stream index to derive independent sub-seeds.
 inline std::uint64_t DeriveSeed(std::uint64_t seed, std::uint64_t index) {
   return Mix64(seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+}
+
+/// Branch-free Lemire fast-range reduction: maps a uniform 64-bit value to
+/// [0, range) without the division a `%` would cost. Bias is at most
+/// range / 2^64 per bucket — negligible for every geometry in this library.
+inline std::uint64_t FastRange64(std::uint64_t x, std::uint64_t range) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(x) * range) >> 64);
+}
+
+/// Salt folded into every prehash so the shared stage is distinct from raw
+/// Mix64 uses elsewhere (seeding, shard routing salts).
+inline constexpr std::uint64_t kPrehashSalt = 0x9ddfea08eb382d69ULL;
+
+/// The one strong hash computed per stream item: full-avalanche and
+/// bijective in the item identity.
+inline std::uint64_t PreHash(std::uint64_t item) {
+  return Mix64(item ^ kPrehashSalt);
+}
+
+/// A stream element paired with its prehash. The prehash column is computed
+/// once per batch (Monitor) or once per ring hop (ShardedMonitor) and every
+/// summary derives its per-row buckets from it via RemixHash.
+struct PrehashedItem {
+  std::uint64_t item = 0;
+  std::uint64_t hash = 0;
+};
+
+inline PrehashedItem MakePrehashed(std::uint64_t item) {
+  return PrehashedItem{item, PreHash(item)};
+}
+
+/// Fills `out[0..n)` with the prehashed column for `data[0..n)`.
+inline void PrehashColumn(const std::uint64_t* data, std::size_t n,
+                          PrehashedItem* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = PrehashedItem{data[i], PreHash(data[i])};
+  }
+}
+
+/// Items per prehash chunk of the batched ingest paths: 16 KiB of column,
+/// small enough to stay L1-resident while the consumer fans it out.
+inline constexpr std::size_t kPrehashChunkItems = 1024;
+
+/// Runs stage 1 of the columnar ingest pipeline: prehashes `data[0..n)` in
+/// stack-resident chunks and hands each chunk to `fn(column, m)`. Shared by
+/// every UpdateBatch that feeds an UpdatePrehashed fan-out, so the chunking
+/// policy cannot diverge between call sites.
+template <typename Fn>
+inline void ForEachPrehashedChunk(const std::uint64_t* data, std::size_t n,
+                                  Fn&& fn) {
+  PrehashedItem column[kPrehashChunkItems];
+  for (std::size_t base = 0; base < n; base += kPrehashChunkItems) {
+    const std::size_t m =
+        n - base < kPrehashChunkItems ? n - base : kPrehashChunkItems;
+    PrehashColumn(data + base, m, column);
+    fn(column, m);
+  }
+}
+
+/// Cheap per-row derivation from an already-mixed prehash: one seeded
+/// multiply-xorshift round (Murmur3 fmix constant). Bijective in the
+/// prehash for any fixed seed, so remixes never merge distinct items.
+inline std::uint64_t RemixHash(std::uint64_t prehash, std::uint64_t seed) {
+  std::uint64_t x = prehash ^ seed;
+  x = (x ^ (x >> 33)) * 0xff51afd7ed558ccdULL;
+  return x ^ (x >> 29);
 }
 
 /// k-wise independent hash over GF(2^61 - 1).
@@ -54,9 +132,13 @@ class PolynomialHash {
   /// Raw hash value in [0, kPrime - 1].
   std::uint64_t Hash(std::uint64_t x) const;
 
-  /// Bucket index in [0, buckets).
+  /// Bucket index in [0, buckets). Uses a fast-range reduction instead of
+  /// `%`: the 61-bit field value is spread over the full 64-bit domain
+  /// (uniform over multiples of 8) and reduced with one high multiply,
+  /// replacing the per-call division. Equivalent to
+  /// floor(Hash(x) * buckets / 2^61) up to the field's negligible bias.
   std::uint64_t Bucket(std::uint64_t x, std::uint64_t buckets) const {
-    return Hash(x) % buckets;
+    return FastRange64(Hash(x) << 3, buckets);
   }
 
   /// Rademacher sign in {-1, +1}.

@@ -33,15 +33,18 @@ double RunningStats::Min() const { return min_; }
 
 double RunningStats::Max() const { return max_; }
 
-double Median(std::vector<double> values) {
-  SUBSTREAM_CHECK(!values.empty());
-  const std::size_t mid = values.size() / 2;
-  std::nth_element(values.begin(), values.begin() + mid, values.end());
+double MedianInPlace(double* values, std::size_t n) {
+  SUBSTREAM_CHECK(n > 0);
+  const std::size_t mid = n / 2;
+  std::nth_element(values, values + mid, values + n);
   double hi = values[mid];
-  if (values.size() % 2 == 1) return hi;
-  std::nth_element(values.begin(), values.begin() + mid - 1,
-                   values.begin() + mid);
+  if (n % 2 == 1) return hi;
+  std::nth_element(values, values + mid - 1, values + mid);
   return 0.5 * (values[mid - 1] + hi);
+}
+
+double Median(std::vector<double> values) {
+  return MedianInPlace(values.data(), values.size());
 }
 
 double Quantile(std::vector<double> values, double q) {

@@ -44,15 +44,27 @@ TEST(CountSketchTest, RunningF2MatchesRecomputation) {
   CountSketch cs(1, 8, 6);  // single row: estimate == row sumsq
   double expected = 0.0;
   std::vector<double> cells(8, 0.0);
-  PolynomialHash bucket(2, DeriveSeed(6, 0));
+  // Replicate the row's derivations: bucket = fast-range of the seeded
+  // remix of the shared prehash (row seed DeriveSeed(seed, 2r)), sign =
+  // 4-wise polynomial on the raw identity (seed DeriveSeed(seed, 2r+1)).
   PolynomialHash sign(4, DeriveSeed(6, 1));
   for (item_t a : s) {
     cs.Update(a);
-    cells[bucket.Bucket(a, 8)] += sign.Sign(a);
+    cells[FastRange64(RemixHash(PreHash(a), DeriveSeed(6, 0)), 8)] +=
+        sign.Sign(a);
   }
   expected = 0.0;
   for (double c : cells) expected += c * c;
   EXPECT_DOUBLE_EQ(cs.EstimateF2(), expected);
+}
+
+TEST(CountSketchTest, ExtremeDeltaClampsDepthInsteadOfAborting) {
+  // delta ~1e-9 would analytically want > 64 rows; the derivation clamps
+  // at the CounterTable row bound instead of tripping its precondition.
+  CountSketchHeavyHitters tracker(0.1, 0.5, 1e-9, 3);
+  EXPECT_LE(tracker.sketch().depth(), 64);
+  tracker.Update(42);
+  EXPECT_EQ(tracker.Candidates(0.0).size(), 1u);
 }
 
 TEST(CountSketchTest, SupportsDeletions) {

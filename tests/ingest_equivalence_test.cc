@@ -1,0 +1,255 @@
+/// Property test for the one-hash-per-item ingest pipeline: for EVERY
+/// summary class, the three ingest paths —
+///   (a) scalar:    Update(item) per element,
+///   (b) batched:   UpdateBatch(data, n),
+///   (c) prehashed: PrehashColumn + UpdatePrehashed(column, n)
+/// — must leave the summary in bit-identical state. "Bit-identical" is
+/// asserted in the strongest available form: the serialized wire records
+/// (which include every counter, candidate pool, float row norm and RNG
+/// state) must match byte for byte, and estimates must compare EQ as
+/// doubles. This pins the core refactor invariant: the shared prehash is a
+/// pure factoring of work, never a change in semantics.
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/entropy_estimator.h"
+#include "core/f0_estimator.h"
+#include "core/fk_estimator.h"
+#include "core/heavy_hitters.h"
+#include "core/monitor.h"
+#include "serde/serde.h"
+#include "sketch/ams_f2.h"
+#include "sketch/countmin.h"
+#include "sketch/countsketch.h"
+#include "sketch/entropy_sketch.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/kmv.h"
+#include "sketch/level_sets.h"
+#include "sketch/misra_gries.h"
+#include "sketch/space_saving.h"
+#include "stream/generators.h"
+#include "util/hash.h"
+
+namespace substream {
+namespace {
+
+constexpr std::size_t kItems = 20000;
+
+const Stream& TestStream() {
+  static const Stream s = [] {
+    ZipfGenerator g(4096, 1.2, 42);
+    return Materialize(g, kItems);
+  }();
+  return s;
+}
+
+template <typename S>
+std::vector<std::uint8_t> Bytes(const S& summary) {
+  serde::Writer writer;
+  summary.Serialize(writer);
+  return writer.Take();
+}
+
+/// Feeds the fixture stream through all three paths into freshly
+/// constructed summaries and asserts byte-identical serialized state.
+template <typename Factory>
+void ExpectThreePathEquivalence(Factory make) {
+  const Stream& s = TestStream();
+  auto scalar = make();
+  auto batched = make();
+  auto prehashed = make();
+
+  for (item_t x : s) scalar.Update(x);
+  batched.UpdateBatch(s.data(), s.size());
+  std::vector<PrehashedItem> column(s.size());
+  PrehashColumn(s.data(), s.size(), column.data());
+  prehashed.UpdatePrehashed(column.data(), column.size());
+
+  EXPECT_EQ(Bytes(scalar), Bytes(batched))
+      << "scalar vs batched serialized state differs";
+  EXPECT_EQ(Bytes(scalar), Bytes(prehashed))
+      << "scalar vs prehashed serialized state differs";
+}
+
+TEST(IngestEquivalenceTest, CountMinSketch) {
+  ExpectThreePathEquivalence([] {
+    return CountMinSketch(/*depth=*/4, /*width=*/512,
+                          /*conservative_update=*/false, /*seed=*/7);
+  });
+}
+
+TEST(IngestEquivalenceTest, CountMinSketchConservative) {
+  ExpectThreePathEquivalence([] {
+    return CountMinSketch(/*depth=*/4, /*width=*/512,
+                          /*conservative_update=*/true, /*seed=*/7);
+  });
+}
+
+TEST(IngestEquivalenceTest, CountMinHeavyHitters) {
+  ExpectThreePathEquivalence(
+      [] { return CountMinHeavyHitters(0.02, 0.25, 0.05, 11); });
+}
+
+TEST(IngestEquivalenceTest, CountSketch) {
+  ExpectThreePathEquivalence(
+      [] { return CountSketch(/*depth=*/5, /*width=*/512, /*seed=*/13); });
+}
+
+TEST(IngestEquivalenceTest, CountSketchHeavyHitters) {
+  ExpectThreePathEquivalence(
+      [] { return CountSketchHeavyHitters(0.05, 0.25, 0.05, 17); });
+}
+
+TEST(IngestEquivalenceTest, HyperLogLog) {
+  ExpectThreePathEquivalence([] { return HyperLogLog(12, 19); });
+}
+
+TEST(IngestEquivalenceTest, KmvSketch) {
+  ExpectThreePathEquivalence([] { return KmvSketch(256, 23); });
+}
+
+TEST(IngestEquivalenceTest, EntropyMleEstimator) {
+  ExpectThreePathEquivalence([] { return EntropyMleEstimator(); });
+}
+
+TEST(IngestEquivalenceTest, AmsEntropySketch) {
+  // RNG-driven reservoir: byte equality also pins that all three paths
+  // consume the PRNG sequence identically.
+  ExpectThreePathEquivalence(
+      [] { return AmsEntropySketch::WithGeometry(5, 64, 29); });
+}
+
+TEST(IngestEquivalenceTest, AmsF2Sketch) {
+  ExpectThreePathEquivalence(
+      [] { return AmsF2Sketch::WithGeometry(5, 32, 31); });
+}
+
+TEST(IngestEquivalenceTest, MisraGries) {
+  ExpectThreePathEquivalence([] { return MisraGries(64); });
+}
+
+TEST(IngestEquivalenceTest, SpaceSaving) {
+  ExpectThreePathEquivalence([] { return SpaceSaving(64); });
+}
+
+TEST(IngestEquivalenceTest, IndykWoodruffEstimator) {
+  ExpectThreePathEquivalence([] {
+    LevelSetParams params;
+    params.eps_prime = 0.25;
+    params.max_depth = 10;
+    params.cs_depth = 5;
+    params.cs_width = 256;
+    return IndykWoodruffEstimator(params, 37);
+  });
+}
+
+TEST(IngestEquivalenceTest, ExactLevelSets) {
+  ExpectThreePathEquivalence([] { return ExactLevelSets(0.25, 0.5); });
+}
+
+TEST(IngestEquivalenceTest, F0EstimatorAllBackends) {
+  for (F0Backend backend :
+       {F0Backend::kKmv, F0Backend::kHyperLogLog, F0Backend::kExact}) {
+    ExpectThreePathEquivalence([backend] {
+      F0Params params;
+      params.p = 0.5;
+      params.backend = backend;
+      params.kmv_k = 256;
+      params.hll_precision = 12;
+      return F0Estimator(params, 41);
+    });
+  }
+}
+
+TEST(IngestEquivalenceTest, FkEstimatorSketchBackend) {
+  ExpectThreePathEquivalence([] {
+    FkParams params;
+    params.k = 2;
+    params.p = 0.5;
+    params.universe = 4096;
+    params.epsilon = 0.25;
+    params.max_width = 512;
+    return FkEstimator(params, 43);
+  });
+}
+
+TEST(IngestEquivalenceTest, EntropyEstimatorBothBackends) {
+  for (EntropyBackend backend :
+       {EntropyBackend::kMle, EntropyBackend::kAmsSketch}) {
+    ExpectThreePathEquivalence([backend] {
+      EntropyParams params;
+      params.p = 0.5;
+      params.backend = backend;
+      params.epsilon = 0.3;
+      return EntropyEstimator(params, 47);
+    });
+  }
+}
+
+TEST(IngestEquivalenceTest, F1HeavyHitterEstimator) {
+  ExpectThreePathEquivalence([] {
+    HeavyHitterParams params;
+    params.alpha = 0.02;
+    params.p = 0.5;
+    return F1HeavyHitterEstimator(params, 53);
+  });
+}
+
+TEST(IngestEquivalenceTest, F2HeavyHitterEstimator) {
+  ExpectThreePathEquivalence([] {
+    HeavyHitterParams params;
+    params.alpha = 0.1;
+    params.p = 0.5;
+    return F2HeavyHitterEstimator(params, 59);
+  });
+}
+
+TEST(IngestEquivalenceTest, MonitorFullPipeline) {
+  ExpectThreePathEquivalence([] {
+    MonitorConfig config;
+    config.p = 0.25;
+    config.universe = 1 << 14;
+    config.hh_alpha = 0.02;
+    config.max_f2_width = 1 << 10;
+    return Monitor(config, 61);
+  });
+}
+
+TEST(IngestEquivalenceTest, MonitorReportsMatchAcrossPaths) {
+  // Beyond state bytes: the consolidated reports must compare EQ as
+  // doubles across all three ingest paths.
+  MonitorConfig config;
+  config.p = 0.25;
+  config.universe = 1 << 14;
+  config.max_f2_width = 1 << 10;
+  const Stream& s = TestStream();
+
+  Monitor scalar(config, 67), batched(config, 67), prehashed(config, 67);
+  for (item_t x : s) scalar.Update(x);
+  batched.UpdateBatch(s.data(), s.size());
+  std::vector<PrehashedItem> column(s.size());
+  PrehashColumn(s.data(), s.size(), column.data());
+  prehashed.UpdatePrehashed(column.data(), column.size());
+
+  const MonitorReport a = scalar.Report();
+  const MonitorReport b = batched.Report();
+  const MonitorReport c = prehashed.Report();
+  for (const MonitorReport* r : {&b, &c}) {
+    EXPECT_EQ(a.sampled_length, r->sampled_length);
+    EXPECT_EQ(*a.distinct_items, *r->distinct_items);
+    EXPECT_EQ(*a.second_moment, *r->second_moment);
+    EXPECT_EQ(a.entropy->entropy, r->entropy->entropy);
+    ASSERT_EQ(a.heavy_hitters->size(), r->heavy_hitters->size());
+    for (std::size_t i = 0; i < a.heavy_hitters->size(); ++i) {
+      EXPECT_EQ((*a.heavy_hitters)[i].item, (*r->heavy_hitters)[i].item);
+      EXPECT_EQ((*a.heavy_hitters)[i].estimated_frequency,
+                (*r->heavy_hitters)[i].estimated_frequency);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace substream

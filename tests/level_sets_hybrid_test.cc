@@ -106,7 +106,11 @@ TEST(LevelSetHybridTest, SparseRecoveryBeatsCsOnlyOnDiffuseStream) {
   }
   const double err_with = RelativeError(a.EstimateCollisions(2), 3000.0);
   const double err_without = RelativeError(b.EstimateCollisions(2), 3000.0);
-  EXPECT_LT(err_with, 0.01);  // exact
+  // Depth 0 overflows (3000 distinct > default exact capacity), so the
+  // readout uses the exactly counted depth-1 substream: classification is
+  // exact, the only error is the depth-1 subsample draw (binomial, sd
+  // ~1.8% here).
+  EXPECT_LT(err_with, 0.05);
   EXPECT_LE(err_with, err_without);
 }
 

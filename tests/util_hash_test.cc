@@ -69,6 +69,119 @@ TEST(PolynomialHashTest, BucketsAreUniform) {
   }
 }
 
+TEST(FastRange64Test, OutputInRangeAndOrderPreserving) {
+  // FastRange64(x, n) = floor(x * n / 2^64): always < n, monotone in x.
+  const std::uint64_t ranges[] = {1, 2, 3, 10, 1000, 1ULL << 32};
+  for (std::uint64_t n : ranges) {
+    EXPECT_EQ(FastRange64(0, n), 0u);
+    EXPECT_EQ(FastRange64(~0ULL, n), n - 1);
+    std::uint64_t prev = 0;
+    for (std::uint64_t x = 0; x < (1ULL << 60); x += (1ULL << 55)) {
+      const std::uint64_t b = FastRange64(x, n);
+      EXPECT_LT(b, n);
+      EXPECT_GE(b, prev);  // monotone
+      prev = b;
+    }
+  }
+}
+
+TEST(FastRange64Test, UniformOnMixedInputs) {
+  // Chi-square-style check on a non-power-of-two bucket count: feeding
+  // Mix64 outputs, every bucket's load must sit within 4 sigma of n/B.
+  const std::uint64_t buckets = 37;
+  std::vector<int> histogram(buckets, 0);
+  const int n = 370000;
+  for (int x = 0; x < n; ++x) {
+    ++histogram[FastRange64(Mix64(static_cast<std::uint64_t>(x)), buckets)];
+  }
+  const double expected = static_cast<double>(n) / buckets;
+  const double sigma = std::sqrt(expected);
+  for (std::uint64_t b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(histogram[b], expected, 4.0 * sigma) << "bucket " << b;
+  }
+}
+
+TEST(PolynomialHashTest, BucketMatchesFastRangeReduction) {
+  // Pins the fast-range bucket formula (floor(Hash * B / 2^61) via the
+  // <<3 spread) so a regression back to `%` or a different reduction is a
+  // test failure, not a silent wire/behavior change.
+  PolynomialHash h(2, 31);
+  for (std::uint64_t x = 0; x < 2000; ++x) {
+    const std::uint64_t expected = FastRange64(h.Hash(x) << 3, 1000);
+    EXPECT_EQ(h.Bucket(x, 1000), expected);
+    EXPECT_LT(h.Bucket(x, 1000), 1000u);
+  }
+}
+
+TEST(PolynomialHashTest, BucketsUniformOnNonPowerOfTwo) {
+  // The satellite check for the fast-range Bucket: distribution uniformity
+  // on a bucket count with no divisibility relationship to the field.
+  PolynomialHash h(2, 9);
+  const std::uint64_t buckets = 23;
+  std::vector<int> histogram(buckets, 0);
+  const int n = 230000;
+  for (int x = 0; x < n; ++x) {
+    ++histogram[h.Bucket(static_cast<std::uint64_t>(x), buckets)];
+  }
+  const double expected = static_cast<double>(n) / buckets;
+  const double sigma = std::sqrt(expected);
+  for (std::uint64_t b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(histogram[b], expected, 4.0 * sigma) << "bucket " << b;
+  }
+}
+
+TEST(PrehashTest, PreHashIsBijectiveAndAvalanches) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 4096; ++x) outputs.insert(PreHash(x));
+  EXPECT_EQ(outputs.size(), 4096u);  // bijection => no collisions
+  // Distinct from raw Mix64 (the salt must matter).
+  EXPECT_NE(PreHash(42), Mix64(42));
+}
+
+TEST(PrehashTest, RemixIsBijectivePerSeedAndDistinctAcrossSeeds) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 4096; ++x) {
+    outputs.insert(RemixHash(PreHash(x), /*seed=*/99));
+  }
+  EXPECT_EQ(outputs.size(), 4096u);  // bijective for a fixed seed
+  int differing = 0;
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    const std::uint64_t h = PreHash(x);
+    if (RemixHash(h, 1) != RemixHash(h, 2)) ++differing;
+  }
+  EXPECT_EQ(differing, 256);
+}
+
+TEST(PrehashTest, RemixedBucketsAreUniform) {
+  // The bucket derivation every CounterTable row uses: remix + fast-range.
+  const std::uint64_t buckets = 64;
+  std::vector<int> histogram(buckets, 0);
+  const int n = 640000;
+  const std::uint64_t row_seed = DeriveSeed(7, 2);
+  for (int x = 0; x < n; ++x) {
+    ++histogram[FastRange64(
+        RemixHash(PreHash(static_cast<std::uint64_t>(x)), row_seed),
+        buckets)];
+  }
+  const double expected = static_cast<double>(n) / buckets;
+  const double sigma = std::sqrt(expected);
+  for (std::uint64_t b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(histogram[b], expected, 4.0 * sigma) << "bucket " << b;
+  }
+}
+
+TEST(PrehashTest, PrehashColumnMatchesMakePrehashed) {
+  std::vector<std::uint64_t> data = {0, 1, 42, ~0ULL, 1ULL << 63};
+  std::vector<PrehashedItem> column(data.size());
+  PrehashColumn(data.data(), data.size(), column.data());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const PrehashedItem ph = MakePrehashed(data[i]);
+    EXPECT_EQ(column[i].item, ph.item);
+    EXPECT_EQ(column[i].hash, ph.hash);
+    EXPECT_EQ(column[i].item, data[i]);
+  }
+}
+
 TEST(PolynomialHashTest, SignsAreBalanced) {
   PolynomialHash h(4, 17);
   int sum = 0;
