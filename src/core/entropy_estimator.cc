@@ -86,6 +86,25 @@ void EntropyEstimator::Merge(const EntropyEstimator& other) {
   }
 }
 
+void EntropyEstimator::MergeScaled(const EntropyEstimator& other,
+                                   double weight) {
+  if (weight == 1.0) {
+    Merge(other);
+    return;
+  }
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
+                      "merging entropy estimators with different "
+                      "configurations");
+  // The AMS reservoir holds sampled stream *positions*; there is no
+  // meaningful way to scale a position's contribution, so decayed merges
+  // are an MLE-backend feature (which is what Monitor uses).
+  SUBSTREAM_CHECK_MSG(static_cast<bool>(mle_),
+                      "decayed merge is unsupported for the AMS entropy "
+                      "backend");
+  sampled_length_ += ScaleCounter(other.sampled_length_, weight);
+  mle_->MergeScaled(*other.mle_, weight);
+}
+
 void EntropyEstimator::Reset() {
   sampled_length_ = 0;
   if (mle_) {

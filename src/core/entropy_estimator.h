@@ -82,6 +82,12 @@ class EntropyEstimator {
   /// decoded-but-incompatible records instead of tripping the abort.
   bool MergeCompatibleWith(const EntropyEstimator& other) const;
 
+  /// Decayed merge (MLE backends only — an AMS reservoir position cannot
+  /// be weight-scaled, and Monitor always uses MLE): counts contribute
+  /// scaled by `weight`, yielding the entropy of the decayed empirical
+  /// distribution. `weight` in (0, 1]; weight 1 delegates to Merge.
+  void MergeScaled(const EntropyEstimator& other, double weight);
+
   /// Clears all state; parameters, seed and backend are kept.
   void Reset();
 

@@ -124,6 +124,21 @@ void FkEstimator::Merge(const FkEstimator& other) {
   }
 }
 
+void FkEstimator::MergeScaled(const FkEstimator& other, double weight) {
+  if (weight == 1.0) {
+    Merge(other);
+    return;
+  }
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
+                      "merging Fk estimators with different configurations");
+  sampled_length_ += ScaleCounter(other.sampled_length_, weight);
+  if (sketch_backend_) {
+    sketch_backend_->MergeScaled(*other.sketch_backend_, weight);
+  } else {
+    exact_backend_->MergeScaled(*other.exact_backend_, weight);
+  }
+}
+
 void FkEstimator::Reset() {
   sampled_length_ = 0;
   if (sketch_backend_) {

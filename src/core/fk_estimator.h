@@ -84,6 +84,13 @@ class FkEstimator {
   /// decoded-but-incompatible records instead of tripping the abort.
   bool MergeCompatibleWith(const FkEstimator& other) const;
 
+  /// Decayed merge for windowed roll-ups: the backend's linear counters
+  /// contribute scaled by `weight` (rounded to the counter domain), so the
+  /// merged estimator approximates F_k of the decayed stream — including
+  /// cross-window collision terms, by linearity of the underlying sketches.
+  /// `weight` in (0, 1]; weight 1 delegates to Merge.
+  void MergeScaled(const FkEstimator& other, double weight);
+
   /// Clears all state; parameters, seed and backend are kept.
   void Reset();
 

@@ -86,6 +86,19 @@ void F1HeavyHitterEstimator::Merge(const F1HeavyHitterEstimator& other) {
   tracker_.Merge(other.tracker_);
 }
 
+void F1HeavyHitterEstimator::MergeScaled(const F1HeavyHitterEstimator& other,
+                                         double weight) {
+  if (weight == 1.0) {
+    Merge(other);
+    return;
+  }
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
+                      "merging F1 heavy-hitter estimators with different "
+                      "configurations");
+  sampled_length_ += ScaleCounter(other.sampled_length_, weight);
+  tracker_.MergeScaled(other.tracker_, weight);
+}
+
 void F1HeavyHitterEstimator::Reset() {
   sampled_length_ = 0;
   tracker_.Reset();
@@ -184,6 +197,19 @@ void F2HeavyHitterEstimator::Merge(const F2HeavyHitterEstimator& other) {
                       "configurations");
   sampled_length_ += other.sampled_length_;
   tracker_.Merge(other.tracker_);
+}
+
+void F2HeavyHitterEstimator::MergeScaled(const F2HeavyHitterEstimator& other,
+                                         double weight) {
+  if (weight == 1.0) {
+    Merge(other);
+    return;
+  }
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
+                      "merging F2 heavy-hitter estimators with different "
+                      "configurations");
+  sampled_length_ += ScaleCounter(other.sampled_length_, weight);
+  tracker_.MergeScaled(other.tracker_, weight);
 }
 
 void F2HeavyHitterEstimator::Reset() {

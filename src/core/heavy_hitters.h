@@ -60,6 +60,12 @@ class F1HeavyHitterEstimator {
   /// decoded-but-incompatible records instead of tripping the abort.
   bool MergeCompatibleWith(const F1HeavyHitterEstimator& other) const;
 
+  /// Decayed merge: CountMin counters contribute scaled by `weight`;
+  /// candidate pools re-estimate against the merged sketch, so aged-out
+  /// hitters fall below the reporting threshold naturally. `weight` in
+  /// (0, 1]; weight 1 delegates to Merge.
+  void MergeScaled(const F1HeavyHitterEstimator& other, double weight);
+
   /// Clears all state; parameters and seed are kept.
   void Reset();
 
@@ -109,6 +115,11 @@ class F2HeavyHitterEstimator {
   /// down through nested summaries; the Collector uses this to reject
   /// decoded-but-incompatible records instead of tripping the abort.
   bool MergeCompatibleWith(const F2HeavyHitterEstimator& other) const;
+
+  /// Decayed merge: CountSketch counters contribute scaled by `weight`;
+  /// candidate pools re-estimate against the merged sketch. `weight` in
+  /// (0, 1]; weight 1 delegates to Merge.
+  void MergeScaled(const F2HeavyHitterEstimator& other, double weight);
 
   /// Clears all state; parameters and seed are kept.
   void Reset();

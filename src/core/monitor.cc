@@ -126,6 +126,27 @@ void Monitor::Merge(const Monitor& other) {
   if (heavy_) heavy_->Merge(*other.heavy_);
 }
 
+void Monitor::MergeScaled(const Monitor& other, double weight) {
+  SUBSTREAM_CHECK_MSG(ValidMergeWeight(weight),
+                      "monitor decayed-merge weight %f outside (0, 1]",
+                      weight);
+  if (weight == 1.0) {
+    Merge(other);
+    return;
+  }
+  SUBSTREAM_CHECK_MSG(seed_ == other.seed_,
+                      "merging monitors with different seeds");
+  SUBSTREAM_CHECK_MSG(SameConfig(config_, other.config_),
+                      "merging monitors with different configurations");
+  sampled_length_ += ScaleCounter(other.sampled_length_, weight);
+  // Distinct-count state is a set: membership cannot be fractionally
+  // decayed, so F0 merges unscaled and decays only by horizon eviction.
+  if (f0_) f0_->Merge(*other.f0_);
+  if (f2_) f2_->MergeScaled(*other.f2_, weight);
+  if (entropy_) entropy_->MergeScaled(*other.entropy_, weight);
+  if (heavy_) heavy_->MergeScaled(*other.heavy_, weight);
+}
+
 void Monitor::Reset() {
   sampled_length_ = 0;
   if (f0_) f0_->Reset();

@@ -1,5 +1,7 @@
 #include "core/sharded_monitor.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "util/hash.h"
@@ -18,12 +20,29 @@ std::size_t RoundUpPow2(std::size_t x) {
   return pow2;
 }
 
+/// Bounded exponential backoff for spin-wait loops: a burst of yields for
+/// the short waits, then sleeps doubling from 1us up to a ~1ms cap so a
+/// saturated pipeline burns bounded CPU instead of spinning forever (the
+/// seed's FlushStaged yielded unboundedly).
+void BackoffPause(std::size_t* spins) {
+  constexpr std::size_t kYields = 64;
+  constexpr std::size_t kMaxSleepShift = 10;  // 2^10 us ~ 1ms cap
+  if (*spins < kYields) {
+    std::this_thread::yield();
+  } else {
+    const std::size_t shift =
+        std::min<std::size_t>(*spins - kYields, kMaxSleepShift);
+    std::this_thread::sleep_for(std::chrono::microseconds(1ULL << shift));
+  }
+  ++*spins;
+}
+
 }  // namespace
 
 ShardedMonitor::BatchRing::BatchRing(std::size_t capacity_pow2)
     : slots_(capacity_pow2), mask_(capacity_pow2 - 1) {}
 
-bool ShardedMonitor::BatchRing::TryPush(std::vector<PrehashedItem>&& batch) {
+bool ShardedMonitor::BatchRing::TryPush(Batch&& batch) {
   const std::size_t head = head_.load(std::memory_order_relaxed);
   const std::size_t tail = tail_.load(std::memory_order_acquire);
   if (head - tail > mask_) return false;  // full
@@ -32,7 +51,7 @@ bool ShardedMonitor::BatchRing::TryPush(std::vector<PrehashedItem>&& batch) {
   return true;
 }
 
-bool ShardedMonitor::BatchRing::TryPop(std::vector<PrehashedItem>* out) {
+bool ShardedMonitor::BatchRing::TryPop(Batch* out) {
   const std::size_t tail = tail_.load(std::memory_order_relaxed);
   const std::size_t head = head_.load(std::memory_order_acquire);
   if (tail == head) return false;  // empty
@@ -43,7 +62,7 @@ bool ShardedMonitor::BatchRing::TryPop(std::vector<PrehashedItem>* out) {
 
 ShardedMonitor::ShardedMonitor(const MonitorConfig& config, std::uint64_t seed,
                                ShardedMonitorOptions options)
-    : options_(options) {
+    : config_(config), seed_(seed), options_(options) {
   SUBSTREAM_CHECK_MSG(options.shards >= 1, "ShardedMonitor needs >= 1 shard");
   SUBSTREAM_CHECK(options.ring_capacity >= 1);
   SUBSTREAM_CHECK(options.batch_items >= 1);
@@ -51,11 +70,16 @@ ShardedMonitor::ShardedMonitor(const MonitorConfig& config, std::uint64_t seed,
 
   monitors_.reserve(options.shards);
   rings_.reserve(options.shards);
+  sync_.reserve(options.shards);
   staged_.resize(options.shards);
+  batches_pushed_.assign(options.shards, 0);
   for (std::size_t s = 0; s < options.shards; ++s) {
     // Same config and seed on every shard: the Monitor::Merge precondition.
     monitors_.emplace_back(config, seed);
     rings_.push_back(std::make_unique<BatchRing>(options_.ring_capacity));
+    sync_.push_back(std::make_unique<ShardSync>());
+    sync_.back()->space_bytes.store(monitors_.back().SpaceBytes(),
+                                    std::memory_order_relaxed);
     staged_[s].reserve(options_.batch_items);
   }
   workers_.reserve(options.shards);
@@ -65,10 +89,25 @@ ShardedMonitor::ShardedMonitor(const MonitorConfig& config, std::uint64_t seed,
 }
 
 ShardedMonitor::~ShardedMonitor() {
+  // Ship and consume everything staged before stopping: the seed version
+  // set done_ with staged batches still in hand, so a pipeline destroyed
+  // without Report() silently dropped them while ItemsIngested() claimed
+  // otherwise.
+  Drain();
   done_.store(true, std::memory_order_release);
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  count_t consumed = 0;
+  for (const auto& sync : sync_) {
+    consumed += sync->items_consumed.load(std::memory_order_relaxed);
+  }
+  SUBSTREAM_CHECK_MSG(consumed == items_ingested_,
+                      "ShardedMonitor destroyed with %llu of %llu ingested "
+                      "items unconsumed",
+                      static_cast<unsigned long long>(items_ingested_ -
+                                                      consumed),
+                      static_cast<unsigned long long>(items_ingested_));
 }
 
 std::size_t ShardedMonitor::ShardOfPrehash(std::uint64_t prehash,
@@ -89,37 +128,74 @@ std::size_t ShardedMonitor::ShardOf(item_t item, std::size_t shards) {
 void ShardedMonitor::WorkerLoop(std::size_t shard) {
   Monitor& monitor = monitors_[shard];
   BatchRing& ring = *rings_[shard];
-  std::vector<PrehashedItem> batch;
+  ShardSync& sync = *sync_[shard];
+  std::uint64_t worker_epoch = 0;
+  Batch batch;
+  std::size_t idle_spins = 0;
+
   while (true) {
     if (ring.TryPop(&batch)) {
-      monitor.UpdatePrehashed(batch.data(), batch.size());
-      batch.clear();
+      idle_spins = 0;
+      if (batch.epoch != worker_epoch) {
+        // Epoch boundary (Rotate's marker, or the first data batch of the
+        // new epoch): retire the closed window into the mailbox and swap
+        // onto a fresh same-seeded Monitor. The allocation happens HERE,
+        // on the worker — rotation never blocks the producer on it.
+        // Ordering: publish the fresh footprint BEFORE the mailbox insert,
+        // so a concurrent SpaceBytes() momentarily undercounts the shard
+        // (retiring window in neither place) rather than double-counting
+        // it (stale counter + mailbox walk).
+        Monitor closed = std::move(monitor);
+        monitor = Monitor(config_, seed_);
+        sync.space_bytes.store(monitor.SpaceBytes(),
+                               std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(sync.retired_mu);
+          sync.retired.emplace_back(worker_epoch, std::move(closed));
+        }
+        worker_epoch = batch.epoch;
+      }
+      monitor.UpdatePrehashed(batch.items.data(), batch.items.size());
+      sync.items_consumed.fetch_add(batch.items.size(),
+                                    std::memory_order_relaxed);
+      sync.space_bytes.store(monitor.SpaceBytes(), std::memory_order_relaxed);
+      // Published LAST, with release: a producer that observes this count
+      // has a happens-before edge to every monitor mutation above (the
+      // Drain quiescence barrier Report/Collect/Reset rely on).
+      sync.batches_consumed.fetch_add(1, std::memory_order_release);
       continue;
     }
-    if (done_.load(std::memory_order_acquire)) {
-      // The done flag is set only after every batch is pushed; one more
-      // drain pass after observing it empties anything that raced in.
-      if (!ring.TryPop(&batch)) break;
-      monitor.UpdatePrehashed(batch.data(), batch.size());
-      batch.clear();
-      continue;
-    }
-    std::this_thread::yield();
+    // done_ is set only after the destructor's Drain(), so an empty ring
+    // here is final.
+    if (done_.load(std::memory_order_acquire)) break;
+    BackoffPause(&idle_spins);
   }
+}
+
+void ShardedMonitor::PushBatch(std::size_t shard, Batch&& batch) {
+  if (!rings_[shard]->TryPush(std::move(batch))) {
+    // Ring full: the saturation case. Count it once per blocked push, then
+    // back off (bounded) until the worker frees a slot.
+    ++producer_stalls_;
+    std::size_t spins = 0;
+    do {
+      BackoffPause(&spins);
+    } while (!rings_[shard]->TryPush(std::move(batch)));
+  }
+  ++batches_pushed_[shard];
 }
 
 void ShardedMonitor::FlushStaged(std::size_t shard) {
   if (staged_[shard].empty()) return;
-  std::vector<PrehashedItem> batch = std::move(staged_[shard]);
+  Batch batch;
+  batch.epoch = epoch_;
+  batch.items = std::move(staged_[shard]);
   staged_[shard] = std::vector<PrehashedItem>();
   staged_[shard].reserve(options_.batch_items);
-  while (!rings_[shard]->TryPush(std::move(batch))) {
-    std::this_thread::yield();  // ring full: wait for the worker
-  }
+  PushBatch(shard, std::move(batch));
 }
 
 void ShardedMonitor::Ingest(const item_t* data, std::size_t n) {
-  SUBSTREAM_CHECK_MSG(!finished_, "Ingest after Report on a ShardedMonitor");
   items_ingested_ += n;
   const std::size_t shards = monitors_.size();
   for (std::size_t i = 0; i < n; ++i) {
@@ -132,22 +208,136 @@ void ShardedMonitor::Ingest(const item_t* data, std::size_t n) {
   }
 }
 
-MonitorReport ShardedMonitor::Report() {
-  SUBSTREAM_CHECK_MSG(!finished_, "Report called twice on a ShardedMonitor");
+void ShardedMonitor::Rotate() {
+  // Staged items belong to the closing epoch: flush them under its tag.
   for (std::size_t s = 0; s < monitors_.size(); ++s) FlushStaged(s);
-  done_.store(true, std::memory_order_release);
-  for (std::thread& worker : workers_) worker.join();
-  workers_.clear();
-  finished_ = true;
-  for (std::size_t s = 1; s < monitors_.size(); ++s) {
-    monitors_[0].Merge(monitors_[s]);
+  ++epoch_;
+  // One empty marker per shard carries the new epoch through the rings —
+  // the in-band rotation signal. Workers retire their closed windows when
+  // they reach it; the producer returns immediately (no join, no drain).
+  for (std::size_t s = 0; s < monitors_.size(); ++s) {
+    Batch marker;
+    marker.epoch = epoch_;
+    PushBatch(s, std::move(marker));
   }
-  return monitors_[0].Report();
+}
+
+void ShardedMonitor::Drain() {
+  for (std::size_t s = 0; s < monitors_.size(); ++s) FlushStaged(s);
+  for (std::size_t s = 0; s < monitors_.size(); ++s) {
+    const std::uint64_t target = batches_pushed_[s];
+    std::size_t spins = 0;
+    while (sync_[s]->batches_consumed.load(std::memory_order_acquire) <
+           target) {
+      BackoffPause(&spins);
+    }
+  }
+}
+
+Monitor& ShardedMonitor::ScratchReset() {
+  if (!scratch_) {
+    scratch_.emplace(config_, seed_);
+  } else {
+    scratch_->Reset();
+  }
+  return *scratch_;
+}
+
+MonitorReport ShardedMonitor::Report() {
+  // Quiesce, then merge a snapshot: the shard monitors themselves are left
+  // untouched, which is what makes Report repeatable and non-terminal.
+  Drain();
+  Monitor& scratch = ScratchReset();
+  for (const Monitor& monitor : monitors_) scratch.Merge(monitor);
+  return scratch.Report();
+}
+
+std::optional<Monitor> ShardedMonitor::CollectWindow(std::uint64_t epoch) {
+  SUBSTREAM_CHECK_MSG(epoch < epoch_,
+                      "CollectWindow(%llu): epoch still open, Rotate() first",
+                      static_cast<unsigned long long>(epoch));
+  // After the drain every worker has consumed the rotation marker(s), so
+  // each shard's mailbox holds exactly one window per rotated epoch that
+  // was not already collected or Reset away.
+  Drain();
+  // All-or-nothing: verify presence in every shard before extracting, so a
+  // double collection cannot half-consume the mailboxes.
+  for (const auto& sync : sync_) {
+    std::lock_guard<std::mutex> lock(sync->retired_mu);
+    const bool found =
+        std::any_of(sync->retired.begin(), sync->retired.end(),
+                    [&](const auto& entry) { return entry.first == epoch; });
+    if (!found) return std::nullopt;
+  }
+  std::optional<Monitor> merged;
+  for (const auto& sync : sync_) {
+    std::lock_guard<std::mutex> lock(sync->retired_mu);
+    auto it = std::find_if(
+        sync->retired.begin(), sync->retired.end(),
+        [&](const auto& entry) { return entry.first == epoch; });
+    if (!merged) {
+      merged.emplace(std::move(it->second));
+    } else {
+      merged->Merge(it->second);
+    }
+    sync->retired.erase(it);
+  }
+  return merged;
+}
+
+void ShardedMonitor::Reset() {
+  Drain();
+  for (std::size_t s = 0; s < monitors_.size(); ++s) {
+    // Post-drain the workers are idle and will touch their monitors again
+    // only after the next ring push, which carries the needed
+    // happens-before edge (release on head_, acquire in TryPop).
+    monitors_[s].Reset();
+    sync_[s]->space_bytes.store(monitors_[s].SpaceBytes(),
+                                std::memory_order_relaxed);
+    sync_[s]->items_consumed.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(sync_[s]->retired_mu);
+      sync_[s]->retired.clear();
+    }
+  }
+  items_ingested_ = 0;
+  producer_stalls_ = 0;
+}
+
+ShardedMonitorStats ShardedMonitor::Stats() const {
+  ShardedMonitorStats stats;
+  stats.items_ingested = items_ingested_;
+  stats.epoch = epoch_;
+  stats.producer_stalls = producer_stalls_;
+  for (std::size_t s = 0; s < monitors_.size(); ++s) {
+    stats.items_consumed +=
+        sync_[s]->items_consumed.load(std::memory_order_relaxed);
+    stats.batches_consumed +=
+        sync_[s]->batches_consumed.load(std::memory_order_relaxed);
+    stats.batches_pushed += batches_pushed_[s];
+    std::lock_guard<std::mutex> lock(sync_[s]->retired_mu);
+    stats.windows_retired += sync_[s]->retired.size();
+  }
+  return stats;
 }
 
 std::size_t ShardedMonitor::SpaceBytes() const {
   std::size_t bytes = 0;
-  for (const Monitor& monitor : monitors_) bytes += monitor.SpaceBytes();
+  for (std::size_t s = 0; s < monitors_.size(); ++s) {
+    // Workers publish their monitor's footprint after every batch; reading
+    // the counter (instead of walking a Monitor under mutation) is what
+    // makes this safe during ingest. Read the mailbox BEFORE the counter:
+    // the worker publishes the fresh footprint before inserting a retiring
+    // window, so this order can transiently undercount a rotating shard
+    // but never count the same window in both places.
+    {
+      std::lock_guard<std::mutex> lock(sync_[s]->retired_mu);
+      for (const auto& [epoch, monitor] : sync_[s]->retired) {
+        bytes += monitor.SpaceBytes();
+      }
+    }
+    bytes += sync_[s]->space_bytes.load(std::memory_order_relaxed);
+  }
   return bytes;
 }
 

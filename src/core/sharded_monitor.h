@@ -4,7 +4,10 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/monitor.h"
@@ -30,17 +33,51 @@
 /// hitters, level-set candidate pools) accurate, since each shard sees the
 /// full local frequency of its items.
 ///
-/// Lifecycle: construct → Ingest() any number of times → Report() once.
-/// Report() flushes the staged batches, waits for the rings to drain, joins
-/// the workers and merges all shards; the merged report is identical (for
-/// linear sketches) to a single monitor fed the whole stream. After
-/// Report(), the pipeline is finished: further Ingest() calls abort.
+/// ## Lifecycle: epochs (measurement windows)
+///
+/// The pipeline runs in *epochs*. Construction opens epoch 0; `Rotate()`
+/// closes the current epoch and opens the next WITHOUT stalling ingest: it
+/// flushes the staged batches under the closing epoch's tag and pushes one
+/// empty epoch-marker batch per shard. Every batch in the rings carries its
+/// epoch, so each worker — on seeing the first batch of a new epoch —
+/// retires its closed-window Monitor into a per-shard mailbox and swaps
+/// onto a fresh same-seeded Monitor, all on the worker thread. No worker is
+/// ever joined or respawned at a window boundary.
+///
+///  - `Report()` — repeatable: flushes + drains, then merges a *snapshot*
+///    of the current epoch's shard monitors into a reusable scratch. Call
+///    it as often as you like; ingest continues afterwards.
+///  - `CollectWindow(e)` — extracts rotated epoch `e` as one merged
+///    Monitor (all shards, deterministic shard order). The returned
+///    monitor is an ordinary mergeable summary: serialize it, checkpoint
+///    it, or hand it to WindowedMonitor::AdoptWindow().
+///  - `Reset()` — drains, clears every shard monitor, drops uncollected
+///    retired windows and zeroes the item accounting; epoch numbering
+///    continues (workers own their epoch cursors).
+///  - Destruction drains first: staged and in-flight batches are consumed
+///    before the workers stop, and the destructor checks that everything
+///    `Ingest()` accounted was consumed — a pipeline can no longer be
+///    destroyed with silently dropped staged batches.
 ///
 /// ```
 ///   ShardedMonitor monitor(config, /*seed=*/7, {.shards = 4});
-///   while (ReceiveBatch(&buf)) monitor.Ingest(buf.data(), buf.size());
-///   MonitorReport report = monitor.Report();
+///   WindowedMonitor ring(config, /*seed=*/7, {.windows = 24});
+///   while (ReceiveBatch(&buf)) {
+///     monitor.Ingest(buf.data(), buf.size());
+///     if (WindowBoundary()) {
+///       monitor.Rotate();
+///       ring.AdoptWindow(std::move(*monitor.CollectWindow(
+///           monitor.CurrentEpoch() - 1)));
+///     }
+///   }
+///   MonitorReport live = monitor.Report();        // open window, any time
+///   MonitorReport hour = ring.Report(/*k=*/12);   // last 12 closed windows
 /// ```
+///
+/// Threading contract: Ingest/Rotate/Report/CollectWindow/Reset/Drain/
+/// Stats/SpaceBytes are producer-side calls (one thread). SpaceBytes reads
+/// per-shard byte counters the workers publish atomically after each batch,
+/// so it is safe (and racefree) while workers are mid-ingest.
 
 namespace substream {
 
@@ -49,38 +86,90 @@ struct ShardedMonitorOptions {
   /// Number of worker shards (>= 1), each a thread owning one Monitor.
   std::size_t shards = 4;
   /// Capacity (in batches) of each shard's ring buffer; rounded up to a
-  /// power of two. The producer blocks (spin + yield) when a ring is full.
+  /// power of two. The producer backs off (yield, then bounded exponential
+  /// sleep) when a ring is full, and counts the stall.
   std::size_t ring_capacity = 64;
   /// Target items per batch handed to a shard. Larger batches amortize
   /// ring-buffer traffic and let UpdateBatch's row-major loops run longer.
   std::size_t batch_items = 4096;
 };
 
+/// Pipeline observability snapshot (producer-side view; worker counters
+/// are read with relaxed loads and may trail by at most one batch).
+struct ShardedMonitorStats {
+  count_t items_ingested = 0;   ///< accounted by Ingest (staged or shipped)
+  count_t items_consumed = 0;   ///< applied to shard monitors by workers
+  std::uint64_t batches_pushed = 0;
+  std::uint64_t batches_consumed = 0;
+  /// Number of flushes that found a ring full and had to back off: the
+  /// saturation signal. A rising value means workers cannot keep up with
+  /// the producer (grow ring_capacity, batch_items or shards).
+  std::uint64_t producer_stalls = 0;
+  std::uint64_t epoch = 0;            ///< currently open epoch
+  std::uint64_t windows_retired = 0;  ///< rotated, not yet collected
+};
+
 /// Sharded ingestion front-end for Monitor. Not itself a mergeable summary
-/// (it is a pipeline), but everything it owns is.
+/// (it is a pipeline), but everything it owns — including every rotated
+/// window it hands out — is.
 class ShardedMonitor {
  public:
   ShardedMonitor(const MonitorConfig& config, std::uint64_t seed,
                  ShardedMonitorOptions options = {});
 
-  /// Joins workers; safe to destroy without calling Report().
+  /// Drains staged and in-flight batches, then joins the workers. Checks
+  /// (loudly) that every item Ingest() accounted was consumed, so the
+  /// historical silently-dropped-staged-batches bug cannot regress.
   ~ShardedMonitor();
 
   ShardedMonitor(const ShardedMonitor&) = delete;
   ShardedMonitor& operator=(const ShardedMonitor&) = delete;
 
-  /// Feeds `n` contiguous elements of the sampled stream. Items are staged
-  /// per shard and shipped in batches; returns as soon as the input is
-  /// staged or enqueued (workers consume concurrently).
+  /// Feeds `n` contiguous elements of the sampled stream into the open
+  /// epoch. Items are staged per shard and shipped in batches; returns as
+  /// soon as the input is staged or enqueued (workers consume
+  /// concurrently).
   void Ingest(const item_t* data, std::size_t n);
 
   /// Convenience overload for materialized streams.
   void Ingest(const Stream& stream) { Ingest(stream.data(), stream.size()); }
 
-  /// Flushes and drains the pipeline, joins all workers, merges every
-  /// shard's monitor and returns the consolidated report about the
-  /// original stream. Terminal: the pipeline cannot ingest afterwards.
+  /// Closes the open epoch and opens the next, without stalling ingest: no
+  /// worker join, no thread respawn, no drain. The closed window becomes
+  /// collectable via CollectWindow() once the workers pass the epoch
+  /// boundary (CollectWindow waits for that). Cost: one flush plus one
+  /// empty marker push per shard.
+  void Rotate();
+
+  /// The currently open epoch (starts at 0, +1 per Rotate()).
+  std::uint64_t CurrentEpoch() const { return epoch_; }
+
+  /// Merged monitor of rotated epoch `e`: flushes + drains so every shard
+  /// has retired `e`, then merges the per-shard windows in shard order
+  /// (deterministic). Each window is extracted exactly once: a second call
+  /// for the same epoch returns std::nullopt, as does an epoch discarded
+  /// by Reset(). Aborts if `e` is the still-open epoch.
+  std::optional<Monitor> CollectWindow(std::uint64_t epoch);
+
+  /// Consolidated report of the OPEN epoch's data so far. Repeatable:
+  /// flushes + drains, merges a snapshot of the shard monitors into a
+  /// reusable scratch and reports; the pipeline keeps ingesting afterwards
+  /// (rotated-but-uncollected windows are not included — collect those).
   MonitorReport Report();
+
+  /// Drains, clears every shard monitor and all uncollected retired
+  /// windows, and zeroes the item/stall accounting. Epoch numbering
+  /// continues from the current epoch (the workers' epoch cursors live on
+  /// their threads); the pipeline is otherwise as fresh as constructed.
+  void Reset();
+
+  /// Flushes staged batches and waits (bounded backoff) until the workers
+  /// have consumed everything pushed so far. After Drain() the shard
+  /// monitors are quiescent until the next Ingest/Rotate.
+  void Drain();
+
+  /// Observability snapshot; cheap enough for per-batch polling.
+  ShardedMonitorStats Stats() const;
 
   /// Shard an item the same way the pipeline does (exposed so tests and
   /// external partitioners can reproduce the routing).
@@ -93,11 +182,22 @@ class ShardedMonitor {
   std::size_t shards() const { return monitors_.size(); }
   count_t ItemsIngested() const { return items_ingested_; }
 
-  /// Total memory across all shard monitors (ring buffers excluded).
+  /// Total memory across all shard monitors, open and retired (ring
+  /// buffers excluded). Race-free under concurrent ingest: open-window
+  /// sizes come from per-shard counters the workers publish after each
+  /// batch (never from walking a Monitor a worker is mutating), retired
+  /// windows are read under their mailbox lock.
   std::size_t SpaceBytes() const;
 
  private:
-  /// Bounded SPSC ring of prehashed-item batches. Index monotonicity:
+  /// One ring entry: an epoch tag plus a prehashed column. An empty items
+  /// vector is an epoch marker (Rotate's in-band rotation signal).
+  struct Batch {
+    std::uint64_t epoch = 0;
+    std::vector<PrehashedItem> items;
+  };
+
+  /// Bounded SPSC ring of epoch-tagged batches. Index monotonicity:
   /// head_ is advanced only by the producer, tail_ only by the consumer;
   /// slot (index & mask) is owned by the producer when index - tail_ <
   /// capacity and by the consumer when tail_ < head_.
@@ -105,27 +205,51 @@ class ShardedMonitor {
    public:
     explicit BatchRing(std::size_t capacity_pow2);
 
-    bool TryPush(std::vector<PrehashedItem>&& batch);
-    bool TryPop(std::vector<PrehashedItem>* out);
+    bool TryPush(Batch&& batch);
+    bool TryPop(Batch* out);
 
    private:
-    std::vector<std::vector<PrehashedItem>> slots_;
+    std::vector<Batch> slots_;
     std::size_t mask_;
     alignas(64) std::atomic<std::size_t> head_{0};  // next write index
     alignas(64) std::atomic<std::size_t> tail_{0};  // next read index
   };
 
+  /// Per-shard cross-thread state. The atomics are the worker's published
+  /// progress (consumed counters double as the Drain quiescence barrier:
+  /// batches_consumed is released after the monitor mutation, so a
+  /// producer that acquire-reads it equal to its push count may touch the
+  /// shard monitor safely). The mailbox holds rotated windows until
+  /// CollectWindow extracts them.
+  struct ShardSync {
+    alignas(64) std::atomic<std::uint64_t> batches_consumed{0};
+    std::atomic<count_t> items_consumed{0};
+    std::atomic<std::size_t> space_bytes{0};
+    std::mutex retired_mu;
+    std::vector<std::pair<std::uint64_t, Monitor>> retired;
+  };
+
   void WorkerLoop(std::size_t shard);
   void FlushStaged(std::size_t shard);
+  /// Pushes with bounded exponential backoff; counts a producer stall when
+  /// the ring is full on first attempt.
+  void PushBatch(std::size_t shard, Batch&& batch);
+  Monitor& ScratchReset();
 
+  MonitorConfig config_;
+  std::uint64_t seed_;
   ShardedMonitorOptions options_;
   std::vector<Monitor> monitors_;
   std::vector<std::unique_ptr<BatchRing>> rings_;
+  std::vector<std::unique_ptr<ShardSync>> sync_;
   std::vector<std::vector<PrehashedItem>> staged_;  // producer-side, per shard
+  std::vector<std::uint64_t> batches_pushed_;       // producer-side, per shard
   std::vector<std::thread> workers_;
   std::atomic<bool> done_{false};
-  bool finished_ = false;
+  std::uint64_t epoch_ = 0;            // open epoch (producer-side)
+  std::uint64_t producer_stalls_ = 0;  // ring-full flush events
   count_t items_ingested_ = 0;
+  std::optional<Monitor> scratch_;     // Report() workspace, built lazily
 };
 
 }  // namespace substream

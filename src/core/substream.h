@@ -15,6 +15,7 @@
 #include "core/heavy_hitters.h"      // IWYU pragma: export
 #include "core/monitor.h"            // IWYU pragma: export
 #include "core/sharded_monitor.h"    // IWYU pragma: export
+#include "core/windowed_monitor.h"   // IWYU pragma: export
 #include "sketch/ams_f2.h"           // IWYU pragma: export
 #include "sketch/sketch.h"           // IWYU pragma: export
 #include "sketch/countmin.h"         // IWYU pragma: export

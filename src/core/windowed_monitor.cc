@@ -1,0 +1,206 @@
+#include "core/windowed_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "serde/checkpoint.h"
+#include "serde/serde.h"
+#include "sketch/sketch.h"
+
+namespace substream {
+
+WindowedMonitor::WindowedMonitor(const MonitorConfig& config,
+                                 std::uint64_t seed,
+                                 WindowedMonitorOptions options)
+    : config_(config), seed_(seed), options_(options) {
+  SUBSTREAM_CHECK_MSG(options.windows >= 1 &&
+                          options.windows <= WindowedMonitorOptions::kMaxWindows,
+                      "WindowedMonitor ring capacity %zu outside [1, %zu]",
+                      options.windows, WindowedMonitorOptions::kMaxWindows);
+  SUBSTREAM_CHECK_MSG(ValidMergeWeight(options.decay),
+                      "window decay %f outside (0, 1]", options.decay);
+  ring_.reserve(options.windows);
+  ring_.emplace_back(config_, seed_);
+}
+
+void WindowedMonitor::Update(item_t item) { ring_[cursor_].Update(item); }
+
+void WindowedMonitor::UpdateBatch(const item_t* data, std::size_t n) {
+  ring_[cursor_].UpdateBatch(data, n);
+}
+
+void WindowedMonitor::UpdatePrehashed(const PrehashedItem* data,
+                                      std::size_t n) {
+  ring_[cursor_].UpdatePrehashed(data, n);
+}
+
+void WindowedMonitor::Rotate() {
+  ++epoch_;
+  if (ring_.size() < options_.windows) {
+    ring_.emplace_back(config_, seed_);
+    cursor_ = ring_.size() - 1;
+    return;
+  }
+  // Steady state: evict the oldest window in place. Reset keeps the
+  // estimator allocations, so rotation stays O(summary size) with no
+  // allocation churn.
+  cursor_ = (cursor_ + 1) % ring_.size();
+  ring_[cursor_].Reset();
+}
+
+void WindowedMonitor::AdoptWindow(Monitor&& window) {
+  SUBSTREAM_CHECK_MSG(window.MergeCompatibleWith(ring_[cursor_]),
+                      "adopted window disagrees with the ring's config or "
+                      "seed");
+  // Advance like Rotate(), but install `window` directly: the slot is
+  // overwritten wholesale, so neither a fresh construction (growth phase)
+  // nor the eviction Reset's counter zero-fill is ever paid here.
+  ++epoch_;
+  if (ring_.size() < options_.windows) {
+    ring_.push_back(std::move(window));
+    cursor_ = ring_.size() - 1;
+    return;
+  }
+  cursor_ = (cursor_ + 1) % ring_.size();
+  ring_[cursor_] = std::move(window);
+}
+
+std::size_t WindowedMonitor::IndexOfAge(std::size_t age) const {
+  SUBSTREAM_CHECK_MSG(age < ring_.size(), "window age %zu >= retained %zu",
+                      age, ring_.size());
+  return (cursor_ + ring_.size() - age) % ring_.size();
+}
+
+const Monitor& WindowedMonitor::WindowAt(std::size_t age) const {
+  return ring_[IndexOfAge(age)];
+}
+
+Monitor& WindowedMonitor::ScratchReset() const {
+  if (!scratch_) {
+    scratch_.emplace(config_, seed_);
+  } else {
+    scratch_->Reset();
+  }
+  return *scratch_;
+}
+
+Monitor WindowedMonitor::MergedOverLast(std::size_t k) const {
+  if (k == 0 || k > ring_.size()) k = ring_.size();
+  Monitor merged(config_, seed_);
+  // Oldest-first merge order: deterministic, so two rings holding the same
+  // per-window state roll up to byte-identical merged monitors.
+  for (std::size_t age = k; age-- > 0;) {
+    merged.Merge(WindowAt(age));
+  }
+  return merged;
+}
+
+MonitorReport WindowedMonitor::Report(std::size_t k) const {
+  if (k == 0 || k > ring_.size()) k = ring_.size();
+  Monitor& scratch = ScratchReset();
+  for (std::size_t age = k; age-- > 0;) {
+    scratch.Merge(WindowAt(age));
+  }
+  return scratch.Report();
+}
+
+MonitorReport WindowedMonitor::ReportDecayed() const {
+  Monitor& scratch = ScratchReset();
+  for (std::size_t age = ring_.size(); age-- > 0;) {
+    // decay^age can underflow to 0 for old windows under aggressive decay.
+    // Clamp to the smallest normal double instead of skipping: every
+    // counter still rounds to zero (fully aged out), but the window's F0
+    // state merges unscaled as documented — distinct counts age out only
+    // by ring eviction, never by weight underflow.
+    const double weight =
+        std::max(std::pow(options_.decay, static_cast<double>(age)),
+                 std::numeric_limits<double>::min());
+    scratch.MergeScaled(WindowAt(age), weight);
+  }
+  return scratch.Report();
+}
+
+void WindowedMonitor::Reset() {
+  ring_.clear();
+  ring_.emplace_back(config_, seed_);
+  cursor_ = 0;
+  epoch_ = 0;
+}
+
+std::size_t WindowedMonitor::SpaceBytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const Monitor& window : ring_) bytes += window.SpaceBytes();
+  return bytes;
+}
+
+void WindowedMonitor::Serialize(serde::Writer& out) const {
+  out.Record(serde::TypeTag::kWindowedMonitor);
+  out.Varint(options_.windows);
+  out.F64(options_.decay);
+  out.Varint(epoch_);
+  out.Varint(ring_.size());
+  // Nested Monitor records, oldest first; each carries its own config +
+  // seed header, which Deserialize cross-checks across windows.
+  for (std::size_t age = ring_.size(); age-- > 0;) {
+    WindowAt(age).Serialize(out);
+  }
+}
+
+std::optional<WindowedMonitor> WindowedMonitor::Deserialize(
+    serde::Reader& in) {
+  if (!in.ExpectRecord(serde::TypeTag::kWindowedMonitor)) return std::nullopt;
+  WindowedMonitorOptions options;
+  options.windows = in.Varint();
+  options.decay = in.F64();
+  const std::uint64_t epoch = in.Varint();
+  const std::uint64_t retained = in.Varint();
+  if (!in.ok() || options.windows < 1 ||
+      options.windows > WindowedMonitorOptions::kMaxWindows ||
+      !ValidMergeWeight(options.decay) || retained < 1 ||
+      retained > options.windows || retained > epoch + 1 ||
+      !in.CanHold(retained, 2)) {
+    return std::nullopt;
+  }
+  // The first (oldest) window supplies config and seed; every later window
+  // must agree deeply, or the record is corrupt/foreign.
+  auto first = Monitor::Deserialize(in);
+  if (!first) return std::nullopt;
+  WindowedMonitor ring(DeserializeTag{}, first->config(), first->seed(),
+                       options);
+  // Reserve only what this record actually carries: options.windows is a
+  // wire-supplied value and must never size an allocation (a corrupted
+  // capacity would throw out of vector::reserve instead of returning
+  // nullopt). The ring grows lazily toward the capacity at runtime.
+  ring.ring_.reserve(retained);
+  ring.ring_.push_back(std::move(*first));
+  for (std::uint64_t w = 1; w < retained; ++w) {
+    auto window = Monitor::Deserialize(in);
+    if (!window || !window->MergeCompatibleWith(ring.ring_.front())) {
+      return std::nullopt;
+    }
+    ring.ring_.push_back(std::move(*window));
+  }
+  ring.cursor_ = ring.ring_.size() - 1;  // newest decoded window is current
+  ring.epoch_ = epoch;
+  return ring;
+}
+
+bool WindowedMonitor::Checkpoint(const std::string& path) const {
+  serde::Writer writer;
+  Serialize(writer);
+  return serde::WriteCheckpointFile(path, writer.bytes());
+}
+
+std::optional<WindowedMonitor> WindowedMonitor::Restore(
+    const std::string& path) {
+  const auto payload = serde::ReadCheckpointFile(path);
+  if (!payload) return std::nullopt;
+  serde::Reader reader(*payload);
+  auto ring = Deserialize(reader);
+  if (!ring || reader.remaining() != 0) return std::nullopt;
+  return ring;
+}
+
+}  // namespace substream

@@ -1,0 +1,190 @@
+#ifndef SUBSTREAM_CORE_WINDOWED_MONITOR_H_
+#define SUBSTREAM_CORE_WINDOWED_MONITOR_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/monitor.h"
+#include "util/common.h"
+
+/// \file windowed_monitor.h
+/// Windowed and decayed monitoring over a sub-sampled stream: the paper's
+/// estimators are defined per measurement window, and a real sampled-
+/// NetFlow collector rotates windows continuously. WindowedMonitor keeps a
+/// ring of W per-window Monitors, all constructed with the same config and
+/// seed (the Monitor::Merge precondition):
+///
+///   - ingest goes to the *current* window;
+///   - `Rotate()` closes it and opens a fresh one, evicting the oldest
+///     window once W are retained (advance-on-rotate, O(1), reuses the
+///     evicted window's allocations via Monitor::Reset);
+///   - queries merge retained windows on demand (merge-at-query), so no
+///     per-update cost is paid for the windowing.
+///
+/// Two query modes:
+///
+///   - **Sliding window** (`Report(k)` / `MergedOverLast(k)`): the last k
+///     windows merge with ordinary Merge. By the mergeable-summary
+///     contract the result is state-identical (exactly, for the linear
+///     summaries) to a monolithic Monitor fed only those windows' items —
+///     the property `tests/windowed_monitor_test.cc` pins byte-for-byte.
+///   - **Exponential decay** (`ReportDecayed()`): the window of age a
+///     contributes its counters scaled by decay^a (Monitor::MergeScaled),
+///     i.e. the report approximates the monitor of the decayed stream.
+///     Distinct counts merge unscaled (set membership cannot decay) and
+///     age out only by ring eviction; see Monitor::MergeScaled.
+///
+/// Each window is an ordinary Monitor, so the wire format and
+/// checkpointing work per window: `Serialize()` writes a container record
+/// (tag kWindowedMonitor) holding one nested Monitor record per retained
+/// window, and `Checkpoint()/Restore()` wrap it in the CRC-validated
+/// checkpoint file — a collector can crash at any window boundary and
+/// resume with its whole horizon intact.
+///
+/// WindowedMonitor composes with the sharded pipeline through
+/// `AdoptWindow()`: a Monitor collected from `ShardedMonitor::
+/// CollectWindow()` (one rotated epoch, all shards merged) becomes the
+/// newest window of the ring. See examples/windowed_netflow.cpp.
+
+namespace substream {
+
+/// Tuning for the window ring.
+struct WindowedMonitorOptions {
+  /// Upper bound on ring capacity, enforced by the constructor and the
+  /// decoder alike (a million windows is far beyond any real horizon, and
+  /// the decoder needs a bound a corrupted record cannot exceed).
+  static constexpr std::size_t kMaxWindows = 1u << 20;
+
+  /// Ring capacity W: how many windows (current + closed) are retained.
+  std::size_t windows = 8;
+  /// Exponential-decay factor: the window of age a (0 = current) weighs
+  /// decay^a in ReportDecayed(). Must be in (0, 1]; 1.0 makes
+  /// ReportDecayed() identical to Report() over all retained windows.
+  double decay = 1.0;
+};
+
+/// Ring of per-window Monitors with merge-at-query roll-ups.
+///
+/// Not itself a mergeable summary (it is a container of them): every
+/// retained window individually satisfies the contract, which is what the
+/// serde layer and the equivalence tests rely on.
+///
+/// Threading: single-threaded, queries included — Report()/ReportDecayed()
+/// are const but share one mutable scratch monitor, so concurrent const
+/// queries race. Multi-core ingest belongs in ShardedMonitor, with closed
+/// epochs fed to this ring via AdoptWindow().
+class WindowedMonitor {
+ public:
+  WindowedMonitor(const MonitorConfig& config, std::uint64_t seed,
+                  WindowedMonitorOptions options = {});
+
+  /// Feeds one element of the sampled stream into the current window.
+  void Update(item_t item);
+
+  /// Feeds `n` contiguous elements into the current window.
+  void UpdateBatch(const item_t* data, std::size_t n);
+
+  /// Feeds `n` already-prehashed elements into the current window.
+  void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
+
+  /// Closes the current window and opens a fresh one. Constant-time: while
+  /// the ring is below capacity a new Monitor is constructed; afterwards
+  /// the evicted oldest window is Reset() and reused, so steady-state
+  /// rotation allocates nothing beyond what Reset keeps.
+  void Rotate();
+
+  /// Closes the current window and adopts `window` — built elsewhere with
+  /// the same config and seed, e.g. ShardedMonitor::CollectWindow()'s
+  /// merged epoch — as the new current window. Aborts on a config/seed
+  /// mismatch (the Merge precondition, checked deeply).
+  void AdoptWindow(Monitor&& window);
+
+  /// Rotations performed since construction (the current window's index).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Ring capacity W.
+  std::size_t capacity() const { return options_.windows; }
+
+  /// Windows currently retained: min(epoch + 1, W).
+  std::size_t retained() const { return ring_.size(); }
+
+  /// The retained window of age `age` (0 = current, retained()-1 =
+  /// oldest). Aborts when `age >= retained()`.
+  const Monitor& WindowAt(std::size_t age) const;
+
+  /// Merges the last `k` windows (0 = all retained; k is clamped to
+  /// retained()) into a fresh Monitor, oldest first. This is the
+  /// merge-at-query primitive behind Report(); exposed so callers can
+  /// serialize or keep merging the roll-up.
+  Monitor MergedOverLast(std::size_t k) const;
+
+  /// Sliding-window report over the last `k` windows (0 = all retained).
+  /// Runs on a reusable scratch monitor: cost is one Reset + k merges, no
+  /// allocations in steady state.
+  MonitorReport Report(std::size_t k = 0) const;
+
+  /// Exponential-decay report over all retained windows: window of age a
+  /// contributes counters scaled by decay^a. With decay == 1 this equals
+  /// Report(0).
+  MonitorReport ReportDecayed() const;
+
+  /// Drops all windows and restarts at epoch 0 with one fresh current
+  /// window; configuration, seed and options are kept.
+  void Reset();
+
+  const MonitorConfig& config() const { return config_; }
+  std::uint64_t seed() const { return seed_; }
+  const WindowedMonitorOptions& options() const { return options_; }
+
+  /// Total memory across retained windows (query scratch excluded).
+  std::size_t SpaceBytes() const;
+
+  /// Appends the versioned container record: ring header (capacity, decay,
+  /// epoch, retained count), then one nested Monitor record per retained
+  /// window, oldest first.
+  void Serialize(serde::Writer& out) const;
+
+  /// Decodes one container record; std::nullopt on truncated or corrupted
+  /// input, including retained windows that disagree on config or seed.
+  static std::optional<WindowedMonitor> Deserialize(serde::Reader& in);
+
+  /// Durably writes the whole ring to `path` (CRC-validated checkpoint
+  /// container, atomic tmp-file + rename). Returns false on I/O failure.
+  bool Checkpoint(const std::string& path) const;
+
+  /// Reads a checkpoint written by Checkpoint(); std::nullopt when the
+  /// file is missing, corrupt or undecodable. The restored ring is
+  /// window-for-window state-identical to the checkpointed one.
+  static std::optional<WindowedMonitor> Restore(const std::string& path);
+
+ private:
+  /// Deserialize-only: adopts config/seed/options without constructing any
+  /// window (the decoded nested records supply them).
+  struct DeserializeTag {};
+  WindowedMonitor(DeserializeTag, const MonitorConfig& config,
+                  std::uint64_t seed, WindowedMonitorOptions options)
+      : config_(config), seed_(seed), options_(options) {}
+
+  /// Index into ring_ of the window of age `age`.
+  std::size_t IndexOfAge(std::size_t age) const;
+
+  Monitor& ScratchReset() const;
+
+  MonitorConfig config_;
+  std::uint64_t seed_;
+  WindowedMonitorOptions options_;
+  /// Retained windows; grows to options_.windows, then becomes a true
+  /// ring indexed through cursor_.
+  std::vector<Monitor> ring_;
+  std::size_t cursor_ = 0;    ///< ring_ index of the current window
+  std::uint64_t epoch_ = 0;   ///< rotations performed
+  /// Merge-at-query workspace, built lazily on the first report so a
+  /// write-only ring (e.g. a checkpointing relay) never pays for it.
+  mutable std::optional<Monitor> scratch_;
+};
+
+}  // namespace substream
+
+#endif  // SUBSTREAM_CORE_WINDOWED_MONITOR_H_

@@ -1,5 +1,6 @@
 #include "serde/serde.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -147,10 +148,28 @@ bool Reader::CanHold(std::uint64_t count, std::size_t min_bytes_each) {
   return true;
 }
 
+namespace {
+
+/// Map entries are emitted in ascending item order: unordered_map
+/// iteration depends on bucket-count history (a Reset-and-reused summary
+/// grows different buckets than a fresh one), and the canonical order is
+/// what lets equal-state summaries serialize to equal bytes — the property
+/// the windowed/rotation equivalence tests pin.
+template <typename V>
+std::vector<std::pair<item_t, V>> SortedEntries(
+    const std::unordered_map<item_t, V>& map) {
+  std::vector<std::pair<item_t, V>> entries(map.begin(), map.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
+}  // namespace
+
 void WriteCountMap(Writer& out,
                    const std::unordered_map<item_t, count_t>& map) {
   out.Varint(map.size());
-  for (const auto& [item, count] : map) {
+  for (const auto& [item, count] : SortedEntries(map)) {
     out.Varint(item);
     out.Varint(count);
   }
@@ -176,7 +195,7 @@ bool ReadCountMap(Reader& in, std::unordered_map<item_t, count_t>* out) {
 void WriteDoubleMap(Writer& out,
                     const std::unordered_map<item_t, double>& map) {
   out.Varint(map.size());
-  for (const auto& [item, value] : map) {
+  for (const auto& [item, value] : SortedEntries(map)) {
     out.Varint(item);
     out.F64(value);
   }

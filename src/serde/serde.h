@@ -93,6 +93,7 @@ enum class TypeTag : std::uint8_t {
   kF1HeavyHitterEstimator = 17,
   kF2HeavyHitterEstimator = 18,
   kMonitor = 19,
+  kWindowedMonitor = 20,
 };
 
 /// Growable byte sink all Serialize() methods write into.

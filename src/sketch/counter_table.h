@@ -2,6 +2,7 @@
 #define SUBSTREAM_SKETCH_COUNTER_TABLE_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -125,6 +126,17 @@ class CounterTable {
     SUBSTREAM_CHECK(cells_.size() == other.cells_.size());
     for (std::size_t i = 0; i < cells_.size(); ++i) {
       cells_[i] += other.cells_[i];
+    }
+  }
+
+  /// Pointwise scaled counter sum for decayed merges: every counter of
+  /// `other` contributes `round(weight * counter)`. Same precondition story
+  /// as MergeAdd; `weight` is validated by the calling sketch.
+  void MergeAddScaled(const CounterTable& other, double weight) {
+    SUBSTREAM_CHECK(cells_.size() == other.cells_.size());
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i] += static_cast<CounterT>(
+          std::llround(weight * static_cast<double>(other.cells_[i])));
     }
   }
 

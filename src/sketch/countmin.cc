@@ -90,6 +90,20 @@ void CountMinSketch::Merge(const CountMinSketch& other) {
   total_ += other.total_;
 }
 
+void CountMinSketch::MergeScaled(const CountMinSketch& other, double weight) {
+  SUBSTREAM_CHECK_MSG(ValidMergeWeight(weight),
+                      "CountMin decayed-merge weight %f outside (0, 1]",
+                      weight);
+  if (weight == 1.0) {
+    Merge(other);
+    return;
+  }
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
+                      "merging incompatible CountMin sketches");
+  table_.MergeAddScaled(other.table_, weight);
+  total_ += ScaleCounter(other.total_, weight);
+}
+
 std::size_t CountMinSketch::SpaceBytes() const { return table_.SpaceBytes(); }
 
 void CountMinSketch::Serialize(serde::Writer& out) const {
@@ -177,6 +191,28 @@ void CountMinHeavyHitters::Merge(const CountMinHeavyHitters& other) {
   // Union the candidate pools, re-estimating BOTH sides against the merged
   // sketch so eviction decisions compare current estimates; a stale
   // pre-merge value could otherwise get a genuinely heavy item evicted.
+  for (auto& [item, estimate] : candidates_) {
+    estimate = sketch_.Estimate(item);
+  }
+  for (const auto& [item, stale] : other.candidates_) {
+    (void)stale;
+    MaybeInsert(item, sketch_.Estimate(item));
+  }
+}
+
+void CountMinHeavyHitters::MergeScaled(const CountMinHeavyHitters& other,
+                                       double weight) {
+  if (weight == 1.0) {
+    Merge(other);
+    return;
+  }
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
+                      "merging CountMin heavy-hitter trackers with different "
+                      "phi/capacity");
+  sketch_.MergeScaled(other.sketch_, weight);  // validates the weight
+  // Same refresh-then-union discipline as Merge: every estimate is read
+  // from the merged (decay-scaled) sketch, so eviction compares decayed
+  // frequencies rather than a mix of fresh and stale ones.
   for (auto& [item, estimate] : candidates_) {
     estimate = sketch_.Estimate(item);
   }

@@ -90,6 +90,12 @@ class CountMinSketch {
   /// decoded-but-incompatible records instead of tripping the abort.
   bool MergeCompatibleWith(const CountMinSketch& other) const;
 
+  /// Decayed merge: every counter of `other` contributes
+  /// `round(weight * counter)` (CountMin is linear, so the result is the
+  /// sketch of the weight-scaled stream up to rounding). `weight` must be
+  /// in (0, 1]; weight 1 delegates to Merge. Same preconditions as Merge.
+  void MergeScaled(const CountMinSketch& other, double weight);
+
   /// Total number of updates F1.
   count_t TotalCount() const { return total_; }
 
@@ -148,6 +154,12 @@ class CountMinHeavyHitters {
   /// down through nested summaries; the Collector uses this to reject
   /// decoded-but-incompatible records instead of tripping the abort.
   bool MergeCompatibleWith(const CountMinHeavyHitters& other) const;
+
+  /// Decayed merge: the nested sketch merges with `weight`-scaled counters
+  /// and both candidate pools are re-estimated against the merged sketch,
+  /// so an aged-out heavy hitter whose decayed estimate no longer clears
+  /// the bar loses eviction contests naturally.
+  void MergeScaled(const CountMinHeavyHitters& other, double weight);
 
   /// Clears sketch counters and the candidate pool.
   void Reset();

@@ -109,6 +109,30 @@ void CountSketch::Merge(const CountSketch& other) {
   total_ += other.total_;
 }
 
+void CountSketch::MergeScaled(const CountSketch& other, double weight) {
+  SUBSTREAM_CHECK_MSG(ValidMergeWeight(weight),
+                      "CountSketch decayed-merge weight %f outside (0, 1]",
+                      weight);
+  if (weight == 1.0) {
+    Merge(other);
+    return;
+  }
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
+                      "merging incompatible CountSketches");
+  for (int r = 0; r < depth_; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    std::int64_t* const row = table_.Row(r);
+    const std::int64_t* const other_row = other.table_.Row(r);
+    double sumsq = 0.0;
+    for (std::uint64_t c = 0; c < width_; ++c) {
+      row[c] += ScaleCounter(other_row[c], weight);
+      sumsq += static_cast<double>(row[c]) * static_cast<double>(row[c]);
+    }
+    row_sumsq_[rr] = sumsq;
+  }
+  total_ += ScaleCounter(other.total_, weight);
+}
+
 double CountSketch::Estimate(const PrehashedItem& ph) const {
   // Stack scratch: this runs per item inside the level-set candidate
   // tracking, so a heap allocation here would dominate the readout.
@@ -239,6 +263,28 @@ void CountSketchHeavyHitters::Merge(const CountSketchHeavyHitters& other) {
   updates_ += other.updates_;
   // Re-estimate BOTH pools against the merged sketch before unioning, so
   // eviction compares current estimates rather than stale per-shard ones.
+  for (auto& [item, estimate] : candidates_) {
+    estimate = sketch_.Estimate(item);
+  }
+  for (const auto& [item, stale] : other.candidates_) {
+    (void)stale;
+    MaybeInsert(item, sketch_.Estimate(item));
+  }
+}
+
+void CountSketchHeavyHitters::MergeScaled(const CountSketchHeavyHitters& other,
+                                          double weight) {
+  if (weight == 1.0) {
+    Merge(other);
+    return;
+  }
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
+                      "merging CountSketch heavy-hitter trackers with "
+                      "different phi/capacity");
+  sketch_.MergeScaled(other.sketch_, weight);  // validates the weight
+  updates_ += ScaleCounter(other.updates_, weight);
+  // Refresh-then-union against the merged (decay-scaled) sketch, exactly
+  // as Merge does.
   for (auto& [item, estimate] : candidates_) {
     estimate = sketch_.Estimate(item);
   }

@@ -81,6 +81,14 @@ class CountSketch {
   /// decoded-but-incompatible records instead of tripping the abort.
   bool MergeCompatibleWith(const CountSketch& other) const;
 
+  /// Decayed merge: every counter of `other` contributes
+  /// `round(weight * counter)`. CountSketch is linear, so the result is
+  /// (up to rounding) the sketch of the weight-scaled stream — including
+  /// the cross terms a per-window F2 combination would miss. Row norms are
+  /// recomputed from the merged counters. `weight` in (0, 1]; weight 1
+  /// delegates to Merge.
+  void MergeScaled(const CountSketch& other, double weight);
+
   /// Median over rows of the row L2^2: an 8-approximation of F2 with
   /// constant probability per row, amplified by the median (standard
   /// CountSketch norm estimation; each row's sum of squared counters has
@@ -147,6 +155,10 @@ class CountSketchHeavyHitters {
   /// down through nested summaries; the Collector uses this to reject
   /// decoded-but-incompatible records instead of tripping the abort.
   bool MergeCompatibleWith(const CountSketchHeavyHitters& other) const;
+
+  /// Decayed merge: nested sketch merges with `weight`-scaled counters;
+  /// both candidate pools are re-estimated against the merged sketch.
+  void MergeScaled(const CountSketchHeavyHitters& other, double weight);
 
   /// Clears sketch counters and the candidate pool.
   void Reset();

@@ -50,6 +50,12 @@ class EntropyMleEstimator {
 
   /// Merges another frequency map (exact: counts add pointwise).
   void Merge(const EntropyMleEstimator& other);
+
+  /// Decayed merge: counts add as `round(weight * count)` (entries
+  /// rounding to zero age out), so the estimate becomes the entropy of the
+  /// decayed empirical distribution. `weight` in (0, 1]; 1 delegates to
+  /// Merge.
+  void MergeScaled(const EntropyMleEstimator& other, double weight);
   /// True when Merge(other) preconditions hold, checked all the way
   /// down through nested summaries; the Collector uses this to reject
   /// decoded-but-incompatible records instead of tripping the abort.

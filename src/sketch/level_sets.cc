@@ -168,6 +168,39 @@ void IndykWoodruffEstimator::Merge(const IndykWoodruffEstimator& other) {
   }
 }
 
+void IndykWoodruffEstimator::MergeScaled(const IndykWoodruffEstimator& other,
+                                         double weight) {
+  if (weight == 1.0) {
+    Merge(other);
+    return;
+  }
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
+                      "merging incompatible level-set structures");
+  total_ += ScaleCounter(other.total_, weight);
+  for (std::size_t t = 0; t < depths_.size(); ++t) {
+    DepthSlot& slot = depths_[t];
+    slot.sketch.MergeScaled(other.depths_[t].sketch, weight);
+    if (slot.exact_valid && other.depths_[t].exact_valid) {
+      for (const auto& [item, g] : other.depths_[t].exact) {
+        const count_t scaled = ScaleCounter(g, weight);
+        if (scaled == 0) continue;  // aged out of the decayed window
+        slot.exact[item] += scaled;
+      }
+      if (slot.exact.size() > exact_capacity_) {
+        slot.exact.clear();
+        slot.exact_valid = false;
+      }
+    } else if (slot.exact_valid) {
+      slot.exact.clear();
+      slot.exact_valid = false;
+    }
+    for (const auto& [item, stale] : other.depths_[t].candidates) {
+      (void)stale;
+      TrackCandidate(slot, item, slot.sketch.Estimate(item));
+    }
+  }
+}
+
 std::vector<LevelSetEstimate> IndykWoodruffEstimator::EstimateLevelSets()
     const {
   std::vector<LevelSetEstimate> out;
@@ -423,6 +456,29 @@ void ExactLevelSets::Merge(const ExactLevelSets& other) {
     counts_[item] += g;
   }
   total_ += other.total_;
+}
+
+void ExactLevelSets::MergeScaled(const ExactLevelSets& other, double weight) {
+  SUBSTREAM_CHECK_MSG(ValidMergeWeight(weight),
+                      "level-set decayed-merge weight %f outside (0, 1]",
+                      weight);
+  if (weight == 1.0) {
+    Merge(other);
+    return;
+  }
+  SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
+                      "merging level-set references with different "
+                      "discretizations");
+  count_t added = 0;
+  for (const auto& [item, g] : other.counts_) {
+    const count_t scaled = ScaleCounter(g, weight);
+    if (scaled == 0) continue;  // aged out of the decayed window
+    counts_[item] += scaled;
+    added += scaled;
+  }
+  // Keep the invariant total_ == sum of counts_ exact: per-item rounding
+  // means the sum of scaled counts differs from round(weight * total).
+  total_ += added;
 }
 
 void ExactLevelSets::Serialize(serde::Writer& out) const {

@@ -119,6 +119,13 @@ class IndykWoodruffEstimator {
   /// decoded-but-incompatible records instead of tripping the abort.
   bool MergeCompatibleWith(const IndykWoodruffEstimator& other) const;
 
+  /// Decayed merge: per-depth CountSketches merge with `weight`-scaled
+  /// counters (linear, so the result sketches the weight-scaled stream up
+  /// to rounding), exact maps add rounded scaled counts (entries rounding
+  /// to zero age out), candidate pools re-estimate against the merged
+  /// sketches. `weight` in (0, 1]; weight 1 delegates to Merge.
+  void MergeScaled(const IndykWoodruffEstimator& other, double weight);
+
   /// Number of stream elements consumed.
   count_t ConsumedLength() const { return total_; }
 
@@ -192,6 +199,10 @@ class ExactLevelSets {
   /// down through nested summaries; the Collector uses this to reject
   /// decoded-but-incompatible records instead of tripping the abort.
   bool MergeCompatibleWith(const ExactLevelSets& other) const;
+
+  /// Decayed merge: exact counts add as `round(weight * count)`; entries
+  /// rounding to zero age out of the map entirely.
+  void MergeScaled(const ExactLevelSets& other, double weight);
 
   /// Forgets all counts; discretization parameters are kept.
   void Reset() {

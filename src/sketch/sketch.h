@@ -1,6 +1,7 @@
 #ifndef SUBSTREAM_SKETCH_SKETCH_H_
 #define SUBSTREAM_SKETCH_SKETCH_H_
 
+#include <cmath>
 #include <cstddef>
 #include <optional>
 #include <type_traits>
@@ -172,6 +173,24 @@ inline constexpr bool IsMergeableSummary =
                    "(Update/UpdateBatch/UpdatePrehashed/Merge/"         \
                    "MergeCompatibleWith/Reset/SpaceBytes/Serialize/"    \
                    "Deserialize)")
+
+/// True when `w` is usable as a decayed-merge weight: finite, in (0, 1].
+/// Weight 1 is the ordinary (exact) merge; smaller weights scale the merged
+/// summary's counter contributions, which is how WindowedMonitor ages old
+/// windows at query time.
+inline bool ValidMergeWeight(double w) { return w > 0.0 && w <= 1.0; }
+
+/// Rounds a weighted counter contribution back to the integer counter
+/// domain. Decayed merges (MergeScaled) scale every linear counter by the
+/// window weight; round-to-nearest keeps the scaled sketch an unbiased-in-
+/// expectation image of the decayed stream while the counters stay
+/// integral. Contributions under half a count round to zero and vanish —
+/// exactly the "aged out" semantics a decayed summary wants.
+template <typename CounterT>
+inline CounterT ScaleCounter(CounterT count, double weight) {
+  return static_cast<CounterT>(
+      std::llround(weight * static_cast<double>(count)));
+}
 
 /// Default `UpdateBatch` body: the plain item-at-a-time loop. Summaries
 /// whose per-item work is pointer-chasing (hash maps, heaps, reservoirs)

@@ -1,0 +1,67 @@
+#ifndef SUBSTREAM_TESTS_PIPELINE_TEST_UTIL_H_
+#define SUBSTREAM_TESTS_PIPELINE_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/monitor.h"
+#include "serde/serde.h"
+#include "stream/generators.h"
+#include "stream/samplers.h"
+
+/// \file pipeline_test_util.h
+/// Shared fixtures for the pipeline equivalence suites (sharded_monitor,
+/// sharded_rotation, windowed_monitor tests). These tests pin one contract
+/// against each other — windowed/rotated/sharded ingest must match the
+/// monolithic monitor under the SAME config and sampler — so the config
+/// and stream constants live here once: a tweak in one suite cannot
+/// silently de-synchronize the others.
+
+namespace substream {
+namespace pipeline_test {
+
+/// Monitor seed every pipeline suite constructs with.
+inline constexpr std::uint64_t kSeed = 7;
+
+inline MonitorConfig TestConfig() {
+  MonitorConfig config;
+  config.p = 0.3;
+  config.universe = 3000;
+  config.hh_alpha = 0.02;
+  config.max_f2_width = 1 << 12;
+  return config;
+}
+
+/// Bernoulli(p)-sampled Zipf stream, the suites' shared workload shape.
+inline Stream SampledStream(std::size_t n, std::uint64_t gen_seed) {
+  ZipfGenerator generator(3000, 1.2, gen_seed);
+  Stream original = Materialize(generator, n);
+  BernoulliSampler sampler(TestConfig().p, 13);
+  return sampler.Sample(original);
+}
+
+/// Splits `s` into `parts` contiguous windows.
+inline std::vector<Stream> SplitWindows(const Stream& s, std::size_t parts) {
+  std::vector<Stream> out(parts);
+  const std::size_t chunk = s.size() / parts;
+  for (std::size_t w = 0; w < parts; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = (w + 1 == parts) ? s.size() : begin + chunk;
+    out[w].assign(s.begin() + static_cast<std::ptrdiff_t>(begin),
+                  s.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return out;
+}
+
+/// Serialized wire record: the strongest state-identity comparator.
+template <typename S>
+std::vector<std::uint8_t> Bytes(const S& summary) {
+  serde::Writer writer;
+  summary.Serialize(writer);
+  return writer.Take();
+}
+
+}  // namespace pipeline_test
+}  // namespace substream
+
+#endif  // SUBSTREAM_TESTS_PIPELINE_TEST_UTIL_H_

@@ -35,15 +35,33 @@
 namespace substream {
 namespace {
 
-Stream StreamA() {
+/// Debug builds (including the sanitizer CI jobs, where every update costs
+/// 5-20x) scale the property-test streams down: every assertion here
+/// compares two identically-constructed summaries, so the properties are
+/// size-invariant and lose no coverage. Release keeps the full geometry,
+/// and MonitorFullReport below stays Release-sized in every build as the
+/// one full-width sentinel.
+#ifdef NDEBUG
+inline constexpr std::size_t kStreamScale = 1;
+#else
+inline constexpr std::size_t kStreamScale = 8;
+#endif
+
+Stream StreamA(std::size_t scale = kStreamScale) {
   ZipfGenerator generator(4000, 1.1, 101);
-  return Materialize(generator, 30000);
+  return Materialize(generator, 30000 / scale);
 }
 
-Stream StreamB() {
+Stream StreamB(std::size_t scale = kStreamScale) {
   ZipfGenerator generator(4000, 1.3, 202);
-  return Materialize(generator, 20000);
+  return Materialize(generator, 20000 / scale);
 }
+
+/// Full-size streams for the one deliberately Release-sized case: the same
+/// generators as StreamA/StreamB, unscaled in every build type.
+Stream FullStreamA() { return StreamA(/*scale=*/1); }
+
+Stream FullStreamB() { return StreamB(/*scale=*/1); }
 
 template <typename S>
 void Feed(S& summary, const Stream& stream) {
@@ -336,8 +354,11 @@ MonitorConfig RoundTripMonitorConfig() {
 }
 
 TEST(SerdeRoundTripTest, MonitorFullReport) {
+  // The one Release-sized case in every build type: the full Monitor over
+  // the unscaled streams, so Debug/sanitizer runs still cross the
+  // megabyte-wide sketch geometries once.
   auto make = [] { return Monitor(RoundTripMonitorConfig(), 41); };
-  const Stream a = StreamA(), b = StreamB();
+  const Stream a = FullStreamA(), b = FullStreamB();
   Monitor a_live = make(), b_live = make(), a_wire = make(), b_peer = make();
   Feed(a_live, a);
   Feed(b_live, b);

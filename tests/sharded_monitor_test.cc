@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "pipeline_test_util.h"
 #include "stream/exact_stats.h"
 #include "stream/generators.h"
 #include "stream/samplers.h"
@@ -21,20 +22,10 @@
 namespace substream {
 namespace {
 
-MonitorConfig TestConfig() {
-  MonitorConfig config;
-  config.p = 0.3;
-  config.universe = 3000;
-  config.hh_alpha = 0.02;
-  config.max_f2_width = 1 << 12;
-  return config;
-}
+using pipeline_test::TestConfig;
 
 Stream SampledStream(std::size_t n) {
-  ZipfGenerator generator(3000, 1.2, 11);
-  Stream original = Materialize(generator, n);
-  BernoulliSampler sampler(TestConfig().p, 13);
-  return sampler.Sample(original);
+  return pipeline_test::SampledStream(n, /*gen_seed=*/11);
 }
 
 void ExpectEquivalentReports(const MonitorReport& merged,
