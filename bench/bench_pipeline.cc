@@ -9,10 +9,17 @@
 ///
 ///   ./bench_pipeline [items] [repeats]
 ///
+/// Also walks the SIMD dispatch ladder: for every level the host supports
+/// (scalar, avx2, avx512 — see sketch/counter_kernels.h) it re-measures the
+/// CounterTable/CountSketch ingest kernels and the raw bucket/sign
+/// derivation kernels with dispatch forced to that level.
+///
 /// One JSON object per line on stdout; CI redirects the output into
 /// BENCH_ingest.json and uploads it as an artifact, so the speedup
-/// trajectory is comparable across commits:
-///   {"bench":"pipeline","target":"monitor","mode":"prehashed",...}
+/// trajectory is comparable across commits. Every row carries the dispatch
+/// level it ran under plus compiler/build tags:
+///   {"bench":"pipeline","target":"monitor","mode":"prehashed",...,
+///    "isa":"avx512","compiler":"gcc-12.2","build":"release"}
 
 #include <algorithm>
 #include <cstdio>
@@ -21,12 +28,15 @@
 
 #include "bench/bench_util.h"
 #include "core/monitor.h"
+#include "sketch/counter_kernels.h"
+#include "sketch/counter_table.h"
 #include "sketch/countmin.h"
 #include "sketch/countsketch.h"
 #include "sketch/hyperloglog.h"
 #include "sketch/kmv.h"
 #include "stream/generators.h"
 #include "util/hash.h"
+#include "util/simd.h"
 
 using namespace substream;
 
@@ -100,11 +110,17 @@ struct PolyhashCountSketchReference {
 
 void EmitRow(const char* target, const char* mode, std::size_t items,
              double items_per_sec, double scalar_baseline) {
+  // Every row carries the dispatch level it ran under plus compiler/build
+  // tags, so BENCH_ingest.json rows are comparable across hosts and the
+  // per-ISA kernel section below can be told apart from the default-level
+  // summary rows.
   std::printf(
       "{\"bench\":\"pipeline\",\"target\":\"%s\",\"mode\":\"%s\","
-      "\"items\":%zu,\"items_per_sec\":%.0f,\"speedup_vs_scalar\":%.3f}\n",
+      "\"items\":%zu,\"items_per_sec\":%.0f,\"speedup_vs_scalar\":%.3f,"
+      "%s}\n",
       target, mode, items, items_per_sec,
-      scalar_baseline > 0.0 ? items_per_sec / scalar_baseline : 0.0);
+      scalar_baseline > 0.0 ? items_per_sec / scalar_baseline : 0.0,
+      bench::RowTags(simd::Name(kernels::ActiveIsa())).c_str());
 }
 
 /// Times `run(target)` best-of-`repeats` over a fresh `make()` instance per
@@ -162,8 +178,10 @@ int main(int argc, char** argv) {
   // --- Individual counter-table sketches vs their pre-refactor kernels.
   // Reference rows share the target's scalar baseline, so their
   // speedup_vs_scalar (< 1) exposes the one-hash-per-item gain directly.
+  double countmin_scalar = 0.0;
+  double countsketch_scalar = 0.0;
   {
-    const double scalar =
+    countmin_scalar =
         BenchSummary("countmin", repeats, sampled, column,
                      [] { return CountMinSketch(4, 4096, false, 3); });
     const double poly = BestRate(
@@ -171,11 +189,11 @@ int main(int argc, char** argv) {
         [&](auto& ref) {
           for (item_t a : sampled) ref.Update(a);
         });
-    EmitRow("countmin", "polyhash_reference", items, poly, scalar);
+    EmitRow("countmin", "polyhash_reference", items, poly, countmin_scalar);
   }
 
   {
-    const double scalar =
+    countsketch_scalar =
         BenchSummary("countsketch", repeats, sampled, column,
                      [] { return CountSketch(5, 4096, 3); });
     const double poly = BestRate(
@@ -183,7 +201,82 @@ int main(int argc, char** argv) {
         [&](auto& ref) {
           for (item_t a : sampled) ref.Update(a);
         });
-    EmitRow("countsketch", "polyhash_reference", items, poly, scalar);
+    EmitRow("countsketch", "polyhash_reference", items, poly,
+            countsketch_scalar);
+  }
+
+  // --- Per-ISA kernel ladder: the same hot loops re-measured with kernel
+  // dispatch forced to every level this host supports. "kernel" rows are
+  // the end-to-end batched row passes (CounterTable::AddPrehashed — the
+  // CountMin ingest kernel — and CountSketch's fused bucket+sign ingest).
+  // Their speedup_vs_scalar denominator is the per-item Update rate
+  // re-measured under FORCED scalar dispatch (the rows above run at the
+  // host's default level), so a ladder row means the same thing on every
+  // host regardless of what CPUID picked. "kernel_raw" rows are the
+  // bucket/sign derivation kernels alone (no counter traffic), reported
+  // against the scalar level of the same kernel so the lane-level speedup
+  // is visible undiluted by the shared increment replay.
+  {
+    constexpr std::size_t kRawBlock = 1024;
+    static std::uint64_t raw_idx[kRawBlock];
+    static std::int64_t raw_sgn[kRawBlock];
+    const std::uint64_t sign_coeffs[4] = {123456789ULL, 2718281828ULL,
+                                          31415926535ULL, 1414213562ULL};
+    const std::size_t raw_items = (column.size() / kRawBlock) * kRawBlock;
+    double bucket_row_scalar = 0.0;
+    double sign_row4_scalar = 0.0;
+    // Restored after the ladder: the sections above/below must honor the
+    // entry-time level (which a SKETCH_SIMD override may have forced).
+    const simd::Isa entry_isa = kernels::ActiveIsa();
+    kernels::SetActive(simd::Isa::kScalar);
+    countmin_scalar = BestRate(
+        repeats, items,
+        [] { return CountMinSketch(4, 4096, false, 3); },
+        [&](auto& sk) {
+          for (item_t a : sampled) sk.Update(a);
+        });
+    countsketch_scalar = BestRate(
+        repeats, items, [] { return CountSketch(5, 4096, 3); },
+        [&](auto& sk) {
+          for (item_t a : sampled) sk.Update(a);
+        });
+    for (simd::Isa isa : kernels::AvailableIsas()) {
+      if (!kernels::SetActive(isa)) continue;
+      const double cm = BestRate(
+          repeats, items, [] { return CounterTable<count_t>(4, 4096, 3); },
+          [&](auto& table) {
+            table.AddPrehashed(column.data(), column.size());
+          });
+      EmitRow("countmin", "kernel", items, cm, countmin_scalar);
+      const double cs = BestRate(
+          repeats, items, [] { return CountSketch(5, 4096, 3); },
+          [&](auto& sk) { sk.UpdatePrehashed(column.data(), column.size()); });
+      EmitRow("countsketch", "kernel", items, cs, countsketch_scalar);
+
+      const kernels::KernelTable& kt = kernels::Dispatch();
+      const double braw = BestRate(
+          repeats, raw_items, [] { return 0; },
+          [&](int&) {
+            for (std::size_t b = 0; b < raw_items; b += kRawBlock) {
+              kt.bucket_row(column.data() + b, kRawBlock,
+                            0x9e3779b97f4a7c15ULL, 4096, raw_idx);
+            }
+          });
+      if (isa == simd::Isa::kScalar) bucket_row_scalar = braw;
+      EmitRow("bucket_row", "kernel_raw", raw_items, braw, bucket_row_scalar);
+      const double sraw = BestRate(
+          repeats, raw_items, [] { return 0; },
+          [&](int&) {
+            for (std::size_t b = 0; b < raw_items; b += kRawBlock) {
+              kt.sign_row4(column.data() + b, kRawBlock, sign_coeffs,
+                           raw_sgn);
+            }
+          });
+      if (isa == simd::Isa::kScalar) sign_row4_scalar = sraw;
+      EmitRow("sign_row4", "kernel_raw", raw_items, sraw, sign_row4_scalar);
+    }
+    // Back to the entry-time level for the Monitor section below.
+    kernels::SetActive(entry_isa);
   }
 
   BenchSummary("hyperloglog", repeats, sampled, column,

@@ -94,6 +94,47 @@ inline std::string FmtPct(double fraction) {
   return buffer;
 }
 
+/// Compiler tag for benchmark JSON rows ("gcc-12.2" / "clang-15.0"), so
+/// BENCH_*.json artifacts from different hosts are comparable at a glance.
+inline std::string CompilerTag() {
+  char buffer[32];
+#if defined(__clang__)
+  std::snprintf(buffer, sizeof(buffer), "clang-%d.%d", __clang_major__,
+                __clang_minor__);
+#elif defined(__GNUC__)
+  std::snprintf(buffer, sizeof(buffer), "gcc-%d.%d", __GNUC__,
+                __GNUC_MINOR__);
+#else
+  std::snprintf(buffer, sizeof(buffer), "unknown");
+#endif
+  return buffer;
+}
+
+/// Build-type tag for benchmark JSON rows. NDEBUG is what actually divides
+/// the perf regimes (assertions + -O level), so it is the honest signal
+/// even when CMAKE_BUILD_TYPE strings vary.
+inline const char* BuildTag() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// JSON fragment (no braces, no trailing comma) tagging a row with the
+/// dispatch level it ran under plus compiler and build type:
+///   "isa":"avx2","compiler":"gcc-12.2","build":"release"
+inline std::string RowTags(const char* isa) {
+  std::string tags = "\"isa\":\"";
+  tags += isa;
+  tags += "\",\"compiler\":\"";
+  tags += CompilerTag();
+  tags += "\",\"build\":\"";
+  tags += BuildTag();
+  tags += "\"";
+  return tags;
+}
+
 /// Wall-clock stopwatch in seconds.
 class Stopwatch {
  public:

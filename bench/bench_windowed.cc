@@ -19,7 +19,9 @@
 #include "bench/bench_util.h"
 #include "core/sharded_monitor.h"
 #include "core/windowed_monitor.h"
+#include "sketch/counter_kernels.h"
 #include "stream/generators.h"
+#include "util/simd.h"
 
 using namespace substream;
 
@@ -36,11 +38,15 @@ MonitorConfig BenchConfig() {
 
 void EmitRow(const char* target, const char* mode, std::size_t windows,
              std::size_t items, double ns_per_op, double ops_per_sec) {
+  // isa/compiler/build tags make BENCH_windowed.json rows comparable
+  // across hosts (rotation cost depends on the active kernel level through
+  // the Reset/merge passes).
   std::printf(
       "{\"bench\":\"windowed\",\"target\":\"%s\",\"mode\":\"%s\","
       "\"windows\":%zu,\"items\":%zu,\"ns_per_op\":%.0f,"
-      "\"ops_per_sec\":%.1f}\n",
-      target, mode, windows, items, ns_per_op, ops_per_sec);
+      "\"ops_per_sec\":%.1f,%s}\n",
+      target, mode, windows, items, ns_per_op, ops_per_sec,
+      bench::RowTags(simd::Name(kernels::ActiveIsa())).c_str());
 }
 
 /// Times `op()` run `reps` times, returns best-of-`repeats` ns/op.

@@ -39,27 +39,6 @@ void BackoffPause(std::size_t* spins) {
 
 }  // namespace
 
-ShardedMonitor::BatchRing::BatchRing(std::size_t capacity_pow2)
-    : slots_(capacity_pow2), mask_(capacity_pow2 - 1) {}
-
-bool ShardedMonitor::BatchRing::TryPush(Batch&& batch) {
-  const std::size_t head = head_.load(std::memory_order_relaxed);
-  const std::size_t tail = tail_.load(std::memory_order_acquire);
-  if (head - tail > mask_) return false;  // full
-  slots_[head & mask_] = std::move(batch);
-  head_.store(head + 1, std::memory_order_release);
-  return true;
-}
-
-bool ShardedMonitor::BatchRing::TryPop(Batch* out) {
-  const std::size_t tail = tail_.load(std::memory_order_relaxed);
-  const std::size_t head = head_.load(std::memory_order_acquire);
-  if (tail == head) return false;  // empty
-  *out = std::move(slots_[tail & mask_]);
-  tail_.store(tail + 1, std::memory_order_release);
-  return true;
-}
-
 ShardedMonitor::ShardedMonitor(const MonitorConfig& config, std::uint64_t seed,
                                ShardedMonitorOptions options)
     : config_(config), seed_(seed), options_(options) {
@@ -70,6 +49,7 @@ ShardedMonitor::ShardedMonitor(const MonitorConfig& config, std::uint64_t seed,
 
   monitors_.reserve(options.shards);
   rings_.reserve(options.shards);
+  free_rings_.reserve(options.shards);
   sync_.reserve(options.shards);
   staged_.resize(options.shards);
   batches_pushed_.assign(options.shards, 0);
@@ -77,6 +57,7 @@ ShardedMonitor::ShardedMonitor(const MonitorConfig& config, std::uint64_t seed,
     // Same config and seed on every shard: the Monitor::Merge precondition.
     monitors_.emplace_back(config, seed);
     rings_.push_back(std::make_unique<BatchRing>(options_.ring_capacity));
+    free_rings_.push_back(std::make_unique<BufferRing>(options_.ring_capacity));
     sync_.push_back(std::make_unique<ShardSync>());
     sync_.back()->space_bytes.store(monitors_.back().SpaceBytes(),
                                     std::memory_order_relaxed);
@@ -156,7 +137,16 @@ void ShardedMonitor::WorkerLoop(std::size_t shard) {
         worker_epoch = batch.epoch;
       }
       monitor.UpdatePrehashed(batch.items.data(), batch.items.size());
-      sync.items_consumed.fetch_add(batch.items.size(),
+      const std::size_t consumed_items = batch.items.size();
+      if (consumed_items != 0) {
+        // Hand the drained buffer (capacity intact) back to the producer's
+        // staging freelist. Opportunistic: a full freelist just means the
+        // buffer deallocates here instead, off the ingest critical path.
+        batch.items.clear();
+        free_rings_[shard]->TryPush(std::move(batch.items));
+        batch.items = std::vector<PrehashedItem>();
+      }
+      sync.items_consumed.fetch_add(consumed_items,
                                     std::memory_order_relaxed);
       sync.space_bytes.store(monitor.SpaceBytes(), std::memory_order_relaxed);
       // Published LAST, with release: a producer that observes this count
@@ -185,13 +175,26 @@ void ShardedMonitor::PushBatch(std::size_t shard, Batch&& batch) {
   ++batches_pushed_[shard];
 }
 
+void ShardedMonitor::RefillStaged(std::size_t shard) {
+  // Prefer a buffer the shard's worker already drained: its capacity was
+  // grown by a previous staging round, so the steady-state flush cycle
+  // does no allocation at all.
+  std::vector<PrehashedItem> recycled;
+  if (free_rings_[shard]->TryPop(&recycled)) {
+    ++buffers_recycled_;
+    staged_[shard] = std::move(recycled);
+  } else {
+    staged_[shard] = std::vector<PrehashedItem>();
+    staged_[shard].reserve(options_.batch_items);
+  }
+}
+
 void ShardedMonitor::FlushStaged(std::size_t shard) {
   if (staged_[shard].empty()) return;
   Batch batch;
   batch.epoch = epoch_;
   batch.items = std::move(staged_[shard]);
-  staged_[shard] = std::vector<PrehashedItem>();
-  staged_[shard].reserve(options_.batch_items);
+  RefillStaged(shard);
   PushBatch(shard, std::move(batch));
 }
 
@@ -302,6 +305,7 @@ void ShardedMonitor::Reset() {
   }
   items_ingested_ = 0;
   producer_stalls_ = 0;
+  buffers_recycled_ = 0;
 }
 
 ShardedMonitorStats ShardedMonitor::Stats() const {
@@ -309,6 +313,7 @@ ShardedMonitorStats ShardedMonitor::Stats() const {
   stats.items_ingested = items_ingested_;
   stats.epoch = epoch_;
   stats.producer_stalls = producer_stalls_;
+  stats.buffers_recycled = buffers_recycled_;
   for (std::size_t s = 0; s < monitors_.size(); ++s) {
     stats.items_consumed +=
         sync_[s]->items_consumed.load(std::memory_order_relaxed);

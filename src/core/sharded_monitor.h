@@ -105,6 +105,11 @@ struct ShardedMonitorStats {
   /// saturation signal. A rising value means workers cannot keep up with
   /// the producer (grow ring_capacity, batch_items or shards).
   std::uint64_t producer_stalls = 0;
+  /// Staged batches whose buffer came from the worker→producer freelist
+  /// instead of a fresh allocation. In steady state this tracks
+  /// batches_pushed 1:1 — the per-staged-batch malloc is off the ingest
+  /// critical path.
+  std::uint64_t buffers_recycled = 0;
   std::uint64_t epoch = 0;            ///< currently open epoch
   std::uint64_t windows_retired = 0;  ///< rotated, not yet collected
 };
@@ -197,23 +202,49 @@ class ShardedMonitor {
     std::vector<PrehashedItem> items;
   };
 
-  /// Bounded SPSC ring of epoch-tagged batches. Index monotonicity:
-  /// head_ is advanced only by the producer, tail_ only by the consumer;
-  /// slot (index & mask) is owned by the producer when index - tail_ <
-  /// capacity and by the consumer when tail_ < head_.
-  class BatchRing {
+  /// Bounded SPSC ring. Index monotonicity: head_ is advanced only by the
+  /// pushing thread, tail_ only by the popping thread; slot (index & mask)
+  /// is owned by the pusher when index - tail_ < capacity and by the popper
+  /// when tail_ < head_. On a failed TryPush the value is NOT consumed (the
+  /// move into the slot happens only on success), so callers may retry with
+  /// the same object.
+  ///
+  /// Used in both directions: producer→worker for epoch-tagged batches, and
+  /// worker→producer for drained item buffers flowing back to the staging
+  /// freelist (so steady-state ingest never mallocs a batch buffer).
+  template <typename T>
+  class SpscRing {
    public:
-    explicit BatchRing(std::size_t capacity_pow2);
+    explicit SpscRing(std::size_t capacity_pow2)
+        : slots_(capacity_pow2), mask_(capacity_pow2 - 1) {}
 
-    bool TryPush(Batch&& batch);
-    bool TryPop(Batch* out);
+    bool TryPush(T&& value) {
+      const std::size_t head = head_.load(std::memory_order_relaxed);
+      const std::size_t tail = tail_.load(std::memory_order_acquire);
+      if (head - tail > mask_) return false;  // full
+      slots_[head & mask_] = std::move(value);
+      head_.store(head + 1, std::memory_order_release);
+      return true;
+    }
+
+    bool TryPop(T* out) {
+      const std::size_t tail = tail_.load(std::memory_order_relaxed);
+      const std::size_t head = head_.load(std::memory_order_acquire);
+      if (tail == head) return false;  // empty
+      *out = std::move(slots_[tail & mask_]);
+      tail_.store(tail + 1, std::memory_order_release);
+      return true;
+    }
 
    private:
-    std::vector<Batch> slots_;
+    std::vector<T> slots_;
     std::size_t mask_;
     alignas(64) std::atomic<std::size_t> head_{0};  // next write index
     alignas(64) std::atomic<std::size_t> tail_{0};  // next read index
   };
+
+  using BatchRing = SpscRing<Batch>;
+  using BufferRing = SpscRing<std::vector<PrehashedItem>>;
 
   /// Per-shard cross-thread state. The atomics are the worker's published
   /// progress (consumed counters double as the Drain quiescence barrier:
@@ -231,6 +262,9 @@ class ShardedMonitor {
 
   void WorkerLoop(std::size_t shard);
   void FlushStaged(std::size_t shard);
+  /// Refills staged_[shard] after a flush: a recycled buffer from the
+  /// shard's freelist when one is waiting, a fresh allocation otherwise.
+  void RefillStaged(std::size_t shard);
   /// Pushes with bounded exponential backoff; counts a producer stall when
   /// the ring is full on first attempt.
   void PushBatch(std::size_t shard, Batch&& batch);
@@ -241,13 +275,20 @@ class ShardedMonitor {
   ShardedMonitorOptions options_;
   std::vector<Monitor> monitors_;
   std::vector<std::unique_ptr<BatchRing>> rings_;
+  /// Worker→producer freelist, one per shard (keeps every ring SPSC): the
+  /// worker pushes a consumed batch's cleared buffer, the producer pops it
+  /// when restaging. Either side may find the ring full/empty and fall back
+  /// (drop the buffer / malloc a fresh one) — recycling is opportunistic,
+  /// never blocking.
+  std::vector<std::unique_ptr<BufferRing>> free_rings_;
   std::vector<std::unique_ptr<ShardSync>> sync_;
   std::vector<std::vector<PrehashedItem>> staged_;  // producer-side, per shard
   std::vector<std::uint64_t> batches_pushed_;       // producer-side, per shard
   std::vector<std::thread> workers_;
   std::atomic<bool> done_{false};
-  std::uint64_t epoch_ = 0;            // open epoch (producer-side)
-  std::uint64_t producer_stalls_ = 0;  // ring-full flush events
+  std::uint64_t epoch_ = 0;             // open epoch (producer-side)
+  std::uint64_t producer_stalls_ = 0;   // ring-full flush events
+  std::uint64_t buffers_recycled_ = 0;  // staged buffers reused via freelist
   count_t items_ingested_ = 0;
   std::optional<Monitor> scratch_;     // Report() workspace, built lazily
 };

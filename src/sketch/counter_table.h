@@ -7,8 +7,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "sketch/counter_kernels.h"
 #include "util/common.h"
 #include "util/hash.h"
+#include "util/simd.h"
 
 /// \file counter_table.h
 /// The shared counter substrate of the counter-array sketches (CountMin,
@@ -22,6 +24,14 @@
 /// cache-blocked: the prehashed column is consumed in L1-sized blocks so
 /// every row pass re-reads a resident block instead of streaming the whole
 /// column `depth` times from L2/DRAM.
+///
+/// The batched bucket derivations dispatch through the SIMD kernel layer
+/// (sketch/counter_kernels.h): on AVX2/AVX-512 hosts AddPrehashed runs the
+/// remix + fast-range math 4/8 lanes wide into a stack-resident index
+/// buffer and only the (conflict-safe) increments stay scalar; the scalar
+/// dispatch level keeps the original fused loop as the portable reference.
+/// Both produce bit-identical counters. Per-item operations stay scalar at
+/// every level (see Add for why a per-item panel loses).
 ///
 /// The table deliberately knows nothing about signs, norms or candidate
 /// pools; sketches that need them (CountSketch) keep those alongside and
@@ -74,7 +84,12 @@ class CounterTable {
     return row_seeds_[static_cast<std::size_t>(row)];
   }
 
-  /// Adds `count` to every row's bucket of `ph`.
+  /// Adds `count` to every row's bucket of `ph`. Deliberately scalar: the
+  /// vector kernels only engage on the batched paths, where derivations
+  /// amortize across a block. A per-item "panel" (lanes across rows) has
+  /// to hand its wide store straight to narrow per-row loads — a failed
+  /// store-to-load forward per read, measured as a 4x per-item ingest
+  /// regression on AVX2 at real depths.
   void Add(const PrehashedItem& ph, CounterT count) {
     for (int r = 0; r < depth_; ++r) {
       Row(r)[BucketOf(r, ph.hash)] += count;
@@ -91,19 +106,62 @@ class CounterTable {
   }
 
   /// Conservative update: raises each row's counter only as far as needed
-  /// for the new minimum to reflect the update (insert-only streams).
+  /// for the new minimum to reflect the update (insert-only streams). The
+  /// bucket indices are derived once and reused by the read and write
+  /// passes (scalar on purpose — see Add).
   void AddConservative(const PrehashedItem& ph, CounterT count) {
-    const CounterT target = Min(ph) + count;
+    std::uint64_t idx[kMaxDepth];
     for (int r = 0; r < depth_; ++r) {
-      CounterT& cell = Row(r)[BucketOf(r, ph.hash)];
+      idx[static_cast<std::size_t>(r)] = BucketOf(r, ph.hash);
+    }
+    CounterT best = Row(0)[idx[0]];
+    for (int r = 1; r < depth_; ++r) {
+      best = std::min(best, Row(r)[idx[static_cast<std::size_t>(r)]]);
+    }
+    const CounterT target = best + count;
+    for (int r = 0; r < depth_; ++r) {
+      CounterT& cell = Row(r)[idx[static_cast<std::size_t>(r)]];
       cell = std::max(cell, target);
     }
   }
 
   /// Unit-count batched add of a prehashed column, cache-blocked and
-  /// row-major: per block, per row, the row pointer and seed are hoisted so
-  /// the inner loop is one remix, one fast-range and one increment.
+  /// row-major. On vector dispatch levels the remix + fast-range math runs
+  /// SIMD into a stack index buffer and the increments replay it in stream
+  /// order (conflict-safe: colliding lanes never lose an increment); the
+  /// scalar level keeps the fused loop, whose inner body is one remix, one
+  /// fast-range and one increment. Increment order per row differs between
+  /// the two structures only across commutative integer adds, so counters
+  /// are bit-identical at every dispatch level.
   void AddPrehashed(const PrehashedItem* data, std::size_t n) {
+    const kernels::KernelTable& k = kernels::Dispatch();
+    if (k.isa != simd::Isa::kScalar) {
+      // Vector path: the shared micro-block software pipeline
+      // (kernels::MicroBlockPipeline) inside the same row-major cache
+      // blocking as the scalar loop, so one row's counters and one 16 KiB
+      // column block stay L1-resident per pass.
+      std::uint64_t idx[2][kernels::kMicroBlockItems];
+      for (std::size_t base = 0; base < n; base += kBlockItems) {
+        const std::size_t m = std::min(kBlockItems, n - base);
+        const PrehashedItem* const block = data + base;
+        for (int r = 0; r < depth_; ++r) {
+          CounterT* const row = Row(r);
+          const std::uint64_t seed = row_seeds_[static_cast<std::size_t>(r)];
+          kernels::MicroBlockPipeline(
+              block, m,
+              [&](const PrehashedItem* p, std::size_t mm, int slot) {
+                k.bucket_row(p, mm, seed, width_, idx[slot]);
+              },
+              [&](int slot, std::size_t mm) {
+                const std::uint64_t* const buf = idx[slot];
+                for (std::size_t i = 0; i < mm; ++i) {
+                  row[buf[i]] += CounterT{1};
+                }
+              });
+        }
+      }
+      return;
+    }
     for (std::size_t base = 0; base < n; base += kBlockItems) {
       const std::size_t m = std::min(kBlockItems, n - base);
       const PrehashedItem* const block = data + base;

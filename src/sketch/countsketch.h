@@ -22,7 +22,12 @@
 /// Buckets come from the shared prehash stage through a CounterTable
 /// (counter_table.h); signs keep their per-row 4-wise-independent
 /// PolynomialHash — the F2 variance bound genuinely needs the independence,
-/// while bucket selection only needs uniformity.
+/// while bucket selection only needs uniformity. On AVX2/AVX-512 dispatch
+/// levels (sketch/counter_kernels.h) the batched UpdatePrehashed path runs
+/// both derivations lane-parallel over item micro-blocks, bit-identically
+/// to the scalar PolynomialHash path; per-item operations stay scalar at
+/// every level (a per-item lanes-across-rows panel loses to store-to-load
+/// forwarding stalls at real depths).
 
 namespace substream {
 

@@ -2,21 +2,6 @@
 
 namespace substream {
 
-namespace {
-
-/// Reduces a 128-bit product modulo 2^61 - 1 using the Mersenne identity
-/// 2^61 ≡ 1 (mod p).
-inline std::uint64_t ModMersenne(unsigned __int128 x) {
-  constexpr std::uint64_t kP = PolynomialHash::kPrime;
-  std::uint64_t lo = static_cast<std::uint64_t>(x & kP);
-  std::uint64_t hi = static_cast<std::uint64_t>(x >> 61);
-  std::uint64_t r = lo + hi;
-  if (r >= kP) r -= kP;
-  return r;
-}
-
-}  // namespace
-
 PolynomialHash::PolynomialHash(int independence, std::uint64_t seed) {
   SUBSTREAM_CHECK(independence >= 1);
   coeffs_.resize(static_cast<std::size_t>(independence));
@@ -33,10 +18,10 @@ std::uint64_t PolynomialHash::Hash(std::uint64_t x) const {
   std::uint64_t xm = x % kPrime;
   unsigned __int128 acc = coeffs_.back();
   for (std::size_t i = coeffs_.size(); i-- > 1;) {
-    acc = static_cast<unsigned __int128>(ModMersenne(acc)) * xm +
+    acc = static_cast<unsigned __int128>(ModMersenne61(acc)) * xm +
           coeffs_[i - 1];
   }
-  return ModMersenne(acc);
+  return ModMersenne61(acc);
 }
 
 TabulationHash::TabulationHash(std::uint64_t seed) {

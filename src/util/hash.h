@@ -115,6 +115,21 @@ inline std::uint64_t RemixHash(std::uint64_t prehash, std::uint64_t seed) {
   return x ^ (x >> 29);
 }
 
+/// Reduces a 128-bit value modulo the Mersenne prime 2^61 - 1 via the
+/// identity 2^61 ≡ 1 (mod p): fold the top bits down, one conditional
+/// subtraction. The SINGLE definition of this reduction — PolynomialHash
+/// and the SIMD sign kernels (sketch/counter_kernels.cc) both evaluate it,
+/// and their bit-identity contract depends on the exact operation sequence
+/// here (including the rare not-fully-reduced edge value p).
+inline std::uint64_t ModMersenne61(unsigned __int128 x) {
+  constexpr std::uint64_t kP = (1ULL << 61) - 1;
+  const std::uint64_t lo = static_cast<std::uint64_t>(x) & kP;
+  const std::uint64_t hi = static_cast<std::uint64_t>(x >> 61);
+  std::uint64_t r = lo + hi;
+  if (r >= kP) r -= kP;
+  return r;
+}
+
 /// k-wise independent hash over GF(2^61 - 1).
 ///
 /// h(x) = (c_{k-1} x^{k-1} + ... + c_1 x + c_0) mod (2^61 - 1), evaluated by
@@ -152,6 +167,11 @@ class PolynomialHash {
   }
 
   int independence() const { return static_cast<int>(coeffs_.size()); }
+
+  /// Coefficients (constant term first), already reduced into [0, kPrime).
+  /// The SIMD sign kernels (sketch/counter_kernels.h) evaluate the same
+  /// polynomial lane-parallel from a packed copy of these.
+  const std::vector<std::uint64_t>& coefficients() const { return coeffs_; }
 
   /// Memory footprint of the hash description in bytes.
   std::size_t SpaceBytes() const {
