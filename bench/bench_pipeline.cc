@@ -108,6 +108,20 @@ struct PolyhashCountSketchReference {
   }
 };
 
+/// Cell-width ladder row: like EmitRow but tagged with the physical cell
+/// width, and its speedup denominator is the same-ISA 64-bit-cell rate so
+/// the row reads directly as "narrow cells buy this much at this level".
+void EmitCellRow(const char* target, const char* mode, std::size_t items,
+                 double items_per_sec, double wide_baseline, int cell_bits) {
+  std::printf(
+      "{\"bench\":\"pipeline\",\"target\":\"%s\",\"mode\":\"%s\","
+      "\"cell_bits\":%d,\"items\":%zu,\"items_per_sec\":%.0f,"
+      "\"speedup_vs_64bit\":%.3f,%s}\n",
+      target, mode, cell_bits, items, items_per_sec,
+      wide_baseline > 0.0 ? items_per_sec / wide_baseline : 0.0,
+      bench::RowTags(simd::Name(kernels::ActiveIsa())).c_str());
+}
+
 void EmitRow(const char* target, const char* mode, std::size_t items,
              double items_per_sec, double scalar_baseline) {
   // Every row carries the dispatch level it ran under plus compiler/build
@@ -252,6 +266,34 @@ int main(int argc, char** argv) {
           repeats, items, [] { return CountSketch(5, 4096, 3); },
           [&](auto& sk) { sk.UpdatePrehashed(column.data(), column.size()); });
       EmitRow("countsketch", "kernel", items, cs, countsketch_scalar);
+
+      // Cell-width ladder: the same CountMin ingest kernel at every
+      // physical cell width, at a dense cache-pressure geometry (4 x 2^16
+      // cells, matching the stream universe: 2 MiB of 64-bit counters vs
+      // 256 KiB of 8-bit ones) so every touched line is shared and the rows
+      // show what compact cells buy via footprint. Power-of-two width
+      // engages the mask fast path in place of fast-range. The denominator
+      // is the same-ISA 64-bit rate, measured first.
+      {
+        double cells_wide = 0.0;
+        for (CellWidth cw : {CellWidth::k64, CellWidth::k32, CellWidth::k16,
+                             CellWidth::k8}) {
+          const double rate = BestRate(
+              repeats, items,
+              [cw] {
+                return CounterTable<count_t>(
+                    4, std::uint64_t{1} << 16, 3,
+                    CounterTableOptions{cw, OverflowPolicy::kSpill,
+                                        /*pow2_width=*/true});
+              },
+              [&](auto& table) {
+                table.AddPrehashed(column.data(), column.size());
+              });
+          if (cw == CellWidth::k64) cells_wide = rate;
+          EmitCellRow("countmin", "kernel_cells", items, rate, cells_wide,
+                      CellBits(cw));
+        }
+      }
 
       const kernels::KernelTable& kt = kernels::Dispatch();
       const double braw = BestRate(

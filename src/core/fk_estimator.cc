@@ -50,6 +50,7 @@ FkEstimator::FkEstimator(const FkParams& params, std::uint64_t seed)
       ls.cs_depth = std::max(
           5, static_cast<int>(std::ceil(2.0 * std::log(1.0 / params.delta))) | 1);
       ls.max_depth = CeilLog2(std::max<item_t>(2, params.universe));
+      ls.cell_width = params.cell_width;
       sketch_backend_ = std::make_unique<IndykWoodruffEstimator>(
           ls, DeriveSeed(seed, 0xf17));
       break;
@@ -202,6 +203,7 @@ void FkEstimator::Serialize(serde::Writer& out) const {
   out.U8(static_cast<std::uint8_t>(params_.backend));
   out.F64(params_.space_multiplier);
   out.Varint(params_.max_width);
+  out.U8(static_cast<std::uint8_t>(params_.cell_width));
   out.Varint(sampled_length_);
   if (sketch_backend_) {
     sketch_backend_->Serialize(out);
@@ -222,13 +224,17 @@ std::optional<FkEstimator> FkEstimator::Deserialize(serde::Reader& in) {
   const std::uint8_t backend = in.U8();
   params.space_multiplier = in.F64();
   params.max_width = in.Varint();
+  std::uint8_t cell_width = static_cast<std::uint8_t>(CellWidth::k64);
+  if (in.record_version() >= 3) cell_width = in.U8();
   const count_t sampled_length = in.Varint();
   if (!in.ok() || k < 1 || k > 12 || !serde::ValidOpenUnit(params.epsilon) ||
       !serde::ValidOpenUnit(params.delta) ||
       !serde::ValidProbability(params.p) || backend > 2 ||
+      cell_width > static_cast<std::uint8_t>(CellWidth::k64) ||
       !serde::ValidPositive(params.space_multiplier)) {
     return std::nullopt;
   }
+  params.cell_width = static_cast<CellWidth>(cell_width);
   params.k = static_cast<int>(k);
   params.backend = static_cast<CollisionBackend>(backend);
   FkEstimator estimator(DeserializeTag{}, params);

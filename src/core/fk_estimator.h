@@ -54,6 +54,10 @@ struct FkParams {
   double space_multiplier = 8.0;
   /// Hard cap on CountSketch width per level (0 = uncapped).
   std::uint64_t max_width = 0;
+  /// Physical cell width of the level-set CountSketch counters
+  /// (cell_width.h); spill promotion keeps estimates unchanged. Ignored by
+  /// the exact backends.
+  CellWidth cell_width = CellWidth::k64;
 };
 
 /// One-pass F_k estimator over the sampled stream (Algorithm 1).

@@ -30,6 +30,7 @@ void SerializeParams(serde::Writer& out, const HeavyHitterParams& params) {
   out.F64(params.epsilon);
   out.F64(params.delta);
   out.F64(params.p);
+  out.U8(static_cast<std::uint8_t>(params.cell_width));
 }
 
 HeavyHitterParams DeserializeParams(serde::Reader& in) {
@@ -38,6 +39,14 @@ HeavyHitterParams DeserializeParams(serde::Reader& in) {
   params.epsilon = in.F64();
   params.delta = in.F64();
   params.p = in.F64();
+  if (in.record_version() >= 3) {
+    const std::uint8_t cw = in.U8();
+    if (cw > static_cast<std::uint8_t>(CellWidth::k64)) {
+      in.Fail();
+      return params;
+    }
+    params.cell_width = static_cast<CellWidth>(cw);
+  }
   return params;
 }
 
@@ -50,7 +59,8 @@ F1HeavyHitterEstimator::F1HeavyHitterEstimator(const HeavyHitterParams& params,
       // delta' = delta/4.
       alpha_prime_((1.0 - 0.4 * params.epsilon) * params.alpha),
       tracker_(alpha_prime_, params.epsilon / 2.0, params.delta / 4.0,
-               DeriveSeed(seed, 0x441)) {
+               DeriveSeed(seed, 0x441),
+               CounterTableOptions{params.cell_width}) {
   ValidateParams(params);
 }
 
@@ -163,7 +173,8 @@ F2HeavyHitterEstimator::F2HeavyHitterEstimator(const HeavyHitterParams& params,
       // and keeps the CountSketch width (~1/(eps' alpha')^2) manageable.
       // The sqrt(p) in alpha' is what drives the O~(1/p) space scaling.
       tracker_(alpha_prime_, params.epsilon / 4.0, params.delta / 4.0,
-               DeriveSeed(seed, 0x442)) {
+               DeriveSeed(seed, 0x442),
+               CounterTableOptions{params.cell_width}) {
   ValidateParams(params);
 }
 

@@ -36,6 +36,9 @@ struct HeavyHitterParams {
   double epsilon = 0.2;  ///< exclusion-gap / frequency-accuracy parameter
   double delta = 0.05;   ///< failure probability
   double p = 1.0;        ///< sampling probability of the observed stream
+  /// Physical cell width of the nested sketch counters (cell_width.h);
+  /// spill promotion keeps estimates unchanged.
+  CellWidth cell_width = CellWidth::k64;
 };
 
 /// Theorem 6: F1-heavy hitters of P from L via CountMin.

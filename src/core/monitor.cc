@@ -28,7 +28,7 @@ bool SameConfig(const MonitorConfig& a, const MonitorConfig& b) {
          a.enable_heavy_hitters == b.enable_heavy_hitters &&
          a.hh_alpha == b.hh_alpha && a.hh_epsilon == b.hh_epsilon &&
          a.epsilon == b.epsilon && a.delta == b.delta &&
-         a.max_f2_width == b.max_f2_width;
+         a.max_f2_width == b.max_f2_width && a.cell_width == b.cell_width;
 }
 
 }  // namespace
@@ -52,6 +52,7 @@ Monitor::Monitor(const MonitorConfig& config, std::uint64_t seed)
     params.delta = config.delta;
     params.backend = CollisionBackend::kSketch;
     params.max_width = config.max_f2_width;
+    params.cell_width = config.cell_width;
     f2_.emplace(params, DeriveSeed(seed, 2));
   }
   if (config.enable_entropy) {
@@ -66,6 +67,7 @@ Monitor::Monitor(const MonitorConfig& config, std::uint64_t seed)
     params.epsilon = config.hh_epsilon;
     params.delta = config.delta;
     params.p = config.p;
+    params.cell_width = config.cell_width;
     heavy_.emplace(params, DeriveSeed(seed, 4));
   }
 }
@@ -189,6 +191,7 @@ void Monitor::Serialize(serde::Writer& out) const {
   out.F64(config_.epsilon);
   out.F64(config_.delta);
   out.Varint(config_.max_f2_width);
+  out.U8(static_cast<std::uint8_t>(config_.cell_width));
   out.U64(seed_);
   out.Varint(sampled_length_);
   if (f0_) f0_->Serialize(out);
@@ -212,9 +215,15 @@ std::optional<Monitor> Monitor::Deserialize(serde::Reader& in) {
   config.epsilon = in.F64();
   config.delta = in.F64();
   config.max_f2_width = in.Varint();
+  std::uint8_t cell_width = static_cast<std::uint8_t>(CellWidth::k64);
+  if (in.record_version() >= 3) cell_width = in.U8();
   const std::uint64_t seed = in.U64();
   const count_t sampled_length = in.Varint();
-  if (!in.ok() || !serde::ValidProbability(config.p)) return std::nullopt;
+  if (!in.ok() || !serde::ValidProbability(config.p) ||
+      cell_width > static_cast<std::uint8_t>(CellWidth::k64)) {
+    return std::nullopt;
+  }
+  config.cell_width = static_cast<CellWidth>(cell_width);
   Monitor monitor(DeserializeTag{}, config, seed);
   monitor.sampled_length_ = sampled_length;
   // Nested records follow in fixed order, one per enabled estimator; their

@@ -62,6 +62,13 @@ struct MonitorConfig {
   double delta = 0.05;
   /// Cap on the F2 level-set sketch width (0 = analytic width).
   std::uint64_t max_f2_width = 1 << 13;
+  /// Physical cell width of the counter-array sketches (F2 level sets and
+  /// heavy hitters; cell_width.h). Narrow cells spill into wider overflow
+  /// levels on saturation, so every estimate is unchanged — this knob
+  /// trades nothing but cache footprint. 32-bit cells are a safe default
+  /// for windowed deployments; 64-bit is the conservative historical
+  /// layout.
+  CellWidth cell_width = CellWidth::k64;
 };
 
 /// A consolidated window report. Fields for disabled statistics are

@@ -132,10 +132,11 @@ bool Reader::ExpectRecord(TypeTag tag) {
   const std::uint8_t got_tag = U8();
   const std::uint8_t got_version = U8();
   if (!ok_ || got_tag != static_cast<std::uint8_t>(tag) ||
-      got_version != kFormatVersion) {
+      got_version < kMinDecodableVersion || got_version > kFormatVersion) {
     ok_ = false;
     return false;
   }
+  record_version_ = got_version;
   return true;
 }
 

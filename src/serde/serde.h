@@ -69,7 +69,17 @@ namespace serde {
 ///     v1 writer are meaningless under v2 derivations (and vice versa), so
 ///     v1 records must be rejected loudly instead of decoded into silently
 ///     corrupt estimates and merges.
-inline constexpr std::uint8_t kFormatVersion = 2;
+/// v3: compact counter cells — counter-table records carry a cell-width
+///     byte, a storage-flags byte (power-of-two masking, saturating
+///     overflow) and the lazily-allocated overflow-spill levels; core
+///     estimator records carry their cell-width knob. Hash semantics are
+///     unchanged from v2, so v2 records stay decodable: readers accept
+///     both versions (Reader::record_version()) and interpret v2 records
+///     as 64-bit-cell tables with no extra fields. v1 is still rejected.
+inline constexpr std::uint8_t kFormatVersion = 3;
+
+/// Oldest record version current readers still accept.
+inline constexpr std::uint8_t kMinDecodableVersion = 2;
 
 /// One tag per serializable summary type. Values are wire-stable: never
 /// reorder or reuse, only append.
@@ -149,9 +159,14 @@ class Reader {
   std::int64_t Svarint();
   bool Raw(void* out, std::size_t n);
 
-  /// Consumes and checks the record envelope; fails on tag or version
-  /// mismatch.
+  /// Consumes and checks the record envelope; fails on tag mismatch or a
+  /// version outside [kMinDecodableVersion, kFormatVersion]. On success the
+  /// record's version is available via record_version() until the next
+  /// ExpectRecord, so decoders can skip fields older writers never emitted.
   bool ExpectRecord(TypeTag tag);
+
+  /// Version byte of the record most recently accepted by ExpectRecord.
+  std::uint8_t record_version() const { return record_version_; }
 
   /// True when `count` elements of at least `min_bytes_each` bytes each can
   /// still be present in the remaining input; fails the reader otherwise.
@@ -163,6 +178,7 @@ class Reader {
   const std::uint8_t* cursor_;
   const std::uint8_t* end_;
   bool ok_ = true;
+  std::uint8_t record_version_ = kFormatVersion;
 };
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #if SUBSTREAM_SIMD_X86
 #include <immintrin.h>
@@ -70,10 +71,20 @@ void SignRow4Scalar(const PrehashedItem* items, std::size_t n,
   }
 }
 
+void BucketRowMaskScalar(const PrehashedItem* items, std::size_t n,
+                         std::uint64_t row_seed, std::uint64_t mask,
+                         std::uint64_t* out_idx) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out_idx[i] = RemixHash(items[i].hash, row_seed) & mask;
+  }
+}
+
 constexpr KernelTable kScalarTable = {
     simd::Isa::kScalar,
     BucketRowScalar,
     SignRow4Scalar,
+    BucketRowMaskScalar,
+    nullptr,
 };
 
 #if SUBSTREAM_SIMD_X86
@@ -262,10 +273,28 @@ __attribute__((target("avx2"))) void SignRow4Avx2(const PrehashedItem* items,
   SignRow4Scalar(items + i, n - i, c, out_sign + i);
 }
 
+__attribute__((target("avx2"))) void BucketRowMaskAvx2(
+    const PrehashedItem* items, std::size_t n, std::uint64_t row_seed,
+    std::uint64_t mask, std::uint64_t* out_idx) {
+  const __m256i seed = _mm256_set1_epi64x(static_cast<long long>(row_seed));
+  const __m256i m = _mm256_set1_epi64x(static_cast<long long>(mask));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i mixed = RemixAvx2(LoadHashes4(items + i), seed);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_idx + i),
+                        _mm256_and_si256(mixed, m));
+  }
+  BucketRowMaskScalar(items + i, n - i, row_seed, mask, out_idx + i);
+}
+
 constexpr KernelTable kAvx2Table = {
     simd::Isa::kAvx2,
     BucketRowAvx2,
     SignRow4Avx2,
+    BucketRowMaskAvx2,
+    // No packed increments on AVX2: the gather-increment-scatter replay
+    // needs scatter and lane-conflict detection, which are AVX-512-only.
+    nullptr,
 };
 
 // ---------------------------------------------------------------------------
@@ -416,10 +445,115 @@ __attribute__((target("avx512f,avx512dq"))) void SignRow4Avx512(
   SignRow4Scalar(items + i, n - i, c, out_sign + i);
 }
 
+__attribute__((target("avx512f,avx512dq"))) void BucketRowMaskAvx512(
+    const PrehashedItem* items, std::size_t n, std::uint64_t row_seed,
+    std::uint64_t mask, std::uint64_t* out_idx) {
+  const __m512i seed = _mm512_set1_epi64(static_cast<long long>(row_seed));
+  const __m512i m = _mm512_set1_epi64(static_cast<long long>(mask));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i mixed = RemixAvx512(LoadHashes8(items + i), seed);
+    _mm512_storeu_si512(reinterpret_cast<void*>(out_idx + i),
+                        _mm512_and_si512(mixed, m));
+  }
+  BucketRowMaskScalar(items + i, n - i, row_seed, mask, out_idx + i);
+}
+
+/// One packed-cell unit increment, word-granular and aliasing-safe (memcpy
+/// word access). The AVX-512 kernel's conflict/stop/tail fallback; replays
+/// in stream order so spill state matches the scalar reference exactly.
+inline void IncOnePacked(void* cells, std::uint64_t flat, unsigned log2_cpw,
+                         std::uint32_t cell_mask, std::uint32_t stop_field,
+                         KernelTable::IncColdFn cold, void* ctx) {
+  const std::uint64_t word_idx = flat >> log2_cpw;
+  const unsigned shift = static_cast<unsigned>(flat & ((1u << log2_cpw) - 1))
+                         << (5 - log2_cpw);
+  unsigned char* const word_ptr =
+      static_cast<unsigned char*>(cells) + word_idx * 4;
+  std::uint32_t word;
+  std::memcpy(&word, word_ptr, 4);
+  const std::uint32_t field = (word >> shift) & cell_mask;
+  if (field == stop_field) {
+    // The cold path rewrites cell storage itself (a spill zeroes the cell
+    // and promotes), so the local word copy must not be written back.
+    cold(ctx, flat);
+    return;
+  }
+  word = (word & ~(cell_mask << shift)) | (((field + 1) & cell_mask) << shift);
+  std::memcpy(word_ptr, &word, 4);
+}
+
+/// Lane-packed unit increments: gather the 8 target cells' 32-bit words,
+/// increment the addressed fields in-register, scatter back. Safe exactly
+/// when the 8 lanes touch 8 distinct words (vpconflictq on the *word*
+/// indices — two distinct cells sharing a word still read-modify-write the
+/// same word) and no lane's field sits at the stop pattern; any other group
+/// replays scalar in stream order, which also keeps spill promotion
+/// deterministic. Increments commute, so clean-group reordering cannot be
+/// observed in the final counters.
+__attribute__((target("avx2,avx512f,avx512dq,avx512cd"))) void
+IncRowPackedAvx512(void* cells, std::uint64_t row_base,
+                   const std::uint64_t* buckets, std::size_t n,
+                   unsigned log2_cpw, std::uint32_t cell_mask,
+                   std::uint32_t stop_field, KernelTable::IncColdFn cold,
+                   void* ctx) {
+  const __m512i vbase = _mm512_set1_epi64(static_cast<long long>(row_base));
+  const __m512i vcpw_mask =
+      _mm512_set1_epi64(static_cast<long long>((1u << log2_cpw) - 1));
+  const __m128i word_shift = _mm_cvtsi32_si128(static_cast<int>(log2_cpw));
+  const __m128i field_shift =
+      _mm_cvtsi32_si128(static_cast<int>(5 - log2_cpw));
+  const __m256i vmask32 = _mm256_set1_epi32(static_cast<int>(cell_mask));
+  const __m256i vstop = _mm256_set1_epi32(static_cast<int>(stop_field));
+  const __m256i vone = _mm256_set1_epi32(1);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i flat = _mm512_add_epi64(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(buckets + i)),
+        vbase);
+    const __m512i widx = _mm512_srl_epi64(flat, word_shift);
+    const __m512i conf = _mm512_conflict_epi64(widx);
+    if (_mm512_test_epi64_mask(conf, conf) != 0) {
+      for (std::size_t j = 0; j < 8; ++j) {
+        IncOnePacked(cells, row_base + buckets[i + j], log2_cpw, cell_mask,
+                     stop_field, cold, ctx);
+      }
+      continue;
+    }
+    const __m256i words = _mm512_i64gather_epi32(widx, cells, 4);
+    const __m256i sh32 = _mm512_cvtepi64_epi32(
+        _mm512_sll_epi64(_mm512_and_si512(flat, vcpw_mask), field_shift));
+    const __m256i fields =
+        _mm256_and_si256(_mm256_srlv_epi32(words, sh32), vmask32);
+    // Stop detection via AVX2 compare + movemask: the table's target set
+    // deliberately excludes AVX512VL, so no 256-bit mask-register compare.
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi32(fields, vstop)) != 0) {
+      for (std::size_t j = 0; j < 8; ++j) {
+        IncOnePacked(cells, row_base + buckets[i + j], log2_cpw, cell_mask,
+                     stop_field, cold, ctx);
+      }
+      continue;
+    }
+    const __m256i inc =
+        _mm256_and_si256(_mm256_add_epi32(fields, vone), vmask32);
+    const __m256i cleared =
+        _mm256_andnot_si256(_mm256_sllv_epi32(vmask32, sh32), words);
+    const __m256i neww =
+        _mm256_or_si256(cleared, _mm256_sllv_epi32(inc, sh32));
+    _mm512_i64scatter_epi32(cells, widx, neww, 4);
+  }
+  for (; i < n; ++i) {
+    IncOnePacked(cells, row_base + buckets[i], log2_cpw, cell_mask,
+                 stop_field, cold, ctx);
+  }
+}
+
 constexpr KernelTable kAvx512Table = {
     simd::Isa::kAvx512,
     BucketRowAvx512,
     SignRow4Avx512,
+    BucketRowMaskAvx512,
+    IncRowPackedAvx512,
 };
 
 #endif  // SUBSTREAM_SIMD_X86

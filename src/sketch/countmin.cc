@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "serde/serde.h"
+#include "sketch/table_serde.h"
 
 namespace substream {
 
@@ -28,18 +29,23 @@ std::uint64_t WidthFromEpsilon(double epsilon) {
 }  // namespace
 
 CountMinSketch::CountMinSketch(const CountMinParams& params,
-                               std::uint64_t seed)
+                               std::uint64_t seed,
+                               CounterTableOptions options)
     : CountMinSketch(DepthFromDelta(params.delta),
                      WidthFromEpsilon(params.epsilon),
-                     params.conservative_update, seed) {}
+                     params.conservative_update, seed, options) {}
 
 CountMinSketch::CountMinSketch(int depth, std::uint64_t width,
-                               bool conservative_update, std::uint64_t seed)
+                               bool conservative_update, std::uint64_t seed,
+                               CounterTableOptions options)
     : depth_(depth),
       width_(width),
       conservative_update_(conservative_update),
       seed_(seed),
-      table_(depth, width, seed) {}
+      table_(depth, width, seed, options) {
+  // The table may have rounded the width up to a power of two.
+  width_ = table_.width();
+}
 
 void CountMinSketch::Update(const PrehashedItem& ph, count_t count) {
   total_ += count;
@@ -79,8 +85,13 @@ void CountMinSketch::Reset() {
 }
 
 bool CountMinSketch::MergeCompatibleWith(const CountMinSketch& other) const {
+  // Cell widths may differ (Merge promotes to the wider side), but the
+  // bucket reduction (mask vs fast-range places items differently) and the
+  // overflow policy must agree for the merged counters to mean anything.
   return depth_ == other.depth_ && width_ == other.width_ &&
-         seed_ == other.seed_;
+         seed_ == other.seed_ &&
+         table_.pow2_width() == other.table_.pow2_width() &&
+         table_.overflow() == other.table_.overflow();
 }
 
 void CountMinSketch::Merge(const CountMinSketch& other) {
@@ -112,9 +123,12 @@ void CountMinSketch::Serialize(serde::Writer& out) const {
   out.Varint(width_);
   out.Bool(conservative_update_);
   out.U64(seed_);
+  out.U8(static_cast<std::uint8_t>(table_.cell_width()));
+  out.U8(table_serde::FlagsOf(table_.options()));
   out.Varint(total_);
-  // Flat row-major: byte-identical to the historical nested-row encoding.
-  for (count_t c : table_.cells()) out.Varint(c);
+  // Physical levels, base first. For the default 64-bit layout this is the
+  // historical flat cell encoding plus a zero upper-level count.
+  table_serde::WriteLevels(out, table_);
 }
 
 std::optional<CountMinSketch> CountMinSketch::Deserialize(serde::Reader& in) {
@@ -123,6 +137,10 @@ std::optional<CountMinSketch> CountMinSketch::Deserialize(serde::Reader& in) {
   const std::uint64_t width = in.Varint();
   const bool conservative = in.Bool();
   const std::uint64_t seed = in.U64();
+  CounterTableOptions options;  // v2 records: 64-bit spill cells
+  if (in.record_version() >= 3 && !table_serde::ReadOptions(in, &options)) {
+    return std::nullopt;
+  }
   const count_t total = in.Varint();
   // Mirror the constructor checks, then bound the allocation by the bytes
   // actually present (each counter is at least one varint byte).
@@ -130,16 +148,24 @@ std::optional<CountMinSketch> CountMinSketch::Deserialize(serde::Reader& in) {
       width > (1ULL << 48)) {
     return std::nullopt;
   }
+  // Serialized widths are post-rounding; a pow2 record with a non-pow2
+  // width would silently re-round on construction and desynchronize the
+  // cell count from the wire.
+  if (options.pow2_width && (width & (width - 1)) != 0) return std::nullopt;
   if (!in.CanHold(depth * width, 1)) return std::nullopt;
-  CountMinSketch sketch(static_cast<int>(depth), width, conservative, seed);
+  CountMinSketch sketch(static_cast<int>(depth), width, conservative, seed,
+                        options);
   sketch.total_ = total;
-  for (count_t& c : sketch.table_.cells()) c = in.Varint();
-  if (!in.ok()) return std::nullopt;
+  if (!table_serde::ReadLevels(in, &sketch.table_,
+                               in.record_version() == 2)) {
+    return std::nullopt;
+  }
   return sketch;
 }
 
 CountMinHeavyHitters::CountMinHeavyHitters(double phi, double eps_resolution,
-                                           double delta, std::uint64_t seed)
+                                           double delta, std::uint64_t seed,
+                                           CounterTableOptions options)
     : phi_(phi),
       sketch_(
           CountMinParams{
@@ -148,7 +174,7 @@ CountMinHeavyHitters::CountMinHeavyHitters(double phi, double eps_resolution,
               /*epsilon=*/0.5 * eps_resolution * phi,
               /*delta=*/delta,
               /*conservative_update=*/false},
-          seed) {
+          seed, options) {
   SUBSTREAM_CHECK(phi > 0.0 && phi <= 1.0);
   SUBSTREAM_CHECK(eps_resolution > 0.0 && eps_resolution < 1.0);
   // At most 1/(phi (1 - eps)) items can be heavy; keep slack for churn.

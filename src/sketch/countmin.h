@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "sketch/cell_width.h"
 #include "sketch/counter_table.h"
 #include "sketch/sketch.h"
 #include "util/common.h"
@@ -45,11 +46,15 @@ struct CountMinParams {
 /// Estimate(i) <= f_i + eps * F1 with probability >= 1 - delta.
 class CountMinSketch {
  public:
-  CountMinSketch(const CountMinParams& params, std::uint64_t seed);
+  /// `options` picks the physical cell storage (cell_width.h); the default
+  /// is the historical 64-bit layout. With the power-of-two option the
+  /// effective width() is the requested width rounded up to 2^k.
+  CountMinSketch(const CountMinParams& params, std::uint64_t seed,
+                 CounterTableOptions options = {});
 
   /// Explicit geometry: depth rows x width counters.
   CountMinSketch(int depth, std::uint64_t width, bool conservative_update,
-                 std::uint64_t seed);
+                 std::uint64_t seed, CounterTableOptions options = {});
 
   /// Adds `count` occurrences of `item`.
   void Update(item_t item, count_t count = 1) {
@@ -83,7 +88,9 @@ class CountMinSketch {
   /// Merges a sketch built with the same geometry and seed; afterwards this
   /// sketch summarizes the concatenation of both streams. Merging standard
   /// (non-conservative) sketches is exact; conservative-update sketches
-  /// merge by counter-wise max-sum and may further overestimate.
+  /// merge by counter-wise max-sum and may further overestimate. Cell
+  /// widths may differ — this sketch promotes to the wider side — but the
+  /// bucket-reduction mode (pow2 flag) and overflow policy must match.
   void Merge(const CountMinSketch& other);
   /// True when Merge(other) preconditions hold, checked all the way
   /// down through nested summaries; the Collector uses this to reject
@@ -102,6 +109,11 @@ class CountMinSketch {
   int depth() const { return depth_; }
   std::uint64_t width() const { return width_; }
   std::uint64_t seed() const { return seed_; }
+  /// Storage policy of the counter table. cell_width reflects the *base*
+  /// level after any merge promotion.
+  const CounterTableOptions& table_options() const {
+    return table_.options();
+  }
 
   /// Sketch memory footprint in bytes (counters + row seeds).
   std::size_t SpaceBytes() const;
@@ -128,9 +140,10 @@ class CountMinSketch {
 class CountMinHeavyHitters {
  public:
   /// `phi` is the heavy-hitter fraction (alpha in Definition 4); the sketch
-  /// resolves frequencies to within eps_resolution * phi * F1.
+  /// resolves frequencies to within eps_resolution * phi * F1. `options`
+  /// picks the nested sketch's cell storage.
   CountMinHeavyHitters(double phi, double eps_resolution, double delta,
-                       std::uint64_t seed);
+                       std::uint64_t seed, CounterTableOptions options = {});
 
   void Update(item_t item, count_t count = 1) {
     Update(MakePrehashed(item), count);

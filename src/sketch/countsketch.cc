@@ -4,12 +4,19 @@
 #include <cmath>
 
 #include "serde/serde.h"
+#include "sketch/table_serde.h"
 #include "util/stats.h"
 
 namespace substream {
 
-CountSketch::CountSketch(int depth, std::uint64_t width, std::uint64_t seed)
-    : depth_(depth), width_(width), seed_(seed), table_(depth, width, seed) {
+CountSketch::CountSketch(int depth, std::uint64_t width, std::uint64_t seed,
+                         CounterTableOptions options)
+    : depth_(depth),
+      width_(width),
+      seed_(seed),
+      table_(depth, width, seed, options) {
+  // The table may have rounded the width up to a power of two.
+  width_ = table_.width();
   row_sumsq_.assign(static_cast<std::size_t>(depth), 0.0);
   sign_hashes_.reserve(static_cast<std::size_t>(depth));
   for (int r = 0; r < depth; ++r) {
@@ -30,13 +37,27 @@ CountSketch::CountSketch(int depth, std::uint64_t width, std::uint64_t seed)
 
 void CountSketch::Update(const PrehashedItem& ph, std::int64_t count) {
   total_ += count;
+  if (table_.cell_width() == CellWidth::k64) {
+    for (int r = 0; r < depth_; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      std::int64_t& cell = table_.Row(r)[table_.BucketOf(r, ph.hash)];
+      const std::int64_t delta = sign_hashes_[rr].Sign(ph.item) * count;
+      // (x + d)^2 - x^2 = 2xd + d^2, keeping the row norm current in O(1).
+      row_sumsq_[rr] += static_cast<double>(2 * cell * delta + delta * delta);
+      cell += delta;
+    }
+    return;
+  }
+  // Narrow cells: identical arithmetic against the logical (level-summed)
+  // value, so the norm increments — and their FP accumulation order — match
+  // the 64-bit path exactly.
   for (int r = 0; r < depth_; ++r) {
     const auto rr = static_cast<std::size_t>(r);
-    std::int64_t& cell = table_.Row(r)[table_.BucketOf(r, ph.hash)];
+    const std::size_t flat = table_.FlatIndex(r, table_.BucketOf(r, ph.hash));
+    const std::int64_t cell = table_.AtFlat(flat);
     const std::int64_t delta = sign_hashes_[rr].Sign(ph.item) * count;
-    // (x + d)^2 - x^2 = 2xd + d^2, keeping the row norm current in O(1).
     row_sumsq_[rr] += static_cast<double>(2 * cell * delta + delta * delta);
-    cell += delta;
+    table_.AddAtFlat(flat, delta);
   }
 }
 
@@ -44,14 +65,28 @@ double CountSketch::UpdateAndEstimate(const PrehashedItem& ph,
                                       std::int64_t count) {
   total_ += count;
   double row_estimates[CounterTable<std::int64_t>::kMaxDepth];
+  if (table_.cell_width() == CellWidth::k64) {
+    for (int r = 0; r < depth_; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      std::int64_t& cell = table_.Row(r)[table_.BucketOf(r, ph.hash)];
+      const int sign = sign_hashes_[rr].Sign(ph.item);
+      const std::int64_t delta = sign * count;
+      row_sumsq_[rr] += static_cast<double>(2 * cell * delta + delta * delta);
+      cell += delta;
+      row_estimates[rr] = static_cast<double>(sign) * static_cast<double>(cell);
+    }
+    return MedianInPlace(row_estimates, static_cast<std::size_t>(depth_));
+  }
   for (int r = 0; r < depth_; ++r) {
     const auto rr = static_cast<std::size_t>(r);
-    std::int64_t& cell = table_.Row(r)[table_.BucketOf(r, ph.hash)];
+    const std::size_t flat = table_.FlatIndex(r, table_.BucketOf(r, ph.hash));
+    const std::int64_t cell = table_.AtFlat(flat);
     const int sign = sign_hashes_[rr].Sign(ph.item);
     const std::int64_t delta = sign * count;
     row_sumsq_[rr] += static_cast<double>(2 * cell * delta + delta * delta);
-    cell += delta;
-    row_estimates[rr] = static_cast<double>(sign) * static_cast<double>(cell);
+    table_.AddAtFlat(flat, delta);
+    row_estimates[rr] =
+        static_cast<double>(sign) * static_cast<double>(cell + delta);
   }
   return MedianInPlace(row_estimates, static_cast<std::size_t>(depth_));
 }
@@ -66,12 +101,18 @@ void CountSketch::UpdateBatch(const item_t* data, std::size_t n) {
 void CountSketch::UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
   constexpr std::size_t kBlock = CounterTable<std::int64_t>::kBlockItems;
   const kernels::KernelTable& k = kernels::Dispatch();
+  const bool k64 = table_.cell_width() == CellWidth::k64;
+  const bool pow2 = table_.pow2_width();
   if (k.isa != simd::Isa::kScalar) {
     // Vector path: derive bucket indices and signs lane-parallel into
     // micro-block stack buffers via the shared double-buffered pipeline
     // (kernels::MicroBlockPipeline), then replay the order-sensitive cell
     // and row-norm updates serially in stream order — bit-identical to the
-    // scalar loop (same FP accumulation order for the row norms).
+    // scalar loop (same FP accumulation order for the row norms). Narrow
+    // cells replay through the logical AtFlat/AddAtFlat view, which equals
+    // the 64-bit cell value exactly (mod-2^64 level sums), so the norm
+    // stream is unchanged; the packed increment kernel stays out of this
+    // path because the norm update is inherently serial.
     std::uint64_t idx[2][kernels::kMicroBlockItems];
     std::int64_t sgn[2][kernels::kMicroBlockItems];
     for (std::size_t base = 0; base < n; base += kBlock) {
@@ -79,7 +120,9 @@ void CountSketch::UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
       const PrehashedItem* const block = data + base;
       for (int r = 0; r < depth_; ++r) {
         const auto rr = static_cast<std::size_t>(r);
-        std::int64_t* const row = table_.Row(r);
+        std::int64_t* const row = k64 ? table_.Row(r) : nullptr;
+        const std::uint64_t row_base =
+            static_cast<std::uint64_t>(r) * width_;
         const std::uint64_t row_seed = table_.row_seed(r);
         // PolynomialHash stores exactly the 4 coefficients, constant term
         // first — the layout sign_row4 reads.
@@ -89,15 +132,30 @@ void CountSketch::UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
         kernels::MicroBlockPipeline(
             block, m,
             [&](const PrehashedItem* p, std::size_t mm, int slot) {
-              k.bucket_row(p, mm, row_seed, width_, idx[slot]);
+              if (pow2) {
+                k.bucket_row_mask(p, mm, row_seed, width_ - 1, idx[slot]);
+              } else {
+                k.bucket_row(p, mm, row_seed, width_, idx[slot]);
+              }
               k.sign_row4(p, mm, row_coeffs, sgn[slot]);
             },
             [&](int slot, std::size_t mm) {
+              if (k64) {
+                for (std::size_t i = 0; i < mm; ++i) {
+                  std::int64_t& cell = row[idx[slot][i]];
+                  const std::int64_t delta = sgn[slot][i];
+                  sumsq += static_cast<double>(2 * cell * delta + 1);
+                  cell += delta;
+                }
+                return;
+              }
               for (std::size_t i = 0; i < mm; ++i) {
-                std::int64_t& cell = row[idx[slot][i]];
+                const std::size_t flat =
+                    static_cast<std::size_t>(row_base + idx[slot][i]);
+                const std::int64_t cell = table_.AtFlat(flat);
                 const std::int64_t delta = sgn[slot][i];
                 sumsq += static_cast<double>(2 * cell * delta + 1);
-                cell += delta;
+                table_.AddAtFlat(flat, delta);
               }
             });
         row_sumsq_[rr] = sumsq;
@@ -111,17 +169,26 @@ void CountSketch::UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
     const PrehashedItem* const block = data + base;
     for (int r = 0; r < depth_; ++r) {
       const auto rr = static_cast<std::size_t>(r);
-      std::int64_t* const row = table_.Row(r);
+      std::int64_t* const row = k64 ? table_.Row(r) : nullptr;
+      const std::uint64_t row_base = static_cast<std::uint64_t>(r) * width_;
       const std::uint64_t row_seed = table_.row_seed(r);
       const PolynomialHash& sign_hash = sign_hashes_[rr];
-      const std::uint64_t width = width_;
       double sumsq = row_sumsq_[rr];
       for (std::size_t i = 0; i < m; ++i) {
-        std::int64_t& cell =
-            row[FastRange64(RemixHash(block[i].hash, row_seed), width)];
+        const std::uint64_t h = RemixHash(block[i].hash, row_seed);
+        const std::uint64_t b =
+            pow2 ? (h & (width_ - 1)) : FastRange64(h, width_);
         const std::int64_t delta = sign_hash.Sign(block[i].item);
-        sumsq += static_cast<double>(2 * cell * delta + 1);
-        cell += delta;
+        if (k64) {
+          std::int64_t& cell = row[b];
+          sumsq += static_cast<double>(2 * cell * delta + 1);
+          cell += delta;
+        } else {
+          const std::size_t flat = static_cast<std::size_t>(row_base + b);
+          const std::int64_t cell = table_.AtFlat(flat);
+          sumsq += static_cast<double>(2 * cell * delta + 1);
+          table_.AddAtFlat(flat, delta);
+        }
       }
       row_sumsq_[rr] = sumsq;
     }
@@ -136,25 +203,50 @@ void CountSketch::Reset() {
 }
 
 bool CountSketch::MergeCompatibleWith(const CountSketch& other) const {
+  // Cell widths may differ (Merge promotes to the wider side), but the
+  // bucket reduction and overflow policy must agree — see CountMin.
   return depth_ == other.depth_ && width_ == other.width_ &&
-         seed_ == other.seed_;
+         seed_ == other.seed_ &&
+         table_.pow2_width() == other.table_.pow2_width() &&
+         table_.overflow() == other.table_.overflow();
 }
 
 void CountSketch::Merge(const CountSketch& other) {
   SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging incompatible CountSketches");
+  if (table_.cell_width() == CellWidth::k64 &&
+      other.table_.cell_width() == CellWidth::k64) {
+    for (int r = 0; r < depth_; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      std::int64_t* const row = table_.Row(r);
+      const std::int64_t* const other_row = other.table_.Row(r);
+      double sumsq = 0.0;
+      for (std::uint64_t c = 0; c < width_; ++c) {
+        row[c] += other_row[c];
+        sumsq += static_cast<double>(row[c]) * static_cast<double>(row[c]);
+      }
+      row_sumsq_[rr] = sumsq;
+    }
+    total_ += other.total_;
+    return;
+  }
+  table_.MergeAdd(other.table_);
+  RecomputeRowNorms();
+  total_ += other.total_;
+}
+
+void CountSketch::RecomputeRowNorms() {
+  // Same ascending bucket order as the 64-bit merge loops, so equal merged
+  // counters give bit-equal norms regardless of storage width.
   for (int r = 0; r < depth_; ++r) {
-    const auto rr = static_cast<std::size_t>(r);
-    std::int64_t* const row = table_.Row(r);
-    const std::int64_t* const other_row = other.table_.Row(r);
     double sumsq = 0.0;
     for (std::uint64_t c = 0; c < width_; ++c) {
-      row[c] += other_row[c];
-      sumsq += static_cast<double>(row[c]) * static_cast<double>(row[c]);
+      const double v = static_cast<double>(
+          table_.AtFlat(table_.FlatIndex(r, c)));
+      sumsq += v * v;
     }
-    row_sumsq_[rr] = sumsq;
+    row_sumsq_[static_cast<std::size_t>(r)] = sumsq;
   }
-  total_ += other.total_;
 }
 
 void CountSketch::MergeScaled(const CountSketch& other, double weight) {
@@ -167,17 +259,24 @@ void CountSketch::MergeScaled(const CountSketch& other, double weight) {
   }
   SUBSTREAM_CHECK_MSG(MergeCompatibleWith(other),
                       "merging incompatible CountSketches");
-  for (int r = 0; r < depth_; ++r) {
-    const auto rr = static_cast<std::size_t>(r);
-    std::int64_t* const row = table_.Row(r);
-    const std::int64_t* const other_row = other.table_.Row(r);
-    double sumsq = 0.0;
-    for (std::uint64_t c = 0; c < width_; ++c) {
-      row[c] += ScaleCounter(other_row[c], weight);
-      sumsq += static_cast<double>(row[c]) * static_cast<double>(row[c]);
+  if (table_.cell_width() == CellWidth::k64 &&
+      other.table_.cell_width() == CellWidth::k64) {
+    for (int r = 0; r < depth_; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      std::int64_t* const row = table_.Row(r);
+      const std::int64_t* const other_row = other.table_.Row(r);
+      double sumsq = 0.0;
+      for (std::uint64_t c = 0; c < width_; ++c) {
+        row[c] += ScaleCounter(other_row[c], weight);
+        sumsq += static_cast<double>(row[c]) * static_cast<double>(row[c]);
+      }
+      row_sumsq_[rr] = sumsq;
     }
-    row_sumsq_[rr] = sumsq;
+    total_ += ScaleCounter(other.total_, weight);
+    return;
   }
+  table_.MergeAddScaled(other.table_, weight);
+  RecomputeRowNorms();
   total_ += ScaleCounter(other.total_, weight);
 }
 
@@ -185,11 +284,14 @@ double CountSketch::Estimate(const PrehashedItem& ph) const {
   // Stack scratch: this runs per item inside the level-set candidate
   // tracking, so a heap allocation here would dominate the readout.
   double row_estimates[CounterTable<std::int64_t>::kMaxDepth];
+  const bool k64 = table_.cell_width() == CellWidth::k64;
   for (int r = 0; r < depth_; ++r) {
     const auto rr = static_cast<std::size_t>(r);
-    row_estimates[rr] =
-        static_cast<double>(sign_hashes_[rr].Sign(ph.item)) *
-        static_cast<double>(table_.Row(r)[table_.BucketOf(r, ph.hash)]);
+    const std::uint64_t b = table_.BucketOf(r, ph.hash);
+    const std::int64_t cell =
+        k64 ? table_.Row(r)[b] : table_.AtFlat(table_.FlatIndex(r, b));
+    row_estimates[rr] = static_cast<double>(sign_hashes_[rr].Sign(ph.item)) *
+                        static_cast<double>(cell);
   }
   return MedianInPlace(row_estimates, static_cast<std::size_t>(depth_));
 }
@@ -211,12 +313,15 @@ void CountSketch::Serialize(serde::Writer& out) const {
   out.Varint(static_cast<std::uint64_t>(depth_));
   out.Varint(width_);
   out.U64(seed_);
+  out.U8(static_cast<std::uint8_t>(table_.cell_width()));
+  out.U8(table_serde::FlagsOf(table_.options()));
   out.Svarint(total_);
   // Row norms are serialized (not recomputed) so a decoded sketch is
   // bit-identical to the live one, incremental float error included.
   for (double sumsq : row_sumsq_) out.F64(sumsq);
-  // Flat row-major: byte-identical to the historical nested-row encoding.
-  for (std::int64_t c : table_.cells()) out.Svarint(c);
+  // Physical levels, base first; the default 64-bit layout reduces to the
+  // historical flat cell encoding plus a zero upper-level count.
+  table_serde::WriteLevels(out, table_);
 }
 
 std::optional<CountSketch> CountSketch::Deserialize(serde::Reader& in) {
@@ -224,17 +329,25 @@ std::optional<CountSketch> CountSketch::Deserialize(serde::Reader& in) {
   const std::uint64_t depth = in.Varint();
   const std::uint64_t width = in.Varint();
   const std::uint64_t seed = in.U64();
+  CounterTableOptions options;  // v2 records: 64-bit spill cells
+  if (in.record_version() >= 3 && !table_serde::ReadOptions(in, &options)) {
+    return std::nullopt;
+  }
   const std::int64_t total = in.Svarint();
   if (!in.ok() || depth < 1 || depth > 64 || width < 1 ||
       width > (1ULL << 48)) {
     return std::nullopt;
   }
+  // Serialized widths are post-rounding (see CountMin::Deserialize).
+  if (options.pow2_width && (width & (width - 1)) != 0) return std::nullopt;
   if (!in.CanHold(depth * width, 1)) return std::nullopt;
-  CountSketch sketch(static_cast<int>(depth), width, seed);
+  CountSketch sketch(static_cast<int>(depth), width, seed, options);
   sketch.total_ = total;
   for (double& sumsq : sketch.row_sumsq_) sumsq = in.F64();
-  for (std::int64_t& c : sketch.table_.cells()) c = in.Svarint();
-  if (!in.ok()) return std::nullopt;
+  if (!table_serde::ReadLevels(in, &sketch.table_,
+                               in.record_version() == 2)) {
+    return std::nullopt;
+  }
   return sketch;
 }
 
@@ -255,7 +368,8 @@ int DepthFromDelta(double delta) {
 CountSketchHeavyHitters::CountSketchHeavyHitters(double phi,
                                                  double eps_resolution,
                                                  double delta,
-                                                 std::uint64_t seed)
+                                                 std::uint64_t seed,
+                                                 CounterTableOptions options)
     : phi_(phi),
       sketch_(DepthFromDelta(delta),
               // Point error ~ sqrt(F2/width); to resolve phi*sqrt(F2) with
@@ -265,7 +379,7 @@ CountSketchHeavyHitters::CountSketchHeavyHitters(double phi,
               std::max<std::uint64_t>(
                   8, static_cast<std::uint64_t>(std::ceil(
                          2.0 / (eps_resolution * eps_resolution * phi * phi)))),
-              seed) {
+              seed, options) {
   SUBSTREAM_CHECK(phi > 0.0 && phi <= 1.0);
   SUBSTREAM_CHECK(eps_resolution > 0.0 && eps_resolution < 1.0);
   capacity_ = static_cast<std::size_t>(std::ceil(8.0 / (phi * phi))) + 16;

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "sketch/cell_width.h"
 #include "sketch/counter_table.h"
 #include "sketch/sketch.h"
 #include "util/common.h"
@@ -39,7 +40,11 @@ namespace substream {
 /// failure probability exp(-Omega(depth)).
 class CountSketch {
  public:
-  CountSketch(int depth, std::uint64_t width, std::uint64_t seed);
+  /// `options` picks the physical cell storage (cell_width.h); narrow cells
+  /// hold *signed* counters (stop pattern at max-positive). With the
+  /// power-of-two option the effective width() is rounded up to 2^k.
+  CountSketch(int depth, std::uint64_t width, std::uint64_t seed,
+              CounterTableOptions options = {});
 
   void Update(item_t item, std::int64_t count = 1) {
     Update(MakePrehashed(item), count);
@@ -106,6 +111,11 @@ class CountSketch {
   int depth() const { return depth_; }
   std::uint64_t width() const { return width_; }
   std::uint64_t seed() const { return seed_; }
+  /// Storage policy of the counter table (base width reflects any merge
+  /// promotion).
+  const CounterTableOptions& table_options() const {
+    return table_.options();
+  }
 
   std::size_t SpaceBytes() const;
 
@@ -127,6 +137,11 @@ class CountSketch {
   std::vector<double> row_sumsq_;
   std::vector<PolynomialHash> sign_hashes_;
   std::int64_t total_ = 0;
+
+  /// Rebuilds row_sumsq_ from the (possibly multi-level) counters in
+  /// ascending bucket order — the order the 64-bit merge loops accumulate
+  /// in, so merged norms are bit-equal across storage widths.
+  void RecomputeRowNorms();
 };
 
 /// CountSketch-based F2 heavy-hitter tracker: maintains candidates whose
@@ -135,8 +150,10 @@ class CountSketchHeavyHitters {
  public:
   /// `phi`: F2-heavy fraction (item is heavy when f_i >= phi * sqrt(F2)).
   /// `eps_resolution`: relative precision of the recovered frequencies.
+  /// `options` picks the nested sketch's cell storage.
   CountSketchHeavyHitters(double phi, double eps_resolution, double delta,
-                          std::uint64_t seed);
+                          std::uint64_t seed,
+                          CounterTableOptions options = {});
 
   void Update(item_t item, count_t count = 1) {
     Update(MakePrehashed(item), count);

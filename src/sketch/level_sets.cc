@@ -47,7 +47,8 @@ IndykWoodruffEstimator::IndykWoodruffEstimator(const LevelSetParams& params,
   for (int t = 0; t <= params.max_depth; ++t) {
     depths_.push_back(DepthSlot{
         CountSketch(params.cs_depth, params.cs_width,
-                    DeriveSeed(seed, 0x100 + static_cast<std::uint64_t>(t))),
+                    DeriveSeed(seed, 0x100 + static_cast<std::uint64_t>(t)),
+                    CounterTableOptions{params.cell_width}),
         {},
         {},
         true});
@@ -359,6 +360,7 @@ void IndykWoodruffEstimator::Serialize(serde::Writer& out) const {
   out.Varint(params_.candidate_capacity);
   out.Varint(static_cast<std::uint64_t>(params_.integer_bin_max));
   out.Varint(params_.exact_capacity);
+  out.U8(static_cast<std::uint8_t>(params_.cell_width));
   out.U64(seed_);
   out.Varint(total_);
   for (const DepthSlot& slot : depths_) {
@@ -383,6 +385,14 @@ std::optional<IndykWoodruffEstimator> IndykWoodruffEstimator::Deserialize(
   params.candidate_capacity = in.Varint();
   const std::uint64_t integer_bin_max = in.Varint();
   params.exact_capacity = in.Varint();
+  std::uint8_t cell_width = static_cast<std::uint8_t>(CellWidth::k64);
+  if (in.record_version() >= 3) {
+    cell_width = in.U8();
+    if (cell_width > static_cast<std::uint8_t>(CellWidth::k64)) {
+      return std::nullopt;
+    }
+  }
+  params.cell_width = static_cast<CellWidth>(cell_width);
   const std::uint64_t seed = in.U64();
   const count_t total = in.Varint();
   // Mirror the constructor checks on untrusted input, then bound the total

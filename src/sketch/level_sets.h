@@ -71,6 +71,11 @@ struct LevelSetParams {
   /// original Indyk–Woodruff construction) instead of via CountSketch.
   /// 0 derives 2 * cs_width.
   std::size_t exact_capacity = 0;
+  /// Physical cell width of the per-depth CountSketch counters
+  /// (cell_width.h). Narrow cells spill into wider overflow levels, so
+  /// estimates are unchanged; deep, sparse substreams rarely spill and the
+  /// table footprint shrinks up to 8x.
+  CellWidth cell_width = CellWidth::k64;
 };
 
 /// Sketch-mode level-set estimator (Indyk–Woodruff).

@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <optional>
 #include <type_traits>
 #include <utility>
@@ -185,11 +186,26 @@ inline bool ValidMergeWeight(double w) { return w > 0.0 && w <= 1.0; }
 /// window weight; round-to-nearest keeps the scaled sketch an unbiased-in-
 /// expectation image of the decayed stream while the counters stay
 /// integral. Contributions under half a count round to zero and vanish —
-/// exactly the "aged out" semantics a decayed summary wants.
+/// exactly the "aged out" semantics a decayed summary wants. The result is
+/// clamped to CounterT's representable range: `llround` on a product at or
+/// beyond 2^63 is undefined behaviour, and an unchecked narrowing cast
+/// would silently wrap near-max cells instead of pinning them.
 template <typename CounterT>
 inline CounterT ScaleCounter(CounterT count, double weight) {
-  return static_cast<CounterT>(
-      std::llround(weight * static_cast<double>(count)));
+  const double scaled = weight * static_cast<double>(count);
+  // The max/min of CounterT round when converted to double (uint64 max
+  // becomes 2^64, int64 max becomes 2^63) — both are correct clamp
+  // thresholds: any product reaching them is out of llround's domain.
+  const double hi = static_cast<double>(std::numeric_limits<CounterT>::max());
+  const double lo = static_cast<double>(std::numeric_limits<CounterT>::min());
+  if (scaled >= hi) return std::numeric_limits<CounterT>::max();
+  if (scaled <= lo) return std::numeric_limits<CounterT>::min();
+  if constexpr (!std::is_signed_v<CounterT>) {
+    // Unsigned counters span past llround's int64 domain; products this
+    // large are exact integers in double, so a direct cast is lossless.
+    if (scaled >= 9223372036854775808.0) return static_cast<CounterT>(scaled);
+  }
+  return static_cast<CounterT>(std::llround(scaled));
 }
 
 /// Default `UpdateBatch` body: the plain item-at-a-time loop. Summaries

@@ -1,6 +1,7 @@
 #include "sketch/countmin.h"
 
 #include <algorithm>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -94,6 +95,40 @@ TEST(CountMinTest, GeometryFromParams) {
   EXPECT_GE(cm.depth(), 2);
   EXPECT_GT(cm.SpaceBytes(),
             static_cast<std::size_t>(cm.depth()) * cm.width() * 8 - 1);
+}
+
+TEST(CountMinTest, AddConservativeSaturatesNearMax) {
+  // Conservative update writes best + count; near the top of the counter
+  // domain that sum must saturate at the numeric limit instead of
+  // wrapping (a wrapped cell would *underestimate*, breaking the CountMin
+  // one-sided error guarantee).
+  CountMinSketch cm(3, 64, /*conservative_update=*/true, 9);
+  const count_t near_max = std::numeric_limits<count_t>::max() - 10;
+  cm.Update(42, near_max);
+  cm.Update(42, 100);
+  EXPECT_EQ(cm.Estimate(42), std::numeric_limits<count_t>::max());
+  // A later small update must keep the cell pinned, not wrap it.
+  cm.Update(42, 1);
+  EXPECT_EQ(cm.Estimate(42), std::numeric_limits<count_t>::max());
+}
+
+TEST(CountMinTest, MergeScaledClampsNearMaxCells) {
+  // Decayed merges round scaled counters back to the integer domain.
+  // Cells above 2^63 used to flow through llround, which is undefined for
+  // values outside the long-long range; the scaled value must instead be
+  // computed in the unsigned domain and clamped. 0.75 * (2^64) is exactly
+  // representable, so the expected counter is exact.
+  CountMinSketch a(2, 64, false, 9);
+  CountMinSketch b(2, 64, false, 9);
+  b.Update(7, std::numeric_limits<count_t>::max() - 3);
+  a.MergeScaled(b, 0.75);
+  EXPECT_EQ(a.Estimate(7), 13835058055282163712ULL);  // 3 * 2^62
+  // A second decayed merge adds 0.5 * 2^64 = 2^63; the cell accumulates
+  // mod 2^64 (the table's counter domain), so the result is exactly
+  // 3*2^62 + 2^63 - 2^64 = 2^62 — defined modular arithmetic, where the
+  // pre-fix code hit undefined llround behavior during the scaling step.
+  a.MergeScaled(b, 0.5);
+  EXPECT_EQ(a.Estimate(7), 4611686018427387904ULL);  // 2^62
 }
 
 TEST(CountMinHeavyHittersTest, FindsPlantedHeavyHitters) {

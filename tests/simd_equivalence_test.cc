@@ -108,6 +108,50 @@ void ExpectDispatchEquivalence(Factory make) {
   }
 }
 
+/// Whole-stream variant of ExpectDispatchEquivalence for hand-built
+/// streams (spill-boundary tests): per-item and batched ingest under every
+/// level must serialize byte-equal to the scalar per-item reference.
+template <typename Factory>
+void ExpectDispatchEquivalenceOnStream(Factory make, const Stream& s) {
+  DispatchGuard guard;
+  std::vector<PrehashedItem> column(s.size());
+  PrehashColumn(s.data(), s.size(), column.data());
+
+  ASSERT_TRUE(kernels::SetActive(simd::Isa::kScalar));
+  auto reference = make();
+  for (item_t x : s) reference.Update(x);
+  const std::vector<std::uint8_t> want = Bytes(reference);
+
+  for (simd::Isa isa : kernels::AvailableIsas()) {
+    ASSERT_TRUE(kernels::SetActive(isa));
+    SCOPED_TRACE(testing::Message()
+                 << "isa=" << simd::Name(isa) << " n=" << s.size());
+
+    auto per_item = make();
+    for (item_t x : s) per_item.Update(x);
+    EXPECT_EQ(Bytes(per_item), want)
+        << "per-item Update state differs from scalar reference";
+
+    auto batched = make();
+    batched.UpdatePrehashed(column.data(), column.size());
+    EXPECT_EQ(Bytes(batched), want)
+        << "UpdatePrehashed state differs from scalar reference";
+  }
+}
+
+/// `reps` copies of a hot item interleaved with distinct background items,
+/// so vector lanes carry mixed buckets while one bucket is driven across a
+/// narrow cell's saturation point.
+Stream SpillBoundaryStream(std::uint64_t reps) {
+  Stream s;
+  s.reserve(2 * reps);
+  for (std::uint64_t i = 0; i < reps; ++i) {
+    s.push_back(1);
+    s.push_back(2 + (i % 509));
+  }
+  return s;
+}
+
 TEST(SimdEquivalenceTest, DispatchLadderIsSane) {
   const auto levels = kernels::AvailableIsas();
   ASSERT_FALSE(levels.empty());
@@ -165,6 +209,120 @@ TEST(SimdEquivalenceTest, CountMinOddGeometries) {
       return CountMinSketch(depth, /*width=*/389,
                             /*conservative_update=*/false, /*seed=*/101);
     });
+  }
+}
+
+TEST(SimdEquivalenceTest, CountMinCellWidthMatrix) {
+  // Full cell-width x bucket-placement matrix: every compact storage
+  // policy must stay byte-identical across dispatch levels (the packed
+  // AVX-512 increment kernel and the typed scalar loops share this gate).
+  for (CellWidth cw : {CellWidth::k8, CellWidth::k16, CellWidth::k32,
+                       CellWidth::k64}) {
+    for (bool pow2 : {false, true}) {
+      SCOPED_TRACE(testing::Message() << "cell_bits=" << CellBits(cw)
+                                      << " pow2=" << pow2);
+      ExpectDispatchEquivalence([cw, pow2] {
+        return CountMinSketch(
+            /*depth=*/4, /*width=*/512, /*conservative_update=*/false,
+            /*seed=*/7,
+            CounterTableOptions{cw, OverflowPolicy::kSpill, pow2});
+      });
+    }
+  }
+}
+
+TEST(SimdEquivalenceTest, CountSketchCellWidthMatrix) {
+  // Signed variants: CountSketch's narrow cells hold signed counters and
+  // its row norms accumulate in stream order, so byte-equality here also
+  // pins the floating-point accumulation order across levels.
+  for (CellWidth cw : {CellWidth::k8, CellWidth::k16, CellWidth::k32,
+                       CellWidth::k64}) {
+    for (bool pow2 : {false, true}) {
+      SCOPED_TRACE(testing::Message() << "cell_bits=" << CellBits(cw)
+                                      << " pow2=" << pow2);
+      ExpectDispatchEquivalence([cw, pow2] {
+        return CountSketch(
+            /*depth=*/5, /*width=*/512, /*seed=*/13,
+            CounterTableOptions{cw, OverflowPolicy::kSpill, pow2});
+      });
+    }
+  }
+}
+
+TEST(SimdEquivalenceTest, CountMinCellWidthNonPow2Width) {
+  // Non-power-of-two width keeps fast-range placement in the narrow typed
+  // loops and the packed kernel's bucket derivation.
+  for (CellWidth cw : {CellWidth::k8, CellWidth::k16, CellWidth::k32}) {
+    ExpectDispatchEquivalence([cw] {
+      return CountMinSketch(/*depth=*/3, /*width=*/389,
+                            /*conservative_update=*/false, /*seed=*/101,
+                            CounterTableOptions{cw});
+    });
+  }
+}
+
+TEST(SimdEquivalenceTest, CountMinSpillBoundary) {
+  // Drive a hot bucket exactly to, one below, and one above a narrow
+  // cell's saturation point under both overflow policies. The spill cold
+  // path must fire identically from the packed vector kernel's replay and
+  // from the scalar loops, and the resulting level chain (or saturated
+  // cell) must serialize byte-equal at every dispatch level. The narrow
+  // estimates must also match a 64-bit sketch of the same seed exactly
+  // (spill mode only; saturate mode deliberately clamps).
+  struct Case {
+    CellWidth cw;
+    std::uint64_t sat;  // unit-increment stop value of the base cell
+  };
+  for (const Case& c : {Case{CellWidth::k8, 255},
+                        Case{CellWidth::k16, 65535}}) {
+    for (std::uint64_t reps : {c.sat - 1, c.sat, c.sat + 1}) {
+      for (OverflowPolicy policy :
+           {OverflowPolicy::kSpill, OverflowPolicy::kSaturate}) {
+        SCOPED_TRACE(testing::Message()
+                     << "cell_bits=" << CellBits(c.cw) << " reps=" << reps
+                     << " saturate="
+                     << (policy == OverflowPolicy::kSaturate));
+        const Stream s = SpillBoundaryStream(reps);
+        auto make = [&] {
+          return CountMinSketch(
+              /*depth=*/2, /*width=*/512, /*conservative_update=*/false,
+              /*seed=*/7, CounterTableOptions{c.cw, policy});
+        };
+        ExpectDispatchEquivalenceOnStream(make, s);
+        if (policy == OverflowPolicy::kSpill) {
+          DispatchGuard guard;
+          kernels::SetActive(simd::Best());
+          auto narrow = make();
+          CountMinSketch wide(2, 512, false, 7);
+          narrow.UpdateBatch(s.data(), s.size());
+          wide.UpdateBatch(s.data(), s.size());
+          for (item_t x = 1; x < 64; ++x) {
+            ASSERT_EQ(narrow.Estimate(x), wide.Estimate(x))
+                << "spill promotion changed the estimate of item " << x;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdEquivalenceTest, CountSketchSpillBoundary) {
+  // Signed narrow cells: the stop value is the max-positive pattern.
+  // Exercise the 8-bit boundary under both policies across all levels.
+  for (std::uint64_t reps : {126ULL, 127ULL, 128ULL, 129ULL}) {
+    for (OverflowPolicy policy :
+         {OverflowPolicy::kSpill, OverflowPolicy::kSaturate}) {
+      SCOPED_TRACE(testing::Message()
+                   << "reps=" << reps << " saturate="
+                   << (policy == OverflowPolicy::kSaturate));
+      const Stream s = SpillBoundaryStream(reps);
+      ExpectDispatchEquivalenceOnStream(
+          [policy] {
+            return CountSketch(/*depth=*/3, /*width=*/512, /*seed=*/13,
+                               CounterTableOptions{CellWidth::k8, policy});
+          },
+          s);
+    }
   }
 }
 
@@ -355,6 +513,21 @@ TEST(SimdEquivalenceTest, MonitorFullPipeline) {
     config.universe = 1 << 14;
     config.hh_alpha = 0.02;
     config.max_f2_width = 1 << 10;
+    return Monitor(config, 61);
+  });
+}
+
+TEST(SimdEquivalenceTest, MonitorCompactCells) {
+  // The facade's cell-width knob threads down to the F2 level sets and the
+  // heavy-hitter CountMin; the full pipeline must stay dispatch-invariant
+  // with compact cells.
+  ExpectDispatchEquivalence([] {
+    MonitorConfig config;
+    config.p = 0.25;
+    config.universe = 1 << 14;
+    config.hh_alpha = 0.02;
+    config.max_f2_width = 1 << 10;
+    config.cell_width = CellWidth::k32;
     return Monitor(config, 61);
   });
 }

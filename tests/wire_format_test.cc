@@ -1,15 +1,17 @@
-/// Golden-bytes wire-compatibility tests for the counter-table refactor.
+/// Golden-bytes wire-compatibility tests for the counter-table wire format.
 ///
-/// The flat CounterTable storage replaced the nested per-row vectors, but
-/// the wire records keep the same shape: geometry + seed header, then
-/// counters in row-major order. The bucket/hash *semantics* changed
-/// (prehash remix instead of polynomial buckets), so the format version is
-/// now 2 — v1 records decode to counters whose placement the v2
-/// derivations cannot interpret, and the version check rejects them loudly
-/// at decode time. These tests pin the exact v2 encoding of small
-/// fixed-seed sketches so an accidental re-ordering, header change or
-/// silent format-version drift fail loudly instead of corrupting
-/// cross-version Collector merges.
+/// Format v3 added the compact-cell storage policy: every counter-table
+/// record carries a cell-width byte and a flags byte (pow2 placement,
+/// saturate mode) after the seed, and a varint count of overflow-spill
+/// levels after the base cells. v2 records (fixed 64-bit cells, no policy
+/// header) still decode — kMinDecodableVersion is 2 — and map onto the
+/// 64-bit-cell configuration, so pre-upgrade checkpoints keep restoring.
+/// v1 records (pre-refactor polynomial bucket placement) stay rejected:
+/// their counter placement is meaningless under the prehash-remix
+/// derivations. These tests pin the exact v3 encoding of small fixed-seed
+/// sketches, plus one v2 byte string decoded for backward compatibility,
+/// so an accidental re-ordering, header change or silent format-version
+/// drift fail loudly instead of corrupting cross-version Collector merges.
 ///
 /// If a change is intentional (layout OR hash semantics), bump
 /// serde::kFormatVersion and regenerate the constants below.
@@ -29,6 +31,26 @@
 namespace substream {
 namespace {
 
+/// CountMin(2, 8, false, 5) with u8 cells after 300x item 1 and 1x item 2:
+/// header carries cell_width=k8/flags=0, the saturated base cells read 0,
+/// and one u16 overflow level holds the spilled 300s.
+constexpr const char* kCompactSpillGolden =
+    "010302080005000000000000000000ad02000000002c00000100000000002c0001"
+    "01000000008002000000000000000080020000";
+
+std::vector<std::uint8_t> HexToBytes(const std::string& hex) {
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  auto nibble = [](char c) -> std::uint8_t {
+    return static_cast<std::uint8_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+  };
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(
+        static_cast<std::uint8_t>(nibble(hex[i]) << 4 | nibble(hex[i + 1])));
+  }
+  return out;
+}
+
 template <typename S>
 std::string HexRecord(const S& summary) {
   serde::Writer writer;
@@ -47,15 +69,17 @@ TEST(WireFormatTest, CountMinGoldenBytes) {
   CountMinSketch cm(2, 8, false, 5);
   for (item_t x : {1ULL, 2ULL, 3ULL, 1ULL, 2ULL, 1ULL}) cm.Update(x);
   EXPECT_EQ(HexRecord(cm),
-            "010202080005000000000000000600000001030000020000000000040002");
+            "010302080005000000000000000300060000000103000002000000000004"
+            "000200");
 }
 
 TEST(WireFormatTest, CountSketchGoldenBytes) {
   CountSketch cs(3, 8, 6);
   for (item_t x : {10ULL, 11ULL, 12ULL, 10ULL, 11ULL, 10ULL}) cs.Update(x);
   EXPECT_EQ(HexRecord(cs),
-            "0302030806000000000000000c0000000000002c400000000000002040000000"
-            "0000002c40030000000005000103000000040000000000020400000005");
+            "03030308060000000000000003000c0000000000002c4000000000000020"
+            "400000000000002c400300000000050001030000000400000000000204000000"
+            "0500");
 }
 
 TEST(WireFormatTest, KmvGoldenBytes) {
@@ -64,7 +88,7 @@ TEST(WireFormatTest, KmvGoldenBytes) {
     kmv.Update(x);
   }
   EXPECT_EQ(HexRecord(kmv),
-            "0702040700000000000000047be0612813a19c49a7d49f31a9fc3261931de209"
+            "0703040700000000000000047be0612813a19c49a7d49f31a9fc3261931de209"
             "dc1e08aa9a47619abc2259c2");
 }
 
@@ -72,7 +96,53 @@ TEST(WireFormatTest, HyperLogLogGoldenBytes) {
   HyperLogLog hll(4, 8);
   for (item_t x : {200ULL, 201ULL, 202ULL}) hll.Update(x);
   EXPECT_EQ(HexRecord(hll),
-            "060204080000000000000000000000010000000000000500000000");
+            "060304080000000000000000000000010000000000000500000000");
+}
+
+TEST(WireFormatTest, CompactCellSpillGoldenBytes) {
+  // A u8-cell CountMin whose hot item crosses the 8-bit saturation point:
+  // the record must carry cell_width=k8, a non-zero upper-level count, and
+  // the spilled 16-bit level — pinned byte-for-byte so the level-chain
+  // framing cannot drift silently.
+  CountMinSketch cm(2, 8, false, 5,
+                    CounterTableOptions{CellWidth::k8});
+  for (int i = 0; i < 300; ++i) cm.Update(1);
+  cm.Update(2);
+  EXPECT_EQ(HexRecord(cm), kCompactSpillGolden);
+  // And the pinned bytes decode to the live state.
+  serde::Writer writer;
+  cm.Serialize(writer);
+  serde::Reader reader(writer.bytes());
+  auto decoded = CountMinSketch::Deserialize(reader);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->Estimate(1), 300u);
+  EXPECT_EQ(HexRecord(*decoded), HexRecord(cm));
+}
+
+TEST(WireFormatTest, V2RecordDecodesAsWide64) {
+  // The exact v2 golden bytes this suite pinned before the compact-cell
+  // format change (CountMin(2, 8, false, 5) fed {1,2,3,1,2,1}). A v3
+  // decoder must keep accepting them — kMinDecodableVersion == 2 — and
+  // materialize the historical layout: 64-bit cells, fast-range placement,
+  // spill mode, no overflow levels.
+  const auto bytes = HexToBytes(
+      "010202080005000000000000000600000001030000020000000000040002");
+  serde::Reader reader(bytes);
+  auto decoded = CountMinSketch::Deserialize(reader);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->table_options().cell_width, CellWidth::k64);
+  EXPECT_EQ(decoded->table_options().overflow, OverflowPolicy::kSpill);
+  EXPECT_FALSE(decoded->table_options().pow2_width);
+  // Estimates agree with a live sketch fed the same stream.
+  CountMinSketch live(2, 8, false, 5);
+  for (item_t x : {1ULL, 2ULL, 3ULL, 1ULL, 2ULL, 1ULL}) live.Update(x);
+  for (item_t x = 0; x < 8; ++x) {
+    EXPECT_EQ(decoded->Estimate(x), live.Estimate(x));
+  }
+  // Re-serializing writes the current (v3) format.
+  serde::Writer writer;
+  decoded->Serialize(writer);
+  EXPECT_EQ(writer.bytes()[1], serde::kFormatVersion);
 }
 
 TEST(WireFormatTest, PreRefactorVersionIsRejected) {
