@@ -28,6 +28,7 @@
 
 #include "bench/bench_util.h"
 #include "core/monitor.h"
+#include "obs/metrics.h"
 #include "sketch/counter_kernels.h"
 #include "sketch/counter_table.h"
 #include "sketch/countmin.h"
@@ -329,6 +330,45 @@ int main(int argc, char** argv) {
   // --- The full Monitor: the paper's many-estimators-one-pass facade.
   BenchSummary("monitor", repeats, sampled, column,
                [] { return Monitor(BenchConfig(), 3); });
+
+  // --- Telemetry overhead: the same Monitor batched ingest, plain vs
+  // wrapped in exactly the per-batch probes the pipeline layer adds (one
+  // ScopedTimer observation plus two counter increments per batch — the
+  // instrumentation granularity of ShardedMonitor's worker loop; telemetry
+  // never sits inside per-item sketch loops). speedup_vs_scalar reads as
+  // instrumented/plain, so a value near 1.0 IS the overhead budget this
+  // row exists to pin; with SKETCH_DISABLE_TELEMETRY the probes compile to
+  // nothing and the ratio measures pure noise. perf-smoke asserts the row
+  // is present and the ratio stays sane.
+  {
+    constexpr std::size_t kBatch = 4096;
+    const auto batched_ingest = [&](Monitor& monitor) {
+      for (std::size_t i = 0; i < sampled.size(); i += kBatch) {
+        const std::size_t n = std::min(kBatch, sampled.size() - i);
+        monitor.UpdateBatch(sampled.data() + i, n);
+      }
+    };
+    const double plain =
+        BestRate(repeats, items, [] { return Monitor(BenchConfig(), 3); },
+                 batched_ingest);
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    obs::Counter& batches = registry.GetCounter("bench_ingest_batches_total");
+    obs::Counter& ingested = registry.GetCounter("bench_ingest_items_total");
+    obs::Histogram& batch_ns =
+        registry.GetHistogram("bench_ingest_batch_duration_ns");
+    const double instrumented = BestRate(
+        repeats, items, [] { return Monitor(BenchConfig(), 3); },
+        [&](Monitor& monitor) {
+          for (std::size_t i = 0; i < sampled.size(); i += kBatch) {
+            const std::size_t n = std::min(kBatch, sampled.size() - i);
+            obs::ScopedTimer timer(batch_ns);
+            monitor.UpdateBatch(sampled.data() + i, n);
+            batches.Inc();
+            ingested.Inc(n);
+          }
+        });
+    EmitRow("monitor", "metrics_overhead", items, instrumented, plain);
+  }
 
   return 0;
 }

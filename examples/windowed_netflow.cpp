@@ -16,6 +16,13 @@
 /// within a window or two of onset while the all-time view barely moves —
 /// the reason rotation exists at all.
 ///
+/// Each closed window also emits the process telemetry snapshot (JSON with
+/// snapshot-diff rates) and the window's SketchHealth report. Watch the
+/// attack phase: producer stalls tick up as the hot flow skews shard load,
+/// and the 8-bit counter cells under the attack flow spill into overflow
+/// levels — spilled_cells goes nonzero in the heavy-hitter and F2 entries
+/// while every estimate stays exact.
+///
 ///   ./windowed_netflow [p] [windows]
 
 #include <cstdio>
@@ -23,6 +30,8 @@
 #include <utility>
 
 #include "core/substream.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 
 using namespace substream;
 
@@ -38,6 +47,9 @@ int main(int argc, char** argv) {
   config.universe = 1 << 20;
   config.hh_alpha = 0.05;
   config.max_f2_width = 1 << 12;
+  // 8-bit cells: 1/8th the counter footprint. The attack flow overflows
+  // them mid-run, so the health reports below show live spill promotion.
+  config.cell_width = CellWidth::k8;
 
   ShardedMonitorOptions pipeline_options;
   pipeline_options.shards = 4;
@@ -58,6 +70,7 @@ int main(int argc, char** argv) {
   Rng attack_rng(9);
   BernoulliSampler sampler(p, seed + 100);
   const item_t attack_flow = 999999999;
+  obs::MetricsSnapshot prev_snap;
 
   for (std::size_t w = 0; w < total_windows; ++w) {
     // The attack starts at the midpoint and carries 40% of the packets.
@@ -72,10 +85,13 @@ int main(int argc, char** argv) {
     pipeline.Ingest(sampled);
 
     // Close the window without stalling ingest, collect the merged epoch
-    // and age it into the ring.
+    // and age it into the ring. Health is read off the closed window
+    // before the ring absorbs it: this is the per-window degradation
+    // signal (fill/spill/saturation per summary plus derived bounds).
     pipeline.Rotate();
     auto closed = pipeline.CollectWindow(pipeline.CurrentEpoch() - 1);
     if (!closed) return 1;
+    const obs::HealthReport window_health = closed->Health();
     ring.AdoptWindow(std::move(*closed));
 
     // Crash-safe handoff: the whole horizon, one CRC-validated file.
@@ -89,6 +105,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     pipeline.Stats().producer_stalls),
                 attacking ? "  << attack" : "");
+
+    // Per-window telemetry: the process registry as JSON, with rates
+    // diffed against the previous window's snapshot (what a scraper would
+    // compute), plus the closed window's health report. The stall and
+    // rotate-latency series live in the metrics line; spill/fill
+    // degradation lives in the health line.
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::Global().Snapshot();
+    std::printf("  metrics %s\n",
+                obs::ToJson(snap, w == 0 ? nullptr : &prev_snap).c_str());
+    std::printf("  health  %s\n", obs::ToJson(window_health).c_str());
+    prev_snap = snap;
   }
 
   // A fresh process restores the ring and keeps answering.

@@ -129,6 +129,34 @@ std::size_t F0Estimator::SpaceBytes() const {
   return exact_->items.size() * sizeof(item_t);
 }
 
+void F0Estimator::AppendHealth(const std::string& name,
+                               std::vector<obs::SummaryHealth>* out) const {
+  obs::SummaryHealth health;
+  health.name = name;
+  health.space_bytes = SpaceBytes();
+  if (kmv_) {
+    health.kind = "kmv";
+    health.width = kmv_->k();
+    health.cells = kmv_->k();
+    health.nonzero_cells = kmv_->size();
+    health.epsilon = obs::KmvEpsilon(kmv_->k());
+    health.delta = params_.delta;
+  } else if (hll_) {
+    health.kind = "hll";
+    health.width = hll_->RegisterCount();
+    health.cells = hll_->RegisterCount();
+    health.nonzero_cells = hll_->NonZeroRegisters();
+    health.epsilon = obs::HllEpsilon(hll_->precision());
+    health.delta = params_.delta;
+  } else {
+    health.kind = "exact";
+    health.cells = exact_->items.size();
+    health.nonzero_cells = exact_->items.size();
+  }
+  obs::FinalizeRatios(health);
+  out->push_back(std::move(health));
+}
+
 void F0Estimator::Serialize(serde::Writer& out) const {
   out.Record(serde::TypeTag::kF0Estimator);
   out.F64(params_.p);

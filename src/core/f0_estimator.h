@@ -3,7 +3,10 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
+#include "obs/health.h"
 #include "sketch/hyperloglog.h"
 #include "sketch/kmv.h"
 #include "util/common.h"
@@ -81,6 +84,11 @@ class F0Estimator {
   const F0Params& params() const { return params_; }
 
   std::size_t SpaceBytes() const;
+
+  /// Appends one SummaryHealth entry for the active backend under `name`
+  /// (KMV fill = retained/k; HLL fill = touched registers / 2^precision).
+  void AppendHealth(const std::string& name,
+                    std::vector<obs::SummaryHealth>* out) const;
 
   /// Appends the versioned wire record: parameter header, then the active
   /// backend's nested record (serde/serde.h).

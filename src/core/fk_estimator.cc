@@ -192,6 +192,22 @@ std::size_t FkEstimator::SpaceBytes() const {
   return exact_backend_->SpaceBytes();
 }
 
+void FkEstimator::AppendHealth(const std::string& name,
+                               std::vector<obs::SummaryHealth>* out) const {
+  if (sketch_backend_) {
+    obs::SummaryHealth health = sketch_backend_->Health();
+    health.name = name;
+    out->push_back(std::move(health));
+    return;
+  }
+  obs::SummaryHealth health;
+  health.name = name;
+  health.kind = "exact_level_sets";
+  health.space_bytes = SpaceBytes();
+  obs::FinalizeRatios(health);
+  out->push_back(std::move(health));
+}
+
 void FkEstimator::Serialize(serde::Writer& out) const {
   out.Record(serde::TypeTag::kFkEstimator);
   out.Varint(static_cast<std::uint64_t>(params_.k));

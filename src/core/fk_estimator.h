@@ -3,8 +3,10 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "obs/health.h"
 #include "sketch/level_sets.h"
 #include "util/common.h"
 
@@ -116,6 +118,11 @@ class FkEstimator {
   const FkParams& params() const { return params_; }
 
   std::size_t SpaceBytes() const;
+
+  /// Appends one SummaryHealth entry for the active backend under `name`
+  /// (sketch mode: per-depth CountSketch tables aggregated).
+  void AppendHealth(const std::string& name,
+                    std::vector<obs::SummaryHealth>* out) const;
 
   /// Feasibility threshold of Theorem 1: estimation is information-
   /// theoretically possible only when p = Omega~(min(m, n)^{-1/k}).

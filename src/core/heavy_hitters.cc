@@ -127,6 +127,13 @@ std::vector<HeavyHitter> F1HeavyHitterEstimator::Estimate() const {
   return out;
 }
 
+void F1HeavyHitterEstimator::AppendHealth(
+    const std::string& name, std::vector<obs::SummaryHealth>* out) const {
+  obs::SummaryHealth health = tracker_.sketch().Health();
+  health.name = name;
+  out->push_back(std::move(health));
+}
+
 void F1HeavyHitterEstimator::Serialize(serde::Writer& out) const {
   out.Record(serde::TypeTag::kF1HeavyHitterEstimator);
   SerializeParams(out, params_);
@@ -237,6 +244,13 @@ std::vector<HeavyHitter> F2HeavyHitterEstimator::Estimate() const {
       static_cast<std::size_t>(std::ceil(2.0 / params_.alpha));
   if (out.size() > cap) out.resize(cap);
   return out;
+}
+
+void F2HeavyHitterEstimator::AppendHealth(
+    const std::string& name, std::vector<obs::SummaryHealth>* out) const {
+  obs::SummaryHealth health = tracker_.sketch().Health();
+  health.name = name;
+  out->push_back(std::move(health));
 }
 
 void F2HeavyHitterEstimator::Serialize(serde::Writer& out) const {

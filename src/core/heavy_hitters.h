@@ -2,8 +2,10 @@
 #define SUBSTREAM_CORE_HEAVY_HITTERS_H_
 
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "obs/health.h"
 #include "sketch/countmin.h"
 #include "sketch/countsketch.h"
 #include "util/common.h"
@@ -84,6 +86,10 @@ class F1HeavyHitterEstimator {
   const HeavyHitterParams& params() const { return params_; }
   std::size_t SpaceBytes() const { return tracker_.SpaceBytes(); }
 
+  /// Appends the nested CountMin table's SummaryHealth under `name`.
+  void AppendHealth(const std::string& name,
+                    std::vector<obs::SummaryHealth>* out) const;
+
   /// Appends the versioned wire record: parameter header, then the nested
   /// tracker record.
   void Serialize(serde::Writer& out) const;
@@ -138,6 +144,10 @@ class F2HeavyHitterEstimator {
   count_t SampledLength() const { return sampled_length_; }
   const HeavyHitterParams& params() const { return params_; }
   std::size_t SpaceBytes() const { return tracker_.SpaceBytes(); }
+
+  /// Appends the nested CountSketch table's SummaryHealth under `name`.
+  void AppendHealth(const std::string& name,
+                    std::vector<obs::SummaryHealth>* out) const;
 
   /// Appends the versioned wire record: parameter header, then the nested
   /// tracker record.

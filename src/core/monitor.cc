@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "serde/checkpoint.h"
 #include "serde/serde.h"
 #include "sketch/sketch.h"
@@ -168,6 +169,29 @@ MonitorReport Monitor::Report() const {
   return report;
 }
 
+obs::HealthReport Monitor::Health() const {
+  obs::HealthReport report;
+  report.sampled_length = sampled_length_;
+  report.sampling_p = config_.p;
+  if (f0_) f0_->AppendHealth("f0", &report.summaries);
+  if (f2_) f2_->AppendHealth("f2", &report.summaries);
+  if (entropy_) {
+    // The entropy backends (MLE sample / AMS reservoir) have no counter
+    // table to scan; report identity and footprint so the summary list is
+    // complete per enabled estimator.
+    obs::SummaryHealth health;
+    health.name = "entropy";
+    health.kind = entropy_->params().backend == EntropyBackend::kMle
+                      ? "entropy_mle"
+                      : "entropy_ams";
+    health.space_bytes = entropy_->SpaceBytes();
+    obs::FinalizeRatios(health);
+    report.summaries.push_back(std::move(health));
+  }
+  if (heavy_) heavy_->AppendHealth("hh", &report.summaries);
+  return report;
+}
+
 std::size_t Monitor::SpaceBytes() const {
   std::size_t bytes = sizeof(*this);
   if (f0_) bytes += f0_->SpaceBytes();
@@ -252,8 +276,15 @@ std::optional<Monitor> Monitor::Deserialize(serde::Reader& in) {
 }
 
 bool Monitor::Checkpoint(const std::string& path) const {
+  static obs::Histogram& encode_hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "substream_serde_encode_duration_ns",
+          "Wall time serializing a Monitor record for checkpointing");
   serde::Writer writer;
-  Serialize(writer);
+  {
+    obs::ScopedTimer timer(encode_hist);
+    Serialize(writer);
+  }
   return serde::WriteCheckpointFile(path, writer.bytes());
 }
 

@@ -9,6 +9,7 @@
 #include "core/f0_estimator.h"
 #include "core/fk_estimator.h"
 #include "core/heavy_hitters.h"
+#include "obs/health.h"
 #include "util/common.h"
 
 /// \file monitor.h
@@ -123,6 +124,13 @@ class Monitor {
 
   /// Consolidated estimates about the original stream P.
   MonitorReport Report() const;
+
+  /// SketchHealth introspection (obs/health.h): one SummaryHealth entry per
+  /// enabled estimator backend — geometry, fill ratio, overflow-spill and
+  /// saturation fractions, derived (eps, delta) bounds, space. Scans the
+  /// counter tables, so cost is O(total cells); call at report cadence, not
+  /// per batch.
+  obs::HealthReport Health() const;
 
   const MonitorConfig& config() const { return config_; }
   std::uint64_t seed() const { return seed_; }

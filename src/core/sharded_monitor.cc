@@ -4,11 +4,55 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/hash.h"
 
 namespace substream {
 
 namespace {
+
+/// Registry handles for the pipeline, resolved once per process. All sites
+/// are batch-granular (per flushed batch, per rotation) — the per-item
+/// staging loop is untouched.
+struct PipelineMetrics {
+  obs::Histogram& batch_consume_ns;
+  obs::Histogram& rotate_ns;
+  obs::Gauge& ring_occupancy_hwm;
+  obs::Counter& producer_stalls;
+  obs::Counter& buffers_recycled;
+  obs::Counter& batches_consumed;
+  obs::Counter& items_consumed;
+
+  static PipelineMetrics& Get() {
+    static PipelineMetrics metrics{
+        obs::MetricsRegistry::Global().GetHistogram(
+            "substream_sharded_batch_consume_duration_ns",
+            "Wall time a worker spends applying one batch to its shard "
+            "monitor"),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "substream_sharded_rotate_duration_ns",
+            "Producer-side cost of Rotate(): closing-epoch flush plus one "
+            "marker push per shard"),
+        obs::MetricsRegistry::Global().GetGauge(
+            "substream_sharded_ring_occupancy_hwm",
+            "High-water mark of per-shard ring occupancy (batches) observed "
+            "at push time"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "substream_sharded_producer_stalls_total",
+            "Flushes that found a ring full and backed off"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "substream_sharded_buffers_recycled_total",
+            "Staged batch buffers reused from the worker freelist"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "substream_sharded_batches_consumed_total",
+            "Batches applied to shard monitors by workers"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "substream_sharded_items_consumed_total",
+            "Items applied to shard monitors by workers"),
+    };
+    return metrics;
+  }
+};
 
 /// Salt for the shard-routing hash, so routing is independent of every
 /// sketch hash (which are all derived through DeriveSeed chains).
@@ -136,8 +180,15 @@ void ShardedMonitor::WorkerLoop(std::size_t shard) {
         }
         worker_epoch = batch.epoch;
       }
-      monitor.UpdatePrehashed(batch.items.data(), batch.items.size());
       const std::size_t consumed_items = batch.items.size();
+      if (consumed_items != 0) {
+        const std::uint64_t start_ns = obs::NowNs();
+        monitor.UpdatePrehashed(batch.items.data(), batch.items.size());
+        PipelineMetrics& metrics = PipelineMetrics::Get();
+        metrics.batch_consume_ns.Observe(obs::NowNs() - start_ns);
+        metrics.batches_consumed.Inc();
+        metrics.items_consumed.Inc(consumed_items);
+      }
       if (consumed_items != 0) {
         // Hand the drained buffer (capacity intact) back to the producer's
         // staging freelist. Opportunistic: a full freelist just means the
@@ -167,12 +218,17 @@ void ShardedMonitor::PushBatch(std::size_t shard, Batch&& batch) {
     // Ring full: the saturation case. Count it once per blocked push, then
     // back off (bounded) until the worker frees a slot.
     ++producer_stalls_;
+    PipelineMetrics::Get().producer_stalls.Inc();
     std::size_t spins = 0;
     do {
       BackoffPause(&spins);
     } while (!rings_[shard]->TryPush(std::move(batch)));
   }
   ++batches_pushed_[shard];
+  // Occupancy immediately after a successful push is this shard's depth
+  // backlog; the process-wide gauge keeps the worst ever seen.
+  PipelineMetrics::Get().ring_occupancy_hwm.SetMax(
+      static_cast<std::int64_t>(rings_[shard]->SizeApprox()));
 }
 
 void ShardedMonitor::RefillStaged(std::size_t shard) {
@@ -182,6 +238,7 @@ void ShardedMonitor::RefillStaged(std::size_t shard) {
   std::vector<PrehashedItem> recycled;
   if (free_rings_[shard]->TryPop(&recycled)) {
     ++buffers_recycled_;
+    PipelineMetrics::Get().buffers_recycled.Inc();
     staged_[shard] = std::move(recycled);
   } else {
     staged_[shard] = std::vector<PrehashedItem>();
@@ -212,6 +269,7 @@ void ShardedMonitor::Ingest(const item_t* data, std::size_t n) {
 }
 
 void ShardedMonitor::Rotate() {
+  obs::ScopedTimer timer(PipelineMetrics::Get().rotate_ns);
   // Staged items belong to the closing epoch: flush them under its tag.
   for (std::size_t s = 0; s < monitors_.size(); ++s) FlushStaged(s);
   ++epoch_;

@@ -96,6 +96,20 @@ struct ShardedMonitorOptions {
 
 /// Pipeline observability snapshot (producer-side view; worker counters
 /// are read with relaxed loads and may trail by at most one batch).
+///
+/// Reset() semantics, field by field (pinned by regression test):
+///  - ZEROED by Reset(): items_ingested, items_consumed, producer_stalls,
+///    buffers_recycled, windows_retired (uncollected windows are dropped).
+///    These are *window accounting* — meaningful relative to the data the
+///    pipeline currently holds, which Reset discards.
+///  - SURVIVE Reset(): batches_pushed, batches_consumed, epoch. These are
+///    *lifetime cursors*: the push/consume counts are the Drain quiescence
+///    barrier (a worker's consumed count must stay comparable with the
+///    producer's push count across Reset), and epoch numbering continues
+///    because the workers own their epoch cursors on their threads.
+/// The process-wide obs::MetricsRegistry counters this pipeline also feeds
+/// (substream_sharded_*) are cumulative for the process lifetime and are
+/// never reset by Reset().
 struct ShardedMonitorStats {
   count_t items_ingested = 0;   ///< accounted by Ingest (staged or shipped)
   count_t items_consumed = 0;   ///< applied to shard monitors by workers
@@ -166,6 +180,11 @@ class ShardedMonitor {
   /// windows, and zeroes the item/stall accounting. Epoch numbering
   /// continues from the current epoch (the workers' epoch cursors live on
   /// their threads); the pipeline is otherwise as fresh as constructed.
+  ///
+  /// Stats() after Reset(): items_ingested/items_consumed/producer_stalls/
+  /// buffers_recycled/windows_retired read 0; batches_pushed/
+  /// batches_consumed/epoch are lifetime cursors and continue (see
+  /// ShardedMonitorStats). Process-wide obs registry counters continue too.
   void Reset();
 
   /// Flushes staged batches and waits (bounded backoff) until the workers
@@ -234,6 +253,16 @@ class ShardedMonitor {
       *out = std::move(slots_[tail & mask_]);
       tail_.store(tail + 1, std::memory_order_release);
       return true;
+    }
+
+    /// Approximate occupancy for telemetry. Called from the pushing thread
+    /// (head_ cannot move underneath it); the popper may advance tail_
+    /// concurrently, which only shrinks the result — never below zero,
+    /// since tail_ trails head_ by construction.
+    std::size_t SizeApprox() const {
+      const std::size_t head = head_.load(std::memory_order_relaxed);
+      const std::size_t tail = tail_.load(std::memory_order_relaxed);
+      return tail <= head ? head - tail : 0;
     }
 
    private:

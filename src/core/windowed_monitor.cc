@@ -5,11 +5,42 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "serde/checkpoint.h"
 #include "serde/serde.h"
 #include "sketch/sketch.h"
 
 namespace substream {
+
+namespace {
+
+// Registry handles for the windowed roll-up layer, resolved once. Rotation
+// is the latency-sensitive edge (it sits on the window boundary of a live
+// pipeline); the report paths are scan-heavy and their distribution shows
+// how merge cost scales with the retained-window count.
+struct WindowedMetrics {
+  obs::Histogram& rotate_ns;
+  obs::Histogram& report_ns;
+  obs::Histogram& report_decayed_ns;
+
+  static WindowedMetrics& Get() {
+    static WindowedMetrics* metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new WindowedMetrics{
+          registry.GetHistogram("substream_windowed_rotate_duration_ns",
+                                "WindowedMonitor::Rotate/AdoptWindow latency"),
+          registry.GetHistogram("substream_windowed_report_duration_ns",
+                                "WindowedMonitor::Report merge+report latency"),
+          registry.GetHistogram(
+              "substream_windowed_report_decayed_duration_ns",
+              "WindowedMonitor::ReportDecayed merge+report latency"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 WindowedMonitor::WindowedMonitor(const MonitorConfig& config,
                                  std::uint64_t seed,
@@ -37,6 +68,7 @@ void WindowedMonitor::UpdatePrehashed(const PrehashedItem* data,
 }
 
 void WindowedMonitor::Rotate() {
+  obs::ScopedTimer timer(WindowedMetrics::Get().rotate_ns);
   ++epoch_;
   if (ring_.size() < options_.windows) {
     ring_.emplace_back(config_, seed_);
@@ -57,6 +89,7 @@ void WindowedMonitor::AdoptWindow(Monitor&& window) {
   // Advance like Rotate(), but install `window` directly: the slot is
   // overwritten wholesale, so neither a fresh construction (growth phase)
   // nor the eviction Reset's counter zero-fill is ever paid here.
+  obs::ScopedTimer timer(WindowedMetrics::Get().rotate_ns);
   ++epoch_;
   if (ring_.size() < options_.windows) {
     ring_.push_back(std::move(window));
@@ -98,6 +131,7 @@ Monitor WindowedMonitor::MergedOverLast(std::size_t k) const {
 }
 
 MonitorReport WindowedMonitor::Report(std::size_t k) const {
+  obs::ScopedTimer timer(WindowedMetrics::Get().report_ns);
   if (k == 0 || k > ring_.size()) k = ring_.size();
   Monitor& scratch = ScratchReset();
   for (std::size_t age = k; age-- > 0;) {
@@ -107,6 +141,7 @@ MonitorReport WindowedMonitor::Report(std::size_t k) const {
 }
 
 MonitorReport WindowedMonitor::ReportDecayed() const {
+  obs::ScopedTimer timer(WindowedMetrics::Get().report_decayed_ns);
   Monitor& scratch = ScratchReset();
   for (std::size_t age = ring_.size(); age-- > 0;) {
     // decay^age can underflow to 0 for old windows under aggressive decay.

@@ -1,0 +1,36 @@
+#pragma once
+
+// Exposition writers for MetricsSnapshot and HealthReport.
+//
+//  - ToPrometheusText: the Prometheus text exposition format (# HELP /
+//    # TYPE headers, cumulative histogram buckets with le labels, _sum and
+//    _count series). Histogram bucket bounds are in nanoseconds.
+//  - ToJson: a compact single-line JSON document. When a previous snapshot
+//    is supplied, counters and histogram counts additionally carry
+//    "rate_per_sec" computed from the snapshot-diff over the steady-clock
+//    delta — the scrape-side rate() done producer-side.
+//
+// Both writers render the same snapshot: every counter/gauge/histogram
+// value appears identically in both outputs (round-trip pinned by test).
+
+#include <string>
+
+#include "obs/health.h"
+#include "obs/metrics.h"
+
+namespace substream {
+namespace obs {
+
+// Prometheus text format, series sorted by metric name.
+std::string ToPrometheusText(const MetricsSnapshot& snap);
+
+// Single-line JSON. If prev is non-null and older than snap, counters and
+// histograms gain rate_per_sec fields (delta / wall-clock seconds).
+std::string ToJson(const MetricsSnapshot& snap,
+                   const MetricsSnapshot* prev = nullptr);
+
+// Single-line JSON rendering of a Monitor health report.
+std::string ToJson(const HealthReport& report);
+
+}  // namespace obs
+}  // namespace substream

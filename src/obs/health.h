@@ -1,0 +1,90 @@
+#pragma once
+
+// SketchHealth: per-summary introspection. Where the metrics registry
+// answers "how fast / how often", a HealthReport answers "how full / how
+// degraded": for each summary inside a Monitor it carries the geometry,
+// the fill ratio of the counter table, the fraction of cells that spilled
+// into wider overflow levels or saturated at their clamp value, and the
+// derived (epsilon, delta) error bound the geometry buys.
+//
+// This header sits below the sketch layer (depends only on the standard
+// library) so sketches and estimators can vend SummaryHealth entries
+// without new dependency edges.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace substream {
+namespace obs {
+
+// Health of one summary (one sketch, one estimator backend). Fractions are
+// in [0, 1]; epsilon/delta are 0 when no analytic bound applies (e.g.
+// exact backends).
+struct SummaryHealth {
+  std::string name;        // e.g. "f0", "f2.level_sets", "hh.countmin"
+  std::string kind;        // e.g. "countmin", "countsketch", "kmv", "exact"
+  std::uint64_t depth = 0;         // rows (0 when not a depth*width table)
+  std::uint64_t width = 0;         // buckets per row (or capacity k)
+  std::uint64_t cells = 0;         // total base cells (or capacity)
+  std::uint64_t nonzero_cells = 0;
+  std::uint64_t spilled_cells = 0;    // cells promoted into overflow levels
+  std::uint64_t saturated_cells = 0;  // cells pinned at their clamp value
+  double fill_ratio = 0.0;            // nonzero_cells / cells
+  double spill_fraction = 0.0;        // spilled_cells / cells
+  double saturation_fraction = 0.0;   // saturated_cells / cells
+  double epsilon = 0.0;               // derived error bound (0 = n/a)
+  double delta = 0.0;                 // derived failure probability (0 = n/a)
+  std::size_t space_bytes = 0;
+};
+
+struct HealthReport {
+  std::uint64_t sampled_length = 0;  // items the monitor has absorbed
+  double sampling_p = 1.0;           // substream sampling probability
+  std::vector<SummaryHealth> summaries;
+};
+
+// Normalize the three ratio fields once counts are filled in.
+inline void FinalizeRatios(SummaryHealth& h) {
+  const double cells = h.cells > 0 ? static_cast<double>(h.cells) : 1.0;
+  h.fill_ratio = static_cast<double>(h.nonzero_cells) / cells;
+  h.spill_fraction = static_cast<double>(h.spilled_cells) / cells;
+  h.saturation_fraction = static_cast<double>(h.saturated_cells) / cells;
+}
+
+// Standard analytic bounds, factored out so tests can hand-compute the
+// same values from geometry alone.
+//
+// CountMin (Cormode–Muthukrishnan): overestimate <= (e/width) * ||f||_1
+// with probability >= 1 - e^-depth.
+inline double CountMinEpsilon(std::uint64_t width) {
+  return width > 0 ? std::exp(1.0) / static_cast<double>(width) : 0.0;
+}
+inline double CountMinDelta(std::uint64_t depth) {
+  return std::exp(-static_cast<double>(depth));
+}
+
+// CountSketch (Charikar–Chen–Farach-Colton): per-item error
+// <= sqrt(e/width) * ||f||_2 with probability >= 1 - e^(-depth/3).
+inline double CountSketchEpsilon(std::uint64_t width) {
+  return width > 0 ? std::sqrt(std::exp(1.0) / static_cast<double>(width))
+                   : 0.0;
+}
+inline double CountSketchDelta(std::uint64_t depth) {
+  return std::exp(-static_cast<double>(depth) / 3.0);
+}
+
+// KMV distinct counter: relative error ~ 1/sqrt(k).
+inline double KmvEpsilon(std::uint64_t k) {
+  return k > 0 ? 1.0 / std::sqrt(static_cast<double>(k)) : 0.0;
+}
+
+// HyperLogLog: relative error ~ 1.04/sqrt(2^precision).
+inline double HllEpsilon(int precision) {
+  return 1.04 / std::sqrt(static_cast<double>(std::uint64_t{1} << precision));
+}
+
+}  // namespace obs
+}  // namespace substream

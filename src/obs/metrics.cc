@@ -1,0 +1,99 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace substream {
+namespace obs {
+
+namespace detail {
+
+unsigned ThisThreadStripe() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+  return stripe;
+}
+
+}  // namespace detail
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: metric references handed out by Get* must stay valid
+  // through static destruction (worker threads and destructors may still be
+  // observing).
+  static MetricsRegistry* const global = new MetricsRegistry();
+  return *global;
+}
+
+template <typename T>
+T& MetricsRegistry::GetOrCreate(std::vector<Named<T>>& family,
+                                const std::string& name,
+                                const std::string& help) {
+  for (Named<T>& entry : family) {
+    if (entry.name == name) return *entry.metric;
+  }
+  family.push_back(Named<T>{name, help, std::make_unique<T>()});
+  return *family.back().metric;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(counters_, name, help);
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(gauges_, name, help);
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetOrCreate(histograms_, name, help);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.wall_ns = NowNs();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.counters.reserve(counters_.size());
+    for (const Named<Counter>& entry : counters_) {
+      snap.counters.push_back(
+          CounterSample{entry.name, entry.help, entry.metric->Value()});
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const Named<Gauge>& entry : gauges_) {
+      snap.gauges.push_back(
+          GaugeSample{entry.name, entry.help, entry.metric->Value()});
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const Named<Histogram>& entry : histograms_) {
+      HistogramSample sample;
+      sample.name = entry.name;
+      sample.help = entry.help;
+      sample.count = entry.metric->Count();
+      sample.sum_ns = entry.metric->SumNs();
+      sample.buckets = entry.metric->Buckets();
+      snap.histograms.push_back(std::move(sample));
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Named<Counter>& entry : counters_) entry.metric->ResetForTest();
+  for (Named<Gauge>& entry : gauges_) entry.metric->ResetForTest();
+  for (Named<Histogram>& entry : histograms_) entry.metric->ResetForTest();
+}
+
+}  // namespace obs
+}  // namespace substream

@@ -1,0 +1,336 @@
+#pragma once
+
+// Process-wide telemetry: named counters, gauges, and log2-bucketed latency
+// histograms behind a single MetricsRegistry.
+//
+// Design constraints, in order:
+//   1. Hot-path writes must never contend. Counters and histograms are
+//      striped across cache-line-aligned slots (one relaxed fetch_add per
+//      Inc/Observe, no locks, no false sharing between worker threads) and
+//      merged only at Snapshot() time — the same discipline as the
+//      per-shard footprint counters in ShardedMonitor.
+//   2. Telemetry must be compile-out-able. Building with
+//      -DSKETCH_DISABLE_TELEMETRY reduces every Inc/Set/Observe and every
+//      ScopedTimer to a no-op with no clock reads, while keeping the whole
+//      API surface so call sites compile identically. kTelemetryEnabled
+//      lets tests and benches branch on the build flavor.
+//   3. Metric handles are stable for the process lifetime. GetCounter /
+//      GetGauge / GetHistogram return references that never move or die,
+//      so call sites cache them (typically in a function-local static) and
+//      pay the registry mutex once.
+//
+// Instrumentation lives at batch/rotation/serde granularity — never inside
+// per-item sketch loops — so the CI-gated ingest floors are unaffected.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace substream {
+namespace obs {
+
+#ifdef SKETCH_DISABLE_TELEMETRY
+inline constexpr bool kTelemetryEnabled = false;
+#else
+inline constexpr bool kTelemetryEnabled = true;
+#endif
+
+// Stripe count for contended metrics. Threads hash onto stripes round-robin
+// at first use; 16 slots keep an 8-worker pipeline collision-free without
+// bloating snapshot merges.
+inline constexpr unsigned kMetricStripes = 16;
+inline constexpr std::size_t kMetricCacheLine = 64;
+
+// Histogram geometry: bucket i counts observations v (in nanoseconds) with
+// floor(log2(max(v,1))) == i, i.e. [2^i, 2^(i+1)), with bucket 0 also
+// holding v in {0, 1}. 44 buckets span 1ns .. ~2.4 hours; larger values
+// clamp into the last bucket.
+inline constexpr unsigned kHistogramBuckets = 44;
+
+namespace detail {
+
+// Round-robin stripe assignment, fixed per thread at first telemetry write.
+unsigned ThisThreadStripe();
+
+inline unsigned BucketIndex(std::uint64_t v) {
+  if (v <= 1) return 0;
+#if defined(__GNUC__) || defined(__clang__)
+  const unsigned idx = 63u - static_cast<unsigned>(__builtin_clzll(v));
+#else
+  unsigned idx = 0;
+  while (v >>= 1) ++idx;
+#endif
+  return idx < kHistogramBuckets ? idx : kHistogramBuckets - 1;
+}
+
+}  // namespace detail
+
+// Inclusive upper bound (ns) of histogram bucket i, for exposition.
+inline std::uint64_t BucketUpperBoundNs(unsigned i) {
+  if (i + 1 >= kHistogramBuckets) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << (i + 1)) - 1;
+}
+
+// Monotonically increasing process counter. Striped: Inc is one relaxed
+// fetch_add on this thread's slot; Value() sums all stripes (approximate
+// while writers are live, exact once they quiesce — same semantics as the
+// ShardedMonitor footprint counters).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(std::uint64_t delta = 1) {
+    if constexpr (kTelemetryEnabled) {
+      slots_[detail::ThisThreadStripe()].value.fetch_add(
+          delta, std::memory_order_relaxed);
+    } else {
+      (void)delta;
+    }
+  }
+
+  std::uint64_t Value() const {
+    std::uint64_t total = 0;
+    for (const Slot& slot : slots_) {
+      total += slot.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Test/bench hook: zero every stripe. Not linearizable against live
+  // writers; callers quiesce first.
+  void ResetForTest() {
+    for (Slot& slot : slots_) slot.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kMetricCacheLine) Slot {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Slot, kMetricStripes> slots_;
+};
+
+// Point-in-time signed value. Single atomic: gauges record states (ring
+// occupancy, high-water marks), not per-item rates, so contention is not a
+// concern and last-writer-wins is the semantics callers want.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::int64_t v) {
+    if constexpr (kTelemetryEnabled) {
+      value_.store(v, std::memory_order_relaxed);
+    } else {
+      (void)v;
+    }
+  }
+
+  void Add(std::int64_t delta) {
+    if constexpr (kTelemetryEnabled) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    } else {
+      (void)delta;
+    }
+  }
+
+  // Monotonic maximum (high-water mark) via CAS; racing writers keep the
+  // largest value ever offered.
+  void SetMax(std::int64_t v) {
+    if constexpr (kTelemetryEnabled) {
+      std::int64_t cur = value_.load(std::memory_order_relaxed);
+      while (v > cur && !value_.compare_exchange_weak(
+                            cur, v, std::memory_order_relaxed)) {
+      }
+    } else {
+      (void)v;
+    }
+  }
+
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Log2-bucketed latency histogram over nanosecond observations. Striped
+// like Counter: Observe touches only this thread's slot (bucket + count +
+// sum, all relaxed); Snapshot() merges stripes into one bucket vector.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(std::uint64_t ns) {
+    if constexpr (kTelemetryEnabled) {
+      Slot& slot = slots_[detail::ThisThreadStripe()];
+      slot.buckets[detail::BucketIndex(ns)].fetch_add(
+          1, std::memory_order_relaxed);
+      slot.count.fetch_add(1, std::memory_order_relaxed);
+      slot.sum.fetch_add(ns, std::memory_order_relaxed);
+    } else {
+      (void)ns;
+    }
+  }
+
+  std::uint64_t Count() const {
+    std::uint64_t total = 0;
+    for (const Slot& slot : slots_) {
+      total += slot.count.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  std::uint64_t SumNs() const {
+    std::uint64_t total = 0;
+    for (const Slot& slot : slots_) {
+      total += slot.sum.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Merged per-bucket counts across all stripes.
+  std::array<std::uint64_t, kHistogramBuckets> Buckets() const {
+    std::array<std::uint64_t, kHistogramBuckets> merged{};
+    for (const Slot& slot : slots_) {
+      for (unsigned i = 0; i < kHistogramBuckets; ++i) {
+        merged[i] += slot.buckets[i].load(std::memory_order_relaxed);
+      }
+    }
+    return merged;
+  }
+
+  void ResetForTest() {
+    for (Slot& slot : slots_) {
+      slot.count.store(0, std::memory_order_relaxed);
+      slot.sum.store(0, std::memory_order_relaxed);
+      for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(kMetricCacheLine) Slot {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  };
+  std::array<Slot, kMetricStripes> slots_;
+};
+
+// One merged metric reading. Snapshots are plain data: safe to copy, diff,
+// and serialize from any thread.
+struct CounterSample {
+  std::string name;
+  std::string help;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::string help;
+  std::int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string help;
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+struct MetricsSnapshot {
+  // Steady-clock stamp (ns since an arbitrary epoch) taken at snapshot
+  // time; two snapshots diff into rates via their wall_ns delta.
+  std::uint64_t wall_ns = 0;
+  std::vector<CounterSample> counters;    // sorted by name
+  std::vector<GaugeSample> gauges;        // sorted by name
+  std::vector<HistogramSample> histograms;  // sorted by name
+};
+
+// Process-wide registry. Get* is create-or-get by name under a mutex and
+// returns a reference with process lifetime; help text is fixed by the
+// first registration. Snapshot() merges every metric's stripes.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name, const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const std::string& help = "");
+  Histogram& GetHistogram(const std::string& name,
+                          const std::string& help = "");
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zero every registered metric (names stay registered). For tests and
+  // examples that want deterministic deltas; not meant for production.
+  void ResetAllForTest();
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    std::string help;
+    std::unique_ptr<T> metric;
+  };
+
+  template <typename T>
+  static T& GetOrCreate(std::vector<Named<T>>& family, const std::string& name,
+                        const std::string& help);
+
+  mutable std::mutex mu_;
+  std::vector<Named<Counter>> counters_;
+  std::vector<Named<Gauge>> gauges_;
+  std::vector<Named<Histogram>> histograms_;
+};
+
+// Steady-clock now in nanoseconds (0 when telemetry is compiled out, so
+// disabled builds never touch the clock).
+inline std::uint64_t NowNs() {
+  if constexpr (kTelemetryEnabled) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  } else {
+    return 0;
+  }
+}
+
+// RAII latency probe: observes the enclosing scope's duration into a
+// histogram. Compiles to nothing when telemetry is disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist) : hist_(&hist), start_ns_(NowNs()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if constexpr (kTelemetryEnabled) {
+      const std::uint64_t end_ns = NowNs();
+      hist_->Observe(end_ns >= start_ns_ ? end_ns - start_ns_ : 0);
+    }
+  }
+
+ private:
+  Histogram* hist_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace substream

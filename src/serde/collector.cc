@@ -2,46 +2,89 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
 #include "serde/checkpoint.h"
 #include "serde/serde.h"
 
 namespace substream {
 namespace serde {
 
-bool Collector::AddSerialized(const std::uint8_t* data, std::size_t size) {
-  Reader reader(data, size);
-  auto monitor = Monitor::Deserialize(reader);
-  // A record transports exactly one monitor; trailing bytes indicate a
-  // framing error upstream.
-  if (!monitor || reader.remaining() != 0) {
-    ++rejected_;
-    return false;
+namespace {
+
+// Registry handles for the aggregation endpoint, resolved once. The
+// accepted/rejected counters give operators the cross-process ingest error
+// rate without polling every Collector instance; decode latency bounds the
+// per-record cost of the merge fan-in.
+struct CollectorMetrics {
+  obs::Counter& accepted;
+  obs::Counter& rejected;
+  obs::Histogram& decode_ns;
+
+  static CollectorMetrics& Get() {
+    static CollectorMetrics* metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new CollectorMetrics{
+          registry.GetCounter("substream_collector_records_accepted_total",
+                              "Wire records decoded and merged"),
+          registry.GetCounter("substream_collector_records_rejected_total",
+                              "Wire records rejected (corrupt, trailing "
+                              "bytes, or merge-incompatible)"),
+          registry.GetHistogram("substream_serde_decode_duration_ns",
+                                "Monitor wire-record decode latency"),
+      };
+    }();
+    return *metrics;
   }
-  return Fold(std::move(monitor));
+};
+
+}  // namespace
+
+bool Collector::AddSerialized(const std::uint8_t* data, std::size_t size) {
+  // Key the per-type breakdown by the record's leading wire byte — the
+  // TypeTag for well-formed records, whatever corruption produced for
+  // damaged ones, 0 when there is no byte at all.
+  const std::uint8_t tag = size > 0 ? data[0] : 0;
+  std::optional<Monitor> monitor;
+  {
+    obs::ScopedTimer timer(CollectorMetrics::Get().decode_ns);
+    Reader reader(data, size);
+    monitor = Monitor::Deserialize(reader);
+    // A record transports exactly one monitor; trailing bytes indicate a
+    // framing error upstream.
+    if (monitor && reader.remaining() != 0) monitor.reset();
+  }
+  if (!monitor) return Reject(tag);
+  return Fold(std::move(monitor), tag);
 }
 
 bool Collector::AddCheckpointFile(const std::string& path) {
-  auto monitor = Monitor::Restore(path);
-  if (!monitor) {
-    ++rejected_;
-    return false;
-  }
-  return Fold(std::move(monitor));
+  const auto payload = ReadCheckpointFile(path);
+  // Container-level failures (missing file, CRC/size/header mismatch) have
+  // no record byte to key the breakdown on; they land under tag 0.
+  if (!payload) return Reject(0);
+  return AddSerialized(payload->data(), payload->size());
 }
 
-bool Collector::Fold(std::optional<Monitor> monitor) {
+bool Collector::Fold(std::optional<Monitor> monitor, std::uint8_t tag) {
+  if (aggregate_ && !aggregate_->MergeCompatibleWith(*monitor)) {
+    return Reject(tag);
+  }
   if (!aggregate_) {
     aggregate_.emplace(std::move(*monitor));
-    ++accepted_;
-    return true;
+  } else {
+    aggregate_->Merge(*monitor);
   }
-  if (!aggregate_->MergeCompatibleWith(*monitor)) {
-    ++rejected_;
-    return false;
-  }
-  aggregate_->Merge(*monitor);
   ++accepted_;
+  ++per_tag_[tag].accepted;
+  CollectorMetrics::Get().accepted.Inc();
   return true;
+}
+
+bool Collector::Reject(std::uint8_t tag) {
+  ++rejected_;
+  ++per_tag_[tag].rejected;
+  CollectorMetrics::Get().rejected.Inc();
+  return false;
 }
 
 MonitorReport Collector::Report() const {

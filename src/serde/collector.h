@@ -2,6 +2,7 @@
 #define SUBSTREAM_SERDE_COLLECTOR_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -59,6 +60,24 @@ class Collector {
   std::size_t rejected() const { return rejected_; }
   bool empty() const { return !aggregate_.has_value(); }
 
+  /// Accept/reject tallies for one wire TypeTag value.
+  struct TagCounts {
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+  };
+
+  /// Per-record-type breakdown of accepted() / rejected(), keyed by the
+  /// leading tag byte of each wire record (the serde::TypeTag of
+  /// well-formed records). Key 0 collects records too short to carry a tag
+  /// byte and checkpoint files rejected at the container level (missing
+  /// file, CRC/size/header mismatch), where no record byte exists to key
+  /// on. A corrupted tag byte is counted under the corrupted value: the
+  /// breakdown reports what arrived on the wire, not what the sender
+  /// meant. Totals across the map always equal accepted() and rejected().
+  const std::map<std::uint8_t, TagCounts>& per_tag() const {
+    return per_tag_;
+  }
+
   /// The running aggregate; nullptr until the first record is accepted.
   const Monitor* aggregate() const {
     return aggregate_ ? &*aggregate_ : nullptr;
@@ -69,11 +88,13 @@ class Collector {
   MonitorReport Report() const;
 
  private:
-  bool Fold(std::optional<Monitor> monitor);
+  bool Fold(std::optional<Monitor> monitor, std::uint8_t tag);
+  bool Reject(std::uint8_t tag);
 
   std::optional<Monitor> aggregate_;
   std::size_t accepted_ = 0;
   std::size_t rejected_ = 0;
+  std::map<std::uint8_t, TagCounts> per_tag_;
 };
 
 }  // namespace serde

@@ -9,6 +9,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sketch/cell_width.h"
 #include "sketch/counter_kernels.h"
 #include "sketch/sketch.h"
@@ -62,6 +63,42 @@
 /// AtFlat()/AddAtFlat() (any base).
 
 namespace substream {
+
+/// Cell-level health tallies from one table scan (see HealthCounts()).
+struct TableHealthCounts {
+  std::size_t cells = 0;      ///< total base cells (depth * width)
+  std::size_t nonzero = 0;    ///< cells with a nonzero logical value
+  std::size_t spilled = 0;    ///< cells with a nonzero overflow-level entry
+  std::size_t saturated = 0;  ///< base cells pinned at the clamp pattern
+};
+
+namespace table_telemetry {
+
+/// Cached registry handles for the CounterTable cold paths, shared across
+/// all CounterT instantiations. All three sit on spill/clamp/allocation
+/// branches — never in the per-item increment loops.
+inline obs::Counter& SpillPromotions() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "substream_sketch_spill_promotions_total",
+      "Counter cells promoted into a wider overflow level");
+  return counter;
+}
+
+inline obs::Counter& OverflowLevelAllocs() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "substream_sketch_overflow_level_allocs_total",
+      "Lazy allocations of an overflow level above the base cell width");
+  return counter;
+}
+
+inline obs::Counter& SaturatedClamps() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "substream_sketch_saturated_clamps_total",
+      "Adds clamped or dropped at a saturated cell (kSaturate policy)");
+  return counter;
+}
+
+}  // namespace table_telemetry
 
 /// Flat depth x width counter matrix with prehash-derived bucket selection.
 template <typename CounterT>
@@ -169,6 +206,7 @@ class CounterTable {
       }
       if (options_.overflow == OverflowPolicy::kSaturate) {
         SetLevelCell(cw, i, ClampLevel(sum, cw));
+        table_telemetry::SaturatedClamps().Inc();
         return;
       }
       // Spill: this level drops to zero and the whole sum moves up, so the
@@ -176,6 +214,7 @@ class CounterTable {
       SetLevelCell(cw, i, 0);
       carry = sum;
       EnsureLevelAllocated(static_cast<CellWidth>(w + 1));
+      table_telemetry::SpillPromotions().Inc();
     }
     cells_[i] = static_cast<CounterT>(static_cast<std::uint64_t>(cells_[i]) +
                                       carry);
@@ -464,6 +503,7 @@ class CounterTable {
   /// are never indexed and never serialized.
   void EnsureLevelAllocated(CellWidth w) {
     const std::size_t n = NumCells();
+    const bool was_allocated = LevelAllocated(w);
     switch (w) {
       case CellWidth::k8:
         if (lv8_.empty()) lv8_.assign(PaddedCells(n, 4), 0);
@@ -478,7 +518,10 @@ class CounterTable {
         if (cells_.empty()) cells_.assign(n, CounterT{});
         break;
     }
-    if (w > options_.cell_width) has_upper_ = true;
+    if (w > options_.cell_width) {
+      has_upper_ = true;
+      if (!was_allocated) table_telemetry::OverflowLevelAllocs().Inc();
+    }
   }
 
   /// Number of allocated levels above the base (contiguous by
@@ -548,6 +591,46 @@ class CounterTable {
            row_seeds_.size() * sizeof(std::uint64_t);
   }
 
+  /// One pass over the table for the SketchHealth report: logical fill,
+  /// overflow-spill residency, and (saturating policy only) cells pinned at
+  /// the clamp pattern. A cell that legitimately *reached* the clamp value
+  /// is indistinguishable from one clamped there; both read as saturated,
+  /// which is the conservative signal an operator wants. O(cells); callers
+  /// run it at report/health time, never on the ingest path.
+  TableHealthCounts HealthCounts() const {
+    TableHealthCounts out;
+    out.cells = NumCells();
+    const bool saturating = options_.overflow == OverflowPolicy::kSaturate;
+    const CellWidth base = options_.cell_width;
+    for (std::size_t i = 0; i < out.cells; ++i) {
+      if (AtFlat(i) != CounterT{}) ++out.nonzero;
+      if (has_upper_) {
+        for (int w = static_cast<int>(base) + 1;
+             w <= static_cast<int>(CellWidth::k64); ++w) {
+          const CellWidth cw = static_cast<CellWidth>(w);
+          if (LevelAllocated(cw) && LevelValueBits(cw, i) != 0) {
+            ++out.spilled;
+            break;
+          }
+        }
+      }
+      if (saturating && base != CellWidth::k64) {
+        const std::uint64_t bits = LevelValueBits(base, i);
+        const int b = CellBits(base);
+        bool pinned;
+        if constexpr (std::is_signed_v<CounterT>) {
+          const std::int64_t v = static_cast<std::int64_t>(bits);
+          const std::int64_t maxv = (std::int64_t{1} << (b - 1)) - 1;
+          pinned = (v == maxv || v == -maxv - 1);
+        } else {
+          pinned = bits == (std::uint64_t{1} << b) - 1;
+        }
+        if (pinned) ++out.saturated;
+      }
+    }
+    return out;
+  }
+
  private:
   static std::uint64_t RoundUpPow2(std::uint64_t v) {
     std::uint64_t p = 1;
@@ -608,7 +691,13 @@ class CounterTable {
   /// pattern: spill +1 through the level chain, or nothing (saturating —
   /// the stop pattern IS the clamp).
   void SpillUnit(std::size_t flat) {
-    if (options_.overflow == OverflowPolicy::kSaturate) return;
+    if (options_.overflow == OverflowPolicy::kSaturate) {
+      // Dropped unit increment at a stop-pattern cell: the clamp IS the
+      // stop value, so nothing is written — but the drop is a health
+      // signal (estimates under-count from here on).
+      table_telemetry::SaturatedClamps().Inc();
+      return;
+    }
     AddAtFlat(flat, CounterT{1});
   }
 

@@ -117,6 +117,23 @@ void CountMinSketch::MergeScaled(const CountMinSketch& other, double weight) {
 
 std::size_t CountMinSketch::SpaceBytes() const { return table_.SpaceBytes(); }
 
+obs::SummaryHealth CountMinSketch::Health() const {
+  obs::SummaryHealth health;
+  health.kind = "countmin";
+  health.depth = static_cast<std::uint64_t>(depth_);
+  health.width = width_;
+  const TableHealthCounts counts = table_.HealthCounts();
+  health.cells = counts.cells;
+  health.nonzero_cells = counts.nonzero;
+  health.spilled_cells = counts.spilled;
+  health.saturated_cells = counts.saturated;
+  health.epsilon = obs::CountMinEpsilon(width_);
+  health.delta = obs::CountMinDelta(static_cast<std::uint64_t>(depth_));
+  health.space_bytes = SpaceBytes();
+  obs::FinalizeRatios(health);
+  return health;
+}
+
 void CountMinSketch::Serialize(serde::Writer& out) const {
   out.Record(serde::TypeTag::kCountMinSketch);
   out.Varint(static_cast<std::uint64_t>(depth_));

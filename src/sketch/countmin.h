@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/health.h"
 #include "sketch/cell_width.h"
 #include "sketch/counter_table.h"
 #include "sketch/sketch.h"
@@ -117,6 +118,11 @@ class CountMinSketch {
 
   /// Sketch memory footprint in bytes (counters + row seeds).
   std::size_t SpaceBytes() const;
+
+  /// Health snapshot: geometry, counter-table fill/spill/saturation from a
+  /// full scan, and the analytic (eps, delta) the geometry buys
+  /// (obs::CountMinEpsilon/Delta). O(depth * width) — report-time only.
+  obs::SummaryHealth Health() const;
 
   /// Appends the versioned wire record (serde/serde.h): geometry + seed
   /// header, then counters.

@@ -308,6 +308,23 @@ std::size_t CountSketch::SpaceBytes() const {
   return bytes;
 }
 
+obs::SummaryHealth CountSketch::Health() const {
+  obs::SummaryHealth health;
+  health.kind = "countsketch";
+  health.depth = static_cast<std::uint64_t>(depth_);
+  health.width = width_;
+  const TableHealthCounts counts = table_.HealthCounts();
+  health.cells = counts.cells;
+  health.nonzero_cells = counts.nonzero;
+  health.spilled_cells = counts.spilled;
+  health.saturated_cells = counts.saturated;
+  health.epsilon = obs::CountSketchEpsilon(width_);
+  health.delta = obs::CountSketchDelta(static_cast<std::uint64_t>(depth_));
+  health.space_bytes = SpaceBytes();
+  obs::FinalizeRatios(health);
+  return health;
+}
+
 void CountSketch::Serialize(serde::Writer& out) const {
   out.Record(serde::TypeTag::kCountSketch);
   out.Varint(static_cast<std::uint64_t>(depth_));

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/health.h"
 #include "sketch/cell_width.h"
 #include "sketch/counter_table.h"
 #include "sketch/sketch.h"
@@ -118,6 +119,11 @@ class CountSketch {
   }
 
   std::size_t SpaceBytes() const;
+
+  /// Health snapshot: geometry, counter-table fill/spill/saturation from a
+  /// full scan, and the analytic (eps, delta) the geometry buys
+  /// (obs::CountSketchEpsilon/Delta). O(depth * width) — report-time only.
+  obs::SummaryHealth Health() const;
 
   /// Appends the versioned wire record: geometry + seed header, row norms,
   /// then counters.

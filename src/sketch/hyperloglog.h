@@ -75,6 +75,14 @@ class HyperLogLog {
 
   int precision() const { return precision_; }
   std::uint64_t seed() const { return seed_; }
+  /// Registers touched so far; the health report's fill ratio for an HLL
+  /// summary is NonZeroRegisters()/2^precision.
+  std::size_t NonZeroRegisters() const {
+    std::size_t nonzero = 0;
+    for (std::uint8_t r : registers_) nonzero += r != 0;
+    return nonzero;
+  }
+  std::size_t RegisterCount() const { return registers_.size(); }
 
   std::size_t SpaceBytes() const {
     return registers_.size() * sizeof(std::uint8_t) + sizeof(*this);

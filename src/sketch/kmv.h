@@ -69,6 +69,9 @@ class KmvSketch {
 
   std::size_t k() const { return k_; }
   std::uint64_t seed() const { return seed_; }
+  /// Number of retained hash values (== min(k, distinct observed)); the
+  /// health report's fill ratio for a KMV summary is size()/k().
+  std::size_t size() const { return values_.size(); }
 
   std::size_t SpaceBytes() const {
     return values_.size() * sizeof(std::uint64_t) + sizeof(*this);

@@ -443,6 +443,26 @@ std::size_t IndykWoodruffEstimator::SpaceBytes() const {
   return bytes;
 }
 
+obs::SummaryHealth IndykWoodruffEstimator::Health() const {
+  obs::SummaryHealth health;
+  health.kind = "countsketch_levels";
+  health.depth = static_cast<std::uint64_t>(params_.cs_depth);
+  health.width = params_.cs_width;
+  for (const DepthSlot& slot : depths_) {
+    const obs::SummaryHealth h = slot.sketch.Health();
+    health.cells += h.cells;
+    health.nonzero_cells += h.nonzero_cells;
+    health.spilled_cells += h.spilled_cells;
+    health.saturated_cells += h.saturated_cells;
+  }
+  health.epsilon = obs::CountSketchEpsilon(params_.cs_width);
+  health.delta =
+      obs::CountSketchDelta(static_cast<std::uint64_t>(params_.cs_depth));
+  health.space_bytes = SpaceBytes();
+  obs::FinalizeRatios(health);
+  return health;
+}
+
 ExactLevelSets::ExactLevelSets(double eps_prime, double eta)
     : eps_prime_(eps_prime), eta_(eta) {
   SUBSTREAM_CHECK(eps_prime > 0.0 && eps_prime < 1.0);

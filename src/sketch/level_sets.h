@@ -140,6 +140,11 @@ class IndykWoodruffEstimator {
 
   std::size_t SpaceBytes() const;
 
+  /// Aggregated health of the per-depth CountSketch tables: cell counts
+  /// summed across all subsampling depths, (eps, delta) from the per-depth
+  /// geometry. O(max_depth * cs_depth * cs_width) — report-time only.
+  obs::SummaryHealth Health() const;
+
   /// Appends the versioned wire record: full LevelSetParams + seed header
   /// (eta and the depth hash re-derive from the seed), then per-depth
   /// nested CountSketch records, candidate pools and exact maps.

@@ -211,6 +211,20 @@ TEST(CollectorTest, MergesProducersAndRejectsForeignRecords) {
 
   EXPECT_EQ(collector.accepted(), 2u);
   EXPECT_EQ(collector.rejected(), 3u);
+
+  // Per-TypeTag breakdown: both accepts and two of the rejects (foreign
+  // seed, trailing bytes) arrived under the Monitor record tag; the
+  // garbage blob is keyed by its own leading byte (0xAB).
+  const auto& per_tag = collector.per_tag();
+  const auto monitor_tag =
+      static_cast<std::uint8_t>(serde::TypeTag::kMonitor);
+  ASSERT_EQ(per_tag.count(monitor_tag), 1u);
+  EXPECT_EQ(per_tag.at(monitor_tag).accepted, 2u);
+  EXPECT_EQ(per_tag.at(monitor_tag).rejected, 2u);
+  ASSERT_EQ(per_tag.count(0xAB), 1u);
+  EXPECT_EQ(per_tag.at(0xAB).accepted, 0u);
+  EXPECT_EQ(per_tag.at(0xAB).rejected, 1u);
+
   ASSERT_FALSE(collector.empty());
   ExpectEquivalentReports(collector.Report(), whole.Report());
 }
@@ -259,6 +273,30 @@ TEST(CollectorTest, BitFlippedRecordsNeverAbort) {
   serde::Writer wp;
   peer.Serialize(wp);
   EXPECT_TRUE(collector.AddSerialized(wp.bytes()));
+
+  // Per-TypeTag breakdown over the whole fuzz run. Flips of the leading
+  // tag byte itself land under the corrupted tag values (kMonitor with one
+  // bit toggled), so the map must hold exactly the 8 single-bit neighbors
+  // of kMonitor plus kMonitor itself — and the per-tag tallies must sum
+  // back to the scalar totals.
+  const auto monitor_tag =
+      static_cast<std::uint8_t>(serde::TypeTag::kMonitor);
+  std::size_t tag_accepted = 0;
+  std::size_t tag_rejected = 0;
+  for (const auto& [tag, counts] : collector.per_tag()) {
+    tag_accepted += counts.accepted;
+    tag_rejected += counts.rejected;
+    if (tag != monitor_tag) {
+      // Only tag-byte flips produce foreign keys: 8 bit-neighbors, each
+      // rejected exactly once, none accepted.
+      EXPECT_EQ(counts.accepted, 0u);
+      EXPECT_EQ(counts.rejected, 1u);
+      EXPECT_EQ(__builtin_popcount(tag ^ monitor_tag), 1);
+    }
+  }
+  EXPECT_EQ(collector.per_tag().size(), 9u);
+  EXPECT_EQ(tag_accepted, collector.accepted());
+  EXPECT_EQ(tag_rejected, collector.rejected());
 }
 
 TEST(CollectorTest, AddCheckpointFileTransport) {
@@ -286,6 +324,15 @@ TEST(CollectorTest, AddCheckpointFileTransport) {
   EXPECT_FALSE(collector.AddCheckpointFile(path_a + ".missing"));
   EXPECT_EQ(collector.accepted(), 2u);
   EXPECT_EQ(collector.rejected(), 1u);
+
+  // Container-level failures (no payload to key on) land under tag 0;
+  // decoded checkpoint payloads are keyed by their record tag as usual.
+  const auto monitor_tag =
+      static_cast<std::uint8_t>(serde::TypeTag::kMonitor);
+  ASSERT_EQ(collector.per_tag().count(monitor_tag), 1u);
+  EXPECT_EQ(collector.per_tag().at(monitor_tag).accepted, 2u);
+  ASSERT_EQ(collector.per_tag().count(0), 1u);
+  EXPECT_EQ(collector.per_tag().at(0).rejected, 1u);
 
   Monitor whole(config, seed);
   whole.UpdateBatch(slice_a.data(), slice_a.size());

@@ -269,5 +269,51 @@ TEST(ShardedRotationTest, ResetClearsDataAndDiscardsRetiredWindows) {
   EXPECT_EQ(Bytes(*window), Bytes(reference));
 }
 
+TEST(ShardedRotationTest, ResetStatsFieldSemanticsArePinned) {
+  // Regression pin for the documented Reset() contract (sharded_monitor.h):
+  // window-accounting fields zero, lifetime cursors survive. A change to
+  // either side silently breaks the Drain quiescence barrier or operator
+  // dashboards, so the split is asserted field by field.
+  const MonitorConfig config = TestConfig();
+  const auto parts = SplitWindows(SampledStream(40000, 53), 2);
+
+  ShardedMonitorOptions options;
+  options.shards = 2;
+  options.batch_items = 256;
+  ShardedMonitor sharded(config, kSeed, options);
+
+  sharded.Ingest(parts[0].data(), parts[0].size());
+  sharded.Rotate();
+  sharded.Drain();
+  const ShardedMonitorStats before = sharded.Stats();
+  EXPECT_EQ(before.items_ingested, parts[0].size());
+  EXPECT_EQ(before.items_consumed, parts[0].size());
+  EXPECT_GT(before.batches_pushed, 0u);
+  EXPECT_GT(before.batches_consumed, 0u);
+  EXPECT_EQ(before.epoch, 1u);
+
+  sharded.Reset();
+  const ShardedMonitorStats after = sharded.Stats();
+  // ZEROED: window accounting relative to the discarded data.
+  EXPECT_EQ(after.items_ingested, 0u);
+  EXPECT_EQ(after.items_consumed, 0u);
+  EXPECT_EQ(after.producer_stalls, 0u);
+  EXPECT_EQ(after.buffers_recycled, 0u);
+  EXPECT_EQ(after.windows_retired, 0u);
+  // SURVIVE: lifetime cursors (the Drain barrier and epoch numbering).
+  EXPECT_EQ(after.batches_pushed, before.batches_pushed);
+  EXPECT_EQ(after.batches_consumed, before.batches_consumed);
+  EXPECT_EQ(after.epoch, before.epoch);
+
+  // The surviving cursors keep counting from where they left off.
+  sharded.Ingest(parts[1].data(), parts[1].size());
+  sharded.Drain();
+  const ShardedMonitorStats resumed = sharded.Stats();
+  EXPECT_EQ(resumed.items_ingested, parts[1].size());
+  EXPECT_EQ(resumed.items_consumed, parts[1].size());
+  EXPECT_GT(resumed.batches_pushed, before.batches_pushed);
+  EXPECT_GT(resumed.batches_consumed, before.batches_consumed);
+}
+
 }  // namespace
 }  // namespace substream
