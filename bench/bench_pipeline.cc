@@ -123,6 +123,22 @@ void EmitCellRow(const char* target, const char* mode, std::size_t items,
       bench::RowTags(simd::Name(kernels::ActiveIsa())).c_str());
 }
 
+/// Batch-layout A/B row: the same dense-geometry ingest kernel fed the
+/// interleaved PrehashedItem array ("aos") vs the item/hash column pair
+/// ("soa"). The speedup denominator is the same-ISA same-cell-width AoS
+/// rate, so a "soa" row reads directly as "columnar batches buy this much
+/// at this level".
+void EmitLayoutRow(const char* target, const char* layout, std::size_t items,
+                   double items_per_sec, double aos_baseline, int cell_bits) {
+  std::printf(
+      "{\"bench\":\"pipeline\",\"target\":\"%s\",\"mode\":\"batch_layout\","
+      "\"layout\":\"%s\",\"cell_bits\":%d,\"items\":%zu,"
+      "\"items_per_sec\":%.0f,\"speedup_vs_aos\":%.3f,%s}\n",
+      target, layout, cell_bits, items, items_per_sec,
+      aos_baseline > 0.0 ? items_per_sec / aos_baseline : 0.0,
+      bench::RowTags(simd::Name(kernels::ActiveIsa())).c_str());
+}
+
 void EmitRow(const char* target, const char* mode, std::size_t items,
              double items_per_sec, double scalar_baseline) {
   // Every row carries the dispatch level it ran under plus compiler/build
@@ -189,6 +205,14 @@ int main(int argc, char** argv) {
   const Stream sampled = Materialize(generator, items);
   std::vector<PrehashedItem> column(sampled.size());
   PrehashColumn(sampled.data(), sampled.size(), column.data());
+  // The same prehashed input split into parallel columns (the ShardedMonitor
+  // batch layout), for the batch_layout A/B rows.
+  std::vector<std::uint64_t> item_col(sampled.size());
+  std::vector<std::uint64_t> hash_col(sampled.size());
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    item_col[i] = column[i].item;
+    hash_col[i] = column[i].hash;
+  }
 
   // --- Individual counter-table sketches vs their pre-refactor kernels.
   // Reference rows share the target's scalar baseline, so their
@@ -294,6 +318,51 @@ int main(int argc, char** argv) {
           EmitCellRow("countmin", "kernel_cells", items, rate, cells_wide,
                       CellBits(cw));
         }
+      }
+
+      // Batch layout A/B at the same dense geometry: interleaved
+      // PrehashedItem batches (the pre-columnar ring payload) vs the
+      // item/hash column pair ShardedMonitor now ships. Wide and narrow
+      // CountMin cells plus the two-column CountSketch ingest, per ISA.
+      {
+        for (CellWidth cw : {CellWidth::k64, CellWidth::k8}) {
+          const auto make_table = [cw] {
+            return CounterTable<count_t>(
+                4, std::uint64_t{1} << 16, 3,
+                CounterTableOptions{cw, OverflowPolicy::kSpill,
+                                    /*pow2_width=*/true});
+          };
+          const double aos = BestRate(repeats, items, make_table,
+                                      [&](auto& table) {
+                                        table.AddPrehashed(column.data(),
+                                                           column.size());
+                                      });
+          EmitLayoutRow("countmin", "aos", items, aos, aos, CellBits(cw));
+          const double soa = BestRate(repeats, items, make_table,
+                                      [&](auto& table) {
+                                        table.AddPrehashed(hash_col.data(),
+                                                           hash_col.size());
+                                      });
+          EmitLayoutRow("countmin", "soa", items, soa, aos, CellBits(cw));
+        }
+        const auto make_cs = [] {
+          return CountSketch(4, std::uint64_t{1} << 16, 3,
+                             CounterTableOptions{CellWidth::k64,
+                                                 OverflowPolicy::kSpill,
+                                                 /*pow2_width=*/true});
+        };
+        const double cs_aos = BestRate(
+            repeats, items, make_cs, [&](auto& sk) {
+              sk.UpdatePrehashed(column.data(), column.size());
+            });
+        EmitLayoutRow("countsketch", "aos", items, cs_aos, cs_aos, 64);
+        const double cs_soa = BestRate(
+            repeats, items, make_cs, [&](auto& sk) {
+              sk.UpdatePrehashed(
+                  PrehashedColumns{item_col.data(), hash_col.data()},
+                  item_col.size());
+            });
+        EmitLayoutRow("countsketch", "soa", items, cs_soa, cs_aos, 64);
       }
 
       const kernels::KernelTable& kt = kernels::Dispatch();

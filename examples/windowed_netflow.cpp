@@ -29,9 +29,12 @@
 #include <cstdlib>
 #include <utility>
 
+#include <string>
+
 #include "core/substream.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "util/numa.h"
 
 using namespace substream;
 
@@ -60,9 +63,20 @@ int main(int argc, char** argv) {
   ring_options.decay = 0.5;  // a window ages to half weight per rotation
   WindowedMonitor ring(config, seed, ring_options);
 
+  // Group layout the pipeline actually picked: workers were pinned into
+  // per-NUMA-node shard groups (SKETCH_FORCE_NUMA_GROUPS emulates nodes on
+  // a single-socket host), and Report/CollectWindow merge per group first.
+  const std::string layout_tag = std::to_string(pipeline.groups()) +
+                                 "x" +
+                                 std::to_string(pipeline.shards() /
+                                                pipeline.groups());
   std::printf("windowed sampled-netflow collector: p=%.3f, %zu windows of "
-              "%zu packets, decay %.2f\n\n",
+              "%zu packets, decay %.2f\n",
               p, total_windows, window_packets, ring_options.decay);
+  std::printf("topology: %s -> %zu shard group(s) of %zu shard(s) "
+              "[layout %s]\n\n",
+              numa::Describe(pipeline.topology()).c_str(), pipeline.groups(),
+              pipeline.shards() / pipeline.groups(), layout_tag.c_str());
   std::printf("%-8s %-10s %-14s %-14s %-12s\n", "window", "traffic",
               "H(sliding-2)", "H(decayed)", "stalls");
 
@@ -113,7 +127,7 @@ int main(int argc, char** argv) {
     // degradation lives in the health line.
     const obs::MetricsSnapshot snap =
         obs::MetricsRegistry::Global().Snapshot();
-    std::printf("  metrics %s\n",
+    std::printf("  metrics[groups=%s] %s\n", layout_tag.c_str(),
                 obs::ToJson(snap, w == 0 ? nullptr : &prev_snap).c_str());
     std::printf("  health  %s\n", obs::ToJson(window_health).c_str());
     prev_snap = snap;

@@ -63,6 +63,15 @@ void EntropyEstimator::UpdatePrehashed(const PrehashedItem* data,
   }
 }
 
+void EntropyEstimator::UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+  sampled_length_ += n;
+  if (mle_) {
+    mle_->UpdatePrehashed(cols, n);
+  } else {
+    ams_->UpdatePrehashed(cols, n);
+  }
+}
+
 bool EntropyEstimator::MergeCompatibleWith(
     const EntropyEstimator& other) const {
   if (params_.backend != other.params_.backend ||

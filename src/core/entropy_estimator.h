@@ -73,6 +73,9 @@ class EntropyEstimator {
   /// all three ingest paths stay bit-identical).
   void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
 
+  /// SoA form: fans the columns to the configured backend.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
+
   /// Merges an estimator built with the same parameters and seed. The MLE
   /// backends merge exactly; the AMS sketch merges via the distributed-
   /// reservoir rule (see AmsEntropySketch::Merge).

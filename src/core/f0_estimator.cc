@@ -70,6 +70,17 @@ void F0Estimator::UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
   }
 }
 
+void F0Estimator::UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+  sampled_length_ += n;
+  if (kmv_) {
+    kmv_->UpdatePrehashed(cols, n);
+  } else if (hll_) {
+    hll_->UpdatePrehashed(cols, n);
+  } else {
+    exact_->items.insert(cols.items, cols.items + n);
+  }
+}
+
 bool F0Estimator::MergeCompatibleWith(const F0Estimator& other) const {
   if (params_.backend != other.params_.backend ||
       params_.p != other.params_.p) {

@@ -59,6 +59,10 @@ class F0Estimator {
   /// directly).
   void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
 
+  /// SoA form: the backend consumes the column it needs (KMV/HLL read the
+  /// hash column; the exact backend bulk-inserts the item column).
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
+
   /// Merges an estimator built with the same parameters and seed (backend
   /// sketches merge under their own geometry/seed preconditions).
   void Merge(const F0Estimator& other);

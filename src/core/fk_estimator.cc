@@ -98,6 +98,15 @@ void FkEstimator::UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
   }
 }
 
+void FkEstimator::UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+  sampled_length_ += n;
+  if (sketch_backend_) {
+    sketch_backend_->UpdatePrehashed(cols, n);
+  } else {
+    exact_backend_->UpdatePrehashed(cols, n);
+  }
+}
+
 bool FkEstimator::MergeCompatibleWith(const FkEstimator& other) const {
   if (params_.k != other.params_.k ||
       params_.backend != other.params_.backend ||

@@ -82,6 +82,9 @@ class FkEstimator {
   /// prehash directly).
   void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
 
+  /// SoA form: fans the columns to the configured backend.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
+
   /// Merges an estimator built with the same parameters and seed (the
   /// level-set backends merge under their own geometry/seed preconditions).
   void Merge(const FkEstimator& other);

@@ -80,6 +80,12 @@ void F1HeavyHitterEstimator::UpdatePrehashed(const PrehashedItem* data,
   tracker_.UpdatePrehashed(data, n);
 }
 
+void F1HeavyHitterEstimator::UpdatePrehashed(PrehashedColumns cols,
+                                             std::size_t n) {
+  sampled_length_ += n;
+  tracker_.UpdatePrehashed(cols, n);
+}
+
 bool F1HeavyHitterEstimator::MergeCompatibleWith(
     const F1HeavyHitterEstimator& other) const {
   return params_.alpha == other.params_.alpha &&
@@ -199,6 +205,12 @@ void F2HeavyHitterEstimator::UpdatePrehashed(const PrehashedItem* data,
                                              std::size_t n) {
   sampled_length_ += n;
   tracker_.UpdatePrehashed(data, n);
+}
+
+void F2HeavyHitterEstimator::UpdatePrehashed(PrehashedColumns cols,
+                                             std::size_t n) {
+  sampled_length_ += n;
+  tracker_.UpdatePrehashed(cols, n);
 }
 
 bool F2HeavyHitterEstimator::MergeCompatibleWith(

@@ -58,6 +58,9 @@ class F1HeavyHitterEstimator {
   /// re-estimates share the caller's prehash).
   void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
 
+  /// SoA form: per-item candidate tracking, pairs rebuilt from the columns.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
+
   /// Merges an estimator built with the same parameters and seed.
   void Merge(const F1HeavyHitterEstimator& other);
   /// True when Merge(other) preconditions hold, checked all the way
@@ -117,6 +120,9 @@ class F2HeavyHitterEstimator {
   /// Feeds `n` already-prehashed elements of L (sketch adds and candidate
   /// re-estimates share the caller's prehash).
   void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
+
+  /// SoA form: per-item candidate tracking, pairs rebuilt from the columns.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
 
   /// Merges an estimator built with the same parameters and seed.
   void Merge(const F2HeavyHitterEstimator& other);

@@ -79,12 +79,13 @@ void Monitor::Update(item_t item) {
 }
 
 void Monitor::UpdateBatch(const item_t* data, std::size_t n) {
-  // Stage 1: one strong hash per item into a stack-resident column.
-  // Stage 2: fan the column to every estimator (UpdatePrehashed).
-  ForEachPrehashedChunk(data, n, [this](const PrehashedItem* column,
-                                        std::size_t m) {
-    UpdatePrehashed(column, m);
-  });
+  // Stage 1: one strong hash per item into a stack-resident hash column
+  // alongside the caller's item array (SoA — no interleave step).
+  // Stage 2: fan both columns to every estimator (UpdatePrehashed).
+  ForEachPrehashedChunkCols(data, n,
+                            [this](PrehashedColumns cols, std::size_t m) {
+                              UpdatePrehashed(cols, m);
+                            });
 }
 
 void Monitor::UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
@@ -93,6 +94,14 @@ void Monitor::UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
   if (f2_) f2_->UpdatePrehashed(data, n);
   if (entropy_) entropy_->UpdatePrehashed(data, n);
   if (heavy_) heavy_->UpdatePrehashed(data, n);
+}
+
+void Monitor::UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+  sampled_length_ += n;
+  if (f0_) f0_->UpdatePrehashed(cols, n);
+  if (f2_) f2_->UpdatePrehashed(cols, n);
+  if (entropy_) entropy_->UpdatePrehashed(cols, n);
+  if (heavy_) heavy_->UpdatePrehashed(cols, n);
 }
 
 bool Monitor::MergeCompatibleWith(const Monitor& other) const {

@@ -100,6 +100,11 @@ class Monitor {
   /// every sketch on the worker side.
   void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
 
+  /// SoA form: fans the item/hash columns to every estimator so the
+  /// counter-array sketches run unit-stride SIMD loads; bit-identical
+  /// to the AoS fan-out.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
+
   /// Merges a monitor constructed with the same config and seed, so that
   /// this monitor summarizes the concatenation of both sampled streams.
   /// Mismatched configuration or seed aborts (mergeability requires

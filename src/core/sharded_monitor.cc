@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -12,12 +13,14 @@ namespace substream {
 namespace {
 
 /// Registry handles for the pipeline, resolved once per process. All sites
-/// are batch-granular (per flushed batch, per rotation) — the per-item
-/// staging loop is untouched.
+/// are batch-granular (per flushed batch, per rotation, per report) — the
+/// per-item staging loop is untouched.
 struct PipelineMetrics {
   obs::Histogram& batch_consume_ns;
   obs::Histogram& rotate_ns;
+  obs::Histogram& cross_group_merge_ns;
   obs::Gauge& ring_occupancy_hwm;
+  obs::Gauge& groups;
   obs::Counter& producer_stalls;
   obs::Counter& buffers_recycled;
   obs::Counter& batches_consumed;
@@ -33,16 +36,24 @@ struct PipelineMetrics {
             "substream_sharded_rotate_duration_ns",
             "Producer-side cost of Rotate(): closing-epoch flush plus one "
             "marker push per shard"),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "substream_sharded_cross_group_merge_duration_ns",
+            "Cross-group phase of Report()/CollectWindow(): folding the "
+            "per-group merged monitors (observed only when groups > 1)"),
         obs::MetricsRegistry::Global().GetGauge(
             "substream_sharded_ring_occupancy_hwm",
             "High-water mark of per-shard ring occupancy (batches) observed "
             "at push time"),
+        obs::MetricsRegistry::Global().GetGauge(
+            "substream_sharded_groups",
+            "Shard groups in use by the most recently constructed pipeline "
+            "(1 on single-node hosts without SKETCH_FORCE_NUMA_GROUPS)"),
         obs::MetricsRegistry::Global().GetCounter(
             "substream_sharded_producer_stalls_total",
             "Flushes that found a ring full and backed off"),
         obs::MetricsRegistry::Global().GetCounter(
             "substream_sharded_buffers_recycled_total",
-            "Staged batch buffers reused from the worker freelist"),
+            "Staged batch column buffers reused from the worker freelist"),
         obs::MetricsRegistry::Global().GetCounter(
             "substream_sharded_batches_consumed_total",
             "Batches applied to shard monitors by workers"),
@@ -91,25 +102,61 @@ ShardedMonitor::ShardedMonitor(const MonitorConfig& config, std::uint64_t seed,
   SUBSTREAM_CHECK(options.batch_items >= 1);
   options_.ring_capacity = RoundUpPow2(options.ring_capacity);
 
-  monitors_.reserve(options.shards);
-  rings_.reserve(options.shards);
-  free_rings_.reserve(options.shards);
-  sync_.reserve(options.shards);
-  staged_.resize(options.shards);
-  batches_pushed_.assign(options.shards, 0);
-  for (std::size_t s = 0; s < options.shards; ++s) {
-    // Same config and seed on every shard: the Monitor::Merge precondition.
-    monitors_.emplace_back(config, seed);
-    rings_.push_back(std::make_unique<BatchRing>(options_.ring_capacity));
-    free_rings_.push_back(std::make_unique<BufferRing>(options_.ring_capacity));
-    sync_.push_back(std::make_unique<ShardSync>());
-    sync_.back()->space_bytes.store(monitors_.back().SpaceBytes(),
-                                    std::memory_order_relaxed);
-    staged_[s].reserve(options_.batch_items);
+  const std::size_t shards = options.shards;
+  topology_ = numa::DetectTopology();
+  std::size_t groups = options.groups != 0 ? options.groups : topology_.groups();
+  if (groups > shards) groups = shards;
+  if (groups < 1) groups = 1;
+
+  // Contiguous balanced shard ranges per group: group g owns
+  // [g*S/G, (g+1)*S/G). Contiguity is what makes the two-level merge visit
+  // shards in the same total order as a flat fold.
+  group_begin_.resize(groups + 1);
+  for (std::size_t g = 0; g <= groups; ++g) {
+    group_begin_[g] = g * shards / groups;
   }
-  workers_.reserve(options.shards);
-  for (std::size_t s = 0; s < options.shards; ++s) {
+  shard_group_.resize(shards);
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t s = group_begin_[g]; s < group_begin_[g + 1]; ++s) {
+      shard_group_[s] = g;
+    }
+  }
+  group_cpus_.reserve(groups);
+  group_hwm_gauges_.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    group_cpus_.push_back(topology_.cpus[g % topology_.groups()]);
+    group_hwm_gauges_.push_back(&obs::MetricsRegistry::Global().GetGauge(
+        "substream_sharded_group" + std::to_string(g) + "_ring_occupancy_hwm",
+        "High-water mark of ring occupancy (batches) across the group's "
+        "shards"));
+  }
+  group_ring_hwm_.assign(groups, 0);
+  PipelineMetrics::Get().groups.Set(static_cast<std::int64_t>(groups));
+
+  // The worker-owned pieces (monitor + both rings) start empty: each worker
+  // allocates its own on its thread after pinning, so the first touch of
+  // those pages happens on the consuming node.
+  monitors_.resize(shards);
+  rings_.resize(shards);
+  free_rings_.resize(shards);
+  sync_.reserve(shards);
+  staged_.resize(shards);
+  batches_pushed_.assign(shards, 0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    sync_.push_back(std::make_unique<ShardSync>());
+    staged_[s].items.reserve(options_.batch_items);
+    staged_[s].hashes.reserve(options_.batch_items);
+  }
+  workers_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
     workers_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+  // Handshake: every producer-side touch of rings_/monitors_ happens after
+  // this acquire observes the workers' release-increments, which publish
+  // the pointer stores above it.
+  std::size_t spins = 0;
+  while (ready_workers_.load(std::memory_order_acquire) < shards) {
+    BackoffPause(&spins);
   }
 }
 
@@ -150,10 +197,31 @@ std::size_t ShardedMonitor::ShardOf(item_t item, std::size_t shards) {
   return ShardOfPrehash(PreHash(item), shards);
 }
 
+std::size_t ShardedMonitor::GroupOfShard(std::size_t s) const {
+  return shard_group_[s];
+}
+
 void ShardedMonitor::WorkerLoop(std::size_t shard) {
-  Monitor& monitor = monitors_[shard];
-  BatchRing& ring = *rings_[shard];
+  if (options_.pin_workers) {
+    // Best-effort: a refused affinity call leaves the worker where the
+    // scheduler put it (and first-touch below still lands somewhere valid).
+    numa::PinThreadToCpus(group_cpus_[shard_group_[shard]]);
+  }
+  // First-touch: the shard's monitor (every CounterTable level inside it)
+  // and both rings are constructed HERE, after pinning, so their pages are
+  // faulted in on this worker's node.
+  monitors_[shard] = std::make_unique<Monitor>(config_, seed_);
+  rings_[shard] = std::make_unique<BatchRing>(options_.ring_capacity);
+  free_rings_[shard] = std::make_unique<BufferRing>(options_.ring_capacity);
   ShardSync& sync = *sync_[shard];
+  sync.space_bytes.store(monitors_[shard]->SpaceBytes(),
+                         std::memory_order_relaxed);
+  // Release publishes the three pointer stores; the constructor's acquire
+  // loop pairs with it before any producer-side access.
+  ready_workers_.fetch_add(1, std::memory_order_release);
+
+  Monitor* monitor = monitors_[shard].get();
+  BatchRing& ring = *rings_[shard];
   std::uint64_t worker_epoch = 0;
   Batch batch;
   std::size_t idle_spins = 0;
@@ -165,14 +233,15 @@ void ShardedMonitor::WorkerLoop(std::size_t shard) {
         // Epoch boundary (Rotate's marker, or the first data batch of the
         // new epoch): retire the closed window into the mailbox and swap
         // onto a fresh same-seeded Monitor. The allocation happens HERE,
-        // on the worker — rotation never blocks the producer on it.
+        // on the worker — rotation never blocks the producer on it (and
+        // the replacement window is first-touched on this node too).
         // Ordering: publish the fresh footprint BEFORE the mailbox insert,
         // so a concurrent SpaceBytes() momentarily undercounts the shard
         // (retiring window in neither place) rather than double-counting
         // it (stale counter + mailbox walk).
-        Monitor closed = std::move(monitor);
-        monitor = Monitor(config_, seed_);
-        sync.space_bytes.store(monitor.SpaceBytes(),
+        Monitor closed = std::move(*monitor);
+        *monitor = Monitor(config_, seed_);
+        sync.space_bytes.store(monitor->SpaceBytes(),
                                std::memory_order_relaxed);
         {
           std::lock_guard<std::mutex> lock(sync.retired_mu);
@@ -180,26 +249,29 @@ void ShardedMonitor::WorkerLoop(std::size_t shard) {
         }
         worker_epoch = batch.epoch;
       }
-      const std::size_t consumed_items = batch.items.size();
+      const std::size_t consumed_items = batch.cols.size();
       if (consumed_items != 0) {
         const std::uint64_t start_ns = obs::NowNs();
-        monitor.UpdatePrehashed(batch.items.data(), batch.items.size());
+        monitor->UpdatePrehashed(
+            PrehashedColumns{batch.cols.items.data(), batch.cols.hashes.data()},
+            consumed_items);
         PipelineMetrics& metrics = PipelineMetrics::Get();
         metrics.batch_consume_ns.Observe(obs::NowNs() - start_ns);
         metrics.batches_consumed.Inc();
         metrics.items_consumed.Inc(consumed_items);
       }
       if (consumed_items != 0) {
-        // Hand the drained buffer (capacity intact) back to the producer's
-        // staging freelist. Opportunistic: a full freelist just means the
-        // buffer deallocates here instead, off the ingest critical path.
-        batch.items.clear();
-        free_rings_[shard]->TryPush(std::move(batch.items));
-        batch.items = std::vector<PrehashedItem>();
+        // Hand the drained column pair (capacities intact) back to the
+        // producer's staging freelist. Opportunistic: a full freelist just
+        // means the buffers deallocate here instead, off the ingest
+        // critical path.
+        batch.cols.clear();
+        free_rings_[shard]->TryPush(std::move(batch.cols));
+        batch.cols = ColumnBuffer();
       }
       sync.items_consumed.fetch_add(consumed_items,
                                     std::memory_order_relaxed);
-      sync.space_bytes.store(monitor.SpaceBytes(), std::memory_order_relaxed);
+      sync.space_bytes.store(monitor->SpaceBytes(), std::memory_order_relaxed);
       // Published LAST, with release: a producer that observes this count
       // has a happens-before edge to every monitor mutation above (the
       // Drain quiescence barrier Report/Collect/Reset rely on).
@@ -226,44 +298,56 @@ void ShardedMonitor::PushBatch(std::size_t shard, Batch&& batch) {
   }
   ++batches_pushed_[shard];
   // Occupancy immediately after a successful push is this shard's depth
-  // backlog; the process-wide gauge keeps the worst ever seen.
+  // backlog; the process-wide gauge keeps the worst ever seen, the group
+  // gauge the worst across the group's shards (a persistently hot group is
+  // a slow or oversubscribed node, not a routing skew).
+  const std::size_t occupancy = rings_[shard]->SizeApprox();
   PipelineMetrics::Get().ring_occupancy_hwm.SetMax(
-      static_cast<std::int64_t>(rings_[shard]->SizeApprox()));
+      static_cast<std::int64_t>(occupancy));
+  const std::size_t group = shard_group_[shard];
+  if (occupancy > group_ring_hwm_[group]) {
+    group_ring_hwm_[group] = occupancy;
+    group_hwm_gauges_[group]->SetMax(static_cast<std::int64_t>(occupancy));
+  }
 }
 
 void ShardedMonitor::RefillStaged(std::size_t shard) {
-  // Prefer a buffer the shard's worker already drained: its capacity was
-  // grown by a previous staging round, so the steady-state flush cycle
+  // Prefer a column pair the shard's worker already drained: its capacity
+  // was grown by a previous staging round, so the steady-state flush cycle
   // does no allocation at all.
-  std::vector<PrehashedItem> recycled;
+  ColumnBuffer recycled;
   if (free_rings_[shard]->TryPop(&recycled)) {
     ++buffers_recycled_;
     PipelineMetrics::Get().buffers_recycled.Inc();
     staged_[shard] = std::move(recycled);
   } else {
-    staged_[shard] = std::vector<PrehashedItem>();
-    staged_[shard].reserve(options_.batch_items);
+    staged_[shard] = ColumnBuffer();
+    staged_[shard].items.reserve(options_.batch_items);
+    staged_[shard].hashes.reserve(options_.batch_items);
   }
 }
 
 void ShardedMonitor::FlushStaged(std::size_t shard) {
-  if (staged_[shard].empty()) return;
+  if (staged_[shard].size() == 0) return;
   Batch batch;
   batch.epoch = epoch_;
-  batch.items = std::move(staged_[shard]);
+  batch.cols = std::move(staged_[shard]);
   RefillStaged(shard);
   PushBatch(shard, std::move(batch));
 }
 
 void ShardedMonitor::Ingest(const item_t* data, std::size_t n) {
   items_ingested_ += n;
-  const std::size_t shards = monitors_.size();
+  const std::size_t shards = options_.shards;
   for (std::size_t i = 0; i < n; ++i) {
     // One strong hash here pays for routing now and every sketch's bucket
-    // derivations on the worker side.
-    const PrehashedItem ph = MakePrehashed(data[i]);
-    const std::size_t s = ShardOfPrehash(ph.hash, shards);
-    staged_[s].push_back(ph);
+    // derivations on the worker side. Item and hash are staged as two
+    // parallel columns — the layout the worker-side SIMD kernels load with
+    // unit stride.
+    const std::uint64_t hash = PreHash(data[i]);
+    const std::size_t s = ShardOfPrehash(hash, shards);
+    staged_[s].items.push_back(data[i]);
+    staged_[s].hashes.push_back(hash);
     if (staged_[s].size() >= options_.batch_items) FlushStaged(s);
   }
 }
@@ -271,12 +355,12 @@ void ShardedMonitor::Ingest(const item_t* data, std::size_t n) {
 void ShardedMonitor::Rotate() {
   obs::ScopedTimer timer(PipelineMetrics::Get().rotate_ns);
   // Staged items belong to the closing epoch: flush them under its tag.
-  for (std::size_t s = 0; s < monitors_.size(); ++s) FlushStaged(s);
+  for (std::size_t s = 0; s < options_.shards; ++s) FlushStaged(s);
   ++epoch_;
   // One empty marker per shard carries the new epoch through the rings —
   // the in-band rotation signal. Workers retire their closed windows when
   // they reach it; the producer returns immediately (no join, no drain).
-  for (std::size_t s = 0; s < monitors_.size(); ++s) {
+  for (std::size_t s = 0; s < options_.shards; ++s) {
     Batch marker;
     marker.epoch = epoch_;
     PushBatch(s, std::move(marker));
@@ -284,8 +368,8 @@ void ShardedMonitor::Rotate() {
 }
 
 void ShardedMonitor::Drain() {
-  for (std::size_t s = 0; s < monitors_.size(); ++s) FlushStaged(s);
-  for (std::size_t s = 0; s < monitors_.size(); ++s) {
+  for (std::size_t s = 0; s < options_.shards; ++s) FlushStaged(s);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
     const std::uint64_t target = batches_pushed_[s];
     std::size_t spins = 0;
     while (sync_[s]->batches_consumed.load(std::memory_order_acquire) <
@@ -304,12 +388,45 @@ Monitor& ShardedMonitor::ScratchReset() {
   return *scratch_;
 }
 
+Monitor& ShardedMonitor::GroupScratchReset(std::size_t group) {
+  if (group_scratch_.size() < groups()) group_scratch_.resize(groups());
+  if (!group_scratch_[group]) {
+    group_scratch_[group].emplace(config_, seed_);
+  } else {
+    group_scratch_[group]->Reset();
+  }
+  return *group_scratch_[group];
+}
+
 MonitorReport ShardedMonitor::Report() {
   // Quiesce, then merge a snapshot: the shard monitors themselves are left
   // untouched, which is what makes Report repeatable and non-terminal.
   Drain();
+  const std::size_t num_groups = groups();
   Monitor& scratch = ScratchReset();
-  for (const Monitor& monitor : monitors_) scratch.Merge(monitor);
+  if (num_groups == 1) {
+    // Flat fold — the two-level shape below with its intra-group copy
+    // elided. Both visit shards in the same order, so the merged state is
+    // identical (pinned by the 1-group-vs-N-group test).
+    for (const auto& monitor : monitors_) scratch.Merge(*monitor);
+    return scratch.Report();
+  }
+  // Level 1: fold each group's shard monitors into its group-local
+  // scratch. The heavy reads (every counter of every shard sketch) stay on
+  // the group's node when the caller runs pinned; only the compact merged
+  // scratch crosses nodes below.
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    Monitor& group_scratch = GroupScratchReset(g);
+    for (std::size_t s = group_begin_[g]; s < group_begin_[g + 1]; ++s) {
+      group_scratch.Merge(*monitors_[s]);
+    }
+  }
+  // Level 2: fold the group scratches in group order.
+  const std::uint64_t start_ns = obs::NowNs();
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    scratch.Merge(*group_scratch_[g]);
+  }
+  PipelineMetrics::Get().cross_group_merge_ns.Observe(obs::NowNs() - start_ns);
   return scratch.Report();
 }
 
@@ -330,30 +447,52 @@ std::optional<Monitor> ShardedMonitor::CollectWindow(std::uint64_t epoch) {
                     [&](const auto& entry) { return entry.first == epoch; });
     if (!found) return std::nullopt;
   }
-  std::optional<Monitor> merged;
-  for (const auto& sync : sync_) {
-    std::lock_guard<std::mutex> lock(sync->retired_mu);
-    auto it = std::find_if(
-        sync->retired.begin(), sync->retired.end(),
-        [&](const auto& entry) { return entry.first == epoch; });
-    if (!merged) {
-      merged.emplace(std::move(it->second));
-    } else {
-      merged->Merge(it->second);
+  // Level 1: extract and merge each group's windows in shard order, using
+  // the group's first window as the accumulator (no scratch copies — the
+  // extracted windows are consumed anyway).
+  const std::size_t num_groups = groups();
+  std::vector<Monitor> group_windows;
+  group_windows.reserve(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    std::optional<Monitor> acc;
+    for (std::size_t s = group_begin_[g]; s < group_begin_[g + 1]; ++s) {
+      ShardSync& sync = *sync_[s];
+      std::lock_guard<std::mutex> lock(sync.retired_mu);
+      auto it = std::find_if(
+          sync.retired.begin(), sync.retired.end(),
+          [&](const auto& entry) { return entry.first == epoch; });
+      if (!acc) {
+        acc.emplace(std::move(it->second));
+      } else {
+        acc->Merge(it->second);
+      }
+      sync.retired.erase(it);
     }
-    sync->retired.erase(it);
+    group_windows.push_back(std::move(*acc));
   }
-  return merged;
+  // Level 2: fold across groups in group order. Same total shard order as
+  // the historical flat fold, so the merged window is byte-identical under
+  // any group layout.
+  Monitor merged = std::move(group_windows[0]);
+  if (num_groups > 1) {
+    const std::uint64_t start_ns = obs::NowNs();
+    for (std::size_t g = 1; g < num_groups; ++g) {
+      merged.Merge(group_windows[g]);
+    }
+    PipelineMetrics::Get().cross_group_merge_ns.Observe(obs::NowNs() -
+                                                        start_ns);
+  }
+  return std::optional<Monitor>(std::move(merged));
 }
 
 void ShardedMonitor::Reset() {
   Drain();
-  for (std::size_t s = 0; s < monitors_.size(); ++s) {
+  for (std::size_t s = 0; s < options_.shards; ++s) {
     // Post-drain the workers are idle and will touch their monitors again
     // only after the next ring push, which carries the needed
     // happens-before edge (release on head_, acquire in TryPop).
-    monitors_[s].Reset();
-    sync_[s]->space_bytes.store(monitors_[s].SpaceBytes(),
+    monitors_[s]->Reset();
+    sync_[s]->space_bytes.store(monitors_[s]->SpaceBytes(),
                                 std::memory_order_relaxed);
     sync_[s]->items_consumed.store(0, std::memory_order_relaxed);
     {
@@ -372,7 +511,9 @@ ShardedMonitorStats ShardedMonitor::Stats() const {
   stats.epoch = epoch_;
   stats.producer_stalls = producer_stalls_;
   stats.buffers_recycled = buffers_recycled_;
-  for (std::size_t s = 0; s < monitors_.size(); ++s) {
+  stats.groups = groups();
+  stats.group_ring_hwm = group_ring_hwm_;
+  for (std::size_t s = 0; s < options_.shards; ++s) {
     stats.items_consumed +=
         sync_[s]->items_consumed.load(std::memory_order_relaxed);
     stats.batches_consumed +=
@@ -386,7 +527,7 @@ ShardedMonitorStats ShardedMonitor::Stats() const {
 
 std::size_t ShardedMonitor::SpaceBytes() const {
   std::size_t bytes = 0;
-  for (std::size_t s = 0; s < monitors_.size(); ++s) {
+  for (std::size_t s = 0; s < options_.shards; ++s) {
     // Workers publish their monitor's footprint after every batch; reading
     // the counter (instead of walking a Monitor under mutation) is what
     // makes this safe during ingest. Read the mailbox BEFORE the counter:

@@ -14,24 +14,48 @@
 #include "stream/stream.h"
 #include "util/common.h"
 #include "util/hash.h"
+#include "util/numa.h"
 
 /// \file sharded_monitor.h
 /// Multi-core ingestion pipeline over mergeable Monitors: the
-/// sampled-NetFlow collector that scales across cores.
+/// sampled-NetFlow collector that scales across cores — and, via shard
+/// groups, across sockets.
 ///
 /// Layout: one producer (the caller of Ingest) and `shards` worker threads.
 /// Each worker owns a Monitor constructed with the *same* config and seed —
 /// the precondition for Monitor::Merge — and consumes batches from its own
 /// bounded single-producer/single-consumer ring buffer. The producer
 /// prehashes each item ONCE (the shared PreHash of util/hash.h), routes on
-/// a salted remix of that prehash, and ships PrehashedItem batches through
-/// the rings — so the same strong hash pays for partitioning on the
-/// producer side AND every sketch's bucket derivations on the worker side
-/// (Monitor::UpdatePrehashed). All occurrences of an item land on the same
-/// shard; linear sketches merge identically under any partition, but
-/// identity partitioning also keeps candidate-tracking summaries (heavy
-/// hitters, level-set candidate pools) accurate, since each shard sees the
-/// full local frequency of its items.
+/// a salted remix of that prehash, and ships the batch as two parallel
+/// columns — `item[]` and `hash[]` (PrehashedColumns) — through the rings,
+/// so the same strong hash pays for partitioning on the producer side AND
+/// every sketch's bucket derivations on the worker side
+/// (Monitor::UpdatePrehashed), and the worker-side SIMD kernels read each
+/// column with unit-stride loads instead of gathering from an interleaved
+/// struct array. All occurrences of an item land on the same shard; linear
+/// sketches merge identically under any partition, but identity
+/// partitioning also keeps candidate-tracking summaries (heavy hitters,
+/// level-set candidate pools) accurate, since each shard sees the full
+/// local frequency of its items.
+///
+/// ## Shard groups (NUMA nodes)
+///
+/// Shards are split into contiguous *groups*, one per NUMA node by default
+/// (util/numa.h: SKETCH_FORCE_NUMA_GROUPS override, /sys node directories,
+/// single-group fallback — in that order). Group membership buys locality,
+/// never semantics:
+///
+///  - each worker pins itself to its group's CPUs
+///    (pthread_setaffinity_np, best-effort) and then FIRST-TOUCHES its own
+///    ring buffers and Monitor on its thread, so the pages a worker hammers
+///    live on the node that reads them;
+///  - Report() and CollectWindow() merge in two levels — shard monitors
+///    into a group-local scratch, group scratches across groups — keeping
+///    the high-traffic merge reads node-local;
+///  - shard routing depends ONLY on the shard count, never on the group
+///    layout, and both merge levels preserve shard order, so a forced
+///    1-group and a forced N-group pipeline produce byte-identical
+///    Report()/CollectWindow() output for the same input (pinned by test).
 ///
 /// ## Lifecycle: epochs (measurement windows)
 ///
@@ -45,7 +69,7 @@
 /// ever joined or respawned at a window boundary.
 ///
 ///  - `Report()` — repeatable: flushes + drains, then merges a *snapshot*
-///    of the current epoch's shard monitors into a reusable scratch. Call
+///    of the current epoch's shard monitors (two-level, see above). Call
 ///    it as often as you like; ingest continues afterwards.
 ///  - `CollectWindow(e)` — extracts rotated epoch `e` as one merged
 ///    Monitor (all shards, deterministic shard order). The returned
@@ -81,6 +105,10 @@
 
 namespace substream {
 
+namespace obs {
+class Gauge;
+}  // namespace obs
+
 /// Tuning knobs for the pipeline.
 struct ShardedMonitorOptions {
   /// Number of worker shards (>= 1), each a thread owning one Monitor.
@@ -92,6 +120,15 @@ struct ShardedMonitorOptions {
   /// Target items per batch handed to a shard. Larger batches amortize
   /// ring-buffer traffic and let UpdateBatch's row-major loops run longer.
   std::size_t batch_items = 4096;
+  /// Number of shard groups. 0 (default) auto-detects one group per NUMA
+  /// node; any positive value forces that many groups (clamped to the
+  /// shard count). Group layout affects placement and merge order
+  /// internals only — never the merged output.
+  std::size_t groups = 0;
+  /// Pin each worker to its group's CPU set. Best-effort: a refused
+  /// affinity syscall leaves the worker unpinned (and first-touch then
+  /// falls back to wherever the scheduler ran the allocation).
+  bool pin_workers = true;
 };
 
 /// Pipeline observability snapshot (producer-side view; worker counters
@@ -102,7 +139,8 @@ struct ShardedMonitorOptions {
 ///    buffers_recycled, windows_retired (uncollected windows are dropped).
 ///    These are *window accounting* — meaningful relative to the data the
 ///    pipeline currently holds, which Reset discards.
-///  - SURVIVE Reset(): batches_pushed, batches_consumed, epoch. These are
+///  - SURVIVE Reset(): batches_pushed, batches_consumed, epoch,
+///    group_ring_hwm (a lifetime high-water mark), groups. These are
 ///    *lifetime cursors*: the push/consume counts are the Drain quiescence
 ///    barrier (a worker's consumed count must stay comparable with the
 ///    producer's push count across Reset), and epoch numbering continues
@@ -126,6 +164,13 @@ struct ShardedMonitorStats {
   std::uint64_t buffers_recycled = 0;
   std::uint64_t epoch = 0;            ///< currently open epoch
   std::uint64_t windows_retired = 0;  ///< rotated, not yet collected
+  /// Shard groups in use (1 on single-node hosts without the env override).
+  std::size_t groups = 1;
+  /// Per-group ring-occupancy high-water mark (batches), indexed by group:
+  /// the worst backlog any of the group's shards ever showed at push time.
+  /// A group persistently hotter than its peers means the routing hash is
+  /// fine but the node is slow (or oversubscribed).
+  std::vector<std::uint64_t> group_ring_hwm;
 };
 
 /// Sharded ingestion front-end for Monitor. Not itself a mergeable summary
@@ -164,16 +209,18 @@ class ShardedMonitor {
   std::uint64_t CurrentEpoch() const { return epoch_; }
 
   /// Merged monitor of rotated epoch `e`: flushes + drains so every shard
-  /// has retired `e`, then merges the per-shard windows in shard order
-  /// (deterministic). Each window is extracted exactly once: a second call
-  /// for the same epoch returns std::nullopt, as does an epoch discarded
-  /// by Reset(). Aborts if `e` is the still-open epoch.
+  /// has retired `e`, then merges the per-shard windows two-level (shard
+  /// order within each group, then group order — the same total order a
+  /// flat shard-order merge visits). Each window is extracted exactly
+  /// once: a second call for the same epoch returns std::nullopt, as does
+  /// an epoch discarded by Reset(). Aborts if `e` is the still-open epoch.
   std::optional<Monitor> CollectWindow(std::uint64_t epoch);
 
   /// Consolidated report of the OPEN epoch's data so far. Repeatable:
-  /// flushes + drains, merges a snapshot of the shard monitors into a
-  /// reusable scratch and reports; the pipeline keeps ingesting afterwards
-  /// (rotated-but-uncollected windows are not included — collect those).
+  /// flushes + drains, merges a snapshot of the shard monitors into
+  /// reusable scratch space (intra-group, then cross-group) and reports;
+  /// the pipeline keeps ingesting afterwards (rotated-but-uncollected
+  /// windows are not included — collect those).
   MonitorReport Report();
 
   /// Drains, clears every shard monitor and all uncollected retired
@@ -196,14 +243,21 @@ class ShardedMonitor {
   ShardedMonitorStats Stats() const;
 
   /// Shard an item the same way the pipeline does (exposed so tests and
-  /// external partitioners can reproduce the routing).
+  /// external partitioners can reproduce the routing). Depends only on the
+  /// shard count — group layout never changes routing.
   static std::size_t ShardOf(item_t item, std::size_t shards);
 
   /// Routing from an already-computed prehash (what Ingest uses per item).
   static std::size_t ShardOfPrehash(std::uint64_t prehash,
                                     std::size_t shards);
 
-  std::size_t shards() const { return monitors_.size(); }
+  std::size_t shards() const { return options_.shards; }
+  /// Shard groups in use (resolved at construction).
+  std::size_t groups() const { return group_begin_.size() - 1; }
+  /// Group that owns shard `s` (contiguous ranges, balanced sizes).
+  std::size_t GroupOfShard(std::size_t s) const;
+  /// The node topology the group layout was derived from.
+  const numa::Topology& topology() const { return topology_; }
   count_t ItemsIngested() const { return items_ingested_; }
 
   /// Total memory across all shard monitors, open and retired (ring
@@ -214,11 +268,25 @@ class ShardedMonitor {
   std::size_t SpaceBytes() const;
 
  private:
-  /// One ring entry: an epoch tag plus a prehashed column. An empty items
-  /// vector is an epoch marker (Rotate's in-band rotation signal).
+  /// A pair of parallel columns — the unit the freelist recycles. Both
+  /// vectors always have equal length; index i holds one logical
+  /// PrehashedItem split across them.
+  struct ColumnBuffer {
+    std::vector<std::uint64_t> items;
+    std::vector<std::uint64_t> hashes;
+
+    std::size_t size() const { return items.size(); }
+    void clear() {
+      items.clear();
+      hashes.clear();
+    }
+  };
+
+  /// One ring entry: an epoch tag plus an item/hash column pair. Empty
+  /// columns are an epoch marker (Rotate's in-band rotation signal).
   struct Batch {
     std::uint64_t epoch = 0;
-    std::vector<PrehashedItem> items;
+    ColumnBuffer cols;
   };
 
   /// Bounded SPSC ring. Index monotonicity: head_ is advanced only by the
@@ -229,7 +297,7 @@ class ShardedMonitor {
   /// the same object.
   ///
   /// Used in both directions: producer→worker for epoch-tagged batches, and
-  /// worker→producer for drained item buffers flowing back to the staging
+  /// worker→producer for drained column buffers flowing back to the staging
   /// freelist (so steady-state ingest never mallocs a batch buffer).
   template <typename T>
   class SpscRing {
@@ -273,7 +341,7 @@ class ShardedMonitor {
   };
 
   using BatchRing = SpscRing<Batch>;
-  using BufferRing = SpscRing<std::vector<PrehashedItem>>;
+  using BufferRing = SpscRing<ColumnBuffer>;
 
   /// Per-shard cross-thread state. The atomics are the worker's published
   /// progress (consumed counters double as the Drain quiescence barrier:
@@ -291,35 +359,59 @@ class ShardedMonitor {
 
   void WorkerLoop(std::size_t shard);
   void FlushStaged(std::size_t shard);
-  /// Refills staged_[shard] after a flush: a recycled buffer from the
+  /// Refills staged_[shard] after a flush: a recycled column pair from the
   /// shard's freelist when one is waiting, a fresh allocation otherwise.
   void RefillStaged(std::size_t shard);
   /// Pushes with bounded exponential backoff; counts a producer stall when
   /// the ring is full on first attempt.
   void PushBatch(std::size_t shard, Batch&& batch);
   Monitor& ScratchReset();
+  /// Lazily built per-group Report() workspace, Reset() when reused.
+  Monitor& GroupScratchReset(std::size_t group);
 
   MonitorConfig config_;
   std::uint64_t seed_;
   ShardedMonitorOptions options_;
-  std::vector<Monitor> monitors_;
+  numa::Topology topology_;
+  /// Group g owns shards [group_begin_[g], group_begin_[g + 1]); the array
+  /// has groups() + 1 entries (last = shard count). Contiguous balanced
+  /// ranges, so intra-group + cross-group merge order equals flat shard
+  /// order.
+  std::vector<std::size_t> group_begin_;
+  /// CPU set each group's workers pin to (from topology_, round-robin when
+  /// there are more groups than nodes).
+  std::vector<std::vector<int>> group_cpus_;
+  std::vector<std::size_t> shard_group_;  ///< shard -> owning group
+  /// Shard monitors and rings live behind pointers the OWNING WORKER
+  /// populates on its thread (after pinning) — the first-touch step. The
+  /// constructor blocks on ready_workers_ before returning, so every
+  /// producer-side access happens strictly after the release-stores below.
+  std::vector<std::unique_ptr<Monitor>> monitors_;
   std::vector<std::unique_ptr<BatchRing>> rings_;
   /// Worker→producer freelist, one per shard (keeps every ring SPSC): the
-  /// worker pushes a consumed batch's cleared buffer, the producer pops it
-  /// when restaging. Either side may find the ring full/empty and fall back
-  /// (drop the buffer / malloc a fresh one) — recycling is opportunistic,
-  /// never blocking.
+  /// worker pushes a consumed batch's cleared columns, the producer pops
+  /// them when restaging. Either side may find the ring full/empty and fall
+  /// back (drop the buffer / malloc a fresh one) — recycling is
+  /// opportunistic, never blocking.
   std::vector<std::unique_ptr<BufferRing>> free_rings_;
   std::vector<std::unique_ptr<ShardSync>> sync_;
-  std::vector<std::vector<PrehashedItem>> staged_;  // producer-side, per shard
-  std::vector<std::uint64_t> batches_pushed_;       // producer-side, per shard
+  std::vector<ColumnBuffer> staged_;           // producer-side, per shard
+  std::vector<std::uint64_t> batches_pushed_;  // producer-side, per shard
+  std::vector<std::uint64_t> group_ring_hwm_;  // producer-side, per group
+  /// Registry gauges mirroring group_ring_hwm_ (name-keyed
+  /// substream_sharded_group<g>_ring_occupancy_hwm), resolved once at
+  /// construction so the push path never composes strings.
+  std::vector<obs::Gauge*> group_hwm_gauges_;
   std::vector<std::thread> workers_;
+  std::atomic<std::size_t> ready_workers_{0};  // first-touch handshake
   std::atomic<bool> done_{false};
   std::uint64_t epoch_ = 0;             // open epoch (producer-side)
   std::uint64_t producer_stalls_ = 0;   // ring-full flush events
   std::uint64_t buffers_recycled_ = 0;  // staged buffers reused via freelist
   count_t items_ingested_ = 0;
-  std::optional<Monitor> scratch_;     // Report() workspace, built lazily
+  std::optional<Monitor> scratch_;  // cross-group Report() workspace
+  /// Intra-group Report() workspaces, one per group, built lazily.
+  std::vector<std::optional<Monitor>> group_scratch_;
 };
 
 }  // namespace substream

@@ -67,6 +67,10 @@ void WindowedMonitor::UpdatePrehashed(const PrehashedItem* data,
   ring_[cursor_].UpdatePrehashed(data, n);
 }
 
+void WindowedMonitor::UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+  ring_[cursor_].UpdatePrehashed(cols, n);
+}
+
 void WindowedMonitor::Rotate() {
   obs::ScopedTimer timer(WindowedMetrics::Get().rotate_ns);
   ++epoch_;

@@ -89,6 +89,9 @@ class WindowedMonitor {
   /// Feeds `n` already-prehashed elements into the current window.
   void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
 
+  /// SoA form: feeds the columns into the current window.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
+
   /// Closes the current window and opens a fresh one. Constant-time: while
   /// the ring is below capacity a new Monitor is constructed; afterwards
   /// the evicted oldest window is Reset() and reused, so steady-state

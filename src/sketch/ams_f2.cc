@@ -79,6 +79,18 @@ void AmsF2Sketch::UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
   total_ += n;
 }
 
+void AmsF2Sketch::UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+  // The SoA layout is a strict win here: the item column is already
+  // contiguous, so the estimator-major sweep streams it unit-stride.
+  for (std::size_t j = 0; j < counters_.size(); ++j) {
+    const PolynomialHash& hash = sign_hashes_[j];
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) acc += hash.Sign(cols.items[i]);
+    counters_[j] += acc;
+  }
+  total_ += n;
+}
+
 void AmsF2Sketch::Reset() {
   std::fill(counters_.begin(), counters_.end(), 0);
   total_ = 0;

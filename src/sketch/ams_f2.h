@@ -43,6 +43,9 @@ class AmsF2Sketch {
   /// uses), so the prehash itself is unused here.
   void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
 
+  /// SoA form: the same estimator-major accumulation over the item column.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
+
   /// Zeroes all counters; geometry, seed and sign hashes are kept.
   void Reset();
 

@@ -79,11 +79,41 @@ void BucketRowMaskScalar(const PrehashedItem* items, std::size_t n,
   }
 }
 
+// SoA forms: the same scalar reference math over bare columns. These also
+// serve as the tail/fallback of the vector SoA kernels, so the AoS and SoA
+// paths share one definition of every derivation.
+
+void BucketRowColsScalar(const std::uint64_t* hashes, std::size_t n,
+                         std::uint64_t row_seed, std::uint64_t width,
+                         std::uint64_t* out_idx) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out_idx[i] = FastRange64(RemixHash(hashes[i], row_seed), width);
+  }
+}
+
+void SignRow4ColsScalar(const std::uint64_t* items, std::size_t n,
+                        const std::uint64_t c[4], std::int64_t* out_sign) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out_sign[i] = Poly4Sign(items[i], c);
+  }
+}
+
+void BucketRowMaskColsScalar(const std::uint64_t* hashes, std::size_t n,
+                             std::uint64_t row_seed, std::uint64_t mask,
+                             std::uint64_t* out_idx) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out_idx[i] = RemixHash(hashes[i], row_seed) & mask;
+  }
+}
+
 constexpr KernelTable kScalarTable = {
     simd::Isa::kScalar,
     BucketRowScalar,
     SignRow4Scalar,
     BucketRowMaskScalar,
+    BucketRowColsScalar,
+    SignRow4ColsScalar,
+    BucketRowMaskColsScalar,
     nullptr,
 };
 
@@ -287,11 +317,81 @@ __attribute__((target("avx2"))) void BucketRowMaskAvx2(
   BucketRowMaskScalar(items + i, n - i, row_seed, mask, out_idx + i);
 }
 
+// SoA AVX2 kernels: identical lane math, but the column layout turns each
+// LoadHashes4/LoadItems4 (two loads + unpack + cross-lane permute) into one
+// unit-stride _mm256_loadu_si256.
+
+__attribute__((target("avx2"))) void BucketRowColsAvx2(
+    const std::uint64_t* hashes, std::size_t n, std::uint64_t row_seed,
+    std::uint64_t width, std::uint64_t* out_idx) {
+  const __m256i seed = _mm256_set1_epi64x(static_cast<long long>(row_seed));
+  const __m256i w = _mm256_set1_epi64x(static_cast<long long>(width));
+  std::size_t i = 0;
+  if ((width >> 32) == 0) {
+    for (; i + 4 <= n; i += 4) {
+      const __m256i mixed = RemixAvx2(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + i)),
+          seed);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_idx + i),
+                          FastRangeNarrowAvx2(mixed, w));
+    }
+  } else {
+    for (; i + 4 <= n; i += 4) {
+      const __m256i mixed = RemixAvx2(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + i)),
+          seed);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_idx + i),
+                          MulHi64Avx2(mixed, w));
+    }
+  }
+  BucketRowColsScalar(hashes + i, n - i, row_seed, width, out_idx + i);
+}
+
+__attribute__((target("avx2"))) void SignRow4ColsAvx2(
+    const std::uint64_t* items, std::size_t n, const std::uint64_t c[4],
+    std::int64_t* out_sign) {
+  const __m256i c0 = _mm256_set1_epi64x(static_cast<long long>(c[0]));
+  const __m256i c1 = _mm256_set1_epi64x(static_cast<long long>(c[1]));
+  const __m256i c2 = _mm256_set1_epi64x(static_cast<long long>(c[2]));
+  const __m256i c3 = _mm256_set1_epi64x(static_cast<long long>(c[3]));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i xm = Mod61Avx2(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(items + i)));
+    __m256i acc = c3;
+    acc = HornerStepAvx2(acc, xm, c2);
+    acc = HornerStepAvx2(acc, xm, c1);
+    acc = HornerStepAvx2(acc, xm, c0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_sign + i),
+                        Hash2SignAvx2(acc));
+  }
+  SignRow4ColsScalar(items + i, n - i, c, out_sign + i);
+}
+
+__attribute__((target("avx2"))) void BucketRowMaskColsAvx2(
+    const std::uint64_t* hashes, std::size_t n, std::uint64_t row_seed,
+    std::uint64_t mask, std::uint64_t* out_idx) {
+  const __m256i seed = _mm256_set1_epi64x(static_cast<long long>(row_seed));
+  const __m256i m = _mm256_set1_epi64x(static_cast<long long>(mask));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i mixed = RemixAvx2(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + i)),
+        seed);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out_idx + i),
+                        _mm256_and_si256(mixed, m));
+  }
+  BucketRowMaskColsScalar(hashes + i, n - i, row_seed, mask, out_idx + i);
+}
+
 constexpr KernelTable kAvx2Table = {
     simd::Isa::kAvx2,
     BucketRowAvx2,
     SignRow4Avx2,
     BucketRowMaskAvx2,
+    BucketRowColsAvx2,
+    SignRow4ColsAvx2,
+    BucketRowMaskColsAvx2,
     // No packed increments on AVX2: the gather-increment-scatter replay
     // needs scatter and lane-conflict detection, which are AVX-512-only.
     nullptr,
@@ -548,11 +648,77 @@ IncRowPackedAvx512(void* cells, std::uint64_t row_base,
   }
 }
 
+// SoA AVX-512 kernels: one _mm512_loadu_si512 per lane set instead of the
+// LoadHashes8/LoadItems8 two-load + permutex2var deinterleave.
+
+__attribute__((target("avx512f,avx512dq"))) void BucketRowColsAvx512(
+    const std::uint64_t* hashes, std::size_t n, std::uint64_t row_seed,
+    std::uint64_t width, std::uint64_t* out_idx) {
+  const __m512i seed = _mm512_set1_epi64(static_cast<long long>(row_seed));
+  const __m512i w = _mm512_set1_epi64(static_cast<long long>(width));
+  std::size_t i = 0;
+  if ((width >> 32) == 0) {
+    for (; i + 8 <= n; i += 8) {
+      const __m512i mixed = RemixAvx512(
+          _mm512_loadu_si512(reinterpret_cast<const void*>(hashes + i)), seed);
+      _mm512_storeu_si512(reinterpret_cast<void*>(out_idx + i),
+                          FastRangeNarrowAvx512(mixed, w));
+    }
+  } else {
+    for (; i + 8 <= n; i += 8) {
+      const __m512i mixed = RemixAvx512(
+          _mm512_loadu_si512(reinterpret_cast<const void*>(hashes + i)), seed);
+      _mm512_storeu_si512(reinterpret_cast<void*>(out_idx + i),
+                          MulHi64Avx512(mixed, w));
+    }
+  }
+  BucketRowColsScalar(hashes + i, n - i, row_seed, width, out_idx + i);
+}
+
+__attribute__((target("avx512f,avx512dq"))) void SignRow4ColsAvx512(
+    const std::uint64_t* items, std::size_t n, const std::uint64_t c[4],
+    std::int64_t* out_sign) {
+  const __m512i c0 = _mm512_set1_epi64(static_cast<long long>(c[0]));
+  const __m512i c1 = _mm512_set1_epi64(static_cast<long long>(c[1]));
+  const __m512i c2 = _mm512_set1_epi64(static_cast<long long>(c[2]));
+  const __m512i c3 = _mm512_set1_epi64(static_cast<long long>(c[3]));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i xm = Mod61Avx512(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(items + i)));
+    __m512i acc = c3;
+    acc = HornerStepAvx512(acc, xm, c2);
+    acc = HornerStepAvx512(acc, xm, c1);
+    acc = HornerStepAvx512(acc, xm, c0);
+    _mm512_storeu_si512(reinterpret_cast<void*>(out_sign + i),
+                        Hash2SignAvx512(acc));
+  }
+  SignRow4ColsScalar(items + i, n - i, c, out_sign + i);
+}
+
+__attribute__((target("avx512f,avx512dq"))) void BucketRowMaskColsAvx512(
+    const std::uint64_t* hashes, std::size_t n, std::uint64_t row_seed,
+    std::uint64_t mask, std::uint64_t* out_idx) {
+  const __m512i seed = _mm512_set1_epi64(static_cast<long long>(row_seed));
+  const __m512i m = _mm512_set1_epi64(static_cast<long long>(mask));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i mixed = RemixAvx512(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(hashes + i)), seed);
+    _mm512_storeu_si512(reinterpret_cast<void*>(out_idx + i),
+                        _mm512_and_si512(mixed, m));
+  }
+  BucketRowMaskColsScalar(hashes + i, n - i, row_seed, mask, out_idx + i);
+}
+
 constexpr KernelTable kAvx512Table = {
     simd::Isa::kAvx512,
     BucketRowAvx512,
     SignRow4Avx512,
     BucketRowMaskAvx512,
+    BucketRowColsAvx512,
+    SignRow4ColsAvx512,
+    BucketRowMaskColsAvx512,
     IncRowPackedAvx512,
 };
 

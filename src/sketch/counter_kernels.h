@@ -88,6 +88,20 @@ struct KernelTable {
                           std::uint64_t row_seed, std::uint64_t mask,
                           std::uint64_t* out_idx);
 
+  /// SoA forms of the three row passes above: identical math, but the
+  /// inputs arrive as bare columns (PrehashedColumns members), so the
+  /// vector levels take one unit-stride load per lane set instead of the
+  /// two-loads-plus-shuffle deinterleave the AoS layout forces. Bucket
+  /// passes read the hash column; the sign pass reads the item column.
+  void (*bucket_row_cols)(const std::uint64_t* hashes, std::size_t n,
+                          std::uint64_t row_seed, std::uint64_t width,
+                          std::uint64_t* out_idx);
+  void (*sign_row4_cols)(const std::uint64_t* items, std::size_t n,
+                         const std::uint64_t c[4], std::int64_t* out_sign);
+  void (*bucket_row_mask_cols)(const std::uint64_t* hashes, std::size_t n,
+                               std::uint64_t row_seed, std::uint64_t mask,
+                               std::uint64_t* out_idx);
+
   /// Cold-path callback of the packed increment kernel: invoked, in stream
   /// order, for each increment whose cell sits at the stop pattern.
   using IncColdFn = void (*)(void* ctx, std::uint64_t flat_index);
@@ -133,8 +147,11 @@ std::vector<simd::Isa> AvailableIsas();
 /// full micro-block earlier, past the store-to-load forwarding window.
 /// Callers own the two buffer slots; per-item order within replay is the
 /// stream order, so counters stay bit-identical to the fused scalar loop.
-template <typename Derive, typename Replay>
-inline void MicroBlockPipeline(const PrehashedItem* block, std::size_t m,
+/// `block` is any cursor supporting `block + offset` — a `PrehashedItem*`
+/// (AoS), a raw `std::uint64_t*` column, or a `std::size_t` base offset
+/// when the derive stage reads several parallel columns at once.
+template <typename Cursor, typename Derive, typename Replay>
+inline void MicroBlockPipeline(Cursor block, std::size_t m,
                                Derive&& derive, Replay&& replay) {
   std::size_t cur_m = m < kMicroBlockItems ? m : kMicroBlockItems;
   if (cur_m == 0) return;

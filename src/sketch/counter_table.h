@@ -373,6 +373,75 @@ class CounterTable {
     }
   }
 
+  /// SoA twin of AddPrehashed: the bucket derivation only ever reads the
+  /// hash column, so the column path takes bare hashes — unit-stride SIMD
+  /// loads via the `_cols` kernels instead of deinterleave shuffles. Same
+  /// cache blocking, same replay order, bit-identical counters and spill
+  /// state.
+  void AddPrehashed(const std::uint64_t* hashes, std::size_t n) {
+    const kernels::KernelTable& k = kernels::Dispatch();
+    switch (options_.cell_width) {
+      case CellWidth::k8:
+        AddPrehashedNarrowCols<std::uint8_t, 2>(lv8_.data(), hashes, n, k);
+        return;
+      case CellWidth::k16:
+        AddPrehashedNarrowCols<std::uint16_t, 1>(lv16_.data(), hashes, n, k);
+        return;
+      case CellWidth::k32:
+        AddPrehashedNarrowCols<std::uint32_t, 0>(lv32_.data(), hashes, n, k);
+        return;
+      case CellWidth::k64:
+        break;
+    }
+    const bool pow2 = options_.pow2_width;
+    if (k.isa != simd::Isa::kScalar) {
+      std::uint64_t idx[2][kernels::kMicroBlockItems];
+      for (std::size_t base = 0; base < n; base += kBlockItems) {
+        const std::size_t m = std::min(kBlockItems, n - base);
+        const std::uint64_t* const block = hashes + base;
+        for (int r = 0; r < depth_; ++r) {
+          CounterT* const row = Row(r);
+          const std::uint64_t seed = row_seeds_[static_cast<std::size_t>(r)];
+          kernels::MicroBlockPipeline(
+              block, m,
+              [&](const std::uint64_t* p, std::size_t mm, int slot) {
+                if (pow2) {
+                  k.bucket_row_mask_cols(p, mm, seed, mask_, idx[slot]);
+                } else {
+                  k.bucket_row_cols(p, mm, seed, width_, idx[slot]);
+                }
+              },
+              [&](int slot, std::size_t mm) {
+                const std::uint64_t* const buf = idx[slot];
+                for (std::size_t i = 0; i < mm; ++i) {
+                  row[buf[i]] += CounterT{1};
+                }
+              });
+        }
+      }
+      return;
+    }
+    for (std::size_t base = 0; base < n; base += kBlockItems) {
+      const std::size_t m = std::min(kBlockItems, n - base);
+      const std::uint64_t* const block = hashes + base;
+      for (int r = 0; r < depth_; ++r) {
+        CounterT* const row = Row(r);
+        const std::uint64_t seed = row_seeds_[static_cast<std::size_t>(r)];
+        if (pow2) {
+          const std::uint64_t mask = mask_;
+          for (std::size_t i = 0; i < m; ++i) {
+            row[RemixHash(block[i], seed) & mask] += CounterT{1};
+          }
+        } else {
+          const std::uint64_t width = width_;
+          for (std::size_t i = 0; i < m; ++i) {
+            row[FastRange64(RemixHash(block[i], seed), width)] += CounterT{1};
+          }
+        }
+      }
+    }
+  }
+
   /// Pointwise counter sum. Callers enforce their merge preconditions
   /// (same depth/width/seed, same pow2 flag and overflow policy) first; the
   /// row seeds derive from the seed, so equal headers imply equal bucket
@@ -783,6 +852,94 @@ class CounterTable {
           for (std::size_t i = 0; i < m; ++i) {
             const std::uint64_t b =
                 FastRange64(RemixHash(block[i].hash, seed), width);
+            const PhysT v = row[b];
+            if (v == kStop) {
+              SpillUnit(static_cast<std::size_t>(row_base + b));
+            } else {
+              row[b] = static_cast<PhysT>(v + PhysT{1});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// SoA twin of AddPrehashedNarrow: identical replay (packed kernel or
+  /// stop-checked scalar), only the derive stage reads a bare hash column.
+  template <typename PhysT, unsigned kLog2Cpw>
+  void AddPrehashedNarrowCols(PhysT* level, const std::uint64_t* hashes,
+                              std::size_t n, const kernels::KernelTable& k) {
+    constexpr PhysT kStop =
+        std::is_signed_v<CounterT>
+            ? static_cast<PhysT>(static_cast<PhysT>(~PhysT{0}) >> 1)
+            : static_cast<PhysT>(~PhysT{0});
+    constexpr std::uint32_t kCellMask = static_cast<std::uint32_t>(
+        (std::uint64_t{1} << (8 * sizeof(PhysT))) - 1);
+    const bool pow2 = options_.pow2_width;
+    if (k.isa != simd::Isa::kScalar) {
+      std::uint64_t idx[2][kernels::kMicroBlockItems];
+      for (std::size_t base = 0; base < n; base += kBlockItems) {
+        const std::size_t m = std::min(kBlockItems, n - base);
+        const std::uint64_t* const block = hashes + base;
+        for (int r = 0; r < depth_; ++r) {
+          const std::uint64_t row_base =
+              static_cast<std::uint64_t>(r) * width_;
+          PhysT* const row = level + row_base;
+          const std::uint64_t seed = row_seeds_[static_cast<std::size_t>(r)];
+          kernels::MicroBlockPipeline(
+              block, m,
+              [&](const std::uint64_t* p, std::size_t mm, int slot) {
+                if (pow2) {
+                  k.bucket_row_mask_cols(p, mm, seed, mask_, idx[slot]);
+                } else {
+                  k.bucket_row_cols(p, mm, seed, width_, idx[slot]);
+                }
+              },
+              [&](int slot, std::size_t mm) {
+                const std::uint64_t* const buf = idx[slot];
+                if (k.inc_row_packed != nullptr) {
+                  k.inc_row_packed(level, row_base, buf, mm, kLog2Cpw,
+                                   kCellMask,
+                                   static_cast<std::uint32_t>(kStop),
+                                   &CounterTable::SpillUnitThunk, this);
+                  return;
+                }
+                for (std::size_t i = 0; i < mm; ++i) {
+                  const PhysT v = row[buf[i]];
+                  if (v == kStop) {
+                    SpillUnit(static_cast<std::size_t>(row_base + buf[i]));
+                  } else {
+                    row[buf[i]] = static_cast<PhysT>(v + PhysT{1});
+                  }
+                }
+              });
+        }
+      }
+      return;
+    }
+    for (std::size_t base = 0; base < n; base += kBlockItems) {
+      const std::size_t m = std::min(kBlockItems, n - base);
+      const std::uint64_t* const block = hashes + base;
+      for (int r = 0; r < depth_; ++r) {
+        const std::uint64_t row_base = static_cast<std::uint64_t>(r) * width_;
+        PhysT* const row = level + row_base;
+        const std::uint64_t seed = row_seeds_[static_cast<std::size_t>(r)];
+        if (pow2) {
+          const std::uint64_t mask = mask_;
+          for (std::size_t i = 0; i < m; ++i) {
+            const std::uint64_t b = RemixHash(block[i], seed) & mask;
+            const PhysT v = row[b];
+            if (v == kStop) {
+              SpillUnit(static_cast<std::size_t>(row_base + b));
+            } else {
+              row[b] = static_cast<PhysT>(v + PhysT{1});
+            }
+          }
+        } else {
+          const std::uint64_t width = width_;
+          for (std::size_t i = 0; i < m; ++i) {
+            const std::uint64_t b =
+                FastRange64(RemixHash(block[i], seed), width);
             const PhysT v = row[b];
             if (v == kStop) {
               SpillUnit(static_cast<std::size_t>(row_base + b));

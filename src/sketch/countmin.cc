@@ -57,9 +57,9 @@ void CountMinSketch::Update(const PrehashedItem& ph, count_t count) {
 }
 
 void CountMinSketch::UpdateBatch(const item_t* data, std::size_t n) {
-  ForEachPrehashedChunk(data, n, [this](const PrehashedItem* column,
-                                        std::size_t m) {
-    UpdatePrehashed(column, m);
+  ForEachPrehashedChunkCols(data, n,
+                            [this](PrehashedColumns cols, std::size_t m) {
+    UpdatePrehashed(cols, m);
   });
 }
 
@@ -76,6 +76,20 @@ void CountMinSketch::UpdatePrehashed(const PrehashedItem* data,
     return;
   }
   table_.AddPrehashed(data, n);
+  total_ += n;
+}
+
+void CountMinSketch::UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+  if (conservative_update_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      table_.AddConservative(cols.At(i), 1);
+    }
+    total_ += n;
+    return;
+  }
+  // Plain CountMin never reads the item identity on ingest, so the SoA
+  // path hands the table the hash column alone.
+  table_.AddPrehashed(cols.hashes, n);
   total_ += n;
 }
 
@@ -218,6 +232,11 @@ void CountMinHeavyHitters::UpdatePrehashed(const PrehashedItem* data,
   // Candidate tracking interleaves a read after every write, so the loop is
   // per-item — but sketch add and estimate reuse the caller's prehash.
   for (std::size_t i = 0; i < n; ++i) Update(data[i]);
+}
+
+void CountMinHeavyHitters::UpdatePrehashed(PrehashedColumns cols,
+                                           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) Update(cols.At(i));
 }
 
 bool CountMinHeavyHitters::MergeCompatibleWith(

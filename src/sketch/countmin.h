@@ -75,6 +75,10 @@ class CountMinSketch {
   /// hot path: no hashing beyond the per-row remix.
   void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
 
+  /// SoA form of the columnar hot path: bucket derivation reads only the
+  /// hash column, through unit-stride SIMD kernels.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
+
   /// Zeroes all counters; geometry, seed and hash derivations are kept.
   void Reset();
 
@@ -165,6 +169,9 @@ class CountMinHeavyHitters {
 
   /// Feeds `n` already-prehashed elements.
   void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
+
+  /// SoA form: per-item candidate tracking, rebuilt pairs from the columns.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
 
   /// Merges a tracker with the same phi, geometry and seed: sketches add,
   /// candidate pools union (estimates refreshed from the merged sketch).

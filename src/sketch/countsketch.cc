@@ -92,9 +92,9 @@ double CountSketch::UpdateAndEstimate(const PrehashedItem& ph,
 }
 
 void CountSketch::UpdateBatch(const item_t* data, std::size_t n) {
-  ForEachPrehashedChunk(data, n, [this](const PrehashedItem* column,
-                                        std::size_t m) {
-    UpdatePrehashed(column, m);
+  ForEachPrehashedChunkCols(data, n,
+                            [this](PrehashedColumns cols, std::size_t m) {
+    UpdatePrehashed(cols, m);
   });
 }
 
@@ -179,6 +179,102 @@ void CountSketch::UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
         const std::uint64_t b =
             pow2 ? (h & (width_ - 1)) : FastRange64(h, width_);
         const std::int64_t delta = sign_hash.Sign(block[i].item);
+        if (k64) {
+          std::int64_t& cell = row[b];
+          sumsq += static_cast<double>(2 * cell * delta + 1);
+          cell += delta;
+        } else {
+          const std::size_t flat = static_cast<std::size_t>(row_base + b);
+          const std::int64_t cell = table_.AtFlat(flat);
+          sumsq += static_cast<double>(2 * cell * delta + 1);
+          table_.AddAtFlat(flat, delta);
+        }
+      }
+      row_sumsq_[rr] = sumsq;
+    }
+  }
+  total_ += static_cast<std::int64_t>(n);
+}
+
+void CountSketch::UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+  constexpr std::size_t kBlock = CounterTable<std::int64_t>::kBlockItems;
+  const kernels::KernelTable& k = kernels::Dispatch();
+  const bool k64 = table_.cell_width() == CellWidth::k64;
+  const bool pow2 = table_.pow2_width();
+  if (k.isa != simd::Isa::kScalar) {
+    // SoA vector path: same pipeline and replay as the AoS overload, but
+    // the derive stage reads two parallel columns (buckets from the hash
+    // column, signs from the item column) through the `_cols` kernels —
+    // unit-stride loads, no deinterleave shuffles. The pipeline cursor is
+    // a plain offset because one derive consumes both columns.
+    std::uint64_t idx[2][kernels::kMicroBlockItems];
+    std::int64_t sgn[2][kernels::kMicroBlockItems];
+    for (std::size_t base = 0; base < n; base += kBlock) {
+      const std::size_t m = std::min(kBlock, n - base);
+      const std::uint64_t* const hashes = cols.hashes + base;
+      const std::uint64_t* const items = cols.items + base;
+      for (int r = 0; r < depth_; ++r) {
+        const auto rr = static_cast<std::size_t>(r);
+        std::int64_t* const row = k64 ? table_.Row(r) : nullptr;
+        const std::uint64_t row_base =
+            static_cast<std::uint64_t>(r) * width_;
+        const std::uint64_t row_seed = table_.row_seed(r);
+        const std::uint64_t* const row_coeffs =
+            sign_hashes_[rr].coefficients().data();
+        double sumsq = row_sumsq_[rr];
+        kernels::MicroBlockPipeline(
+            std::size_t{0}, m,
+            [&](std::size_t off, std::size_t mm, int slot) {
+              if (pow2) {
+                k.bucket_row_mask_cols(hashes + off, mm, row_seed,
+                                       width_ - 1, idx[slot]);
+              } else {
+                k.bucket_row_cols(hashes + off, mm, row_seed, width_,
+                                  idx[slot]);
+              }
+              k.sign_row4_cols(items + off, mm, row_coeffs, sgn[slot]);
+            },
+            [&](int slot, std::size_t mm) {
+              if (k64) {
+                for (std::size_t i = 0; i < mm; ++i) {
+                  std::int64_t& cell = row[idx[slot][i]];
+                  const std::int64_t delta = sgn[slot][i];
+                  sumsq += static_cast<double>(2 * cell * delta + 1);
+                  cell += delta;
+                }
+                return;
+              }
+              for (std::size_t i = 0; i < mm; ++i) {
+                const std::size_t flat =
+                    static_cast<std::size_t>(row_base + idx[slot][i]);
+                const std::int64_t cell = table_.AtFlat(flat);
+                const std::int64_t delta = sgn[slot][i];
+                sumsq += static_cast<double>(2 * cell * delta + 1);
+                table_.AddAtFlat(flat, delta);
+              }
+            });
+        row_sumsq_[rr] = sumsq;
+      }
+    }
+    total_ += static_cast<std::int64_t>(n);
+    return;
+  }
+  for (std::size_t base = 0; base < n; base += kBlock) {
+    const std::size_t m = std::min(kBlock, n - base);
+    const std::uint64_t* const hashes = cols.hashes + base;
+    const std::uint64_t* const items = cols.items + base;
+    for (int r = 0; r < depth_; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      std::int64_t* const row = k64 ? table_.Row(r) : nullptr;
+      const std::uint64_t row_base = static_cast<std::uint64_t>(r) * width_;
+      const std::uint64_t row_seed = table_.row_seed(r);
+      const PolynomialHash& sign_hash = sign_hashes_[rr];
+      double sumsq = row_sumsq_[rr];
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::uint64_t h = RemixHash(hashes[i], row_seed);
+        const std::uint64_t b =
+            pow2 ? (h & (width_ - 1)) : FastRange64(h, width_);
+        const std::int64_t delta = sign_hash.Sign(items[i]);
         if (k64) {
           std::int64_t& cell = row[b];
           sumsq += static_cast<double>(2 * cell * delta + 1);
@@ -426,6 +522,11 @@ void CountSketchHeavyHitters::UpdatePrehashed(const PrehashedItem* data,
   // Candidate tracking interleaves a read after every write, so the loop is
   // per-item — but sketch add and estimate reuse the caller's prehash.
   for (std::size_t i = 0; i < n; ++i) Update(data[i]);
+}
+
+void CountSketchHeavyHitters::UpdatePrehashed(PrehashedColumns cols,
+                                              std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) Update(cols.At(i));
 }
 
 bool CountSketchHeavyHitters::MergeCompatibleWith(

@@ -72,6 +72,11 @@ class CountSketch {
   /// add.
   void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
 
+  /// SoA form: buckets derive from the hash column, signs from the item
+  /// column, both through unit-stride SIMD kernels; replay order — and
+  /// hence the FP row-norm stream — is identical to the AoS path.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
+
   /// Zeroes all counters and row norms; geometry and hashes are kept.
   void Reset();
 
@@ -175,6 +180,9 @@ class CountSketchHeavyHitters {
 
   /// Feeds `n` already-prehashed elements.
   void UpdatePrehashed(const PrehashedItem* data, std::size_t n);
+
+  /// SoA form: per-item candidate tracking, rebuilt pairs from the columns.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
 
   /// Merges a tracker with the same phi, geometry and seed: sketches add,
   /// candidate pools union (estimates refreshed from the merged sketch).

@@ -48,6 +48,11 @@ class EntropyMleEstimator {
     UpdatePrehashedByLoop(*this, data, n);
   }
 
+  /// SoA form: same scalar fallback over the item column.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+    UpdatePrehashedColsByLoop(*this, cols, n);
+  }
+
   /// Merges another frequency map (exact: counts add pointwise).
   void Merge(const EntropyMleEstimator& other);
 
@@ -125,6 +130,12 @@ class AmsEntropySketch {
   /// bit-identical, RNG sequence included).
   void UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
     UpdatePrehashedByLoop(*this, data, n);
+  }
+
+  /// SoA form: same scalar fallback over the item column (RNG sequence
+  /// included).
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+    UpdatePrehashedColsByLoop(*this, cols, n);
   }
 
   /// Merges a same-geometry, same-seed sketch: each atom keeps its holding

@@ -61,6 +61,11 @@ class HyperLogLog {
     for (std::size_t i = 0; i < n; ++i) Update(data[i]);
   }
 
+  /// SoA form: register selection only reads the hash column.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) Update(cols.At(i));
+  }
+
   /// Zeroes all registers; precision and seed are kept.
   void Reset() { std::fill(registers_.begin(), registers_.end(), 0); }
 

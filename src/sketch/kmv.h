@@ -52,6 +52,11 @@ class KmvSketch {
     for (std::size_t i = 0; i < n; ++i) Update(data[i]);
   }
 
+  /// SoA form: value derivation only reads the hash column.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) Update(cols.At(i));
+  }
+
   /// Forgets all observed values; k and seed are kept.
   void Reset() { values_.clear(); }
 

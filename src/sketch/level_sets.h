@@ -102,6 +102,11 @@ class IndykWoodruffEstimator {
     for (std::size_t i = 0; i < n; ++i) Update(data[i]);
   }
 
+  /// SoA form: per-item depth routing keeps this a per-item loop.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) Update(cols.At(i));
+  }
+
   /// Clears all per-depth sketches, candidate pools and exact maps;
   /// parameters, eta and hash functions are kept.
   void Reset();
@@ -200,6 +205,11 @@ class ExactLevelSets {
   /// prehash; scalar fallback keeps the paths bit-identical).
   void UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
     UpdatePrehashedByLoop(*this, data, n);
+  }
+
+  /// SoA form: same scalar fallback over the item column.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+    UpdatePrehashedColsByLoop(*this, cols, n);
   }
 
   /// Merges another reference structure with identical discretization

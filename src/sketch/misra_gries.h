@@ -35,6 +35,11 @@ class MisraGries {
     UpdatePrehashedByLoop(*this, data, n);
   }
 
+  /// SoA form: same scalar fallback over the item column.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+    UpdatePrehashedColsByLoop(*this, cols, n);
+  }
+
   /// Forgets all counters and error state; k is kept.
   void Reset() {
     counters_.clear();

@@ -46,6 +46,13 @@
 ///    the columnar entry point Monitor's two-stage ingest pipeline fans a
 ///    prehashed batch through — one strong hash per item for the whole
 ///    summary set instead of one per summary per row.
+///  - `void UpdatePrehashed(PrehashedColumns cols, std::size_t n)` — the
+///    SoA form of the same entry point: `cols.items[i]` / `cols.hashes[i]`
+///    as parallel arrays. Bit-identical in effect to the AoS overload on
+///    the same items; counter-array sketches run it through the `_cols`
+///    SIMD kernels (unit-stride loads instead of deinterleave shuffles),
+///    everything else falls back to `UpdatePrehashedColsByLoop`. This is
+///    what ShardedMonitor's column ring batches feed.
 ///  - `void Merge(const S& other)` — fold `other` into `*this` so the
 ///    result summarizes the concatenated input. Preconditions (identical
 ///    geometry and seed) are enforced loudly via SUBSTREAM_CHECK: merging
@@ -108,6 +115,14 @@ struct HasUpdatePrehashed<
     : std::true_type {};
 
 template <typename, typename = void>
+struct HasUpdatePrehashedCols : std::false_type {};
+template <typename S>
+struct HasUpdatePrehashedCols<
+    S, std::void_t<decltype(std::declval<S&>().UpdatePrehashed(
+           std::declval<PrehashedColumns>(), std::declval<std::size_t>()))>>
+    : std::true_type {};
+
+template <typename, typename = void>
 struct HasMerge : std::false_type {};
 template <typename S>
 struct HasMerge<S, std::void_t<decltype(std::declval<S&>().Merge(
@@ -160,6 +175,7 @@ inline constexpr bool IsMergeableSummary =
     sketch_internal::HasUpdate<S>::value &&
     sketch_internal::HasUpdateBatch<S>::value &&
     sketch_internal::HasUpdatePrehashed<S>::value &&
+    sketch_internal::HasUpdatePrehashedCols<S>::value &&
     sketch_internal::HasMerge<S>::value &&
     sketch_internal::HasMergeCompatibleWith<S>::value &&
     sketch_internal::HasReset<S>::value &&
@@ -171,9 +187,9 @@ inline constexpr bool IsMergeableSummary =
 #define SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(S)                          \
   static_assert(::substream::IsMergeableSummary<S>,                    \
                 #S " does not satisfy the mergeable-summary contract "  \
-                   "(Update/UpdateBatch/UpdatePrehashed/Merge/"         \
-                   "MergeCompatibleWith/Reset/SpaceBytes/Serialize/"    \
-                   "Deserialize)")
+                   "(Update/UpdateBatch/UpdatePrehashed[AoS+SoA]/"      \
+                   "Merge/MergeCompatibleWith/Reset/SpaceBytes/"        \
+                   "Serialize/Deserialize)")
 
 /// True when `w` is usable as a decayed-merge weight: finite, in (0, 1].
 /// Weight 1 is the ordinary (exact) merge; smaller weights scale the merged
@@ -225,6 +241,15 @@ template <typename S>
 inline void UpdatePrehashedByLoop(S& summary, const PrehashedItem* data,
                                   std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) summary.Update(data[i].item);
+}
+
+/// Default SoA `UpdatePrehashed` body: the column-view twin of
+/// UpdatePrehashedByLoop — replays scalar `Update(item)` over the item
+/// column, so AoS and SoA ingestion of the same stream stay bit-identical.
+template <typename S>
+inline void UpdatePrehashedColsByLoop(S& summary, PrehashedColumns cols,
+                                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) summary.Update(cols.items[i]);
 }
 
 }  // namespace substream

@@ -36,6 +36,11 @@ class SpaceSaving {
     UpdatePrehashedByLoop(*this, data, n);
   }
 
+  /// SoA form: same scalar fallback over the item column.
+  void UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
+    UpdatePrehashedColsByLoop(*this, cols, n);
+  }
+
   /// Merges another k-counter summary (Agarwal et al. mergeability):
   /// counters add pointwise (overestimates too), then the table is pruned
   /// back to the k largest counts. The merged summary keeps the combined

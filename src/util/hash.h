@@ -78,12 +78,34 @@ inline PrehashedItem MakePrehashed(std::uint64_t item) {
   return PrehashedItem{item, PreHash(item)};
 }
 
+/// Non-owning SoA view of a prehashed batch: `items[i]` pairs with
+/// `hashes[i]`. This is the batch payload of the columnar ingest paths —
+/// parallel arrays give the SIMD kernels unit-stride loads (one loadu per
+/// micro-block lane set) where the AoS `PrehashedItem[]` layout forced a
+/// deinterleave shuffle per load. `PrehashedItem` stays the per-item
+/// convenience; `At(i)` bridges to it for per-item fallback loops.
+struct PrehashedColumns {
+  const std::uint64_t* items = nullptr;
+  const std::uint64_t* hashes = nullptr;
+
+  PrehashedItem At(std::size_t i) const {
+    return PrehashedItem{items[i], hashes[i]};
+  }
+};
+
 /// Fills `out[0..n)` with the prehashed column for `data[0..n)`.
 inline void PrehashColumn(const std::uint64_t* data, std::size_t n,
                           PrehashedItem* out) {
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = PrehashedItem{data[i], PreHash(data[i])};
   }
+}
+
+/// Fills `out_hashes[0..n)` with the prehash column for `data[0..n)`; the
+/// item column is `data` itself (SoA needs no copy of the identities).
+inline void PrehashColumnSoA(const std::uint64_t* data, std::size_t n,
+                             std::uint64_t* out_hashes) {
+  for (std::size_t i = 0; i < n; ++i) out_hashes[i] = PreHash(data[i]);
 }
 
 /// Items per prehash chunk of the batched ingest paths: 16 KiB of column,
@@ -103,6 +125,22 @@ inline void ForEachPrehashedChunk(const std::uint64_t* data, std::size_t n,
         n - base < kPrehashChunkItems ? n - base : kPrehashChunkItems;
     PrehashColumn(data + base, m, column);
     fn(column, m);
+  }
+}
+
+/// SoA variant of ForEachPrehashedChunk: the same chunking policy, but each
+/// chunk arrives as a PrehashedColumns view (items aliased straight into
+/// `data`, hashes in a stack-resident column) so the consumer's SIMD rows
+/// take unit-stride loads.
+template <typename Fn>
+inline void ForEachPrehashedChunkCols(const std::uint64_t* data, std::size_t n,
+                                      Fn&& fn) {
+  std::uint64_t hashes[kPrehashChunkItems];
+  for (std::size_t base = 0; base < n; base += kPrehashChunkItems) {
+    const std::size_t m =
+        n - base < kPrehashChunkItems ? n - base : kPrehashChunkItems;
+    PrehashColumnSoA(data + base, m, hashes);
+    fn(PrehashedColumns{data + base, hashes}, m);
   }
 }
 

@@ -1,0 +1,162 @@
+#include "util/numa.h"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace substream {
+namespace numa {
+
+namespace {
+
+// Online CPUs as the scheduler sees them for this process: the affinity
+// mask respects cgroup/container CPU restrictions, unlike
+// _SC_NPROCESSORS_CONF.
+std::vector<int> OnlineCpus() {
+  std::vector<int> cpus;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (CPU_ISSET(cpu, &set)) cpus.push_back(cpu);
+    }
+  }
+  if (cpus.empty()) {
+    const long n = sysconf(_SC_NPROCESSORS_ONLN);
+    for (long cpu = 0; cpu < (n > 0 ? n : 1); ++cpu) {
+      cpus.push_back(static_cast<int>(cpu));
+    }
+  }
+  return cpus;
+}
+
+Topology ForcedTopology(int groups, const std::vector<int>& online) {
+  Topology topo;
+  topo.forced = true;
+  const std::size_t g =
+      static_cast<std::size_t>(groups) < online.size()
+          ? static_cast<std::size_t>(groups)
+          : online.size();
+  topo.cpus.resize(g > 0 ? g : 1);
+  for (std::size_t i = 0; i < online.size(); ++i) {
+    topo.cpus[i % topo.cpus.size()].push_back(online[i]);
+  }
+  return topo;
+}
+
+Topology SysfsTopology(const std::vector<int>& online) {
+  Topology topo;
+  for (int node = 0;; ++node) {
+    std::ostringstream path;
+    path << "/sys/devices/system/node/node" << node << "/cpulist";
+    std::ifstream in(path.str());
+    if (!in) break;
+    std::string text;
+    std::getline(in, text);
+    std::vector<int> cpus = ParseCpuList(text);
+    // Keep only CPUs this process may run on; memoryless nodes and nodes
+    // fully masked out by cgroups contribute no group.
+    std::vector<int> usable;
+    for (int cpu : cpus) {
+      for (int ok : online) {
+        if (cpu == ok) {
+          usable.push_back(cpu);
+          break;
+        }
+      }
+    }
+    if (!usable.empty()) topo.cpus.push_back(std::move(usable));
+  }
+  topo.from_sysfs = topo.cpus.size() > 1;
+  return topo;
+}
+
+}  // namespace
+
+std::vector<int> ParseCpuList(const std::string& text) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  while (i < text.size() && !std::isdigit(static_cast<unsigned char>(text[i])))
+    ++i;
+  while (i < text.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) return {};
+    long lo = 0;
+    while (i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i]))) {
+      lo = lo * 10 + (text[i++] - '0');
+    }
+    long hi = lo;
+    if (i < text.size() && text[i] == '-') {
+      ++i;
+      if (i >= text.size() ||
+          !std::isdigit(static_cast<unsigned char>(text[i]))) {
+        return {};
+      }
+      hi = 0;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        hi = hi * 10 + (text[i++] - '0');
+      }
+    }
+    if (hi < lo || hi - lo > 4096) return {};
+    for (long cpu = lo; cpu <= hi; ++cpu) cpus.push_back(static_cast<int>(cpu));
+    if (i < text.size()) {
+      if (text[i] != ',') {
+        // Trailing newline/whitespace terminates the list.
+        break;
+      }
+      ++i;
+    }
+  }
+  return cpus;
+}
+
+Topology DetectTopology() {
+  const std::vector<int> online = OnlineCpus();
+
+  if (const char* env = std::getenv("SKETCH_FORCE_NUMA_GROUPS")) {
+    char* end = nullptr;
+    const long forced = std::strtol(env, &end, 10);
+    if (end != env && forced > 0) {
+      return ForcedTopology(static_cast<int>(forced), online);
+    }
+  }
+
+  Topology topo = SysfsTopology(online);
+  if (topo.from_sysfs) return topo;
+
+  topo = Topology{};
+  topo.cpus.push_back(online);
+  return topo;
+}
+
+bool PinThreadToCpus(const std::vector<int>& cpus) {
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int cpu : cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+std::string Describe(const Topology& topo) {
+  std::ostringstream out;
+  out << topo.groups() << (topo.groups() == 1 ? " group [" : " groups [");
+  for (std::size_t g = 0; g < topo.cpus.size(); ++g) {
+    if (g > 0) out << ", ";
+    out << topo.cpus[g].size() << " cpus";
+  }
+  out << "] ("
+      << (topo.forced ? "forced" : topo.from_sysfs ? "sysfs" : "fallback")
+      << ")";
+  return out.str();
+}
+
+}  // namespace numa
+}  // namespace substream

@@ -1,0 +1,103 @@
+/// util/numa unit tests: cpulist parsing, the forced-groups override, and
+/// the never-fails fallback contract DetectTopology() promises.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/numa.h"
+
+namespace substream {
+namespace {
+
+TEST(NumaTest, ParseCpuListSingles) {
+  EXPECT_EQ(numa::ParseCpuList("0"), (std::vector<int>{0}));
+  EXPECT_EQ(numa::ParseCpuList("3"), (std::vector<int>{3}));
+  EXPECT_EQ(numa::ParseCpuList("0,2,5"), (std::vector<int>{0, 2, 5}));
+}
+
+TEST(NumaTest, ParseCpuListRanges) {
+  EXPECT_EQ(numa::ParseCpuList("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(numa::ParseCpuList("0-1,8-9"), (std::vector<int>{0, 1, 8, 9}));
+  EXPECT_EQ(numa::ParseCpuList("4-4"), (std::vector<int>{4}));
+  // Kernel files end with a newline; trailing whitespace terminates cleanly.
+  EXPECT_EQ(numa::ParseCpuList("0-2\n"), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(NumaTest, ParseCpuListRejectsMalformed) {
+  EXPECT_TRUE(numa::ParseCpuList("").empty());
+  EXPECT_TRUE(numa::ParseCpuList("3-1").empty());   // descending range
+  EXPECT_TRUE(numa::ParseCpuList("0,-3").empty());  // dangling dash
+  EXPECT_TRUE(numa::ParseCpuList("0-").empty());    // open range
+}
+
+TEST(NumaTest, DetectTopologyNeverFails) {
+  const numa::Topology topo = numa::DetectTopology();
+  ASSERT_GE(topo.groups(), 1u);
+  for (const auto& group : topo.cpus) {
+    EXPECT_FALSE(group.empty()) << "empty group in detected topology";
+  }
+}
+
+TEST(NumaTest, ForcedGroupsOverride) {
+  // setenv/getenv in a single-threaded test binary; restored before exit
+  // so later tests in this process see the ambient environment.
+  const char* prior = std::getenv("SKETCH_FORCE_NUMA_GROUPS");
+  const std::string saved = prior ? prior : "";
+  setenv("SKETCH_FORCE_NUMA_GROUPS", "2", 1);
+  const numa::Topology forced = numa::DetectTopology();
+  EXPECT_TRUE(forced.forced);
+  // Round-robin split: 2 groups when at least 2 CPUs are online, else the
+  // split clamps to the online count.
+  EXPECT_GE(forced.groups(), 1u);
+  EXPECT_LE(forced.groups(), 2u);
+  std::size_t total = 0;
+  for (const auto& group : forced.cpus) {
+    EXPECT_FALSE(group.empty());
+    total += group.size();
+  }
+  const numa::Topology ambient = [&] {
+    if (prior) {
+      setenv("SKETCH_FORCE_NUMA_GROUPS", saved.c_str(), 1);
+    } else {
+      unsetenv("SKETCH_FORCE_NUMA_GROUPS");
+    }
+    return numa::DetectTopology();
+  }();
+  // The forced split covers exactly the online CPUs the ambient layout sees.
+  std::size_t ambient_total = 0;
+  for (const auto& group : ambient.cpus) ambient_total += group.size();
+  EXPECT_EQ(total, ambient_total);
+}
+
+TEST(NumaTest, ForcedGroupsIgnoresGarbage) {
+  const char* prior = std::getenv("SKETCH_FORCE_NUMA_GROUPS");
+  const std::string saved = prior ? prior : "";
+  setenv("SKETCH_FORCE_NUMA_GROUPS", "not-a-number", 1);
+  const numa::Topology topo = numa::DetectTopology();
+  EXPECT_FALSE(topo.forced);
+  if (prior) {
+    setenv("SKETCH_FORCE_NUMA_GROUPS", saved.c_str(), 1);
+  } else {
+    unsetenv("SKETCH_FORCE_NUMA_GROUPS");
+  }
+  EXPECT_GE(topo.groups(), 1u);
+}
+
+TEST(NumaTest, DescribeMentionsSourceAndShape) {
+  numa::Topology topo;
+  topo.cpus = {{0, 1}, {2, 3}};
+  topo.forced = true;
+  const std::string text = numa::Describe(topo);
+  EXPECT_NE(text.find("2 groups"), std::string::npos) << text;
+  EXPECT_NE(text.find("forced"), std::string::npos) << text;
+}
+
+TEST(NumaTest, PinRejectsEmptySet) {
+  EXPECT_FALSE(numa::PinThreadToCpus({}));
+}
+
+}  // namespace
+}  // namespace substream

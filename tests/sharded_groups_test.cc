@@ -1,0 +1,157 @@
+/// Shard-group invariants: the NUMA-aware group layout is placement and
+/// merge-locality machinery ONLY — it must never change what the pipeline
+/// computes. Pins:
+///  - a forced 1-group and a forced N-group pipeline over the same input
+///    produce byte-identical CollectWindow() monitors and EQ-comparable
+///    Report()s (the two-level merge visits shards in flat order);
+///  - group layout never changes shard routing;
+///  - Stats() carries the group count and per-group ring high-water marks;
+///  - both layouts match the monolithic single-threaded Monitor.
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "core/sharded_monitor.h"
+#include "pipeline_test_util.h"
+#include "util/numa.h"
+
+namespace substream {
+namespace {
+
+using pipeline_test::Bytes;
+using pipeline_test::kSeed;
+using pipeline_test::SampledStream;
+using pipeline_test::TestConfig;
+
+ShardedMonitorOptions GroupedOptions(std::size_t groups) {
+  ShardedMonitorOptions options;
+  options.shards = 4;
+  options.ring_capacity = 8;
+  options.batch_items = 256;
+  options.groups = groups;
+  // Emulated groups on a (possibly) single-node CI host: pinning every
+  // "group" to the same node is legal but pointless, and keeping the
+  // affinity mask untouched makes the test immune to restricted cpusets.
+  options.pin_workers = false;
+  return options;
+}
+
+TEST(ShardedGroupsTest, OneGroupVsManyGroupsByteIdentical) {
+  const Stream s = SampledStream(60000, 17);
+
+  ShardedMonitor flat(TestConfig(), kSeed, GroupedOptions(1));
+  ShardedMonitor grouped(TestConfig(), kSeed, GroupedOptions(4));
+  ASSERT_EQ(flat.groups(), 1u);
+  ASSERT_EQ(grouped.groups(), 4u);
+
+  flat.Ingest(s);
+  grouped.Ingest(s);
+
+  // Open-epoch reports agree field by field (Report is scratch-merged — the
+  // flat fold vs the two-level merge).
+  const MonitorReport a = flat.Report();
+  const MonitorReport b = grouped.Report();
+  EXPECT_EQ(a.sampled_length, b.sampled_length);
+  EXPECT_EQ(*a.distinct_items, *b.distinct_items);
+  EXPECT_EQ(*a.second_moment, *b.second_moment);
+  EXPECT_EQ(a.entropy->entropy, b.entropy->entropy);
+  ASSERT_EQ(a.heavy_hitters->size(), b.heavy_hitters->size());
+  for (std::size_t i = 0; i < a.heavy_hitters->size(); ++i) {
+    EXPECT_EQ((*a.heavy_hitters)[i].item, (*b.heavy_hitters)[i].item);
+    EXPECT_EQ((*a.heavy_hitters)[i].estimated_frequency,
+              (*b.heavy_hitters)[i].estimated_frequency);
+  }
+
+  // Collected windows are byte-identical — the strongest form (every
+  // counter, candidate pool, float row norm and RNG state).
+  flat.Rotate();
+  grouped.Rotate();
+  auto wf = flat.CollectWindow(0);
+  auto wg = grouped.CollectWindow(0);
+  ASSERT_TRUE(wf.has_value());
+  ASSERT_TRUE(wg.has_value());
+  EXPECT_EQ(Bytes(*wf), Bytes(*wg))
+      << "1-group vs 4-group merged window differs";
+
+  // And both agree with the monolithic reference monitor on the linear
+  // report surface (full byte identity with an unsharded monitor is not a
+  // goal — partitioning legitimately reorders per-shard RNG consumption).
+  Monitor reference(TestConfig(), kSeed);
+  reference.UpdateBatch(s.data(), s.size());
+  const MonitorReport r = reference.Report();
+  const MonitorReport w = wf->Report();
+  EXPECT_EQ(r.sampled_length, w.sampled_length);
+  EXPECT_EQ(*r.second_moment, *w.second_moment);
+}
+
+TEST(ShardedGroupsTest, RepeatedGroupedReportsAreStable) {
+  const Stream s = SampledStream(30000, 23);
+  ShardedMonitor grouped(TestConfig(), kSeed, GroupedOptions(2));
+  grouped.Ingest(s);
+  const MonitorReport first = grouped.Report();
+  const MonitorReport second = grouped.Report();
+  EXPECT_EQ(first.sampled_length, second.sampled_length);
+  EXPECT_EQ(*first.second_moment, *second.second_moment);
+  // Report must not consume anything: windows rotate and collect intact.
+  grouped.Rotate();
+  auto window = grouped.CollectWindow(0);
+  ASSERT_TRUE(window.has_value());
+  EXPECT_EQ(window->Report().sampled_length, first.sampled_length);
+}
+
+TEST(ShardedGroupsTest, RoutingIndependentOfGroupLayout) {
+  // ShardOf depends only on the shard count — the documented guarantee
+  // that makes the 1-vs-N identity possible at all.
+  for (item_t item = 0; item < 512; ++item) {
+    const std::size_t shard = ShardedMonitor::ShardOf(item, 4);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(shard, ShardedMonitor::ShardOf(item, 4));
+  }
+}
+
+TEST(ShardedGroupsTest, StatsCarryGroupLayout) {
+  const Stream s = SampledStream(20000, 29);
+  ShardedMonitor grouped(TestConfig(), kSeed, GroupedOptions(2));
+  grouped.Ingest(s);
+  grouped.Drain();
+  const ShardedMonitorStats stats = grouped.Stats();
+  EXPECT_EQ(stats.groups, 2u);
+  ASSERT_EQ(stats.group_ring_hwm.size(), 2u);
+  // Every shard got data (60k items over 4 shards), so both groups pushed
+  // at least one batch and recorded an occupancy mark.
+  EXPECT_GE(stats.group_ring_hwm[0] + stats.group_ring_hwm[1], 1u);
+  EXPECT_EQ(stats.items_consumed, stats.items_ingested);
+}
+
+TEST(ShardedGroupsTest, GroupsClampToShardCount) {
+  // More groups than shards degrades to one group per shard, and the
+  // pipeline still works end to end.
+  ShardedMonitorOptions options = GroupedOptions(16);
+  ShardedMonitor pipeline(TestConfig(), kSeed, options);
+  EXPECT_EQ(pipeline.groups(), options.shards);
+  const Stream s = SampledStream(5000, 31);
+  pipeline.Ingest(s);
+  const MonitorReport report = pipeline.Report();
+  EXPECT_EQ(report.sampled_length, static_cast<count_t>(s.size()));
+}
+
+TEST(ShardedGroupsTest, AutoLayoutFollowsDetectedTopology) {
+  // groups = 0 resolves against DetectTopology() (which honors
+  // SKETCH_FORCE_NUMA_GROUPS — the emulated-groups CI leg drives >1 here).
+  ShardedMonitorOptions options;
+  options.shards = 4;
+  options.groups = 0;
+  options.pin_workers = false;
+  ShardedMonitor pipeline(TestConfig(), kSeed, options);
+  const numa::Topology topo = numa::DetectTopology();
+  const std::size_t expected =
+      topo.groups() < options.shards ? topo.groups() : options.shards;
+  EXPECT_EQ(pipeline.groups(), expected);
+  EXPECT_GE(pipeline.groups(), 1u);
+}
+
+}  // namespace
+}  // namespace substream

@@ -1,0 +1,300 @@
+/// Property test for the columnar (SoA) ingest path: for EVERY summary
+/// class, feeding the same prehashed input as
+///   (a) an interleaved PrehashedItem array (UpdatePrehashed AoS), and
+///   (b) an item/hash column pair (UpdatePrehashed(PrehashedColumns)),
+/// must leave the summary in bit-identical serialized state — at every
+/// SIMD dispatch level the host supports, and at the batch sizes that sit
+/// on the kernel boundaries: 0 and 1 (empty/degenerate), 63/64/65 (the
+/// 64-item micro-block edge), 1023/1024/1025 (the cache-block and prehash
+/// chunk edge). This pins the tentpole invariant of the columnar batch
+/// fabric: the layout is a pure change of representation, never of
+/// semantics — including the FP row-norm accumulation order in CountSketch
+/// and the PRNG consumption order in the reservoir sketches.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/entropy_estimator.h"
+#include "core/f0_estimator.h"
+#include "core/fk_estimator.h"
+#include "core/heavy_hitters.h"
+#include "core/monitor.h"
+#include "serde/serde.h"
+#include "sketch/ams_f2.h"
+#include "sketch/counter_kernels.h"
+#include "sketch/countmin.h"
+#include "sketch/countsketch.h"
+#include "sketch/entropy_sketch.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/kmv.h"
+#include "sketch/level_sets.h"
+#include "sketch/misra_gries.h"
+#include "sketch/space_saving.h"
+#include "stream/generators.h"
+#include "util/hash.h"
+#include "util/simd.h"
+
+namespace substream {
+namespace {
+
+constexpr std::size_t kBoundarySizes[] = {0, 1, 63, 64, 65, 1023, 1024, 1025};
+constexpr std::size_t kMaxItems = 1025;
+
+/// Fixture prefix shared by every size: columns over a fixed Zipf stream,
+/// so size N is always the same N items on both paths.
+struct Fixture {
+  std::vector<PrehashedItem> aos;
+  std::vector<std::uint64_t> items;
+  std::vector<std::uint64_t> hashes;
+
+  static const Fixture& Get() {
+    static const Fixture fixture = [] {
+      Fixture f;
+      ZipfGenerator generator(4096, 1.2, 42);
+      const Stream s = Materialize(generator, kMaxItems);
+      f.aos.resize(s.size());
+      PrehashColumn(s.data(), s.size(), f.aos.data());
+      f.items.resize(s.size());
+      f.hashes.resize(s.size());
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        f.items[i] = f.aos[i].item;
+        f.hashes[i] = f.aos[i].hash;
+      }
+      return f;
+    }();
+    return fixture;
+  }
+};
+
+template <typename S>
+std::vector<std::uint8_t> Bytes(const S& summary) {
+  serde::Writer writer;
+  summary.Serialize(writer);
+  return writer.Take();
+}
+
+/// Runs the AoS-vs-SoA comparison at every boundary size under every
+/// dispatch level this host supports, restoring the entry level after.
+template <typename Factory>
+void ExpectColumnEquivalence(Factory make) {
+  const Fixture& f = Fixture::Get();
+  const simd::Isa entry_isa = kernels::ActiveIsa();
+  for (simd::Isa isa : kernels::AvailableIsas()) {
+    if (!kernels::SetActive(isa)) continue;
+    for (std::size_t n : kBoundarySizes) {
+      auto aos = make();
+      auto soa = make();
+      aos.UpdatePrehashed(f.aos.data(), n);
+      soa.UpdatePrehashed(PrehashedColumns{f.items.data(), f.hashes.data()},
+                          n);
+      EXPECT_EQ(Bytes(aos), Bytes(soa))
+          << "AoS vs SoA serialized state differs at n=" << n
+          << " isa=" << simd::Name(isa);
+    }
+  }
+  kernels::SetActive(entry_isa);
+}
+
+TEST(SoaEquivalenceTest, CountMinSketch) {
+  ExpectColumnEquivalence([] {
+    return CountMinSketch(/*depth=*/4, /*width=*/512,
+                          /*conservative_update=*/false, /*seed=*/7);
+  });
+}
+
+TEST(SoaEquivalenceTest, CountMinSketchConservative) {
+  ExpectColumnEquivalence([] {
+    return CountMinSketch(/*depth=*/4, /*width=*/512,
+                          /*conservative_update=*/true, /*seed=*/7);
+  });
+}
+
+TEST(SoaEquivalenceTest, CountMinCompactCells) {
+  for (CellWidth cw : {CellWidth::k8, CellWidth::k16, CellWidth::k32}) {
+    for (bool pow2 : {false, true}) {
+      ExpectColumnEquivalence([cw, pow2] {
+        return CountMinSketch(
+            /*depth=*/4, /*width=*/512, /*conservative_update=*/false,
+            /*seed=*/7, CounterTableOptions{cw, OverflowPolicy::kSpill, pow2});
+      });
+    }
+  }
+}
+
+TEST(SoaEquivalenceTest, CountMinHeavyHitters) {
+  ExpectColumnEquivalence(
+      [] { return CountMinHeavyHitters(0.02, 0.25, 0.05, 11); });
+}
+
+TEST(SoaEquivalenceTest, CountSketch) {
+  ExpectColumnEquivalence(
+      [] { return CountSketch(/*depth=*/5, /*width=*/512, /*seed=*/13); });
+}
+
+TEST(SoaEquivalenceTest, CountSketchPow2) {
+  // The mask fast path (bucket_row_mask_cols) and the fast-range path
+  // (bucket_row_cols) are distinct kernels; cover both.
+  ExpectColumnEquivalence([] {
+    return CountSketch(/*depth=*/5, /*width=*/512, /*seed=*/13,
+                       CounterTableOptions{CellWidth::k64,
+                                           OverflowPolicy::kSpill,
+                                           /*pow2_width=*/true});
+  });
+}
+
+TEST(SoaEquivalenceTest, CountSketchCompactCells) {
+  for (CellWidth cw : {CellWidth::k8, CellWidth::k16, CellWidth::k32}) {
+    for (bool pow2 : {false, true}) {
+      ExpectColumnEquivalence([cw, pow2] {
+        return CountSketch(/*depth=*/5, /*width=*/512, /*seed=*/13,
+                           CounterTableOptions{cw, OverflowPolicy::kSpill,
+                                               pow2});
+      });
+    }
+  }
+}
+
+TEST(SoaEquivalenceTest, CountSketchHeavyHitters) {
+  ExpectColumnEquivalence(
+      [] { return CountSketchHeavyHitters(0.05, 0.25, 0.05, 17); });
+}
+
+TEST(SoaEquivalenceTest, HyperLogLog) {
+  ExpectColumnEquivalence([] { return HyperLogLog(12, 19); });
+}
+
+TEST(SoaEquivalenceTest, KmvSketch) {
+  ExpectColumnEquivalence([] { return KmvSketch(256, 23); });
+}
+
+TEST(SoaEquivalenceTest, EntropyMleEstimator) {
+  ExpectColumnEquivalence([] { return EntropyMleEstimator(); });
+}
+
+TEST(SoaEquivalenceTest, AmsEntropySketch) {
+  // RNG-driven reservoir: byte equality also pins that both layouts
+  // consume the PRNG sequence identically.
+  ExpectColumnEquivalence(
+      [] { return AmsEntropySketch::WithGeometry(5, 64, 29); });
+}
+
+TEST(SoaEquivalenceTest, AmsF2Sketch) {
+  ExpectColumnEquivalence(
+      [] { return AmsF2Sketch::WithGeometry(5, 32, 31); });
+}
+
+TEST(SoaEquivalenceTest, MisraGries) {
+  ExpectColumnEquivalence([] { return MisraGries(64); });
+}
+
+TEST(SoaEquivalenceTest, SpaceSaving) {
+  ExpectColumnEquivalence([] { return SpaceSaving(64); });
+}
+
+TEST(SoaEquivalenceTest, IndykWoodruffEstimator) {
+  ExpectColumnEquivalence([] {
+    LevelSetParams params;
+    params.eps_prime = 0.25;
+    params.max_depth = 10;
+    params.cs_depth = 5;
+    params.cs_width = 256;
+    return IndykWoodruffEstimator(params, 37);
+  });
+}
+
+TEST(SoaEquivalenceTest, ExactLevelSets) {
+  ExpectColumnEquivalence([] { return ExactLevelSets(0.25, 0.5); });
+}
+
+TEST(SoaEquivalenceTest, F0EstimatorAllBackends) {
+  for (F0Backend backend :
+       {F0Backend::kKmv, F0Backend::kHyperLogLog, F0Backend::kExact}) {
+    ExpectColumnEquivalence([backend] {
+      F0Params params;
+      params.p = 0.5;
+      params.backend = backend;
+      params.kmv_k = 256;
+      params.hll_precision = 12;
+      return F0Estimator(params, 41);
+    });
+  }
+}
+
+TEST(SoaEquivalenceTest, FkEstimatorSketchBackend) {
+  ExpectColumnEquivalence([] {
+    FkParams params;
+    params.k = 2;
+    params.p = 0.5;
+    params.universe = 4096;
+    params.epsilon = 0.25;
+    params.max_width = 512;
+    return FkEstimator(params, 43);
+  });
+}
+
+TEST(SoaEquivalenceTest, EntropyEstimatorBothBackends) {
+  for (EntropyBackend backend :
+       {EntropyBackend::kMle, EntropyBackend::kAmsSketch}) {
+    ExpectColumnEquivalence([backend] {
+      EntropyParams params;
+      params.p = 0.5;
+      params.backend = backend;
+      params.epsilon = 0.3;
+      return EntropyEstimator(params, 47);
+    });
+  }
+}
+
+TEST(SoaEquivalenceTest, F1HeavyHitterEstimator) {
+  ExpectColumnEquivalence([] {
+    HeavyHitterParams params;
+    params.alpha = 0.02;
+    params.p = 0.5;
+    return F1HeavyHitterEstimator(params, 53);
+  });
+}
+
+TEST(SoaEquivalenceTest, F2HeavyHitterEstimator) {
+  ExpectColumnEquivalence([] {
+    HeavyHitterParams params;
+    params.alpha = 0.1;
+    params.p = 0.5;
+    return F2HeavyHitterEstimator(params, 59);
+  });
+}
+
+TEST(SoaEquivalenceTest, MonitorFullPipeline) {
+  ExpectColumnEquivalence([] {
+    MonitorConfig config;
+    config.p = 0.25;
+    config.universe = 1 << 14;
+    config.hh_alpha = 0.02;
+    config.max_f2_width = 1 << 10;
+    return Monitor(config, 61);
+  });
+}
+
+TEST(SoaEquivalenceTest, ScalarUpdateBatchMatchesColumns) {
+  // UpdateBatch now routes through the column chunker
+  // (ForEachPrehashedChunkCols); pin that the plain batched entry point
+  // still matches per-item Update byte-for-byte at the chunk boundary
+  // sizes.
+  ZipfGenerator generator(4096, 1.2, 42);
+  const Stream s = Materialize(generator, kMaxItems);
+  for (std::size_t n : kBoundarySizes) {
+    MonitorConfig config;
+    config.p = 0.25;
+    config.universe = 1 << 14;
+    config.max_f2_width = 1 << 10;
+    Monitor scalar(config, 61), batched(config, 61);
+    for (std::size_t i = 0; i < n; ++i) scalar.Update(s[i]);
+    batched.UpdateBatch(s.data(), n);
+    EXPECT_EQ(Bytes(scalar), Bytes(batched)) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace substream
