@@ -14,6 +14,11 @@
 /// CounterTable/CountSketch ingest kernels and the raw bucket/sign
 /// derivation kernels with dispatch forced to that level.
 ///
+/// A planner A/B section compares a Monitor whose geometry the accuracy-
+/// budget planner solved from {budget = hand-picked footprint} against the
+/// hand-picked geometry itself: equal memory, same ingest path, with the
+/// Health()-bound and empirically measured F2 epsilon on every row.
+///
 /// One JSON object per line on stdout; CI redirects the output into
 /// BENCH_ingest.json and uploads it as an artifact, so the speedup
 /// trajectory is comparable across commits. Every row carries the dispatch
@@ -22,6 +27,7 @@
 ///    "isa":"avx512","compiler":"gcc-12.2","build":"release"}
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -29,12 +35,15 @@
 #include "bench/bench_util.h"
 #include "core/monitor.h"
 #include "obs/metrics.h"
+#include "plan/compiler.h"
+#include "plan/plan.h"
 #include "sketch/counter_kernels.h"
 #include "sketch/counter_table.h"
 #include "sketch/countmin.h"
 #include "sketch/countsketch.h"
 #include "sketch/hyperloglog.h"
 #include "sketch/kmv.h"
+#include "stream/exact_stats.h"
 #include "stream/generators.h"
 #include "util/hash.h"
 #include "util/simd.h"
@@ -399,6 +408,86 @@ int main(int argc, char** argv) {
   // --- The full Monitor: the paper's many-estimators-one-pass facade.
   BenchSummary("monitor", repeats, sampled, column,
                [] { return Monitor(BenchConfig(), 3); });
+
+  // --- Planner A/B: the accuracy-budget planner handed EXACTLY the bytes
+  // the hand-picked geometry spends, vs that hand-picked geometry, on the
+  // same ingest path. Both rows carry the shared budget, the model's
+  // planned_bytes, the Health()-reported F2 epsilon bound
+  // (target_epsilon) and the empirical F2 relative error on this workload
+  // (measured_epsilon), so one artifact line answers "did the planner's
+  // spend of the same memory hold its promised accuracy at the same
+  // speed". The handpicked row is its own speedup denominator, so the
+  // planned row's speedup_vs_scalar reads directly as planned/handpicked.
+  {
+    FrequencyTable exact;
+    exact.AddStream(sampled);
+    const double f2_exact = exact.Fk(2);
+
+    // p = 1: the bench stream is fed unsampled, so the report's estimate
+    // targets the fed stream itself and measured_epsilon is well defined.
+    // Entropy is off on both sides: its reservoir grows with the data (not
+    // a plannable fixed geometry), so it would blur the equal-memory claim.
+    MonitorConfig handpicked_config = BenchConfig();
+    handpicked_config.p = 1.0;
+    handpicked_config.enable_entropy = false;
+    Monitor probe(handpicked_config, 3);
+    probe.UpdateBatch(sampled.data(), sampled.size());
+    const std::size_t budget = probe.SpaceBytes();
+
+    MonitorConfig planned_config;
+    planned_config.p = 1.0;
+    planned_config.enable_entropy = false;
+    planned_config.universe = handpicked_config.universe;
+    planned_config.hh_alpha = handpicked_config.hh_alpha;
+    plan::PlanSpec spec;
+    spec.budget_bytes = budget;  // equal memory, best-effort targets
+    spec.f0_hint = static_cast<double>(exact.F0());
+    spec.n_hint = static_cast<double>(sampled.size());
+    planned_config.plan = spec;
+    const auto plan = plan::PlanFor(planned_config);
+
+    const auto f2_health_epsilon = [](const Monitor& monitor) {
+      for (const auto& summary : monitor.Health().summaries) {
+        if (summary.name == "f2") return summary.epsilon;
+      }
+      return 0.0;
+    };
+    const auto f2_measured_epsilon = [&](const Monitor& monitor) {
+      const MonitorReport report = monitor.Report();
+      if (!report.second_moment || f2_exact <= 0.0) return 0.0;
+      return std::fabs(*report.second_moment - f2_exact) / f2_exact;
+    };
+    const auto emit = [&](const char* mode, const MonitorConfig& config,
+                          std::size_t planned_bytes, double rate,
+                          double denominator) {
+      Monitor filled(config, 3);
+      filled.UpdateBatch(sampled.data(), sampled.size());
+      std::printf(
+          "{\"bench\":\"pipeline\",\"target\":\"planner\",\"mode\":\"%s\","
+          "\"items\":%zu,\"items_per_sec\":%.0f,\"speedup_vs_scalar\":%.3f,"
+          "\"budget_bytes\":%zu,\"planned_bytes\":%zu,"
+          "\"target_epsilon\":%.4f,\"measured_epsilon\":%.4f,%s}\n",
+          mode, sampled.size(), rate,
+          denominator > 0.0 ? rate / denominator : 0.0, budget, planned_bytes,
+          f2_health_epsilon(filled), f2_measured_epsilon(filled),
+          bench::RowTags(simd::Name(kernels::ActiveIsa())).c_str());
+    };
+
+    const double handpicked_rate = BestRate(
+        repeats, items, [&] { return Monitor(handpicked_config, 3); },
+        [&](Monitor& monitor) {
+          monitor.UpdateBatch(sampled.data(), sampled.size());
+        });
+    emit("handpicked", handpicked_config, budget, handpicked_rate,
+         handpicked_rate);
+    const double planned_rate = BestRate(
+        repeats, items, [&] { return Monitor(planned_config, 3); },
+        [&](Monitor& monitor) {
+          monitor.UpdateBatch(sampled.data(), sampled.size());
+        });
+    emit("planned", planned_config, plan ? plan->planned_bytes : 0,
+         planned_rate, handpicked_rate);
+  }
 
   // --- Telemetry overhead: the same Monitor batched ingest, plain vs
   // wrapped in exactly the per-batch probes the pipeline layer adds (one

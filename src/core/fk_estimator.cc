@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/collision.h"
+#include "plan/accuracy.h"
 #include "serde/serde.h"
 #include "util/hash.h"
 #include "util/math.h"
@@ -47,8 +48,9 @@ FkEstimator::FkEstimator(const FkParams& params, std::uint64_t seed)
       LevelSetParams ls;
       ls.eps_prime = eps_prime;
       ls.cs_width = SketchWidth(params);
-      ls.cs_depth = std::max(
-          5, static_cast<int>(std::ceil(2.0 * std::log(1.0 / params.delta))) | 1);
+      // Shared with the planner (plan/accuracy.h), which inverts targets
+      // through this exact chain.
+      ls.cs_depth = plan::LevelSetDepthFromDelta(params.delta);
       ls.max_depth = CeilLog2(std::max<item_t>(2, params.universe));
       ls.cell_width = params.cell_width;
       sketch_backend_ = std::make_unique<IndykWoodruffEstimator>(

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "plan/compiler.h"
 #include "serde/checkpoint.h"
 #include "serde/serde.h"
 #include "sketch/sketch.h"
@@ -20,55 +21,64 @@ SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(F1HeavyHitterEstimator);
 SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(F2HeavyHitterEstimator);
 SUBSTREAM_ASSERT_MERGEABLE_SUMMARY(Monitor);
 
-namespace {
-
-bool SameConfig(const MonitorConfig& a, const MonitorConfig& b) {
+bool MonitorConfigsEqual(const MonitorConfig& a, const MonitorConfig& b) {
   return a.p == b.p && a.universe == b.universe && a.n_hint == b.n_hint &&
          a.enable_f0 == b.enable_f0 && a.enable_f2 == b.enable_f2 &&
          a.enable_entropy == b.enable_entropy &&
          a.enable_heavy_hitters == b.enable_heavy_hitters &&
          a.hh_alpha == b.hh_alpha && a.hh_epsilon == b.hh_epsilon &&
          a.epsilon == b.epsilon && a.delta == b.delta &&
-         a.max_f2_width == b.max_f2_width && a.cell_width == b.cell_width;
+         a.max_f2_width == b.max_f2_width && a.cell_width == b.cell_width &&
+         a.f0_backend == b.f0_backend && a.f0_kmv_k == b.f0_kmv_k &&
+         a.f0_hll_precision == b.f0_hll_precision;
+}
+
+namespace {
+
+bool SameConfig(const MonitorConfig& a, const MonitorConfig& b) {
+  return MonitorConfigsEqual(a, b);
 }
 
 }  // namespace
 
 Monitor::Monitor(const MonitorConfig& config, std::uint64_t seed)
-    : config_(config), seed_(seed) {
-  SUBSTREAM_CHECK_MSG(config.p > 0.0 && config.p <= 1.0,
-                      "sampling probability p=%f", config.p);
-  if (config.enable_f0) {
+    : config_(plan::ResolveMonitorConfig(config)), seed_(seed) {
+  SUBSTREAM_CHECK_MSG(config_.p > 0.0 && config_.p <= 1.0,
+                      "sampling probability p=%f", config_.p);
+  if (config_.enable_f0) {
     F0Params params;
-    params.p = config.p;
-    params.delta = config.delta;
+    params.p = config_.p;
+    params.delta = config_.delta;
+    params.backend = config_.f0_backend;
+    params.kmv_k = config_.f0_kmv_k;
+    params.hll_precision = config_.f0_hll_precision;
     f0_.emplace(params, DeriveSeed(seed, 1));
   }
-  if (config.enable_f2) {
+  if (config_.enable_f2) {
     FkParams params;
     params.k = 2;
-    params.p = config.p;
-    params.universe = config.universe;
-    params.epsilon = config.epsilon;
-    params.delta = config.delta;
+    params.p = config_.p;
+    params.universe = config_.universe;
+    params.epsilon = config_.epsilon;
+    params.delta = config_.delta;
     params.backend = CollisionBackend::kSketch;
-    params.max_width = config.max_f2_width;
-    params.cell_width = config.cell_width;
+    params.max_width = config_.max_f2_width;
+    params.cell_width = config_.cell_width;
     f2_.emplace(params, DeriveSeed(seed, 2));
   }
-  if (config.enable_entropy) {
+  if (config_.enable_entropy) {
     EntropyParams params;
-    params.p = config.p;
-    params.n_hint = config.n_hint;
+    params.p = config_.p;
+    params.n_hint = config_.n_hint;
     entropy_.emplace(params, DeriveSeed(seed, 3));
   }
-  if (config.enable_heavy_hitters) {
+  if (config_.enable_heavy_hitters) {
     HeavyHitterParams params;
-    params.alpha = config.hh_alpha;
-    params.epsilon = config.hh_epsilon;
-    params.delta = config.delta;
-    params.p = config.p;
-    params.cell_width = config.cell_width;
+    params.alpha = config_.hh_alpha;
+    params.epsilon = config_.hh_epsilon;
+    params.delta = config_.delta;
+    params.p = config_.p;
+    params.cell_width = config_.cell_width;
     heavy_.emplace(params, DeriveSeed(seed, 4));
   }
 }
@@ -264,7 +274,16 @@ std::optional<Monitor> Monitor::Deserialize(serde::Reader& in) {
   if (config.enable_f0) {
     auto f0 = F0Estimator::Deserialize(in);
     if (!f0) return std::nullopt;
+    // The monitor header does not carry the F0 geometry fields (it never
+    // did — the format stays byte-identical); the nested record does.
+    // Reconstruct them so the decoded config compares equal to the live
+    // peer's resolved config.
+    monitor.config_.f0_backend = f0->params().backend;
+    monitor.config_.f0_kmv_k = f0->params().kmv_k;
+    monitor.config_.f0_hll_precision = f0->params().hll_precision;
     monitor.f0_.emplace(std::move(*f0));
+  } else {
+    plan::CanonicalizeF0Geometry(monitor.config_);
   }
   if (config.enable_f2) {
     auto f2 = FkEstimator::Deserialize(in);

@@ -10,6 +10,7 @@
 #include "core/fk_estimator.h"
 #include "core/heavy_hitters.h"
 #include "obs/health.h"
+#include "plan/plan.h"
 #include "util/common.h"
 
 /// \file monitor.h
@@ -61,8 +62,11 @@ struct MonitorConfig {
   /// Accuracy / confidence for the F2 estimator.
   double epsilon = 0.25;
   double delta = 0.05;
-  /// Cap on the F2 level-set sketch width (0 = analytic width).
-  std::uint64_t max_f2_width = 1 << 13;
+  /// Cap on the F2 level-set sketch width (0 = analytic width). The
+  /// default is derived by the planner — the budget-capped analytic width
+  /// for the default geometry under the default monitor budget — and is
+  /// static_asserted to equal the historical 1 << 13 constant.
+  std::uint64_t max_f2_width = plan::kDefaultF2WidthCap;
   /// Physical cell width of the counter-array sketches (F2 level sets and
   /// heavy hitters; cell_width.h). Narrow cells spill into wider overflow
   /// levels on saturation, so every estimate is unchanged — this knob
@@ -70,7 +74,32 @@ struct MonitorConfig {
   /// for windowed deployments; 64-bit is the conservative historical
   /// layout.
   CellWidth cell_width = CellWidth::k64;
+
+  /// F0 backend and geometry; 0 means the library default (KMV k = 1024,
+  /// HLL precision 14). Explicit values win, exactly like every other
+  /// field here. These are not serialized in the monitor header — the
+  /// nested F0 record already carries them on the wire (keeping the format
+  /// byte-identical), and Deserialize reconstructs them from it.
+  F0Backend f0_backend = F0Backend::kKmv;
+  std::size_t f0_kmv_k = 0;
+  int f0_hll_precision = 0;
+
+  /// The accuracy-budget route: when set, the geometry planner
+  /// (plan/plan.h) compiles {budget_bytes, per-metric (eps, delta)
+  /// targets} into the explicit fields above at construction — epsilon,
+  /// delta, hh_epsilon, max_f2_width, cell_width, universe and the f0_*
+  /// geometry become planner-owned; p, the enable_* switches, hh_alpha and
+  /// n_hint stay caller-owned. A config without a plan behaves exactly as
+  /// before, byte for byte. Resolved monitors store the compiled config
+  /// with `plan` cleared, so a planned Monitor and a hand-built Monitor of
+  /// the same geometry are merge-compatible and serialize identically.
+  std::optional<plan::PlanSpec> plan;
 };
+
+/// True when the two configs describe the same geometry (every field the
+/// constructor derives geometry from; `plan` is ignored — resolved configs
+/// have it cleared). This is the config half of the Merge precondition.
+bool MonitorConfigsEqual(const MonitorConfig& a, const MonitorConfig& b);
 
 /// A consolidated window report. Fields for disabled statistics are
 /// std::nullopt.
@@ -86,6 +115,11 @@ struct MonitorReport {
 /// Single-pass monitor over the sampled stream.
 class Monitor {
  public:
+  /// Builds the enabled estimators. When `config.plan` is set, the
+  /// geometry planner resolves it first (plan/compiler.h); `config()`
+  /// afterwards returns the resolved explicit-field config with `plan`
+  /// cleared — hand a copy of it to another constructor to get a
+  /// merge-compatible, byte-identically-serializing peer.
   Monitor(const MonitorConfig& config, std::uint64_t seed);
 
   /// Feeds one element of the sampled stream L (prehash once, fan out).

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "plan/compiler.h"
 #include "util/hash.h"
 
 namespace substream {
@@ -96,7 +97,12 @@ void BackoffPause(std::size_t* spins) {
 
 ShardedMonitor::ShardedMonitor(const MonitorConfig& config, std::uint64_t seed,
                                ShardedMonitorOptions options)
-    : config_(config), seed_(seed), options_(options) {
+    // Resolve any accuracy-budget plan ONCE, here: every shard monitor, the
+    // merge scratches and every retired window are then built from the same
+    // explicit geometry, so one {budget, targets} tuple configures the whole
+    // fleet (and SolvePlan never runs on the per-worker construction path).
+    : config_(plan::ResolveMonitorConfig(config)), seed_(seed),
+      options_(options) {
   SUBSTREAM_CHECK_MSG(options.shards >= 1, "ShardedMonitor needs >= 1 shard");
   SUBSTREAM_CHECK(options.ring_capacity >= 1);
   SUBSTREAM_CHECK(options.batch_items >= 1);

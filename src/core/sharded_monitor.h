@@ -251,6 +251,12 @@ class ShardedMonitor {
   static std::size_t ShardOfPrehash(std::uint64_t prehash,
                                     std::size_t shards);
 
+  /// The resolved per-shard monitor configuration. When the constructor
+  /// config carried a plan::PlanSpec it has been compiled to explicit
+  /// geometry here (plan cleared) — hand this to WindowedMonitor or a peer
+  /// pipeline to guarantee merge compatibility.
+  const MonitorConfig& config() const { return config_; }
+
   std::size_t shards() const { return options_.shards; }
   /// Shard groups in use (resolved at construction).
   std::size_t groups() const { return group_begin_.size() - 1; }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "plan/compiler.h"
 #include "serde/checkpoint.h"
 #include "serde/serde.h"
 #include "sketch/sketch.h"
@@ -40,12 +41,21 @@ struct WindowedMetrics {
   }
 };
 
+/// Nearest power of two (in log space): the hysteresis quantizer for the
+/// re-plan feedback loop. Workload drift within one pow2 class leaves the
+/// spec's hints — and therefore the solved geometry — untouched.
+double QuantizeHint(double v) {
+  if (!(v > 0.0)) return 0.0;
+  return std::exp2(std::round(std::log2(v)));
+}
+
 }  // namespace
 
 WindowedMonitor::WindowedMonitor(const MonitorConfig& config,
                                  std::uint64_t seed,
                                  WindowedMonitorOptions options)
-    : config_(config), seed_(seed), options_(options) {
+    : original_config_(config), config_(plan::ResolveMonitorConfig(config)),
+      seed_(seed), options_(options), spec_(config.plan) {
   SUBSTREAM_CHECK_MSG(options.windows >= 1 &&
                           options.windows <= WindowedMonitorOptions::kMaxWindows,
                       "WindowedMonitor ring capacity %zu outside [1, %zu]",
@@ -71,8 +81,68 @@ void WindowedMonitor::UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
   ring_[cursor_].UpdatePrehashed(cols, n);
 }
 
+bool WindowedMonitor::MaybeReplan(const MonitorReport& closed) {
+  // An empty window carries no workload signal; keep the current plan.
+  if (closed.sampled_length == 0) return false;
+  const double observed_f0 =
+      closed.distinct_items ? *closed.distinct_items : 0.0;
+  const double observed_f2 =
+      closed.second_moment ? *closed.second_moment : 0.0;
+  const double observed_n = closed.scaled_length;  // original-stream units
+  // Hysteresis: hints only move when the observation crosses into a
+  // different power-of-two class.
+  const double f0_hint = QuantizeHint(observed_f0);
+  const double f2_hint = QuantizeHint(observed_f2);
+  const double n_hint = QuantizeHint(observed_n);
+  if (f0_hint == spec_->f0_hint && f2_hint == spec_->f2_hint &&
+      n_hint == spec_->n_hint) {
+    return false;
+  }
+  // Adopt the hints either way — even when the re-solve lands on the same
+  // geometry, the next boundary should compare against what was last seen.
+  spec_->f0_hint = f0_hint;
+  spec_->f2_hint = f2_hint;
+  spec_->n_hint = n_hint;
+  MonitorConfig candidate = original_config_;
+  candidate.plan = spec_;
+  const MonitorConfig resolved = plan::ResolveMonitorConfig(candidate);
+  if (MonitorConfigsEqual(resolved, config_)) return false;
+
+  plan::ReplanEvent event;
+  event.epoch = epoch_ + 1;  // first window index with the new geometry
+  event.observed_f0 = observed_f0;
+  event.observed_f2 = observed_f2;
+  event.observed_n = observed_n;
+  event.old_universe = config_.universe;
+  event.new_universe = resolved.universe;
+  event.old_max_f2_width = config_.max_f2_width;
+  event.new_max_f2_width = resolved.max_f2_width;
+  event.old_kmv_k = config_.f0_kmv_k;
+  event.new_kmv_k = resolved.f0_kmv_k;
+
+  // The horizon ends here: mixed-geometry windows can never co-merge, so
+  // the whole ring (and the query scratch, whose geometry also changed) is
+  // replaced by one fresh current window of the new geometry.
+  config_ = resolved;
+  ring_.clear();
+  ring_.emplace_back(config_, seed_);
+  cursor_ = 0;
+  scratch_.reset();
+  event.planned_bytes = ring_.front().SpaceBytes();
+  replan_log_.push_back(event);
+  return true;
+}
+
 void WindowedMonitor::Rotate() {
   obs::ScopedTimer timer(WindowedMetrics::Get().rotate_ns);
+  // Ring boundary (every W-th rotation) on a plan-driven ring: feed the
+  // closing window's report back into the spec. An adopted change has
+  // already rebuilt the ring around a fresh current window.
+  if (spec_ && (epoch_ + 1) % options_.windows == 0 &&
+      MaybeReplan(ring_[cursor_].Report())) {
+    ++epoch_;
+    return;
+  }
   ++epoch_;
   if (ring_.size() < options_.windows) {
     ring_.emplace_back(config_, seed_);
@@ -94,6 +164,15 @@ void WindowedMonitor::AdoptWindow(Monitor&& window) {
   // overwritten wholesale, so neither a fresh construction (growth phase)
   // nor the eviction Reset's counter zero-fill is ever paid here.
   obs::ScopedTimer timer(WindowedMetrics::Get().rotate_ns);
+  // Ring boundary on a plan-driven ring: the adopted window is the
+  // workload sample. When a geometry change is adopted the old-geometry
+  // `window` cannot join the new horizon — it is dropped after informing
+  // the plan (the producer should rebuild from config()).
+  if (spec_ && (epoch_ + 1) % options_.windows == 0 &&
+      MaybeReplan(window.Report())) {
+    ++epoch_;
+    return;
+  }
   ++epoch_;
   if (ring_.size() < options_.windows) {
     ring_.push_back(std::move(window));
@@ -166,6 +245,10 @@ void WindowedMonitor::Reset() {
   ring_.emplace_back(config_, seed_);
   cursor_ = 0;
   epoch_ = 0;
+  // Epoch numbering restarts, so the log's epoch tags would dangle; the
+  // spec keeps its learned hints (the workload did not change because the
+  // ring was cleared) and the current geometry is retained.
+  replan_log_.clear();
 }
 
 std::size_t WindowedMonitor::SpaceBytes() const {

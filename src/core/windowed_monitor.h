@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/monitor.h"
+#include "plan/plan.h"
 #include "util/common.h"
 
 /// \file windowed_monitor.h
@@ -47,6 +48,30 @@
 /// `AdoptWindow()`: a Monitor collected from `ShardedMonitor::
 /// CollectWindow()` (one rotated epoch, all shards merged) becomes the
 /// newest window of the ring. See examples/windowed_netflow.cpp.
+///
+/// ## Re-planning across merge horizons
+///
+/// When the constructor config carries a `plan::PlanSpec`, the ring is
+/// *plan-driven*: between windows it feeds the closed window's observed
+/// F0/F2/length back into the spec's workload hints and re-solves the
+/// geometry. Because every retained window must stay merge-compatible
+/// (mixed-geometry Merge aborts loudly), geometry may change only when an
+/// entire merge horizon ends: re-planning is evaluated exclusively at ring
+/// boundaries — every `windows`-th rotation — and an adopted geometry
+/// change clears the ring and starts a fresh horizon (the old windows'
+/// statistics informed the new plan; their counters are discarded with the
+/// horizon). Within a horizon the geometry is immutable.
+///
+/// Hysteresis: observed hints are quantized to the nearest power of two
+/// before they touch the spec, and a re-plan is adopted only when the
+/// resolved config actually differs — steady workloads re-plan zero times
+/// (pinned by test). Every adopted change is recorded in `replan_log()`.
+///
+/// Checkpoint/Restore round-trips the *windows*, not the spec: a restored
+/// ring keeps the planned geometry it was checkpointed with but stops
+/// re-planning (the spec is not serialized). Re-attach a spec by
+/// constructing a fresh plan-driven ring when adaptive behavior must
+/// survive restarts.
 
 namespace substream {
 
@@ -96,12 +121,24 @@ class WindowedMonitor {
   /// the ring is below capacity a new Monitor is constructed; afterwards
   /// the evicted oldest window is Reset() and reused, so steady-state
   /// rotation allocates nothing beyond what Reset keeps.
+  ///
+  /// Plan-driven rings additionally evaluate re-planning at ring
+  /// boundaries (every `windows`-th rotation): when the closed window's
+  /// observed workload re-solves to different geometry, the whole ring is
+  /// replaced with one fresh empty window of the new geometry (see the
+  /// file comment on merge horizons).
   void Rotate();
 
   /// Closes the current window and adopts `window` — built elsewhere with
   /// the same config and seed, e.g. ShardedMonitor::CollectWindow()'s
   /// merged epoch — as the new current window. Aborts on a config/seed
   /// mismatch (the Merge precondition, checked deeply).
+  ///
+  /// Plan-driven rings evaluate re-planning at ring boundaries here too,
+  /// using the adopted window's report as the workload sample. When a
+  /// geometry change is adopted the old-geometry `window` cannot join the
+  /// new horizon and is dropped after informing the plan — rebuild the
+  /// producer pipeline from `config()` before the next collection.
   void AdoptWindow(Monitor&& window);
 
   /// Rotations performed since construction (the current window's index).
@@ -137,9 +174,22 @@ class WindowedMonitor {
   /// window; configuration, seed and options are kept.
   void Reset();
 
+  /// The CURRENT resolved window configuration (plan compiled to explicit
+  /// geometry, `plan` cleared). Plan-driven rings may change it at ring
+  /// boundaries — consult `replan_log()` for when.
   const MonitorConfig& config() const { return config_; }
   std::uint64_t seed() const { return seed_; }
   const WindowedMonitorOptions& options() const { return options_; }
+
+  /// True when the ring was constructed from a plan::PlanSpec and still
+  /// re-plans at ring boundaries (false after Deserialize/Restore).
+  bool plan_driven() const { return spec_.has_value(); }
+
+  /// Every adopted geometry change, oldest first. Empty for non-plan
+  /// rings and for steady workloads.
+  const std::vector<plan::ReplanEvent>& replan_log() const {
+    return replan_log_;
+  }
 
   /// Total memory across retained windows (query scratch excluded).
   std::size_t SpaceBytes() const;
@@ -168,13 +218,25 @@ class WindowedMonitor {
   struct DeserializeTag {};
   WindowedMonitor(DeserializeTag, const MonitorConfig& config,
                   std::uint64_t seed, WindowedMonitorOptions options)
-      : config_(config), seed_(seed), options_(options) {}
+      : original_config_(config), config_(config), seed_(seed),
+        options_(options) {}
 
   /// Index into ring_ of the window of age `age`.
   std::size_t IndexOfAge(std::size_t age) const;
 
   Monitor& ScratchReset() const;
 
+  /// Re-plan decision at a ring boundary, fed the closed (or adopted)
+  /// window's report. Returns true when a geometry change was adopted, in
+  /// which case the ring has been replaced with one fresh current window
+  /// of the new geometry and the caller must not install anything into the
+  /// old ring.
+  bool MaybeReplan(const MonitorReport& closed);
+
+  /// The constructor config exactly as passed (plan included): re-planning
+  /// re-resolves from this with updated hints, so caller-owned knobs
+  /// (p, enabled metrics, hh_alpha) are never drifted by the feedback loop.
+  MonitorConfig original_config_;
   MonitorConfig config_;
   std::uint64_t seed_;
   WindowedMonitorOptions options_;
@@ -186,6 +248,11 @@ class WindowedMonitor {
   /// Merge-at-query workspace, built lazily on the first report so a
   /// write-only ring (e.g. a checkpointing relay) never pays for it.
   mutable std::optional<Monitor> scratch_;
+  /// Live accuracy-budget spec with learned workload hints; engaged only
+  /// when the constructor config carried one (never after deserialize).
+  std::optional<plan::PlanSpec> spec_;
+  /// Adopted geometry changes, oldest first.
+  std::vector<plan::ReplanEvent> replan_log_;
 };
 
 }  // namespace substream

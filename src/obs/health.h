@@ -7,15 +7,17 @@
 // into wider overflow levels or saturated at their clamp value, and the
 // derived (epsilon, delta) error bound the geometry buys.
 //
-// This header sits below the sketch layer (depends only on the standard
-// library) so sketches and estimators can vend SummaryHealth entries
-// without new dependency edges.
+// This header sits below the sketch layer (standard library plus the
+// equally-low plan/accuracy.h formula header) so sketches and estimators
+// can vend SummaryHealth entries without new dependency edges.
 
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "plan/accuracy.h"
 
 namespace substream {
 namespace obs {
@@ -54,36 +56,26 @@ inline void FinalizeRatios(SummaryHealth& h) {
   h.saturation_fraction = static_cast<double>(h.saturated_cells) / cells;
 }
 
-// Standard analytic bounds, factored out so tests can hand-compute the
-// same values from geometry alone.
-//
-// CountMin (Cormode–Muthukrishnan): overestimate <= (e/width) * ||f||_1
-// with probability >= 1 - e^-depth.
+// Standard analytic bounds. The formulas themselves live in
+// plan/accuracy.h — the single source of truth shared with the geometry
+// planner, so the bound Health() reports and the bound the planner sized
+// for can never drift. These delegating aliases keep the historical obs::
+// spellings (and the hand-computed pins in obs_health_test) intact.
 inline double CountMinEpsilon(std::uint64_t width) {
-  return width > 0 ? std::exp(1.0) / static_cast<double>(width) : 0.0;
+  return plan::CountMinEpsilon(width);
 }
 inline double CountMinDelta(std::uint64_t depth) {
-  return std::exp(-static_cast<double>(depth));
+  return plan::CountMinDelta(depth);
 }
-
-// CountSketch (Charikar–Chen–Farach-Colton): per-item error
-// <= sqrt(e/width) * ||f||_2 with probability >= 1 - e^(-depth/3).
 inline double CountSketchEpsilon(std::uint64_t width) {
-  return width > 0 ? std::sqrt(std::exp(1.0) / static_cast<double>(width))
-                   : 0.0;
+  return plan::CountSketchEpsilon(width);
 }
 inline double CountSketchDelta(std::uint64_t depth) {
-  return std::exp(-static_cast<double>(depth) / 3.0);
+  return plan::CountSketchDelta(depth);
 }
-
-// KMV distinct counter: relative error ~ 1/sqrt(k).
-inline double KmvEpsilon(std::uint64_t k) {
-  return k > 0 ? 1.0 / std::sqrt(static_cast<double>(k)) : 0.0;
-}
-
-// HyperLogLog: relative error ~ 1.04/sqrt(2^precision).
+inline double KmvEpsilon(std::uint64_t k) { return plan::KmvEpsilon(k); }
 inline double HllEpsilon(int precision) {
-  return 1.04 / std::sqrt(static_cast<double>(std::uint64_t{1} << precision));
+  return plan::HllEpsilon(precision);
 }
 
 }  // namespace obs

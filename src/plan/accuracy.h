@@ -1,0 +1,195 @@
+#ifndef SUBSTREAM_PLAN_ACCURACY_H_
+#define SUBSTREAM_PLAN_ACCURACY_H_
+
+// Closed-form accuracy <-> geometry formulas, shared between the health
+// report (obs/health.h) and the geometry planner (plan/plan.h).
+//
+// Two directions live side by side so they can never drift:
+//
+//   - Forward (geometry -> bound): what Monitor::Health() reports for a
+//     summary of the given depth/width/k/precision.
+//   - Inverse (bound -> geometry): the least geometry whose forward bound
+//     meets the target, i.e. Forward(Inverse(x)) <= x for every valid x.
+//     The planner sizes every summary through these.
+//
+// The constructor-side derivation chains (CountMinSketch's delta -> depth,
+// FkEstimator's delta -> level-set depth, ...) are also hoisted here, so a
+// planner that wants a particular physical geometry can invert through the
+// exact chain the constructors will re-derive.
+//
+// This header sits below the sketch layer (standard library only), like
+// obs/health.h, so both can depend on it without new dependency edges.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace substream {
+namespace plan {
+
+// ---------------------------------------------------------------------------
+// Forward: geometry -> (epsilon, delta). These are the bounds Health()
+// attaches to each summary.
+// ---------------------------------------------------------------------------
+
+// CountMin (Cormode-Muthukrishnan): overestimate <= (e/width) * ||f||_1
+// with probability >= 1 - e^-depth.
+inline double CountMinEpsilon(std::uint64_t width) {
+  return width > 0 ? std::exp(1.0) / static_cast<double>(width) : 0.0;
+}
+inline double CountMinDelta(std::uint64_t depth) {
+  return std::exp(-static_cast<double>(depth));
+}
+
+// CountSketch (Charikar-Chen-Farach-Colton): per-item error
+// <= sqrt(e/width) * ||f||_2 with probability >= 1 - e^(-depth/3).
+inline double CountSketchEpsilon(std::uint64_t width) {
+  return width > 0 ? std::sqrt(std::exp(1.0) / static_cast<double>(width))
+                   : 0.0;
+}
+inline double CountSketchDelta(std::uint64_t depth) {
+  return std::exp(-static_cast<double>(depth) / 3.0);
+}
+
+// KMV distinct counter: relative error ~ 1/sqrt(k).
+inline double KmvEpsilon(std::uint64_t k) {
+  return k > 0 ? 1.0 / std::sqrt(static_cast<double>(k)) : 0.0;
+}
+
+// HyperLogLog: relative error ~ 1.04/sqrt(2^precision).
+inline double HllEpsilon(int precision) {
+  return 1.04 / std::sqrt(static_cast<double>(std::uint64_t{1} << precision));
+}
+
+// ---------------------------------------------------------------------------
+// Inverse: (epsilon, delta) -> geometry. Least geometry meeting the target.
+// ---------------------------------------------------------------------------
+
+inline std::uint64_t CountMinWidthForEpsilon(double epsilon) {
+  const double e = std::exp(1.0);
+  return epsilon > 0.0 ? static_cast<std::uint64_t>(std::ceil(e / epsilon))
+                       : 2;
+}
+
+inline std::uint64_t CountMinDepthForDelta(double delta) {
+  return delta > 0.0 && delta < 1.0
+             ? static_cast<std::uint64_t>(std::ceil(std::log(1.0 / delta)))
+             : 1;
+}
+
+inline std::uint64_t CountSketchWidthForEpsilon(double epsilon) {
+  const double e = std::exp(1.0);
+  return epsilon > 0.0
+             ? static_cast<std::uint64_t>(std::ceil(e / (epsilon * epsilon)))
+             : 2;
+}
+
+inline std::uint64_t CountSketchDepthForDelta(double delta) {
+  return delta > 0.0 && delta < 1.0
+             ? static_cast<std::uint64_t>(
+                   std::ceil(3.0 * std::log(1.0 / delta)))
+             : 1;
+}
+
+inline std::size_t KmvKForEpsilon(double epsilon) {
+  if (epsilon <= 0.0) return 1024;
+  const double k = std::ceil(1.0 / (epsilon * epsilon));
+  return static_cast<std::size_t>(k < 16.0 ? 16.0 : k);
+}
+
+inline int HllPrecisionForEpsilon(double epsilon) {
+  int precision = 4;
+  while (precision < 18 && HllEpsilon(precision) > epsilon) ++precision;
+  return precision;
+}
+
+// ---------------------------------------------------------------------------
+// Constructor derivation chains, hoisted from the sketch layer so the
+// planner inverts through exactly what the constructors re-derive.
+// ---------------------------------------------------------------------------
+
+/// CounterTable<>::kMaxDepth, mirrored here so this header stays below the
+/// sketch layer; countmin.cc static_asserts the two stay equal.
+inline constexpr int kMaxCounterRows = 64;
+
+/// CountMinSketch(params): delta -> rows. Clamped at the CounterTable row
+/// bound: beyond it, extra rows buy nothing the width knob cannot.
+inline int CountMinDepthFromDelta(double delta) {
+  const int rows =
+      static_cast<int>(std::ceil(std::log(1.0 / delta)));
+  return rows < 1 ? 1 : (rows > kMaxCounterRows ? kMaxCounterRows : rows);
+}
+
+/// CountMinSketch(params): epsilon -> width (error <= (e/width) * F1).
+inline std::uint64_t CountMinWidthFromEpsilon(double epsilon) {
+  const double e = 2.718281828459045;
+  const std::uint64_t width =
+      static_cast<std::uint64_t>(std::ceil(e / epsilon));
+  return width < 2 ? 2 : width;
+}
+
+/// CountSketchHeavyHitters: delta -> rows (median amplification, odd for a
+/// unique median, clamped at the largest odd depth the table allows).
+inline int CountSketchMedianDepthFromDelta(double delta) {
+  const int rows = static_cast<int>(
+                       std::ceil(4.0 * std::log(1.0 / delta))) |
+                   1;
+  const int clamped = rows < 5 ? 5 : rows;
+  return clamped > kMaxCounterRows - 1 ? kMaxCounterRows - 1 : clamped;
+}
+
+/// FkEstimator sketch backend: delta -> per-level CountSketch rows
+/// (max(5, ceil(2 ln 1/delta)) forced odd).
+inline int LevelSetDepthFromDelta(double delta) {
+  const int rows = static_cast<int>(
+                       std::ceil(2.0 * std::log(1.0 / delta))) |
+                   1;
+  return rows < 5 ? 5 : rows;
+}
+
+// ---------------------------------------------------------------------------
+// The default F2 width cap, derived instead of hard-coded.
+// ---------------------------------------------------------------------------
+
+/// The per-monitor byte budget the historical defaults implicitly assumed;
+/// also the default PlanSpec budget.
+inline constexpr std::size_t kDefaultMonitorBudgetBytes = std::size_t{16}
+                                                          << 20;
+
+/// Largest power-of-two per-level CountSketch width whose level-set counter
+/// tables (levels x depth x width cells) fit `budget_bytes`. This is the
+/// budget-capped analytic width: the analytic width of Theorem 1 exceeds any
+/// practical budget at default accuracy, so the cap binds and *is* the
+/// planned width.
+constexpr std::uint64_t BudgetedF2Width(std::size_t budget_bytes, int levels,
+                                        int depth, int cell_bytes) {
+  std::uint64_t width = 2;
+  while ((width << 1) * static_cast<std::uint64_t>(levels) *
+             static_cast<std::uint64_t>(depth) *
+             static_cast<std::uint64_t>(cell_bytes) <=
+         budget_bytes) {
+    width <<= 1;
+  }
+  return width;
+}
+
+/// Default-monitor level-set geometry: universe 2^20 gives CeilLog2 = 20,
+/// so 21 level slots; delta 0.05 gives LevelSetDepthFromDelta = 7; 64-bit
+/// cells. plan_test pins these against the live derivation chain.
+inline constexpr int kDefaultF2Levels = 21;
+inline constexpr int kDefaultF2Depth = 7;
+
+/// MonitorConfig::max_f2_width's default. The historical magic constant
+/// 1 << 13 is exactly the budget-capped analytic width for the default
+/// geometry under the default budget.
+inline constexpr std::uint64_t kDefaultF2WidthCap =
+    BudgetedF2Width(kDefaultMonitorBudgetBytes, kDefaultF2Levels,
+                    kDefaultF2Depth, /*cell_bytes=*/8);
+static_assert(kDefaultF2WidthCap == (std::uint64_t{1} << 13),
+              "the derived default F2 width cap must reproduce the "
+              "historical 1 << 13 default byte-for-byte");
+
+}  // namespace plan
+}  // namespace substream
+
+#endif  // SUBSTREAM_PLAN_ACCURACY_H_

@@ -1,0 +1,59 @@
+#include "plan/compiler.h"
+
+namespace substream {
+namespace plan {
+
+namespace {
+
+PlanInputs InputsFor(const MonitorConfig& config) {
+  PlanInputs inputs;
+  inputs.p = config.p;
+  inputs.universe = config.universe;
+  inputs.hh_alpha = config.hh_alpha;
+  inputs.enable_f0 = config.enable_f0;
+  inputs.enable_f2 = config.enable_f2;
+  inputs.enable_entropy = config.enable_entropy;
+  inputs.enable_heavy_hitters = config.enable_heavy_hitters;
+  inputs.spec = *config.plan;
+  return inputs;
+}
+
+}  // namespace
+
+void CanonicalizeF0Geometry(MonitorConfig& config) {
+  if (config.f0_kmv_k == 0) config.f0_kmv_k = 1024;
+  if (config.f0_hll_precision == 0) config.f0_hll_precision = 14;
+}
+
+MonitorConfig ResolveMonitorConfig(const MonitorConfig& config) {
+  MonitorConfig out = config;
+  if (config.plan) {
+    const GeometryPlan plan = SolvePlan(InputsFor(config));
+    out.universe = plan.universe;
+    out.delta = plan.monitor_delta;
+    out.cell_width = plan.cell_width;
+    if (config.enable_f2) {
+      out.epsilon = plan.monitor_epsilon;
+      out.max_f2_width = plan.f2_width;
+    }
+    if (config.enable_heavy_hitters) out.hh_epsilon = plan.hh_epsilon;
+    if (config.enable_f0) {
+      out.f0_backend =
+          plan.f0_use_hll ? F0Backend::kHyperLogLog : F0Backend::kKmv;
+      out.f0_kmv_k = plan.kmv_k;
+      out.f0_hll_precision = plan.hll_precision;
+    }
+    if (config.plan->n_hint > 0.0) out.n_hint = config.plan->n_hint;
+    out.plan.reset();
+  }
+  CanonicalizeF0Geometry(out);
+  return out;
+}
+
+std::optional<GeometryPlan> PlanFor(const MonitorConfig& config) {
+  if (!config.plan) return std::nullopt;
+  return SolvePlan(InputsFor(config));
+}
+
+}  // namespace plan
+}  // namespace substream

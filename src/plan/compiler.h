@@ -1,0 +1,39 @@
+#ifndef SUBSTREAM_PLAN_COMPILER_H_
+#define SUBSTREAM_PLAN_COMPILER_H_
+
+#include <optional>
+
+#include "core/monitor.h"
+#include "plan/plan.h"
+
+/// \file compiler.h
+/// Applies a solved GeometryPlan to a MonitorConfig: the bridge between
+/// the core-free solver (plan/plan.h) and the Monitor construction path.
+/// Monitor, ShardedMonitor and WindowedMonitor all resolve their config
+/// through ResolveMonitorConfig(), so a fleet configured from one
+/// {budget, targets} tuple lands on bit-identical geometry everywhere —
+/// which is exactly the Merge precondition.
+
+namespace substream {
+namespace plan {
+
+/// Resolves `config`: when `config.plan` is set, runs the solver and
+/// compiles the resulting geometry into the explicit fields (clearing
+/// `plan`); always canonicalizes the zero-defaulted F0 geometry fields
+/// (0 -> KMV k 1024 / HLL precision 14) so configs that construct
+/// identical estimators also compare equal. Idempotent.
+MonitorConfig ResolveMonitorConfig(const MonitorConfig& config);
+
+/// The 0 -> library-default canonicalization alone (also applied by
+/// Monitor::Deserialize, which reconstructs the F0 fields from the decoded
+/// F0 record instead of the wire header).
+void CanonicalizeF0Geometry(MonitorConfig& config);
+
+/// The solved plan for a config's spec, for introspection (examples and
+/// benches print it); std::nullopt when the config carries no plan.
+std::optional<GeometryPlan> PlanFor(const MonitorConfig& config);
+
+}  // namespace plan
+}  // namespace substream
+
+#endif  // SUBSTREAM_PLAN_COMPILER_H_

@@ -3,27 +3,30 @@
 #include <algorithm>
 #include <cmath>
 
+#include "plan/accuracy.h"
 #include "serde/serde.h"
 #include "sketch/table_serde.h"
 
 namespace substream {
 
+// The planner inverts targets through the same chains the constructors
+// derive geometry with (plan/accuracy.h); its mirrored row bound must
+// track the table's.
+static_assert(plan::kMaxCounterRows == CounterTable<count_t>::kMaxDepth,
+              "plan/accuracy.h mirrors the CounterTable row bound");
+
 namespace {
 
 int DepthFromDelta(double delta) {
   SUBSTREAM_CHECK(delta > 0.0 && delta < 1.0);
-  // Clamp at the CounterTable row bound: beyond it, extra rows buy
+  // Clamped at the CounterTable row bound: beyond it, extra rows buy
   // nothing the width knob cannot (and the table would abort).
-  return std::min(CounterTable<count_t>::kMaxDepth,
-                  std::max(1, static_cast<int>(
-                                  std::ceil(std::log(1.0 / delta)))));
+  return plan::CountMinDepthFromDelta(delta);
 }
 
 std::uint64_t WidthFromEpsilon(double epsilon) {
   SUBSTREAM_CHECK(epsilon > 0.0);
-  const double e = 2.718281828459045;
-  return std::max<std::uint64_t>(
-      2, static_cast<std::uint64_t>(std::ceil(e / epsilon)));
+  return plan::CountMinWidthFromEpsilon(epsilon);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "plan/accuracy.h"
 #include "serde/serde.h"
 #include "sketch/table_serde.h"
 #include "util/stats.h"
@@ -471,9 +472,8 @@ int DepthFromDelta(double delta) {
   // Median amplification: O(log 1/delta) rows, odd for a unique median.
   // Clamped (at the largest odd depth the CounterTable row bound allows)
   // so extreme deltas degrade accuracy instead of aborting construction.
-  const int rows =
-      std::max(5, static_cast<int>(std::ceil(4.0 * std::log(1.0 / delta))) | 1);
-  return std::min(CounterTable<std::int64_t>::kMaxDepth - 1, rows);
+  // The derivation lives in plan/accuracy.h, shared with the planner.
+  return plan::CountSketchMedianDepthFromDelta(delta);
 }
 
 }  // namespace

@@ -1,0 +1,236 @@
+/// Planner <-> Monitor integration: a Monitor constructed from a PlanSpec
+/// alone stays within its byte budget, its Health() report round-trips the
+/// planned (epsilon, delta) targets (eps' <= eps, delta' <= delta), a
+/// planned monitor and a hand-built monitor of the resolved config are
+/// byte-identical peers (merge + serialize), mismatched plans refuse to
+/// merge, and the derived max_f2_width default keeps default monitors
+/// byte-identical to the historical explicit constant.
+
+#include "core/monitor.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "plan/compiler.h"
+#include "plan/plan.h"
+#include "serde/serde.h"
+#include "stream/exact_stats.h"
+#include "stream/generators.h"
+#include "stream/samplers.h"
+
+namespace substream {
+namespace {
+
+constexpr std::uint64_t kSeed = 21;
+
+template <typename S>
+std::vector<std::uint8_t> Bytes(const S& summary) {
+  serde::Writer writer;
+  summary.Serialize(writer);
+  return writer.Take();
+}
+
+/// The shared workload: a Zipf original stream and its Bernoulli sample.
+struct Workload {
+  Stream original;
+  Stream sampled;
+  FrequencyTable exact;
+};
+
+Workload MakeWorkload(std::size_t n, std::uint64_t gen_seed, double p,
+                      item_t universe = 3000) {
+  Workload w;
+  ZipfGenerator generator(universe, 1.2, gen_seed);
+  w.original = Materialize(generator, n);
+  BernoulliSampler sampler(p, 13);
+  w.sampled = sampler.Sample(w.original);
+  w.exact.AddStream(w.original);
+  return w;
+}
+
+/// The spec under test: explicit F0/F2 targets, honest workload hints.
+MonitorConfig PlannedConfig() {
+  MonitorConfig config;
+  config.p = 0.3;
+  config.hh_alpha = 0.02;
+  plan::PlanSpec spec;
+  spec.budget_bytes = 8 << 20;
+  spec.f0.epsilon = 0.05;
+  spec.f2.epsilon = 0.08;
+  spec.f2.delta = 0.05;
+  spec.f0_hint = 3000;
+  spec.n_hint = 90000;
+  config.plan = spec;
+  return config;
+}
+
+TEST(PlanMonitorTest, PlannedMonitorStaysWithinBudgetAndMeetsTargets) {
+  const MonitorConfig config = PlannedConfig();
+  const auto plan = plan::PlanFor(config);
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_FALSE(plan->degraded);
+  EXPECT_LE(plan->planned_bytes, std::size_t{8} << 20);
+
+  Monitor monitor(config, kSeed);
+  // A workload inside the estimators' operating regime: per-key counts
+  // well above 1/p, so the sampling-correction stage's own noise stays
+  // below the planned sketch epsilon it rides on.
+  const Workload w = MakeWorkload(90000, 11, 0.3, /*universe=*/1000);
+  monitor.UpdateBatch(w.sampled.data(), w.sampled.size());
+
+  // Physical footprint honors the budget (the model is conservative on the
+  // growable parts; with honest hints it must dominate the real bytes).
+  EXPECT_LE(monitor.SpaceBytes(), std::size_t{8} << 20);
+
+  // Empirical accuracy at the planned targets. The planned F0 epsilon
+  // bounds the sketch stage — the KMV estimate of the SAMPLED distinct
+  // count; the report then applies the paper's 1/sqrt(p) factor correction
+  // (F0 over a subsample admits no (1 + eps) guarantee, only a factor
+  // bound). So: sketch stage at target, end to end within the factor
+  // bound.
+  const MonitorReport report = monitor.Report();
+  ASSERT_TRUE(report.distinct_items.has_value());
+  FrequencyTable sampled_exact;
+  sampled_exact.AddStream(w.sampled);
+  const double f0_sampled = static_cast<double>(sampled_exact.F0());
+  const double kmv_estimate = *report.distinct_items * std::sqrt(0.3);
+  EXPECT_NEAR(kmv_estimate, f0_sampled, 0.05 * f0_sampled);
+  const double f0_exact = static_cast<double>(w.exact.F0());
+  EXPECT_LE(*report.distinct_items, (4.0 / std::sqrt(0.3)) * f0_exact);
+  EXPECT_GE(*report.distinct_items, (std::sqrt(0.3) / 4.0) * f0_exact);
+  // F2 is the paper's unbiased collision-corrected estimate: end to end at
+  // the planned target.
+  ASSERT_TRUE(report.second_moment.has_value());
+  const double f2_exact = w.exact.Fk(2);
+  EXPECT_NEAR(*report.second_moment, f2_exact, 0.08 * f2_exact);
+}
+
+TEST(PlanMonitorTest, HealthRoundTripsThePlannedTargets) {
+  // Plan for (eps, delta) -> the constructed geometry's health bounds must
+  // come back at or under the targets. This is the planner <-> health
+  // contract: both sides read the same plan/accuracy.h formulas.
+  const MonitorConfig config = PlannedConfig();
+  Monitor monitor(config, kSeed);
+  const obs::HealthReport health = monitor.Health();
+  bool saw_f0 = false;
+  bool saw_f2 = false;
+  for (const auto& summary : health.summaries) {
+    if (summary.name == "f0") {
+      saw_f0 = true;
+      EXPECT_LE(summary.epsilon, 0.05);
+    } else if (summary.name == "f2") {
+      saw_f2 = true;
+      EXPECT_LE(summary.epsilon, 0.08);
+      EXPECT_LE(summary.delta, 0.05);
+    }
+  }
+  EXPECT_TRUE(saw_f0);
+  EXPECT_TRUE(saw_f2);
+}
+
+TEST(PlanMonitorTest, PlannedAndHandBuiltMonitorsAreByteIdenticalPeers) {
+  const MonitorConfig planned_config = PlannedConfig();
+  Monitor planned(planned_config, kSeed);
+  // The resolved config (plan compiled away) hand-builds the same monitor.
+  const MonitorConfig resolved = planned.config();
+  EXPECT_FALSE(resolved.plan.has_value());
+  Monitor hand_built(resolved, kSeed);
+
+  const Workload w = MakeWorkload(60000, 17, 0.3);
+  planned.UpdateBatch(w.sampled.data(), w.sampled.size());
+  hand_built.UpdateBatch(w.sampled.data(), w.sampled.size());
+
+  EXPECT_EQ(Bytes(planned), Bytes(hand_built));
+  ASSERT_TRUE(planned.MergeCompatibleWith(hand_built));
+  planned.Merge(hand_built);  // must not abort
+}
+
+TEST(PlanMonitorTest, ResolutionIsIdempotentAndDeterministic) {
+  const MonitorConfig config = PlannedConfig();
+  const MonitorConfig once = plan::ResolveMonitorConfig(config);
+  const MonitorConfig twice = plan::ResolveMonitorConfig(once);
+  EXPECT_TRUE(MonitorConfigsEqual(once, twice));
+  EXPECT_TRUE(
+      MonitorConfigsEqual(once, plan::ResolveMonitorConfig(config)));
+}
+
+TEST(PlanMonitorTest, MismatchedPlansRefuseToMerge) {
+  MonitorConfig small = PlannedConfig();
+  small.plan->budget_bytes = std::size_t{1} << 20;
+  MonitorConfig large = PlannedConfig();
+  large.plan->budget_bytes = std::size_t{8} << 20;
+  Monitor a(small, kSeed);
+  Monitor b(large, kSeed);
+  EXPECT_FALSE(a.MergeCompatibleWith(b));
+}
+
+TEST(PlanMonitorTest, DefaultConfigByteIdenticalToHistoricalWidthCap) {
+  // Satellite regression: max_f2_width's default is now derived by the
+  // planner; default-constructed Monitors must remain byte-identical to
+  // ones built with the historical explicit 1 << 13.
+  MonitorConfig derived;  // all defaults
+  MonitorConfig historical;
+  historical.max_f2_width = std::uint64_t{1} << 13;
+  Monitor a(derived, kSeed);
+  Monitor b(historical, kSeed);
+
+  ZipfGenerator generator(3000, 1.2, 29);
+  const Stream stream = Materialize(generator, 20000);
+  a.UpdateBatch(stream.data(), stream.size());
+  b.UpdateBatch(stream.data(), stream.size());
+  EXPECT_EQ(Bytes(a), Bytes(b));
+}
+
+TEST(PlanMonitorTest, ExplicitF0GeometryRouteSurvivesSerde) {
+  // The new f0_* knobs: explicit values win without a plan, and a serde
+  // round trip reconstructs them from the nested F0 record (they are not
+  // in the monitor header).
+  MonitorConfig config;
+  config.p = 0.5;
+  config.f0_backend = F0Backend::kHyperLogLog;
+  config.f0_hll_precision = 12;
+  Monitor monitor(config, kSeed);
+  ZipfGenerator generator(3000, 1.2, 31);
+  const Stream stream = Materialize(generator, 20000);
+  monitor.UpdateBatch(stream.data(), stream.size());
+
+  serde::Writer writer;
+  monitor.Serialize(writer);
+  const auto bytes = writer.Take();
+  serde::Reader reader(bytes);
+  auto decoded = Monitor::Deserialize(reader);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->config().f0_backend, F0Backend::kHyperLogLog);
+  EXPECT_EQ(decoded->config().f0_hll_precision, 12);
+  EXPECT_TRUE(MonitorConfigsEqual(decoded->config(), monitor.config()));
+  EXPECT_EQ(Bytes(*decoded), bytes);
+}
+
+TEST(PlanMonitorTest, DefaultConfigCanonicalizesF0Geometry) {
+  // 0 means library default: after construction the resolved config spells
+  // the default geometry explicitly (KMV k = 1024, HLL precision 14).
+  Monitor monitor(MonitorConfig{}, kSeed);
+  EXPECT_EQ(monitor.config().f0_kmv_k, 1024u);
+  EXPECT_EQ(monitor.config().f0_hll_precision, 14);
+}
+
+TEST(PlanMonitorTest, InfeasibleBudgetStillConstructsAndReports) {
+  MonitorConfig config = PlannedConfig();
+  config.plan->budget_bytes = 64 * 1024;  // cannot meet the targets
+  const auto plan = plan::PlanFor(config);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->degraded);
+
+  Monitor monitor(config, kSeed);  // must not abort
+  const Workload w = MakeWorkload(30000, 37, 0.3);
+  monitor.UpdateBatch(w.sampled.data(), w.sampled.size());
+  const MonitorReport report = monitor.Report();
+  EXPECT_TRUE(report.distinct_items.has_value());
+  EXPECT_TRUE(report.second_moment.has_value());
+}
+
+}  // namespace
+}  // namespace substream

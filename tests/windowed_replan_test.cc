@@ -1,0 +1,192 @@
+/// WindowedMonitor re-planning: a plan-driven ring feeds the closed
+/// window's observed workload back into its PlanSpec between windows, and
+/// geometry changes ONLY across merge horizons — at ring boundaries, with
+/// the whole ring replaced — never within one (mixed-geometry windows can
+/// never co-merge). Hysteresis (pow2 hint quantization + resolved-config
+/// equality) keeps steady workloads from ever re-planning.
+
+#include "core/windowed_monitor.h"
+
+#include <cstdint>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "plan/plan.h"
+#include "stream/generators.h"
+#include "stream/samplers.h"
+
+namespace substream {
+namespace {
+
+constexpr std::uint64_t kSeed = 7;
+
+std::string TempPath(const std::string& name) {
+  return "/tmp/substream_replan_test_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+MonitorConfig PlanDrivenConfig() {
+  MonitorConfig config;
+  config.p = 0.3;
+  config.universe = 1 << 20;
+  config.hh_alpha = 0.02;
+  plan::PlanSpec spec;
+  spec.budget_bytes = 4 << 20;
+  config.plan = spec;
+  return config;
+}
+
+/// One window's worth of sampled Zipf traffic over `universe` keys.
+Stream WindowTraffic(std::size_t n, item_t universe, std::uint64_t gen_seed) {
+  ZipfGenerator generator(universe, 1.2, gen_seed);
+  const Stream original = Materialize(generator, n);
+  BernoulliSampler sampler(0.3, 13);
+  return sampler.Sample(original);
+}
+
+TEST(WindowedReplanTest, GeometryChangesOnlyAtRingBoundaries) {
+  WindowedMonitor ring(PlanDrivenConfig(), kSeed, {.windows = 4});
+  ASSERT_TRUE(ring.plan_driven());
+  const MonitorConfig initial = ring.config();
+  // The unhinted plan keeps the configured universe.
+  EXPECT_EQ(initial.universe, std::uint64_t{1} << 20);
+
+  // Three rotations on a small workload (~500 distinct keys): epochs 1-3
+  // are mid-horizon, so geometry must not move even though the observed
+  // workload is far smaller than the unhinted plan assumed.
+  for (int window = 0; window < 3; ++window) {
+    const Stream traffic = WindowTraffic(20000, 500, 100 + window);
+    ring.UpdateBatch(traffic.data(), traffic.size());
+    ring.Rotate();
+    EXPECT_TRUE(MonitorConfigsEqual(ring.config(), initial))
+        << "geometry moved mid-horizon at epoch " << ring.epoch();
+    EXPECT_TRUE(ring.replan_log().empty());
+  }
+
+  // The fourth rotation is the ring boundary: the horizon ends, the closed
+  // window's observed F0 (~500) re-solves to a far smaller universe, and
+  // the whole ring is replaced.
+  const Stream traffic = WindowTraffic(20000, 500, 103);
+  ring.UpdateBatch(traffic.data(), traffic.size());
+  ring.Rotate();
+  ASSERT_EQ(ring.replan_log().size(), 1u);
+  const plan::ReplanEvent& event = ring.replan_log().front();
+  EXPECT_EQ(event.epoch, 4u);
+  EXPECT_EQ(event.old_universe, std::uint64_t{1} << 20);
+  EXPECT_LT(event.new_universe, std::uint64_t{1} << 20);
+  EXPECT_EQ(ring.config().universe, event.new_universe);
+  EXPECT_EQ(ring.epoch(), 4u);
+  // The old horizon is gone: one fresh current window of the new geometry.
+  EXPECT_EQ(ring.retained(), 1u);
+  EXPECT_FALSE(MonitorConfigsEqual(ring.config(), initial));
+
+  // Reports keep working across the switch.
+  const Stream more = WindowTraffic(20000, 500, 104);
+  ring.UpdateBatch(more.data(), more.size());
+  const MonitorReport report = ring.Report();
+  EXPECT_GT(report.sampled_length, 0u);
+}
+
+TEST(WindowedReplanTest, SteadyWorkloadNeverReplansAgain) {
+  WindowedMonitor ring(PlanDrivenConfig(), kSeed, {.windows = 4});
+  // Run three full horizons of the same workload shape. The first boundary
+  // adapts the unhinted plan to the observed workload; after that the
+  // pow2-quantized hints are stable, so no further events may appear.
+  for (int window = 0; window < 12; ++window) {
+    const Stream traffic = WindowTraffic(20000, 500, 200 + window);
+    ring.UpdateBatch(traffic.data(), traffic.size());
+    ring.Rotate();
+  }
+  EXPECT_EQ(ring.replan_log().size(), 1u)
+      << "hysteresis failed: steady workload re-planned more than once";
+  EXPECT_EQ(ring.replan_log().front().epoch, 4u);
+}
+
+TEST(WindowedReplanTest, EmptyWindowsCarryNoSignal) {
+  WindowedMonitor ring(PlanDrivenConfig(), kSeed, {.windows = 2});
+  // Boundaries pass with nothing ingested: no workload, no re-plan.
+  for (int window = 0; window < 6; ++window) ring.Rotate();
+  EXPECT_TRUE(ring.replan_log().empty());
+  EXPECT_EQ(ring.epoch(), 6u);
+}
+
+TEST(WindowedReplanTest, NonPlanRingsNeverReplan) {
+  MonitorConfig config;
+  config.p = 0.3;
+  config.universe = 3000;
+  WindowedMonitor ring(config, kSeed, {.windows = 2});
+  EXPECT_FALSE(ring.plan_driven());
+  for (int window = 0; window < 6; ++window) {
+    const Stream traffic = WindowTraffic(20000, 500, 300 + window);
+    ring.UpdateBatch(traffic.data(), traffic.size());
+    ring.Rotate();
+  }
+  EXPECT_TRUE(ring.replan_log().empty());
+  EXPECT_TRUE(MonitorConfigsEqual(ring.config(), ring.WindowAt(0).config()));
+}
+
+TEST(WindowedReplanTest, AdoptWindowDropsOldGeometryWindowOnReplan) {
+  WindowedMonitor ring(PlanDrivenConfig(), kSeed, {.windows = 2});
+  const MonitorConfig old_config = ring.config();
+
+  // Producer monitors are built from the ring's resolved config — the
+  // fleet-from-one-tuple pattern.
+  auto produce = [&](const MonitorConfig& config, std::uint64_t gen_seed) {
+    Monitor producer(config, kSeed);
+    const Stream traffic = WindowTraffic(20000, 500, gen_seed);
+    producer.UpdateBatch(traffic.data(), traffic.size());
+    return producer;
+  };
+
+  ring.AdoptWindow(produce(old_config, 400));  // epoch 1: mid-horizon
+  ASSERT_TRUE(ring.replan_log().empty());
+  EXPECT_EQ(ring.retained(), 2u);
+
+  // Epoch 2 is the boundary: the adopted window's report drives a re-plan,
+  // and the old-geometry window itself cannot join the new horizon.
+  ring.AdoptWindow(produce(old_config, 401));
+  ASSERT_EQ(ring.replan_log().size(), 1u);
+  EXPECT_EQ(ring.retained(), 1u);
+  EXPECT_EQ(ring.epoch(), 2u);
+  EXPECT_FALSE(MonitorConfigsEqual(ring.config(), old_config));
+
+  // A producer still on the old geometry is now loudly incompatible...
+  Monitor stale(old_config, kSeed);
+  EXPECT_FALSE(stale.MergeCompatibleWith(ring.WindowAt(0)));
+  // ...while one rebuilt from the ring's current config adopts cleanly.
+  ring.AdoptWindow(produce(ring.config(), 402));
+  EXPECT_EQ(ring.retained(), 2u);
+}
+
+TEST(WindowedReplanTest, CheckpointRestoreKeepsGeometryDropsSpec) {
+  WindowedMonitor ring(PlanDrivenConfig(), kSeed, {.windows = 4});
+  for (int window = 0; window < 5; ++window) {
+    const Stream traffic = WindowTraffic(20000, 500, 500 + window);
+    ring.UpdateBatch(traffic.data(), traffic.size());
+    ring.Rotate();
+  }
+  ASSERT_FALSE(ring.replan_log().empty());  // planned geometry is live
+
+  const std::string path = TempPath("ring");
+  ASSERT_TRUE(ring.Checkpoint(path));
+  auto restored = WindowedMonitor::Restore(path);
+  ASSERT_TRUE(restored.has_value());
+  // The planned geometry survives (windows round-trip)...
+  EXPECT_TRUE(MonitorConfigsEqual(restored->config(), ring.config()));
+  EXPECT_EQ(restored->retained(), ring.retained());
+  // ...but the spec does not: a restored ring no longer re-plans.
+  EXPECT_FALSE(restored->plan_driven());
+  for (int window = 0; window < 8; ++window) {
+    const Stream traffic = WindowTraffic(20000, 4000, 600 + window);
+    restored->UpdateBatch(traffic.data(), traffic.size());
+    restored->Rotate();
+  }
+  EXPECT_TRUE(restored->replan_log().empty());
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace substream
