@@ -46,6 +46,7 @@
 #include "stream/exact_stats.h"
 #include "stream/generators.h"
 #include "util/hash.h"
+#include "util/random.h"
 #include "util/simd.h"
 
 using namespace substream;
@@ -487,6 +488,89 @@ int main(int argc, char** argv) {
         });
     emit("planned", planned_config, plan ? plan->planned_bytes : 0,
          planned_rate, handpicked_rate);
+  }
+
+  // --- Sampled ingest (NitroSketch mode): geometric-skip admission over
+  // the raw stream, survivors prehashed in chunks and applied through
+  // Monitor::UpdatePrehashedWeighted with the unbiased weight round(1/p).
+  // Rates are per ORIGINAL item — the producer-side view, where skipped
+  // items pay only the skip countdown — so the p = 1/64 row reads directly
+  // as the line-rate headroom overload shedding buys. Each row carries the
+  // sample-widened F2 promise (the Health() geometric bound plus
+  // plan::SampledEpsilon) as target_epsilon and the empirical F2 relative
+  // error under that sampling rate as measured_epsilon; perf-smoke asserts
+  // measured stays within the promise and that shedding actually buys
+  // throughput.
+  {
+    FrequencyTable exact;
+    exact.AddStream(sampled);
+    const double f2_exact = exact.Fk(2);
+
+    // p = 1 so the estimates target the fed stream itself and
+    // measured_epsilon is well defined (as in the planner A/B above).
+    MonitorConfig config = BenchConfig();
+    config.p = 1.0;
+
+    constexpr std::size_t kChunk = 1024;
+    const auto sampled_ingest = [&](Monitor& monitor, count_t weight) {
+      const double p = 1.0 / static_cast<double>(weight);
+      Rng rng(42);
+      item_t survivors[kChunk];
+      PrehashedItem col[kChunk];
+      std::size_t fill = 0;
+      std::uint64_t skip = weight == 1 ? 0 : rng.NextGeometric(p);
+      for (item_t a : sampled) {
+        if (weight > 1) {
+          if (skip > 0) {
+            --skip;
+            continue;
+          }
+          skip = rng.NextGeometric(p);
+        }
+        survivors[fill++] = a;
+        if (fill == kChunk) {
+          PrehashColumn(survivors, fill, col);
+          monitor.UpdatePrehashedWeighted(col, fill, weight);
+          fill = 0;
+        }
+      }
+      if (fill > 0) {
+        PrehashColumn(survivors, fill, col);
+        monitor.UpdatePrehashedWeighted(col, fill, weight);
+      }
+    };
+
+    double exact_rate = 0.0;
+    for (const count_t weight : {count_t{1}, count_t{8}, count_t{64}}) {
+      const double rate = BestRate(
+          repeats, items, [&] { return Monitor(config, 3); },
+          [&](Monitor& monitor) { sampled_ingest(monitor, weight); });
+      if (weight == 1) exact_rate = rate;
+
+      // Accuracy of the estimate under this rate, on a filled monitor.
+      Monitor filled(config, 3);
+      sampled_ingest(filled, weight);
+      const obs::HealthReport health = filled.Health();
+      double f2_epsilon = 0.0;
+      for (const auto& summary : health.summaries) {
+        if (summary.name == "f2") f2_epsilon = summary.epsilon;
+      }
+      const double target_epsilon = f2_epsilon + health.sampled_epsilon;
+      const MonitorReport report = filled.Report();
+      const double measured_epsilon =
+          report.second_moment && f2_exact > 0.0
+              ? std::fabs(*report.second_moment - f2_exact) / f2_exact
+              : 0.0;
+      std::printf(
+          "{\"bench\":\"pipeline\",\"target\":\"monitor\","
+          "\"mode\":\"sampled\",\"sample_rate\":%.6f,\"items\":%zu,"
+          "\"items_per_sec\":%.0f,\"speedup_vs_scalar\":%.3f,"
+          "\"target_epsilon\":%.4f,\"measured_epsilon\":%.4f,%s}\n",
+          1.0 / static_cast<double>(weight), sampled.size(), rate,
+          exact_rate > 0.0 ? rate / exact_rate : 0.0, target_epsilon,
+          measured_epsilon,
+          bench::RowTags(simd::Name(kernels::ActiveIsa())).c_str());
+    }
   }
 
   // --- Telemetry overhead: the same Monitor batched ingest, plain vs

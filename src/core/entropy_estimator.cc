@@ -72,6 +72,24 @@ void EntropyEstimator::UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
   }
 }
 
+void EntropyEstimator::UpdatePrehashedWeighted(const PrehashedItem* data,
+                                               std::size_t n, count_t weight) {
+  SUBSTREAM_CHECK_MSG(static_cast<bool>(mle_),
+                      "weighted (sampled) updates are unsupported for the "
+                      "AMS entropy backend");
+  sampled_length_ += n * weight;
+  for (std::size_t i = 0; i < n; ++i) mle_->Update(data[i].item, weight);
+}
+
+void EntropyEstimator::UpdatePrehashedWeighted(PrehashedColumns cols,
+                                               std::size_t n, count_t weight) {
+  SUBSTREAM_CHECK_MSG(static_cast<bool>(mle_),
+                      "weighted (sampled) updates are unsupported for the "
+                      "AMS entropy backend");
+  sampled_length_ += n * weight;
+  for (std::size_t i = 0; i < n; ++i) mle_->Update(cols.items[i], weight);
+}
+
 bool EntropyEstimator::MergeCompatibleWith(
     const EntropyEstimator& other) const {
   if (params_.backend != other.params_.backend ||

@@ -76,6 +76,15 @@ class EntropyEstimator {
   /// SoA form: fans the columns to the configured backend.
   void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
 
+  /// Weighted (sampled-ingest) forms: each element carries `weight` units.
+  /// MLE-backend only — the AMS reservoir samples stream *positions* and
+  /// cannot absorb weighted occurrences (same restriction as MergeScaled);
+  /// Monitor always runs the MLE backend.
+  void UpdatePrehashedWeighted(const PrehashedItem* data, std::size_t n,
+                               count_t weight);
+  void UpdatePrehashedWeighted(PrehashedColumns cols, std::size_t n,
+                               count_t weight);
+
   /// Merges an estimator built with the same parameters and seed. The MLE
   /// backends merge exactly; the AMS sketch merges via the distributed-
   /// reservoir rule (see AmsEntropySketch::Merge).

@@ -109,6 +109,29 @@ void FkEstimator::UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
   }
 }
 
+void FkEstimator::UpdatePrehashedWeighted(const PrehashedItem* data,
+                                          std::size_t n, count_t weight) {
+  sampled_length_ += n * weight;
+  if (sketch_backend_) {
+    for (std::size_t i = 0; i < n; ++i) sketch_backend_->Update(data[i], weight);
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      exact_backend_->Update(data[i].item, weight);
+  }
+}
+
+void FkEstimator::UpdatePrehashedWeighted(PrehashedColumns cols, std::size_t n,
+                                          count_t weight) {
+  sampled_length_ += n * weight;
+  if (sketch_backend_) {
+    for (std::size_t i = 0; i < n; ++i)
+      sketch_backend_->Update(cols.At(i), weight);
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      exact_backend_->Update(cols.items[i], weight);
+  }
+}
+
 bool FkEstimator::MergeCompatibleWith(const FkEstimator& other) const {
   if (params_.k != other.params_.k ||
       params_.backend != other.params_.backend ||

@@ -85,6 +85,16 @@ class FkEstimator {
   /// SoA form: fans the columns to the configured backend.
   void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
 
+  /// Weighted (sampled-ingest) forms: each element carries `weight` units,
+  /// the unbiased round(1/p) correction for Bernoulli(p)-admitted
+  /// survivors. Equivalent to replaying each element `weight` times
+  /// (level-set adds are linear); per-item depth routing keeps these
+  /// per-item loops.
+  void UpdatePrehashedWeighted(const PrehashedItem* data, std::size_t n,
+                               count_t weight);
+  void UpdatePrehashedWeighted(PrehashedColumns cols, std::size_t n,
+                               count_t weight);
+
   /// Merges an estimator built with the same parameters and seed (the
   /// level-set backends merge under their own geometry/seed preconditions).
   void Merge(const FkEstimator& other);

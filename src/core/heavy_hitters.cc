@@ -86,6 +86,20 @@ void F1HeavyHitterEstimator::UpdatePrehashed(PrehashedColumns cols,
   tracker_.UpdatePrehashed(cols, n);
 }
 
+void F1HeavyHitterEstimator::UpdatePrehashedWeighted(const PrehashedItem* data,
+                                                     std::size_t n,
+                                                     count_t weight) {
+  sampled_length_ += n * weight;
+  for (std::size_t i = 0; i < n; ++i) tracker_.Update(data[i], weight);
+}
+
+void F1HeavyHitterEstimator::UpdatePrehashedWeighted(PrehashedColumns cols,
+                                                     std::size_t n,
+                                                     count_t weight) {
+  sampled_length_ += n * weight;
+  for (std::size_t i = 0; i < n; ++i) tracker_.Update(cols.At(i), weight);
+}
+
 bool F1HeavyHitterEstimator::MergeCompatibleWith(
     const F1HeavyHitterEstimator& other) const {
   return params_.alpha == other.params_.alpha &&
@@ -211,6 +225,20 @@ void F2HeavyHitterEstimator::UpdatePrehashed(PrehashedColumns cols,
                                              std::size_t n) {
   sampled_length_ += n;
   tracker_.UpdatePrehashed(cols, n);
+}
+
+void F2HeavyHitterEstimator::UpdatePrehashedWeighted(const PrehashedItem* data,
+                                                     std::size_t n,
+                                                     count_t weight) {
+  sampled_length_ += n * weight;
+  for (std::size_t i = 0; i < n; ++i) tracker_.Update(data[i], weight);
+}
+
+void F2HeavyHitterEstimator::UpdatePrehashedWeighted(PrehashedColumns cols,
+                                                     std::size_t n,
+                                                     count_t weight) {
+  sampled_length_ += n * weight;
+  for (std::size_t i = 0; i < n; ++i) tracker_.Update(cols.At(i), weight);
 }
 
 bool F2HeavyHitterEstimator::MergeCompatibleWith(

@@ -61,6 +61,13 @@ class F1HeavyHitterEstimator {
   /// SoA form: per-item candidate tracking, pairs rebuilt from the columns.
   void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
 
+  /// Weighted (sampled-ingest) forms: each element carries `weight` units
+  /// through the CountMin tracker's weighted-add path.
+  void UpdatePrehashedWeighted(const PrehashedItem* data, std::size_t n,
+                               count_t weight);
+  void UpdatePrehashedWeighted(PrehashedColumns cols, std::size_t n,
+                               count_t weight);
+
   /// Merges an estimator built with the same parameters and seed.
   void Merge(const F1HeavyHitterEstimator& other);
   /// True when Merge(other) preconditions hold, checked all the way
@@ -123,6 +130,13 @@ class F2HeavyHitterEstimator {
 
   /// SoA form: per-item candidate tracking, pairs rebuilt from the columns.
   void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
+
+  /// Weighted (sampled-ingest) forms: each element carries `weight` units
+  /// through the CountSketch tracker's weighted-add path.
+  void UpdatePrehashedWeighted(const PrehashedItem* data, std::size_t n,
+                               count_t weight);
+  void UpdatePrehashedWeighted(PrehashedColumns cols, std::size_t n,
+                               count_t weight);
 
   /// Merges an estimator built with the same parameters and seed.
   void Merge(const F2HeavyHitterEstimator& other);

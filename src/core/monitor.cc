@@ -100,6 +100,7 @@ void Monitor::UpdateBatch(const item_t* data, std::size_t n) {
 
 void Monitor::UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
   sampled_length_ += n;
+  raw_updates_ += n;
   if (f0_) f0_->UpdatePrehashed(data, n);
   if (f2_) f2_->UpdatePrehashed(data, n);
   if (entropy_) entropy_->UpdatePrehashed(data, n);
@@ -108,10 +109,42 @@ void Monitor::UpdatePrehashed(const PrehashedItem* data, std::size_t n) {
 
 void Monitor::UpdatePrehashed(PrehashedColumns cols, std::size_t n) {
   sampled_length_ += n;
+  raw_updates_ += n;
   if (f0_) f0_->UpdatePrehashed(cols, n);
   if (f2_) f2_->UpdatePrehashed(cols, n);
   if (entropy_) entropy_->UpdatePrehashed(cols, n);
   if (heavy_) heavy_->UpdatePrehashed(cols, n);
+}
+
+void Monitor::UpdatePrehashedWeighted(const PrehashedItem* data, std::size_t n,
+                                      count_t weight) {
+  SUBSTREAM_CHECK_MSG(weight >= 1, "sampled-ingest weight must be >= 1");
+  if (weight == 1) {
+    UpdatePrehashed(data, n);
+    return;
+  }
+  sampled_length_ += n * weight;
+  raw_updates_ += n;
+  // F0 stays unweighted: set membership cannot be multiplied (see header).
+  if (f0_) f0_->UpdatePrehashed(data, n);
+  if (f2_) f2_->UpdatePrehashedWeighted(data, n, weight);
+  if (entropy_) entropy_->UpdatePrehashedWeighted(data, n, weight);
+  if (heavy_) heavy_->UpdatePrehashedWeighted(data, n, weight);
+}
+
+void Monitor::UpdatePrehashedWeighted(PrehashedColumns cols, std::size_t n,
+                                      count_t weight) {
+  SUBSTREAM_CHECK_MSG(weight >= 1, "sampled-ingest weight must be >= 1");
+  if (weight == 1) {
+    UpdatePrehashed(cols, n);
+    return;
+  }
+  sampled_length_ += n * weight;
+  raw_updates_ += n;
+  if (f0_) f0_->UpdatePrehashed(cols, n);
+  if (f2_) f2_->UpdatePrehashedWeighted(cols, n, weight);
+  if (entropy_) entropy_->UpdatePrehashedWeighted(cols, n, weight);
+  if (heavy_) heavy_->UpdatePrehashedWeighted(cols, n, weight);
 }
 
 bool Monitor::MergeCompatibleWith(const Monitor& other) const {
@@ -142,6 +175,7 @@ void Monitor::Merge(const Monitor& other) {
   SUBSTREAM_CHECK_MSG(SameConfig(config_, other.config_),
                       "merging monitors with different configurations");
   sampled_length_ += other.sampled_length_;
+  raw_updates_ += other.raw_updates_;
   if (f0_) f0_->Merge(*other.f0_);
   if (f2_) f2_->Merge(*other.f2_);
   if (entropy_) entropy_->Merge(*other.entropy_);
@@ -161,6 +195,7 @@ void Monitor::MergeScaled(const Monitor& other, double weight) {
   SUBSTREAM_CHECK_MSG(SameConfig(config_, other.config_),
                       "merging monitors with different configurations");
   sampled_length_ += ScaleCounter(other.sampled_length_, weight);
+  raw_updates_ += ScaleCounter(other.raw_updates_, weight);
   // Distinct-count state is a set: membership cannot be fractionally
   // decayed, so F0 merges unscaled and decays only by horizon eviction.
   if (f0_) f0_->Merge(*other.f0_);
@@ -171,6 +206,7 @@ void Monitor::MergeScaled(const Monitor& other, double weight) {
 
 void Monitor::Reset() {
   sampled_length_ = 0;
+  raw_updates_ = 0;
   if (f0_) f0_->Reset();
   if (f2_) f2_->Reset();
   if (entropy_) entropy_->Reset();
@@ -181,6 +217,11 @@ MonitorReport Monitor::Report() const {
   MonitorReport report;
   report.sampled_length = sampled_length_;
   report.scaled_length = static_cast<double>(sampled_length_) / config_.p;
+  report.raw_updates = raw_updates_;
+  report.effective_sample_rate =
+      sampled_length_ > 0 ? static_cast<double>(raw_updates_) /
+                                static_cast<double>(sampled_length_)
+                          : 1.0;
   if (f0_) report.distinct_items = f0_->Estimate();
   if (f2_) report.second_moment = f2_->Estimate();
   if (entropy_) report.entropy = entropy_->Estimate();
@@ -192,6 +233,13 @@ obs::HealthReport Monitor::Health() const {
   obs::HealthReport report;
   report.sampled_length = sampled_length_;
   report.sampling_p = config_.p;
+  report.raw_updates = raw_updates_;
+  report.effective_sample_rate =
+      sampled_length_ > 0 ? static_cast<double>(raw_updates_) /
+                                static_cast<double>(sampled_length_)
+                          : 1.0;
+  report.sampled_epsilon = plan::SampledEpsilon(report.effective_sample_rate,
+                                                config_.delta, raw_updates_);
   if (f0_) f0_->AppendHealth("f0", &report.summaries);
   if (f2_) f2_->AppendHealth("f2", &report.summaries);
   if (entropy_) {
@@ -237,6 +285,10 @@ void Monitor::Serialize(serde::Writer& out) const {
   out.U8(static_cast<std::uint8_t>(config_.cell_width));
   out.U64(seed_);
   out.Varint(sampled_length_);
+  // v4: the raw survivor count behind sampled_length_. Peers merging this
+  // record add it into their own, so the collector's effective sample rate
+  // and widened (eps, delta) stay honest across process boundaries.
+  out.Varint(raw_updates_);
   if (f0_) f0_->Serialize(out);
   if (f2_) f2_->Serialize(out);
   if (entropy_) entropy_->Serialize(out);
@@ -262,13 +314,18 @@ std::optional<Monitor> Monitor::Deserialize(serde::Reader& in) {
   if (in.record_version() >= 3) cell_width = in.U8();
   const std::uint64_t seed = in.U64();
   const count_t sampled_length = in.Varint();
+  // Pre-v4 records predate sampled ingest: every update carried weight 1.
+  count_t raw_updates = sampled_length;
+  if (in.record_version() >= 4) raw_updates = in.Varint();
   if (!in.ok() || !serde::ValidProbability(config.p) ||
+      raw_updates > sampled_length ||
       cell_width > static_cast<std::uint8_t>(CellWidth::k64)) {
     return std::nullopt;
   }
   config.cell_width = static_cast<CellWidth>(cell_width);
   Monitor monitor(DeserializeTag{}, config, seed);
   monitor.sampled_length_ = sampled_length;
+  monitor.raw_updates_ = raw_updates;
   // Nested records follow in fixed order, one per enabled estimator; their
   // own headers re-check parameters and geometry.
   if (config.enable_f0) {

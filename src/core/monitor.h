@@ -56,6 +56,19 @@ struct MonitorConfig {
   bool enable_entropy = true;
   bool enable_heavy_hitters = true;
 
+  /// Overload-graceful sampled ingest (NitroSketch mode, core/overload.h).
+  /// When true, ShardedMonitor arms an adaptive SampleController: under
+  /// ring backpressure it admits elements with probability 2^-L and feeds
+  /// survivors through the weighted update chain with the unbiased 2^L
+  /// correction, converging back to exact counting when pressure drops.
+  /// Off by default: nothing changes anywhere until a deployment opts in.
+  /// This is an ingest-side *policy*, not geometry: it does not affect
+  /// merge compatibility (MonitorConfigsEqual ignores it), is not
+  /// serialized (the weighted counts plus the raw_updates metadata on the
+  /// wire already describe the state honestly), and a plain Monitor
+  /// ignores it — only the sharded pipeline has a pressure signal.
+  bool overload_sampling = false;
+
   /// Heavy-hitter fraction and gap (Definition 4).
   double hh_alpha = 0.05;
   double hh_epsilon = 0.25;
@@ -108,8 +121,13 @@ struct MonitorReport {
   std::optional<double> second_moment;      ///< F2(P) (self-join size)
   std::optional<EntropyResult> entropy;     ///< H(f) with validity info
   std::optional<std::vector<HeavyHitter>> heavy_hitters;  ///< F1-heavy
-  count_t sampled_length = 0;               ///< F1(L)
+  count_t sampled_length = 0;               ///< F1(L) (weighted units)
   double scaled_length = 0.0;               ///< F1(L)/p ~ F1(P)
+  /// Elements actually applied (post-admission survivors); equals
+  /// sampled_length unless sampled ingest weighted some updates.
+  count_t raw_updates = 0;
+  /// raw_updates / sampled_length in (0, 1]; 1.0 = exact counting.
+  double effective_sample_rate = 1.0;
 };
 
 /// Single-pass monitor over the sampled stream.
@@ -138,6 +156,19 @@ class Monitor {
   /// counter-array sketches run unit-stride SIMD loads; bit-identical
   /// to the AoS fan-out.
   void UpdatePrehashed(PrehashedColumns cols, std::size_t n);
+
+  /// Weighted (sampled-ingest) forms: each of the `n` elements carries
+  /// `weight` units — the unbiased round(1/p) correction for survivors of
+  /// Bernoulli(p) admission (core/overload.h). Every frequency-weighted
+  /// summary (F2 level sets, entropy MLE, heavy hitters) absorbs the
+  /// weight through its linear add path; F0 sees the survivors unweighted
+  /// (distinct-count state is a set — a weight cannot conjure the skipped
+  /// identities, so under sampling F0 reports distinct *admitted* items).
+  /// weight == 1 is exactly UpdatePrehashed.
+  void UpdatePrehashedWeighted(const PrehashedItem* data, std::size_t n,
+                               count_t weight);
+  void UpdatePrehashedWeighted(PrehashedColumns cols, std::size_t n,
+                               count_t weight);
 
   /// Merges a monitor constructed with the same config and seed, so that
   /// this monitor summarizes the concatenation of both sampled streams.
@@ -215,6 +246,10 @@ class Monitor {
   MonitorConfig config_;
   std::uint64_t seed_;
   count_t sampled_length_ = 0;
+  /// Post-admission survivor count: += n on every update path, weighted or
+  /// not. sampled_length_ / raw_updates_ is the mean applied weight, so
+  /// raw_updates_ / sampled_length_ is the window's effective sample rate.
+  count_t raw_updates_ = 0;
   std::optional<F0Estimator> f0_;
   std::optional<FkEstimator> f2_;
   std::optional<EntropyEstimator> entropy_;

@@ -26,6 +26,9 @@ struct PipelineMetrics {
   obs::Counter& buffers_recycled;
   obs::Counter& batches_consumed;
   obs::Counter& items_consumed;
+  obs::Gauge& sampled_rate_ppm;
+  obs::Counter& sampled_items_skipped;
+  obs::Counter& stall_wait_ns;
 
   static PipelineMetrics& Get() {
     static PipelineMetrics metrics{
@@ -61,6 +64,16 @@ struct PipelineMetrics {
         obs::MetricsRegistry::Global().GetCounter(
             "substream_sharded_items_consumed_total",
             "Items applied to shard monitors by workers"),
+        obs::MetricsRegistry::Global().GetGauge(
+            "substream_sampled_rate",
+            "Adaptive sampled-ingest admission probability in parts per "
+            "million (1000000 = exact counting)"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "substream_sampled_items_skipped_total",
+            "Items dropped by the adaptive sampler under overload"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "substream_sharded_stall_wait_ns_total",
+            "Nanoseconds the producer spent blocked on full rings"),
     };
     return metrics;
   }
@@ -77,18 +90,23 @@ std::size_t RoundUpPow2(std::size_t x) {
 }
 
 /// Bounded exponential backoff for spin-wait loops: a burst of yields for
-/// the short waits, then sleeps doubling from 1us up to a ~1ms cap so a
+/// the short waits, then sleeps doubling from 1us up to `max_sleep_us` so a
 /// saturated pipeline burns bounded CPU instead of spinning forever (the
-/// seed's FlushStaged yielded unboundedly).
-void BackoffPause(std::size_t* spins) {
+/// seed's FlushStaged yielded unboundedly). The default cap matches the
+/// historical ~1ms; the producer's ring-full path threads
+/// ShardedMonitorOptions::stall_backoff_max_us through instead.
+void BackoffPause(std::size_t* spins, std::uint64_t max_sleep_us = 1024) {
   constexpr std::size_t kYields = 64;
-  constexpr std::size_t kMaxSleepShift = 10;  // 2^10 us ~ 1ms cap
+  constexpr std::size_t kMaxSleepShift = 20;
   if (*spins < kYields) {
     std::this_thread::yield();
   } else {
     const std::size_t shift =
         std::min<std::size_t>(*spins - kYields, kMaxSleepShift);
-    std::this_thread::sleep_for(std::chrono::microseconds(1ULL << shift));
+    const std::uint64_t sleep_us =
+        std::min<std::uint64_t>(1ULL << shift, std::max<std::uint64_t>(
+                                                   max_sleep_us, 1));
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
   }
   ++*spins;
 }
@@ -106,7 +124,17 @@ ShardedMonitor::ShardedMonitor(const MonitorConfig& config, std::uint64_t seed,
   SUBSTREAM_CHECK_MSG(options.shards >= 1, "ShardedMonitor needs >= 1 shard");
   SUBSTREAM_CHECK(options.ring_capacity >= 1);
   SUBSTREAM_CHECK(options.batch_items >= 1);
+  SUBSTREAM_CHECK_MSG(options.stall_backoff_max_us >= 1,
+                      "stall_backoff_max_us must be >= 1");
   options_.ring_capacity = RoundUpPow2(options.ring_capacity);
+  if (config_.overload_sampling) {
+    // The sampler's RNG seed derives from the pipeline seed on its own
+    // stream (sketch seeds use DeriveSeed(seed, 1..4) via Monitor), so
+    // admission decisions are decorrelated from every hash in the fleet.
+    sampler_.emplace(options_.overload, DeriveSeed(seed, 0x0ad));
+    sampler_last_stalls_ = producer_stalls_;
+  }
+  PipelineMetrics::Get().sampled_rate_ppm.Set(1000000);
 
   const std::size_t shards = options.shards;
   topology_ = numa::DetectTopology();
@@ -180,10 +208,13 @@ ShardedMonitor::~ShardedMonitor() {
   for (const auto& sync : sync_) {
     consumed += sync->items_consumed.load(std::memory_order_relaxed);
   }
-  SUBSTREAM_CHECK_MSG(consumed == items_ingested_,
+  // Every ingested item is either applied by a worker or (accountably)
+  // dropped by the adaptive sampler — nothing may vanish silently.
+  SUBSTREAM_CHECK_MSG(consumed + items_sampled_out_ == items_ingested_,
                       "ShardedMonitor destroyed with %llu of %llu ingested "
                       "items unconsumed",
                       static_cast<unsigned long long>(items_ingested_ -
+                                                      items_sampled_out_ -
                                                       consumed),
                       static_cast<unsigned long long>(items_ingested_));
 }
@@ -257,10 +288,19 @@ void ShardedMonitor::WorkerLoop(std::size_t shard) {
       }
       const std::size_t consumed_items = batch.cols.size();
       if (consumed_items != 0) {
+        if (options_.throttle_consumer_ns != 0) {
+          // Chaos knob: simulate a slow consumer (see options doc).
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(options_.throttle_consumer_ns));
+        }
         const std::uint64_t start_ns = obs::NowNs();
-        monitor->UpdatePrehashed(
-            PrehashedColumns{batch.cols.items.data(), batch.cols.hashes.data()},
-            consumed_items);
+        const PrehashedColumns cols{batch.cols.items.data(),
+                                    batch.cols.hashes.data()};
+        if (batch.weight > 1) {
+          monitor->UpdatePrehashedWeighted(cols, consumed_items, batch.weight);
+        } else {
+          monitor->UpdatePrehashed(cols, consumed_items);
+        }
         PipelineMetrics& metrics = PipelineMetrics::Get();
         metrics.batch_consume_ns.Observe(obs::NowNs() - start_ns);
         metrics.batches_consumed.Inc();
@@ -293,14 +333,19 @@ void ShardedMonitor::WorkerLoop(std::size_t shard) {
 
 void ShardedMonitor::PushBatch(std::size_t shard, Batch&& batch) {
   if (!rings_[shard]->TryPush(std::move(batch))) {
-    // Ring full: the saturation case. Count it once per blocked push, then
-    // back off (bounded) until the worker frees a slot.
+    // Ring full: the saturation case. Count it once per blocked push, time
+    // the whole block (stall severity, not just the event), and back off
+    // (bounded by the options cap) until the worker frees a slot.
     ++producer_stalls_;
     PipelineMetrics::Get().producer_stalls.Inc();
+    const std::uint64_t start_ns = obs::NowNs();
     std::size_t spins = 0;
     do {
-      BackoffPause(&spins);
+      BackoffPause(&spins, options_.stall_backoff_max_us);
     } while (!rings_[shard]->TryPush(std::move(batch)));
+    const std::uint64_t waited_ns = obs::NowNs() - start_ns;
+    stall_wait_ns_ += waited_ns;
+    PipelineMetrics::Get().stall_wait_ns.Inc(waited_ns);
   }
   ++batches_pushed_[shard];
   // Occupancy immediately after a successful push is this shard's depth
@@ -333,19 +378,53 @@ void ShardedMonitor::RefillStaged(std::size_t shard) {
   }
 }
 
-void ShardedMonitor::FlushStaged(std::size_t shard) {
+void ShardedMonitor::ShipStaged(std::size_t shard) {
   if (staged_[shard].size() == 0) return;
   Batch batch;
   batch.epoch = epoch_;
+  batch.weight = staged_weight_;
   batch.cols = std::move(staged_[shard]);
   RefillStaged(shard);
   PushBatch(shard, std::move(batch));
 }
 
+void ShardedMonitor::FlushStaged(std::size_t shard) {
+  ShipStaged(shard);
+  // Batch granularity is the adaptation cadence: occupancy right after the
+  // push is the freshest backpressure signal, and reacting here (not per
+  // item) keeps the sampler entirely off the staging hot loop.
+  MaybeAdaptSampler(shard);
+}
+
+void ShardedMonitor::MaybeAdaptSampler(std::size_t shard) {
+  if (!sampler_) return;
+  const double occupancy = static_cast<double>(rings_[shard]->SizeApprox()) /
+                           static_cast<double>(options_.ring_capacity);
+  const std::uint64_t stall_delta = producer_stalls_ - sampler_last_stalls_;
+  sampler_last_stalls_ = producer_stalls_;
+  if (!sampler_->Observe(occupancy, stall_delta)) return;
+  // The rate changed. Everything currently staged (all shards) was admitted
+  // at the old rate — ship it under the old weight before adopting the new
+  // one, so a batch never mixes weights.
+  for (std::size_t s = 0; s < options_.shards; ++s) ShipStaged(s);
+  staged_weight_ = sampler_->weight();
+  PipelineMetrics::Get().sampled_rate_ppm.Set(
+      static_cast<std::int64_t>(sampler_->rate() * 1e6));
+}
+
 void ShardedMonitor::Ingest(const item_t* data, std::size_t n) {
   items_ingested_ += n;
   const std::size_t shards = options_.shards;
+  SampleController* sampler = sampler_ ? &*sampler_ : nullptr;
+  count_t skipped = 0;
   for (std::size_t i = 0; i < n; ++i) {
+    // Admission first: a skipped item pays one branch and a skip-counter
+    // decrement — no hash, no staging, no ring traffic. That is what keeps
+    // the producer at line rate under overload.
+    if (sampler && !sampler->Admit()) {
+      ++skipped;
+      continue;
+    }
     // One strong hash here pays for routing now and every sketch's bucket
     // derivations on the worker side. Item and hash are staged as two
     // parallel columns — the layout the worker-side SIMD kernels load with
@@ -356,12 +435,17 @@ void ShardedMonitor::Ingest(const item_t* data, std::size_t n) {
     staged_[s].hashes.push_back(hash);
     if (staged_[s].size() >= options_.batch_items) FlushStaged(s);
   }
+  if (skipped != 0) {
+    items_sampled_out_ += skipped;
+    PipelineMetrics::Get().sampled_items_skipped.Inc(skipped);
+  }
 }
 
 void ShardedMonitor::Rotate() {
   obs::ScopedTimer timer(PipelineMetrics::Get().rotate_ns);
-  // Staged items belong to the closing epoch: flush them under its tag.
-  for (std::size_t s = 0; s < options_.shards; ++s) FlushStaged(s);
+  // Staged items belong to the closing epoch: ship them under its tag (and
+  // the weight they were admitted at).
+  for (std::size_t s = 0; s < options_.shards; ++s) ShipStaged(s);
   ++epoch_;
   // One empty marker per shard carries the new epoch through the rings —
   // the in-band rotation signal. Workers retire their closed windows when
@@ -374,7 +458,7 @@ void ShardedMonitor::Rotate() {
 }
 
 void ShardedMonitor::Drain() {
-  for (std::size_t s = 0; s < options_.shards; ++s) FlushStaged(s);
+  for (std::size_t s = 0; s < options_.shards; ++s) ShipStaged(s);
   for (std::size_t s = 0; s < options_.shards; ++s) {
     const std::uint64_t target = batches_pushed_[s];
     std::size_t spins = 0;
@@ -508,7 +592,16 @@ void ShardedMonitor::Reset() {
   }
   items_ingested_ = 0;
   producer_stalls_ = 0;
+  stall_wait_ns_ = 0;
   buffers_recycled_ = 0;
+  items_sampled_out_ = 0;
+  if (sampler_) {
+    // Back to exact counting with the data the rate history described.
+    sampler_->Reset();
+    staged_weight_ = 1;
+    sampler_last_stalls_ = producer_stalls_;
+    PipelineMetrics::Get().sampled_rate_ppm.Set(1000000);
+  }
 }
 
 ShardedMonitorStats ShardedMonitor::Stats() const {
@@ -516,7 +609,10 @@ ShardedMonitorStats ShardedMonitor::Stats() const {
   stats.items_ingested = items_ingested_;
   stats.epoch = epoch_;
   stats.producer_stalls = producer_stalls_;
+  stats.stall_wait_ns = stall_wait_ns_;
   stats.buffers_recycled = buffers_recycled_;
+  stats.items_sampled_out = items_sampled_out_;
+  stats.sample_rate = sampler_ ? sampler_->rate() : 1.0;
   stats.groups = groups();
   stats.group_ring_hwm = group_ring_hwm_;
   for (std::size_t s = 0; s < options_.shards; ++s) {

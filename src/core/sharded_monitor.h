@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/monitor.h"
+#include "core/overload.h"
 #include "stream/stream.h"
 #include "util/common.h"
 #include "util/hash.h"
@@ -98,6 +99,22 @@
 ///   MonitorReport hour = ring.Report(/*k=*/12);   // last 12 closed windows
 /// ```
 ///
+/// ## Overload: sampled ingest (NitroSketch mode)
+///
+/// With MonitorConfig::overload_sampling set, the producer arms an adaptive
+/// SampleController (core/overload.h). Under ring backpressure — occupancy
+/// above the engage watermark at flush time, or new producer stalls — the
+/// controller halves its admission probability p (down to
+/// SampleControllerOptions::min_rate); skipped items never pay hashing,
+/// staging or ring traffic, so the producer keeps running at line rate.
+/// Survivors ship with the batch-level weight round(1/p) and the workers
+/// apply them through Monitor::UpdatePrehashedWeighted — every counter
+/// stays an unbiased estimate at a variance cost Health() reports as
+/// sampled_epsilon. When pressure stays below the disengage watermark for
+/// a calm streak, p doubles back toward exact counting (hysteresis: the
+/// watermark gap plus the streak requirement). All staged batches are
+/// shipped before any rate change, so a batch always carries one weight.
+///
 /// Threading contract: Ingest/Rotate/Report/CollectWindow/Reset/Drain/
 /// Stats/SpaceBytes are producer-side calls (one thread). SpaceBytes reads
 /// per-shard byte counters the workers publish atomically after each batch,
@@ -129,6 +146,19 @@ struct ShardedMonitorOptions {
   /// affinity syscall leaves the worker unpinned (and first-touch then
   /// falls back to wherever the scheduler ran the allocation).
   bool pin_workers = true;
+  /// Ceiling (microseconds) of the producer's exponential backoff sleep
+  /// when a ring is full. The historical hard-coded cap was ~1ms; latency-
+  /// sensitive producers can lower it (burning more CPU while stalled),
+  /// batch jobs can raise it.
+  std::uint64_t stall_backoff_max_us = 1024;
+  /// Adaptive sampler tuning (core/overload.h). Armed only when the
+  /// monitor config sets `overload_sampling`; inert otherwise.
+  SampleControllerOptions overload;
+  /// Test/chaos knob: every worker sleeps this long before applying each
+  /// non-empty batch, simulating a slow consumer (slow node, oversubscribed
+  /// host). 0 disables. This is how the overload stress test makes ring
+  /// saturation deterministic.
+  std::uint64_t throttle_consumer_ns = 0;
 };
 
 /// Pipeline observability snapshot (producer-side view; worker counters
@@ -136,7 +166,9 @@ struct ShardedMonitorOptions {
 ///
 /// Reset() semantics, field by field (pinned by regression test):
 ///  - ZEROED by Reset(): items_ingested, items_consumed, producer_stalls,
-///    buffers_recycled, windows_retired (uncollected windows are dropped).
+///    buffers_recycled, windows_retired (uncollected windows are dropped),
+///    items_sampled_out, stall_wait_ns — and the adaptive sampler returns
+///    to exact counting (sample_rate 1.0).
 ///    These are *window accounting* — meaningful relative to the data the
 ///    pipeline currently holds, which Reset discards.
 ///  - SURVIVE Reset(): batches_pushed, batches_consumed, epoch,
@@ -155,8 +187,20 @@ struct ShardedMonitorStats {
   std::uint64_t batches_consumed = 0;
   /// Number of flushes that found a ring full and had to back off: the
   /// saturation signal. A rising value means workers cannot keep up with
-  /// the producer (grow ring_capacity, batch_items or shards).
+  /// the producer (grow ring_capacity, batch_items or shards — or opt in
+  /// to overload_sampling and degrade accuracy instead of latency).
   std::uint64_t producer_stalls = 0;
+  /// Cumulative nanoseconds the producer spent blocked on full rings —
+  /// stall *severity*, where producer_stalls only counts events.
+  std::uint64_t stall_wait_ns = 0;
+  /// Items dropped by the adaptive sampler (overload_sampling mode). Every
+  /// ingested item is either consumed by a worker or sampled out:
+  /// items_ingested == items_consumed + items_sampled_out at quiescence.
+  count_t items_sampled_out = 0;
+  /// The sampler's current admission probability (1.0 = exact counting,
+  /// also reported when overload_sampling is off). The merged reports'
+  /// effective_sample_rate is the per-window average of this.
+  double sample_rate = 1.0;
   /// Staged batches whose buffer came from the worker→producer freelist
   /// instead of a fresh allocation. In steady state this tracks
   /// batches_pushed 1:1 — the per-staged-batch malloc is off the ingest
@@ -289,9 +333,13 @@ class ShardedMonitor {
   };
 
   /// One ring entry: an epoch tag plus an item/hash column pair. Empty
-  /// columns are an epoch marker (Rotate's in-band rotation signal).
+  /// columns are an epoch marker (Rotate's in-band rotation signal). Every
+  /// element of a batch carries the same sampled-ingest weight (the
+  /// producer ships all staged batches before changing the rate), so one
+  /// field covers the whole column pair.
   struct Batch {
     std::uint64_t epoch = 0;
+    count_t weight = 1;
     ColumnBuffer cols;
   };
 
@@ -364,7 +412,17 @@ class ShardedMonitor {
   };
 
   void WorkerLoop(std::size_t shard);
+  /// Ships staged_[shard] (if non-empty) under the current epoch and
+  /// sampled-ingest weight, then restages. Never adapts the sampler —
+  /// Rotate/Drain and the sampler's own ship-before-reweight use this.
+  void ShipStaged(std::size_t shard);
+  /// ShipStaged plus one sampler adaptation step (the Ingest-path flush).
   void FlushStaged(std::size_t shard);
+  /// One adaptation step: feeds the just-pushed shard's ring occupancy and
+  /// the producer-stall delta to the SampleController; on a rate change,
+  /// ships every shard's staged batch under the old weight first (a batch
+  /// carries a single weight).
+  void MaybeAdaptSampler(std::size_t shard);
   /// Refills staged_[shard] after a flush: a recycled column pair from the
   /// shard's freelist when one is waiting, a fresh allocation otherwise.
   void RefillStaged(std::size_t shard);
@@ -413,8 +471,17 @@ class ShardedMonitor {
   std::atomic<bool> done_{false};
   std::uint64_t epoch_ = 0;             // open epoch (producer-side)
   std::uint64_t producer_stalls_ = 0;   // ring-full flush events
+  std::uint64_t stall_wait_ns_ = 0;     // cumulative ring-full block time
   std::uint64_t buffers_recycled_ = 0;  // staged buffers reused via freelist
   count_t items_ingested_ = 0;
+  count_t items_sampled_out_ = 0;  // dropped by the adaptive sampler
+  /// Adaptive sampler (producer-side; armed iff config_.overload_sampling).
+  std::optional<SampleController> sampler_;
+  /// Weight the currently staged items were admitted under; ships with
+  /// their batches and only changes after every staged batch is pushed.
+  count_t staged_weight_ = 1;
+  /// producer_stalls_ at the sampler's previous observation (delta source).
+  std::uint64_t sampler_last_stalls_ = 0;
   std::optional<Monitor> scratch_;  // cross-group Report() workspace
   /// Intra-group Report() workspaces, one per group, built lazily.
   std::vector<std::optional<Monitor>> group_scratch_;

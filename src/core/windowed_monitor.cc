@@ -89,11 +89,34 @@ bool WindowedMonitor::MaybeReplan(const MonitorReport& closed) {
   const double observed_f2 =
       closed.second_moment ? *closed.second_moment : 0.0;
   const double observed_n = closed.scaled_length;  // original-stream units
-  // Hysteresis: hints only move when the observation crosses into a
-  // different power-of-two class.
-  const double f0_hint = QuantizeHint(observed_f0);
-  const double f2_hint = QuantizeHint(observed_f2);
-  const double n_hint = QuantizeHint(observed_n);
+  // Smooth the boundary observations in log2 space — the domain the
+  // quantizer rounds in — before quantizing. A K-times one-window spike
+  // moves the smoothed signal by alpha * log2(K) classes instead of
+  // log2(K), so a transient burst inside one horizon cannot flush the ring
+  // while a sustained workload shift still converges within ~1/alpha
+  // boundaries. Components with no signal (disabled metric, empty value)
+  // leave their smoothed state untouched.
+  if (!ewma_primed_) {
+    ewma_f0_ = observed_f0;
+    ewma_f2_ = observed_f2;
+    ewma_n_ = observed_n;
+    ewma_primed_ = true;
+  } else {
+    auto smooth = [](double prev, double obs) {
+      if (!(obs > 0.0)) return prev;
+      if (!(prev > 0.0)) return obs;
+      return std::exp2((1.0 - kReplanEwmaAlpha) * std::log2(prev) +
+                       kReplanEwmaAlpha * std::log2(obs));
+    };
+    ewma_f0_ = smooth(ewma_f0_, observed_f0);
+    ewma_f2_ = smooth(ewma_f2_, observed_f2);
+    ewma_n_ = smooth(ewma_n_, observed_n);
+  }
+  // Hysteresis: hints only move when the smoothed observation crosses into
+  // a different power-of-two class.
+  const double f0_hint = QuantizeHint(ewma_f0_);
+  const double f2_hint = QuantizeHint(ewma_f2_);
+  const double n_hint = QuantizeHint(ewma_n_);
   if (f0_hint == spec_->f0_hint && f2_hint == spec_->f2_hint &&
       n_hint == spec_->n_hint) {
     return false;

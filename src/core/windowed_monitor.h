@@ -251,6 +251,18 @@ class WindowedMonitor {
   /// Live accuracy-budget spec with learned workload hints; engaged only
   /// when the constructor config carried one (never after deserialize).
   std::optional<plan::PlanSpec> spec_;
+  /// Re-plan signal smoothing: log2-space EWMA of the boundary
+  /// observations over roughly 1/alpha = 4 horizons. A single-window
+  /// workload spike moves the smoothed hint by only alpha * log2(spike),
+  /// so geometry churn requires a sustained shift; the first observation
+  /// primes the state directly (pass-through), preserving the immediate
+  /// first-boundary adaptation of a fresh unhinted ring. Not serialized:
+  /// restored rings drop the spec and never re-plan.
+  static constexpr double kReplanEwmaAlpha = 0.25;
+  bool ewma_primed_ = false;
+  double ewma_f0_ = 0.0;
+  double ewma_f2_ = 0.0;
+  double ewma_n_ = 0.0;
   /// Adopted geometry changes, oldest first.
   std::vector<plan::ReplanEvent> replan_log_;
 };

@@ -43,8 +43,16 @@ struct SummaryHealth {
 };
 
 struct HealthReport {
-  std::uint64_t sampled_length = 0;  // items the monitor has absorbed
+  std::uint64_t sampled_length = 0;  // weighted units the monitor absorbed
   double sampling_p = 1.0;           // substream sampling probability
+  // Overload-graceful sampled ingest (core/overload.h). raw_updates counts
+  // the elements actually applied (post-admission survivors); with sampled
+  // mode off it equals sampled_length and the rate is exactly 1. The
+  // widening is additive: each summary's promise under sampling is
+  // (summary.epsilon + sampled_epsilon, summary.delta).
+  std::uint64_t raw_updates = 0;
+  double effective_sample_rate = 1.0;  // raw_updates / sampled_length
+  double sampled_epsilon = 0.0;  // plan::SampledEpsilon widening (0 = exact)
   std::vector<SummaryHealth> summaries;
 };
 

@@ -189,6 +189,31 @@ static_assert(kDefaultF2WidthCap == (std::uint64_t{1} << 13),
               "the derived default F2 width cap must reproduce the "
               "historical 1 << 13 default byte-for-byte");
 
+// ---------------------------------------------------------------------------
+// Sampled-ingest (NitroSketch mode) widening.
+// ---------------------------------------------------------------------------
+
+/// Additional relative error introduced by Bernoulli(rate) admission with
+/// unbiased 1/rate correction (overload-graceful sampled ingest,
+/// core/overload.h). A frequency N enters the counters as X/rate with
+/// X ~ Binomial(N, rate), so Var[X/rate] = N (1 - rate) / rate; summing over
+/// the window's N_total = raw_updates / rate survivors-equivalent and
+/// applying a sub-Gaussian tail at confidence 1 - delta gives the relative
+/// half-width
+///
+///     eps_sample = sqrt(2 (1 - rate) ln(1/delta) / raw_updates),
+///
+/// where `raw_updates` is the number of admitted (post-sampling) elements
+/// actually applied. The bound is additive on top of each summary's
+/// geometric epsilon and vanishes as rate -> 1 or as the window grows.
+inline double SampledEpsilon(double rate, double delta,
+                             std::uint64_t raw_updates) {
+  if (rate >= 1.0 || raw_updates == 0) return 0.0;
+  if (delta <= 0.0 || delta >= 1.0) delta = 0.05;
+  return std::sqrt(2.0 * (1.0 - rate) * std::log(1.0 / delta) /
+                   static_cast<double>(raw_updates));
+}
+
 }  // namespace plan
 }  // namespace substream
 

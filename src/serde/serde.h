@@ -76,7 +76,13 @@ namespace serde {
 ///     unchanged from v2, so v2 records stay decodable: readers accept
 ///     both versions (Reader::record_version()) and interpret v2 records
 ///     as 64-bit-cell tables with no extra fields. v1 is still rejected.
-inline constexpr std::uint8_t kFormatVersion = 3;
+/// v4: overload-graceful sampled ingest — Monitor records carry the raw
+///     (post-admission) update count behind the weighted sampled_length,
+///     so merged collections report an honest effective sample rate and
+///     widened (eps, delta). Counter layouts and hash semantics are
+///     unchanged; v2/v3 records stay decodable (raw_updates defaults to
+///     sampled_length: every pre-v4 update carried weight 1).
+inline constexpr std::uint8_t kFormatVersion = 4;
 
 /// Oldest record version current readers still accept.
 inline constexpr std::uint8_t kMinDecodableVersion = 2;

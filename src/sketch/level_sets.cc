@@ -62,17 +62,18 @@ int IndykWoodruffEstimator::DepthOf(item_t item) const {
   return std::min(tz, params_.max_depth);
 }
 
-void IndykWoodruffEstimator::Update(const PrehashedItem& ph) {
-  ++total_;
+void IndykWoodruffEstimator::Update(const PrehashedItem& ph, count_t count) {
+  total_ += count;
   const item_t item = ph.item;
   const int item_depth = DepthOf(item);
   for (int t = 0; t <= item_depth; ++t) {
     DepthSlot& slot = depths_[static_cast<std::size_t>(t)];
     // Fused add + estimate: identical in effect to Update then Estimate,
     // with one bucket/sign derivation per row instead of two.
-    const double estimate = slot.sketch.UpdateAndEstimate(ph, 1);
+    const double estimate =
+        slot.sketch.UpdateAndEstimate(ph, static_cast<std::int64_t>(count));
     if (slot.exact_valid) {
-      ++slot.exact[item];
+      slot.exact[item] += count;
       if (slot.exact.size() > exact_capacity_) {
         slot.exact.clear();
         slot.exact_valid = false;
@@ -469,9 +470,9 @@ ExactLevelSets::ExactLevelSets(double eps_prime, double eta)
   SUBSTREAM_CHECK(eta > 0.0 && eta <= 1.0);
 }
 
-void ExactLevelSets::Update(item_t item) {
-  ++counts_[item];
-  ++total_;
+void ExactLevelSets::Update(item_t item, count_t count) {
+  counts_[item] += count;
+  total_ += count;
 }
 
 bool ExactLevelSets::MergeCompatibleWith(const ExactLevelSets& other) const {

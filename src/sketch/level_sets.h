@@ -89,7 +89,15 @@ class IndykWoodruffEstimator {
   /// hash on the raw identity (hierarchical subsampling wants its per-bit
   /// uniformity), but every per-depth CountSketch add and candidate
   /// re-estimate reuses the caller's prehash.
-  void Update(const PrehashedItem& ph);
+  void Update(const PrehashedItem& ph) { Update(ph, 1); }
+
+  /// Weighted form: one occurrence carrying `count` units, exactly as if
+  /// the item appeared `count` times back to back (the per-depth
+  /// CountSketch adds are linear, exact maps add `count`, candidate
+  /// re-estimation sees the final estimate). This is the sampled-ingest
+  /// (NitroSketch-mode) entry: survivors of Bernoulli(p) admission arrive
+  /// with the unbiased correction weight round(1/p).
+  void Update(const PrehashedItem& ph, count_t count);
 
   /// Feeds `n` contiguous elements (per-item depth routing and candidate
   /// tracking keep this a per-item loop, each item prehashed once).
@@ -194,7 +202,10 @@ class ExactLevelSets {
   /// the discretizations comparable.
   ExactLevelSets(double eps_prime, double eta);
 
-  void Update(item_t item);
+  void Update(item_t item) { Update(item, 1); }
+
+  /// Weighted form: `count` occurrences at once (sampled-ingest survivors).
+  void Update(item_t item, count_t count);
 
   /// Feeds `n` contiguous elements.
   void UpdateBatch(const item_t* data, std::size_t n) {

@@ -1,0 +1,134 @@
+/// SampleController unit tests: Bernoulli(p) admission via geometric skips
+/// is unbiased at every level, rates stay exact powers of two with exact
+/// integer correction weights, and the pressure/calm hysteresis steps the
+/// level up immediately but down only after a sustained calm streak.
+
+#include "core/overload.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace substream {
+namespace {
+
+TEST(SampleControllerTest, ExactModeAdmitsEverything) {
+  SampleController controller({}, 42);
+  EXPECT_EQ(controller.rate(), 1.0);
+  EXPECT_EQ(controller.weight(), 1u);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(controller.Admit());
+  EXPECT_EQ(controller.items_admitted(), 1000u);
+  EXPECT_EQ(controller.items_skipped(), 0u);
+}
+
+TEST(SampleControllerTest, RatesArePowersOfTwoWithExactWeights) {
+  SampleControllerOptions options;
+  options.min_rate = 1.0 / 64.0;
+  SampleController controller(options, 42);
+  for (std::uint32_t level = 0; level <= 6; ++level) {
+    EXPECT_EQ(controller.level(), level);
+    EXPECT_DOUBLE_EQ(controller.rate(), std::exp2(-double(level)));
+    EXPECT_EQ(controller.weight(), count_t{1} << level);
+    // weight * rate == 1 exactly: the correction is unbiased in integers.
+    EXPECT_DOUBLE_EQ(double(controller.weight()) * controller.rate(), 1.0);
+    controller.Observe(1.0, 0);  // full ring: step up (until the floor)
+  }
+  // min_rate caps the level: further pressure cannot push p below 1/64.
+  EXPECT_FALSE(controller.Observe(1.0, 5));
+  EXPECT_EQ(controller.level(), 6u);
+}
+
+TEST(SampleControllerTest, AdmissionRateIsUnbiased) {
+  SampleControllerOptions options;
+  options.min_rate = 1.0 / 64.0;
+  for (std::uint32_t level : {1u, 3u, 6u}) {
+    SampleController controller(options, 42 + level);
+    for (std::uint32_t step = 0; step < level; ++step) {
+      ASSERT_TRUE(controller.Observe(1.0, 0));
+    }
+    const double p = controller.rate();
+    const std::uint64_t kTrials = 400000;
+    std::uint64_t admitted = 0;
+    for (std::uint64_t i = 0; i < kTrials; ++i) {
+      if (controller.Admit()) ++admitted;
+    }
+    const double observed = double(admitted) / double(kTrials);
+    // Bernoulli(p) over 400k trials: allow 5 standard deviations.
+    const double sigma = std::sqrt(p * (1.0 - p) / double(kTrials));
+    EXPECT_NEAR(observed, p, 5.0 * sigma) << "level " << level;
+    EXPECT_EQ(controller.items_admitted(), admitted);
+    EXPECT_EQ(controller.items_skipped(), kTrials - admitted);
+  }
+}
+
+TEST(SampleControllerTest, PressureStepsUpImmediately) {
+  SampleController controller({}, 7);
+  // Either trigger alone is pressure: occupancy at the engage watermark...
+  EXPECT_TRUE(controller.Observe(0.5, 0));
+  EXPECT_EQ(controller.level(), 1u);
+  // ...or new producer stalls at low occupancy.
+  EXPECT_TRUE(controller.Observe(0.0, 1));
+  EXPECT_EQ(controller.level(), 2u);
+}
+
+TEST(SampleControllerTest, RecoveryNeedsSustainedCalm) {
+  SampleControllerOptions options;
+  options.calm_observations = 4;
+  SampleController controller(options, 7);
+  ASSERT_TRUE(controller.Observe(1.0, 0));
+  ASSERT_EQ(controller.level(), 1u);
+
+  // Hovering between the watermarks is neither pressure nor calm: the level
+  // holds and the streak resets.
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(controller.Observe(0.4, 0));
+  EXPECT_EQ(controller.level(), 1u);
+
+  // Three calm observations are not enough...
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(controller.Observe(0.1, 0));
+  // ...and a mid-streak hover starts the count over.
+  EXPECT_FALSE(controller.Observe(0.4, 0));
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(controller.Observe(0.1, 0));
+  EXPECT_EQ(controller.level(), 1u);
+  // The fourth consecutive calm observation steps down.
+  EXPECT_TRUE(controller.Observe(0.1, 0));
+  EXPECT_EQ(controller.level(), 0u);
+  EXPECT_EQ(controller.rate(), 1.0);
+
+  // At level 0 calm observations are a no-op.
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(controller.Observe(0.0, 0));
+  EXPECT_EQ(controller.level(), 0u);
+}
+
+TEST(SampleControllerTest, PressureResetsCalmStreak) {
+  SampleControllerOptions options;
+  options.calm_observations = 4;
+  options.min_rate = 0.25;
+  SampleController controller(options, 9);
+  ASSERT_TRUE(controller.Observe(1.0, 0));
+  ASSERT_TRUE(controller.Observe(1.0, 0));
+  ASSERT_EQ(controller.level(), 2u);  // at the floor
+  for (int i = 0; i < 3; ++i) ASSERT_FALSE(controller.Observe(0.0, 0));
+  // A stall burst wipes the streak (level already at the floor: no change).
+  EXPECT_FALSE(controller.Observe(0.0, 3));
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(controller.Observe(0.0, 0));
+  EXPECT_EQ(controller.level(), 2u);
+  EXPECT_TRUE(controller.Observe(0.0, 0));
+  EXPECT_EQ(controller.level(), 1u);
+}
+
+TEST(SampleControllerTest, ResetRestoresExactCounting) {
+  SampleController controller({}, 11);
+  ASSERT_TRUE(controller.Observe(1.0, 0));
+  for (int i = 0; i < 100; ++i) controller.Admit();
+  EXPECT_GT(controller.items_skipped(), 0u);
+  controller.Reset();
+  EXPECT_EQ(controller.level(), 0u);
+  EXPECT_EQ(controller.rate(), 1.0);
+  EXPECT_EQ(controller.items_admitted(), 0u);
+  EXPECT_EQ(controller.items_skipped(), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(controller.Admit());
+}
+
+}  // namespace
+}  // namespace substream

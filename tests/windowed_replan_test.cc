@@ -161,6 +161,69 @@ TEST(WindowedReplanTest, AdoptWindowDropsOldGeometryWindowOnReplan) {
   EXPECT_EQ(ring.retained(), 2u);
 }
 
+TEST(WindowedReplanTest, OneWindowSpikeDoesNotReplan) {
+  WindowedMonitor ring(PlanDrivenConfig(), kSeed, {.windows = 4});
+  // First horizon of steady ~500-key traffic: the unhinted plan adapts at
+  // the first boundary and primes the smoothed workload signal.
+  for (int window = 0; window < 4; ++window) {
+    const Stream traffic = WindowTraffic(20000, 500, 700 + window);
+    ring.UpdateBatch(traffic.data(), traffic.size());
+    ring.Rotate();
+  }
+  ASSERT_EQ(ring.replan_log().size(), 1u);
+  const MonitorConfig adapted = ring.config();
+
+  // Second horizon: three steady windows, then ONE spiked boundary window
+  // with 3x the distinct keys. Raw last-window feedback would adopt the
+  // spike's pow2 class and flush the ring; the log2-space EWMA (alpha 1/4)
+  // moves by only a fraction of a class, so the plan must hold.
+  for (int window = 0; window < 3; ++window) {
+    const Stream traffic = WindowTraffic(20000, 500, 710 + window);
+    ring.UpdateBatch(traffic.data(), traffic.size());
+    ring.Rotate();
+  }
+  const Stream spike = WindowTraffic(20000, 1500, 713);
+  ring.UpdateBatch(spike.data(), spike.size());
+  ring.Rotate();
+  EXPECT_EQ(ring.replan_log().size(), 1u)
+      << "transient one-window spike flushed the ring";
+  EXPECT_TRUE(MonitorConfigsEqual(ring.config(), adapted));
+
+  // Steady traffic resumes: the smoothed signal decays back toward the
+  // steady class without ever crossing it, so the log stays at one event.
+  for (int window = 0; window < 8; ++window) {
+    const Stream traffic = WindowTraffic(20000, 500, 720 + window);
+    ring.UpdateBatch(traffic.data(), traffic.size());
+    ring.Rotate();
+  }
+  EXPECT_EQ(ring.replan_log().size(), 1u);
+  EXPECT_TRUE(MonitorConfigsEqual(ring.config(), adapted));
+}
+
+TEST(WindowedReplanTest, SustainedShiftStillReplans) {
+  WindowedMonitor ring(PlanDrivenConfig(), kSeed, {.windows = 4});
+  for (int window = 0; window < 4; ++window) {
+    const Stream traffic = WindowTraffic(20000, 500, 730 + window);
+    ring.UpdateBatch(traffic.data(), traffic.size());
+    ring.Rotate();
+  }
+  ASSERT_EQ(ring.replan_log().size(), 1u);
+  const MonitorConfig adapted = ring.config();
+
+  // The workload genuinely shifts — 3x the items over 100x the key space —
+  // and stays there. Smoothing delays adoption (the EWMA needs the shift
+  // to persist across boundaries) but must not suppress it: within four
+  // horizons the plan converges to the larger workload.
+  for (int window = 0; window < 16; ++window) {
+    const Stream traffic = WindowTraffic(60000, 50000, 740 + window);
+    ring.UpdateBatch(traffic.data(), traffic.size());
+    ring.Rotate();
+  }
+  EXPECT_GE(ring.replan_log().size(), 2u)
+      << "sustained workload shift never re-planned";
+  EXPECT_GT(ring.config().universe, adapted.universe);
+}
+
 TEST(WindowedReplanTest, CheckpointRestoreKeepsGeometryDropsSpec) {
   WindowedMonitor ring(PlanDrivenConfig(), kSeed, {.windows = 4});
   for (int window = 0; window < 5; ++window) {

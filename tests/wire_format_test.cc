@@ -8,8 +8,11 @@
 /// 64-bit-cell configuration, so pre-upgrade checkpoints keep restoring.
 /// v1 records (pre-refactor polynomial bucket placement) stay rejected:
 /// their counter placement is meaningless under the prehash-remix
-/// derivations. These tests pin the exact v3 encoding of small fixed-seed
-/// sketches, plus one v2 byte string decoded for backward compatibility,
+/// derivations. Format v4 added the Monitor-level raw_updates field for
+/// sampled ingest; counter-table layouts are unchanged, so these goldens
+/// differ from their v3 ancestors only in the version byte. The tests pin
+/// the exact v4 encoding of small fixed-seed sketches, plus one v2 byte
+/// string decoded for backward compatibility,
 /// so an accidental re-ordering, header change or silent format-version
 /// drift fail loudly instead of corrupting cross-version Collector merges.
 ///
@@ -35,7 +38,7 @@ namespace {
 /// header carries cell_width=k8/flags=0, the saturated base cells read 0,
 /// and one u16 overflow level holds the spilled 300s.
 constexpr const char* kCompactSpillGolden =
-    "010302080005000000000000000000ad02000000002c00000100000000002c0001"
+    "010402080005000000000000000000ad02000000002c00000100000000002c0001"
     "01000000008002000000000000000080020000";
 
 std::vector<std::uint8_t> HexToBytes(const std::string& hex) {
@@ -69,7 +72,7 @@ TEST(WireFormatTest, CountMinGoldenBytes) {
   CountMinSketch cm(2, 8, false, 5);
   for (item_t x : {1ULL, 2ULL, 3ULL, 1ULL, 2ULL, 1ULL}) cm.Update(x);
   EXPECT_EQ(HexRecord(cm),
-            "010302080005000000000000000300060000000103000002000000000004"
+            "010402080005000000000000000300060000000103000002000000000004"
             "000200");
 }
 
@@ -77,7 +80,7 @@ TEST(WireFormatTest, CountSketchGoldenBytes) {
   CountSketch cs(3, 8, 6);
   for (item_t x : {10ULL, 11ULL, 12ULL, 10ULL, 11ULL, 10ULL}) cs.Update(x);
   EXPECT_EQ(HexRecord(cs),
-            "03030308060000000000000003000c0000000000002c4000000000000020"
+            "03040308060000000000000003000c0000000000002c4000000000000020"
             "400000000000002c400300000000050001030000000400000000000204000000"
             "0500");
 }
@@ -88,7 +91,7 @@ TEST(WireFormatTest, KmvGoldenBytes) {
     kmv.Update(x);
   }
   EXPECT_EQ(HexRecord(kmv),
-            "0703040700000000000000047be0612813a19c49a7d49f31a9fc3261931de209"
+            "0704040700000000000000047be0612813a19c49a7d49f31a9fc3261931de209"
             "dc1e08aa9a47619abc2259c2");
 }
 
@@ -96,7 +99,7 @@ TEST(WireFormatTest, HyperLogLogGoldenBytes) {
   HyperLogLog hll(4, 8);
   for (item_t x : {200ULL, 201ULL, 202ULL}) hll.Update(x);
   EXPECT_EQ(HexRecord(hll),
-            "060304080000000000000000000000010000000000000500000000");
+            "060404080000000000000000000000010000000000000500000000");
 }
 
 TEST(WireFormatTest, CompactCellSpillGoldenBytes) {
